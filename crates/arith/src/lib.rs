@@ -1,0 +1,44 @@
+//! # dkg-arith
+//!
+//! From-scratch arithmetic substrate for the hybrid DKG reproduction of
+//! *Distributed Key Generation for the Internet* (Kate & Goldberg,
+//! ICDCS 2009).
+//!
+//! The paper assumes a cyclic group `G` of κ-bit prime order `q` with
+//! generator `g` in which computing discrete logarithms is infeasible
+//! (§2.3). This crate provides that substrate without external
+//! cryptographic dependencies:
+//!
+//! * [`U256`] / [`U512`] — fixed-width big integers,
+//! * [`Fp`] and [`Scalar`] — the secp256k1 base and scalar prime fields in
+//!   Montgomery form (the scalar field is the paper's `Z_q`),
+//! * [`GroupElement`] — the secp256k1 group written as the paper's `G`,
+//!   with [`GroupElement::commit`] playing the role of `g^s`,
+//! * [`multiexp`] — Pippenger multi-exponentiation used by commitment
+//!   verification.
+//!
+//! ## Example
+//!
+//! ```
+//! use dkg_arith::{GroupElement, PrimeField, Scalar};
+//!
+//! let secret = Scalar::from_u64(1234567);
+//! let commitment = GroupElement::commit(&secret); // g^s
+//! assert_eq!(commitment, GroupElement::generator().mul(&secret));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curve;
+pub mod field;
+pub mod mont;
+pub mod multiexp;
+pub mod u256;
+pub mod u512;
+
+pub use curve::{GroupElement, ProjectivePoint};
+pub use field::{Fp, PrimeField, Scalar};
+pub use multiexp::{multiexp, multiexp_powers};
+pub use u256::U256;
+pub use u512::U512;

@@ -1,0 +1,176 @@
+//! Multi-exponentiation (multi-scalar multiplication).
+//!
+//! Commitment verification in the VSS layer repeatedly evaluates products of
+//! the form `Π_j C_j^{e_j}` (e.g. `verify-poly` and `verify-point` in Fig. 1
+//! of the paper). Evaluating each term separately costs one full scalar
+//! multiplication per term; the Pippenger bucket method below shares the
+//! doublings across all terms and is several times faster for the matrix
+//! sizes that appear in practice (`t+1` up to a few dozen terms).
+
+use crate::curve::{GroupElement, ProjectivePoint};
+use crate::field::{PrimeField, Scalar};
+
+/// Computes `Σ_i [scalars_i] points_i` (written multiplicatively:
+/// `Π_i points_i ^ scalars_i`).
+///
+/// Returns the identity element for empty input. Mismatched slice lengths are
+/// a programming error and panic.
+pub fn multiexp(points: &[GroupElement], scalars: &[Scalar]) -> GroupElement {
+    assert_eq!(
+        points.len(),
+        scalars.len(),
+        "multiexp requires one scalar per point"
+    );
+    if points.is_empty() {
+        return GroupElement::identity();
+    }
+    if points.len() == 1 {
+        return points[0].mul(&scalars[0]);
+    }
+    multiexp_pippenger(points, scalars).to_affine()
+}
+
+/// Window size heuristic for Pippenger's algorithm.
+fn window_bits(n: usize) -> usize {
+    match n {
+        0..=3 => 2,
+        4..=11 => 3,
+        12..=39 => 4,
+        40..=120 => 5,
+        121..=400 => 6,
+        401..=1300 => 7,
+        _ => 8,
+    }
+}
+
+fn multiexp_pippenger(points: &[GroupElement], scalars: &[Scalar]) -> ProjectivePoint {
+    let c = window_bits(points.len());
+    let num_windows = 256usize.div_ceil(c);
+    let digits: Vec<[u8; 32]> = scalars.iter().map(|s| s.to_be_bytes()).collect();
+
+    let mut result = ProjectivePoint::identity();
+    for w in (0..num_windows).rev() {
+        for _ in 0..c {
+            result = result.double();
+        }
+        let mut buckets = vec![ProjectivePoint::identity(); (1 << c) - 1];
+        for (point, bytes) in points.iter().zip(&digits) {
+            let digit = extract_window(bytes, w, c);
+            if digit != 0 {
+                buckets[digit - 1] += ProjectivePoint::from(*point);
+            }
+        }
+        // Sum buckets weighted by their index using the running-sum trick.
+        let mut running = ProjectivePoint::identity();
+        let mut window_sum = ProjectivePoint::identity();
+        for bucket in buckets.iter().rev() {
+            running += *bucket;
+            window_sum += running;
+        }
+        result += window_sum;
+    }
+    result
+}
+
+/// Extracts window `w` (of width `c` bits, counting windows from the least
+/// significant bit) from a big-endian 256-bit integer.
+fn extract_window(be_bytes: &[u8; 32], w: usize, c: usize) -> usize {
+    let start_bit = w * c;
+    let mut value = 0usize;
+    for i in 0..c {
+        let bit = start_bit + i;
+        if bit >= 256 {
+            break;
+        }
+        let byte = be_bytes[31 - bit / 8];
+        if (byte >> (bit % 8)) & 1 == 1 {
+            value |= 1 << i;
+        }
+    }
+    value
+}
+
+/// Computes `Π_i points_i ^ (base^i)` for `i = 0..points.len()`, i.e. a
+/// multi-exponentiation with successive powers of a fixed base. This is the
+/// access pattern of `verify-poly` / `verify-point`, where the exponents are
+/// `i^j` and `m^j i^ℓ`.
+pub fn multiexp_powers(points: &[GroupElement], base: Scalar) -> GroupElement {
+    let mut scalars = Vec::with_capacity(points.len());
+    let mut acc = Scalar::one();
+    for _ in 0..points.len() {
+        scalars.push(acc);
+        acc *= base;
+    }
+    multiexp(points, &scalars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn naive(points: &[GroupElement], scalars: &[Scalar]) -> GroupElement {
+        points
+            .iter()
+            .zip(scalars)
+            .map(|(p, s)| p.mul(s))
+            .sum()
+    }
+
+    #[test]
+    fn empty_input_is_identity() {
+        assert!(multiexp(&[], &[]).is_identity());
+    }
+
+    #[test]
+    fn single_term_matches_scalar_mul() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = GroupElement::random(&mut rng);
+        let s = Scalar::random(&mut rng);
+        assert_eq!(multiexp(&[p], &[s]), p.mul(&s));
+    }
+
+    #[test]
+    fn matches_naive_for_various_sizes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for n in [2usize, 3, 5, 13, 41] {
+            let points: Vec<_> = (0..n).map(|_| GroupElement::random(&mut rng)).collect();
+            let scalars: Vec<_> = (0..n).map(|_| Scalar::random(&mut rng)).collect();
+            assert_eq!(multiexp(&points, &scalars), naive(&points, &scalars), "n={n}");
+        }
+    }
+
+    #[test]
+    fn handles_zero_and_small_scalars() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let points: Vec<_> = (0..4).map(|_| GroupElement::random(&mut rng)).collect();
+        let scalars = vec![
+            Scalar::zero(),
+            Scalar::one(),
+            Scalar::from_u64(2),
+            Scalar::from_u64(u64::MAX),
+        ];
+        assert_eq!(multiexp(&points, &scalars), naive(&points, &scalars));
+    }
+
+    #[test]
+    fn powers_variant_matches_naive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let points: Vec<_> = (0..6).map(|_| GroupElement::random(&mut rng)).collect();
+        let base = Scalar::from_u64(7);
+        let mut scalars = Vec::new();
+        let mut acc = Scalar::one();
+        for _ in 0..points.len() {
+            scalars.push(acc);
+            acc *= base;
+        }
+        assert_eq!(multiexp_powers(&points, base), naive(&points, &scalars));
+    }
+
+    #[test]
+    #[should_panic(expected = "one scalar per point")]
+    fn mismatched_lengths_panic() {
+        let _ = multiexp(&[GroupElement::generator()], &[]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Fixed-width 512-bit unsigned integers.
+//!
+//! [`U512`] only exists to hold full products of two [`U256`](crate::U256)
+//! values before modular reduction, so its API is limited to what the field
+//! reduction algorithms need.
+
+use crate::u256::{borrowing_sub, carrying_add, U256};
+use core::cmp::Ordering;
+use core::fmt;
+
+/// A 512-bit unsigned integer stored as eight 64-bit little-endian limbs.
+#[derive(Copy, Clone, PartialEq, Eq, Default)]
+pub struct U512(pub [u64; 8]);
+
+impl U512 {
+    /// The value zero.
+    pub const ZERO: U512 = U512([0; 8]);
+
+    /// Builds a 512-bit value from low and high 256-bit halves.
+    pub fn from_halves(lo: U256, hi: U256) -> U512 {
+        U512([
+            lo.0[0], lo.0[1], lo.0[2], lo.0[3], hi.0[0], hi.0[1], hi.0[2], hi.0[3],
+        ])
+    }
+
+    /// Splits into `(low 256 bits, high 256 bits)`.
+    pub fn split(&self) -> (U256, U256) {
+        (
+            U256([self.0[0], self.0[1], self.0[2], self.0[3]]),
+            U256([self.0[4], self.0[5], self.0[6], self.0[7]]),
+        )
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&l| l == 0)
+    }
+
+    /// Returns the `i`-th bit.
+    pub fn bit(&self, i: usize) -> bool {
+        if i >= 512 {
+            return false;
+        }
+        (self.0[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Wrapping addition.
+    pub fn wrapping_add(&self, rhs: &U512) -> U512 {
+        let mut out = [0u64; 8];
+        let mut carry = false;
+        for i in 0..8 {
+            let (v, c) = carrying_add(self.0[i], rhs.0[i], carry);
+            out[i] = v;
+            carry = c;
+        }
+        U512(out)
+    }
+
+    /// Subtraction with borrow-out.
+    pub fn sbb(&self, rhs: &U512) -> (U512, bool) {
+        let mut out = [0u64; 8];
+        let mut borrow = false;
+        for i in 0..8 {
+            let (v, b) = borrowing_sub(self.0[i], rhs.0[i], borrow);
+            out[i] = v;
+            borrow = b;
+        }
+        (U512(out), borrow)
+    }
+
+    /// Logical left shift by one bit.
+    pub fn shl1(&self) -> U512 {
+        let mut out = [0u64; 8];
+        let mut carry = 0u64;
+        for i in 0..8 {
+            out[i] = (self.0[i] << 1) | carry;
+            carry = self.0[i] >> 63;
+        }
+        U512(out)
+    }
+
+    /// Reduction modulo a 256-bit modulus using binary long division.
+    ///
+    /// Used for constant setup and in tests as a reference implementation;
+    /// hot paths use Montgomery / special-form reduction.
+    pub fn reduce_mod(&self, m: &U256) -> U256 {
+        assert!(!m.is_zero(), "division by zero modulus");
+        let mut rem = U256::ZERO;
+        for i in (0..512).rev() {
+            // rem can be as large as m - 1, which for moduli close to 2^256
+            // overflows on the shift; keep the shifted-out bit explicitly.
+            let overflow = rem.bit(255);
+            rem = rem.shl(1);
+            if self.bit(i) {
+                rem.0[0] |= 1;
+            }
+            let (sub, borrow) = rem.sbb(m);
+            if overflow || !borrow {
+                rem = sub;
+            }
+        }
+        rem
+    }
+}
+
+impl PartialOrd for U512 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U512 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..8).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for U512 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for i in (0..8).rev() {
+            write!(f, "{:016x}", self.0[i])?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_and_join() {
+        let lo = U256::from_u64(5);
+        let hi = U256::from_u64(9);
+        let v = U512::from_halves(lo, hi);
+        assert_eq!(v.split(), (lo, hi));
+    }
+
+    #[test]
+    fn reduce_mod_matches_u256_for_small_values() {
+        let a = U256::from_u64(123_456_789);
+        let wide = U512::from_halves(a, U256::ZERO);
+        let m = U256::from_u64(1_000_003);
+        assert_eq!(wide.reduce_mod(&m), a.reduce_mod(&m));
+    }
+
+    #[test]
+    fn reduce_mod_high_half() {
+        // 2^256 mod 97: compute via repeated squaring of 2^64 mod 97.
+        let m = U256::from_u64(97);
+        let wide = U512::from_halves(U256::ZERO, U256::ONE);
+        let mut acc = 1u64;
+        for _ in 0..256 {
+            acc = (acc * 2) % 97;
+        }
+        assert_eq!(wide.reduce_mod(&m), U256::from_u64(acc));
+    }
+
+    #[test]
+    fn mul_wide_then_reduce_consistent() {
+        let a = U256::from_u64(0xffff_ffff_ffff_fff1);
+        let b = U256::from_u64(0xffff_ffff_ffff_ff17);
+        let m = U256::from_u64(0xffff_fffb);
+        let wide = a.mul_wide(&b);
+        let expected = ((0xffff_ffff_ffff_fff1u128 % 0xffff_fffbu128)
+            * (0xffff_ffff_ffff_ff17u128 % 0xffff_fffbu128))
+            % 0xffff_fffbu128;
+        assert_eq!(wide.reduce_mod(&m), U256::from_u64(expected as u64));
+    }
+
+    #[test]
+    fn ordering_and_shift() {
+        let one = U512::from_halves(U256::ONE, U256::ZERO);
+        assert!(U512::ZERO < one);
+        assert_eq!(one.shl1(), U512::from_halves(U256::from_u64(2), U256::ZERO));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the arithmetic substrate: field axioms, curve
+//! group laws and encoding round-trips.
+
+use dkg_arith::{GroupElement, PrimeField, Scalar, U256};
+use proptest::prelude::*;
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    any::<[u64; 4]>().prop_map(U256::from_limbs)
+}
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    arb_u256().prop_map(Scalar::from_u256)
+}
+
+fn arb_point() -> impl Strategy<Value = GroupElement> {
+    arb_scalar().prop_map(|s| GroupElement::commit(&s))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn u256_add_sub_roundtrip(a in arb_u256(), b in arb_u256()) {
+        let (sum, _carry) = a.adc(&b);
+        let (back, _borrow) = sum.sbb(&b);
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn u256_shift_inverse(a in arb_u256(), n in 0usize..255) {
+        // Shifting right then left clears the low bits but must preserve the
+        // rest when no bits fall off the top.
+        let masked = a.shr(n).shl(n);
+        prop_assert_eq!(masked.shr(n), a.shr(n));
+    }
+
+    #[test]
+    fn u256_bytes_roundtrip(a in arb_u256()) {
+        prop_assert_eq!(U256::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn scalar_addition_commutes(a in arb_scalar(), b in arb_scalar()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn scalar_addition_associates(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn scalar_multiplication_commutes(a in arb_scalar(), b in arb_scalar()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn scalar_multiplication_associates(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn scalar_distributive_law(a in arb_scalar(), b in arb_scalar(), c in arb_scalar()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn scalar_additive_inverse(a in arb_scalar()) {
+        prop_assert!((a + (-a)).is_zero());
+    }
+
+    #[test]
+    fn scalar_multiplicative_inverse(a in arb_scalar()) {
+        prop_assume!(!a.is_zero());
+        prop_assert_eq!(a * a.invert().unwrap(), Scalar::one());
+    }
+
+    #[test]
+    fn scalar_bytes_roundtrip(a in arb_scalar()) {
+        prop_assert_eq!(Scalar::from_be_bytes(&a.to_be_bytes()), Some(a));
+    }
+
+    #[test]
+    fn scalar_pow_adds_exponents(a in arb_scalar(), x in 0u64..1000, y in 0u64..1000) {
+        let lhs = a.pow(&U256::from_u64(x)) * a.pow(&U256::from_u64(y));
+        let rhs = a.pow(&U256::from_u64(x + y));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn group_commit_is_additive_homomorphism(a in arb_scalar(), b in arb_scalar()) {
+        prop_assert_eq!(
+            GroupElement::commit(&(a + b)),
+            GroupElement::commit(&a) + GroupElement::commit(&b)
+        );
+    }
+
+    #[test]
+    fn group_scalar_mul_composes(a in arb_scalar(), b in arb_scalar()) {
+        let p = GroupElement::generator();
+        prop_assert_eq!(p.mul(&a).mul(&b), p.mul(&(a * b)));
+    }
+
+    #[test]
+    fn group_points_are_on_curve(p in arb_point()) {
+        prop_assert!(p.is_on_curve());
+    }
+
+    #[test]
+    fn group_encoding_roundtrip(p in arb_point()) {
+        prop_assert_eq!(GroupElement::from_bytes(&p.to_bytes()), Some(p));
+    }
+
+    #[test]
+    fn group_addition_commutes(p in arb_point(), q in arb_point()) {
+        prop_assert_eq!(p + q, q + p);
+    }
+
+    #[test]
+    fn multiexp_matches_naive(scalars in proptest::collection::vec(arb_scalar(), 1..8)) {
+        let points: Vec<GroupElement> = scalars
+            .iter()
+            .enumerate()
+            .map(|(i, _)| GroupElement::commit(&Scalar::from_u64(i as u64 + 1)))
+            .collect();
+        let expected: GroupElement = points
+            .iter()
+            .zip(&scalars)
+            .map(|(p, s)| p.mul(s))
+            .sum();
+        prop_assert_eq!(dkg_arith::multiexp(&points, &scalars), expected);
+    }
+}

@@ -1,0 +1,132 @@
+//! Closed-form complexity models for the related schemes discussed in §1 of
+//! the paper (AVSS, APSS, MPSS), used by experiment E6 to reproduce the
+//! related-work comparison alongside the *measured* numbers for HybridVSS
+//! and the DKG.
+
+/// Binomial coefficient `C(n, k)` with saturation (APSS's message complexity
+/// is `Ω(C(n, t))`, which explodes quickly).
+pub fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result: u64 = 1;
+    for i in 0..k {
+        result = result
+            .saturating_mul(n - i)
+            .checked_div(i + 1)
+            .unwrap_or(u64::MAX);
+    }
+    result
+}
+
+/// A scheme in the §1 comparison.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scheme {
+    /// Cachin et al., CCS'02 (bivariate AVSS).
+    Avss,
+    /// Zhou et al., APSS (combinatorial secret sharing).
+    Apss,
+    /// Schultz et al., MPSS (univariate, disjoint groups per phase).
+    Mpss,
+    /// This paper's HybridVSS.
+    HybridVss,
+}
+
+impl Scheme {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Avss => "AVSS (Cachin et al.)",
+            Scheme::Apss => "APSS (Zhou et al.)",
+            Scheme::Mpss => "MPSS (Schultz et al.)",
+            Scheme::HybridVss => "HybridVSS (this paper)",
+        }
+    }
+
+    /// Asymptotic message complexity of one sharing, instantiated for
+    /// concrete `(n, t)` (crash-free case, constants dropped — these are the
+    /// *shapes* from the paper's §1 discussion).
+    pub fn message_complexity(&self, n: u64, t: u64) -> u64 {
+        match self {
+            // Bivariate AVSS and HybridVSS exchange echo/ready points
+            // pairwise.
+            Scheme::Avss | Scheme::HybridVss => n * n,
+            // APSS shares one sub-secret per (n-t)-subset.
+            Scheme::Apss => n * binomial(n, t),
+            // MPSS is also O(n^2) messages per resharing (O(n^3) with the
+            // accusation round in the worst case).
+            Scheme::Mpss => n * n,
+        }
+    }
+
+    /// Asymptotic communication complexity (bytes, with a κ = 32-byte group
+    /// element) of one sharing for concrete `(n, t)`.
+    pub fn communication_complexity(&self, n: u64, t: u64) -> u64 {
+        let kappa = 32;
+        match self {
+            // O(κ n^3): n^2 messages each carrying an O(n)-sized commitment
+            // (with the hash optimisation).
+            Scheme::Avss | Scheme::HybridVss => kappa * n * n * n,
+            Scheme::Apss => kappa * n * binomial(n, t) * (t + 1),
+            Scheme::Mpss => kappa * n * n * n,
+        }
+    }
+}
+
+/// One row of the §1 comparison table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComparisonRow {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Message complexity at the given `(n, t)`.
+    pub messages: u64,
+    /// Communication complexity (bytes) at the given `(n, t)`.
+    pub bytes: u64,
+}
+
+/// Builds the §1 comparison table for concrete parameters.
+pub fn comparison_table(n: u64, t: u64) -> Vec<ComparisonRow> {
+    [Scheme::Avss, Scheme::Apss, Scheme::Mpss, Scheme::HybridVss]
+        .into_iter()
+        .map(|scheme| ComparisonRow {
+            scheme,
+            messages: scheme.message_complexity(n, t),
+            bytes: scheme.communication_complexity(n, t),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 0), 1);
+        assert_eq!(binomial(10, 10), 1);
+        assert_eq!(binomial(4, 5), 0);
+        assert_eq!(binomial(20, 10), 184_756);
+    }
+
+    #[test]
+    fn apss_explodes_relative_to_avss() {
+        // The point of the paper's comparison: APSS's combinatorial blow-up
+        // makes it unusable beyond tiny t.
+        let n = 16;
+        let t = 5;
+        assert!(
+            Scheme::Apss.message_complexity(n, t) > 100 * Scheme::Avss.message_complexity(n, t)
+        );
+    }
+
+    #[test]
+    fn table_has_all_schemes() {
+        let table = comparison_table(10, 3);
+        assert_eq!(table.len(), 4);
+        assert!(table.iter().any(|r| r.scheme == Scheme::HybridVss));
+        assert!(table.iter().all(|r| r.messages > 0 && r.bytes > 0));
+        assert_eq!(Scheme::Avss.name(), "AVSS (Cachin et al.)");
+    }
+}

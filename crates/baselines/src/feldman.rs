@@ -1,0 +1,118 @@
+//! Synchronous Feldman VSS (FOCS'87) — the baseline commitment scheme the
+//! paper builds on, in its original synchronous broadcast-channel setting.
+//!
+//! This baseline exists for experiment E6/E9: it shows what the sharing costs
+//! when a synchronous broadcast channel is assumed (one `O(κn)` broadcast
+//! plus `n` private share messages), against which the price of asynchrony
+//! (the `O(n²)` echo/ready traffic of HybridVSS) is measured.
+
+use dkg_arith::Scalar;
+use dkg_crypto::NodeId;
+use dkg_poly::{CommitmentVector, Univariate};
+use rand::Rng;
+
+/// The dealer's output: a public commitment broadcast and one private share
+/// per node.
+#[derive(Clone, Debug)]
+pub struct FeldmanDealing {
+    /// The broadcast Feldman commitment vector `V_ℓ = g^{a_ℓ}`.
+    pub commitment: CommitmentVector,
+    /// The private shares `(node, a(node))`.
+    pub shares: Vec<(NodeId, Scalar)>,
+}
+
+/// Synchronous Feldman VSS with parameters `(n, t)`.
+#[derive(Clone, Copy, Debug)]
+pub struct FeldmanVss {
+    /// Number of nodes.
+    pub n: usize,
+    /// Threshold `t` (degree of the sharing polynomial).
+    pub t: usize,
+}
+
+impl FeldmanVss {
+    /// Creates an instance.
+    pub fn new(n: usize, t: usize) -> Self {
+        assert!(t < n, "threshold must be smaller than the group");
+        FeldmanVss { n, t }
+    }
+
+    /// The dealer shares `secret` among nodes `1..=n`.
+    pub fn deal<R: Rng + ?Sized>(&self, rng: &mut R, secret: Scalar) -> FeldmanDealing {
+        let poly = Univariate::random_with_constant(rng, self.t, secret);
+        let commitment = CommitmentVector::commit(&poly);
+        let shares = (1..=self.n as NodeId)
+            .map(|i| (i, poly.evaluate_at_index(i)))
+            .collect();
+        FeldmanDealing { commitment, shares }
+    }
+
+    /// A receiver verifies its share against the broadcast commitment
+    /// (honest nodes broadcast a complaint otherwise; the complaint round is
+    /// vacuous with an honest dealer and is not modelled further here).
+    pub fn verify_share(commitment: &CommitmentVector, node: NodeId, share: Scalar) -> bool {
+        commitment.verify_share(node, share)
+    }
+
+    /// Number of messages the sharing costs in the synchronous model: one
+    /// broadcast (counted as `n` point-to-point messages, the standard
+    /// accounting when no physical broadcast channel exists) plus `n`
+    /// private share messages.
+    pub fn message_complexity(&self) -> u64 {
+        2 * self.n as u64
+    }
+
+    /// Bytes transferred: the commitment vector to everyone plus one scalar
+    /// per node.
+    pub fn communication_complexity(&self) -> u64 {
+        let commitment_bytes = (self.t as u64 + 1) * 33;
+        self.n as u64 * commitment_bytes + self.n as u64 * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkg_arith::PrimeField;
+    use dkg_poly::interpolate_secret;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dealing_verifies_and_reconstructs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let vss = FeldmanVss::new(7, 2);
+        let secret = Scalar::from_u64(99);
+        let dealing = vss.deal(&mut rng, secret);
+        assert_eq!(dealing.shares.len(), 7);
+        for &(node, share) in &dealing.shares {
+            assert!(FeldmanVss::verify_share(&dealing.commitment, node, share));
+            assert!(!FeldmanVss::verify_share(
+                &dealing.commitment,
+                node,
+                share + Scalar::one()
+            ));
+        }
+        let subset: Vec<(u64, Scalar)> = dealing.shares[..3].to_vec();
+        assert_eq!(interpolate_secret(&subset), Some(secret));
+        assert_eq!(
+            dealing.commitment.public_key(),
+            dkg_arith::GroupElement::commit(&secret)
+        );
+    }
+
+    #[test]
+    fn complexity_formulas_scale_linearly() {
+        let small = FeldmanVss::new(4, 1);
+        let large = FeldmanVss::new(8, 2);
+        assert_eq!(small.message_complexity(), 8);
+        assert_eq!(large.message_complexity(), 16);
+        assert!(large.communication_complexity() > small.communication_complexity());
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be smaller")]
+    fn rejects_bad_threshold() {
+        let _ = FeldmanVss::new(3, 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! A synchronous Joint-Feldman DKG (Pedersen '91 style), the classic
+//! synchronous baseline the paper's related work (Gennaro et al. [9])
+//! departs from.
+//!
+//! Every node acts as a Feldman dealer in the same synchronous round; with a
+//! broadcast channel and synchrony there is no need for the leader-based
+//! agreement of the asynchronous protocol — the qualified set is simply
+//! "every dealer against whom no valid complaint was broadcast". Used by
+//! experiments E6 (complexity comparison) and E9 (the timeout-based protocol
+//! an adversary can slow down by delaying messages to the verge of the
+//! round bound).
+
+use std::collections::BTreeMap;
+
+use dkg_arith::{GroupElement, PrimeField, Scalar};
+use dkg_crypto::NodeId;
+use dkg_poly::CommitmentVector;
+use rand::Rng;
+
+use crate::feldman::{FeldmanDealing, FeldmanVss};
+
+/// The outcome of a synchronous Joint-Feldman DKG run.
+#[derive(Clone, Debug)]
+pub struct JfDkgOutcome {
+    /// The distributed public key `g^s`.
+    pub public_key: GroupElement,
+    /// Final shares per node.
+    pub shares: BTreeMap<NodeId, Scalar>,
+    /// The qualified dealer set.
+    pub qualified: Vec<NodeId>,
+    /// Messages "sent" during the run (synchronous-model accounting).
+    pub messages: u64,
+    /// Bytes "sent" during the run.
+    pub bytes: u64,
+    /// Synchronous rounds consumed (sharing + complaint).
+    pub rounds: u64,
+}
+
+/// Synchronous Joint-Feldman DKG with parameters `(n, t)`.
+#[derive(Clone, Copy, Debug)]
+pub struct JfDkg {
+    /// Number of nodes.
+    pub n: usize,
+    /// Threshold `t`.
+    pub t: usize,
+}
+
+impl JfDkg {
+    /// Creates an instance.
+    pub fn new(n: usize, t: usize) -> Self {
+        assert!(t < n, "threshold must be smaller than the group");
+        JfDkg { n, t }
+    }
+
+    /// Runs the protocol with every dealer honest (`misbehaving` empty) or
+    /// with the listed dealers excluded by the complaint round.
+    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R, misbehaving: &[NodeId]) -> JfDkgOutcome {
+        let vss = FeldmanVss::new(self.n, self.t);
+        let mut dealings: BTreeMap<NodeId, FeldmanDealing> = BTreeMap::new();
+        for dealer in 1..=self.n as NodeId {
+            if misbehaving.contains(&dealer) {
+                continue;
+            }
+            let secret = Scalar::random(rng);
+            dealings.insert(dealer, vss.deal(rng, secret));
+        }
+        let qualified: Vec<NodeId> = dealings.keys().copied().collect();
+
+        // Final shares: sum of the qualified dealers' shares.
+        let mut shares = BTreeMap::new();
+        for node in 1..=self.n as NodeId {
+            let mut share = Scalar::zero();
+            for dealing in dealings.values() {
+                let (_, s) = dealing.shares[(node - 1) as usize];
+                share += s;
+            }
+            shares.insert(node, share);
+        }
+        // Public key: product of the qualified dealers' constant-term
+        // commitments.
+        let public_key = dealings
+            .values()
+            .map(|d| d.commitment.public_key())
+            .sum::<GroupElement>();
+
+        // Complexity accounting: every dealer performs one Feldman sharing;
+        // the complaint round broadcasts one (empty or accusing) message per
+        // node.
+        let per_dealer_messages = vss.message_complexity();
+        let per_dealer_bytes = vss.communication_complexity();
+        let dealers = qualified.len() as u64;
+        let complaint_messages = (self.n * self.n) as u64;
+        let complaint_bytes = (self.n * self.n) as u64 * 16;
+        JfDkgOutcome {
+            public_key,
+            shares,
+            qualified,
+            messages: dealers * per_dealer_messages + complaint_messages,
+            bytes: dealers * per_dealer_bytes + complaint_bytes,
+            rounds: 2,
+        }
+    }
+
+    /// The combined commitment vector of a run (for share verification).
+    pub fn combined_commitment(dealings: &[CommitmentVector]) -> Option<CommitmentVector> {
+        let weighted: Vec<(&CommitmentVector, Scalar)> =
+            dealings.iter().map(|c| (c, Scalar::one())).collect();
+        CommitmentVector::combine_weighted(&weighted).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkg_poly::interpolate_secret;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn honest_run_produces_consistent_key() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let dkg = JfDkg::new(5, 1);
+        let outcome = dkg.run(&mut rng, &[]);
+        assert_eq!(outcome.qualified.len(), 5);
+        assert_eq!(outcome.rounds, 2);
+        let shares: Vec<(u64, Scalar)> = outcome
+            .shares
+            .iter()
+            .take(2)
+            .map(|(&i, &s)| (i, s))
+            .collect();
+        let secret = interpolate_secret(&shares).unwrap();
+        assert_eq!(GroupElement::commit(&secret), outcome.public_key);
+    }
+
+    #[test]
+    fn misbehaving_dealers_are_excluded() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dkg = JfDkg::new(5, 1);
+        let outcome = dkg.run(&mut rng, &[2, 4]);
+        assert_eq!(outcome.qualified, vec![1, 3, 5]);
+        let shares: Vec<(u64, Scalar)> = outcome
+            .shares
+            .iter()
+            .take(2)
+            .map(|(&i, &s)| (i, s))
+            .collect();
+        let secret = interpolate_secret(&shares).unwrap();
+        assert_eq!(GroupElement::commit(&secret), outcome.public_key);
+    }
+
+    #[test]
+    fn complexity_grows_with_n() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let small = JfDkg::new(4, 1).run(&mut rng, &[]);
+        let large = JfDkg::new(10, 3).run(&mut rng, &[]);
+        assert!(large.messages > small.messages);
+        assert!(large.bytes > small.bytes);
+    }
+}

@@ -1,0 +1,27 @@
+//! # dkg-baselines
+//!
+//! Baseline schemes and complexity models that the paper's §1 related-work
+//! discussion and §4 efficiency analysis compare against:
+//!
+//! * [`FeldmanVss`] — synchronous Feldman VSS (the commitment scheme the
+//!   paper adopts, in its original broadcast-channel setting),
+//! * [`JfDkg`] — a synchronous Joint-Feldman DKG, the timeout-dependent
+//!   protocol used as the synchronous comparator in experiments E6 and E9,
+//! * [`complexity`] — closed-form message/communication models for AVSS,
+//!   APSS and MPSS (the §1 comparison).
+//!
+//! The *asynchronous* baseline (AVSS of Cachin et al.) is measured rather
+//! than modelled: HybridVSS with `f = 0` and recovery disabled is exactly the
+//! symmetric-bivariate AVSS sharing, so experiment E6 runs `dkg-vss` with
+//! those parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complexity;
+pub mod feldman;
+pub mod jf_dkg;
+
+pub use complexity::{binomial, comparison_table, ComparisonRow, Scheme};
+pub use feldman::{FeldmanDealing, FeldmanVss};
+pub use jf_dkg::{JfDkg, JfDkgOutcome};

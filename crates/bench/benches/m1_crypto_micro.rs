@@ -1,0 +1,83 @@
+//! M1 — cryptographic microbenchmarks underlying the κ-cost terms of the
+//! paper's communication/computation analysis: commitment-matrix generation,
+//! verify-poly, verify-point, Lagrange interpolation and multi-exponentiation
+//! as functions of the threshold `t`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkg_arith::{multiexp, GroupElement, PrimeField, Scalar};
+use dkg_poly::{interpolate_secret, CommitmentMatrix, SymmetricBivariate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_commitments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m1_commitments");
+    group.sample_size(10);
+    for &t in &[1usize, 2, 4, 8] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let poly = SymmetricBivariate::random_with_secret(&mut rng, t, Scalar::from_u64(7));
+        group.bench_with_input(BenchmarkId::new("commit_matrix", t), &poly, |b, poly| {
+            b.iter(|| CommitmentMatrix::commit(poly));
+        });
+        let commitment = CommitmentMatrix::commit(&poly);
+        let row = poly.row(3);
+        group.bench_with_input(
+            BenchmarkId::new("verify_poly", t),
+            &(commitment.clone(), row.clone()),
+            |b, (c, row)| {
+                b.iter(|| assert!(c.verify_poly(3, row)));
+            },
+        );
+        let alpha = poly.evaluate(Scalar::from_u64(2), Scalar::from_u64(3));
+        group.bench_with_input(
+            BenchmarkId::new("verify_point", t),
+            &(commitment, alpha),
+            |b, (c, alpha)| {
+                b.iter(|| assert!(c.verify_point(3, 2, *alpha)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scalar_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m1_group_ops");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let k = Scalar::random(&mut rng);
+    group.bench_function("scalar_mul_generator", |b| {
+        b.iter(|| GroupElement::commit(&k));
+    });
+    for &size in &[4usize, 16, 64] {
+        let points: Vec<GroupElement> = (0..size)
+            .map(|_| GroupElement::random(&mut rng))
+            .collect();
+        let scalars: Vec<Scalar> = (0..size).map(|_| Scalar::random(&mut rng)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("multiexp", size),
+            &(points, scalars),
+            |b, (p, s)| {
+                b.iter(|| multiexp(p, s));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_interpolation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m1_interpolation");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(3);
+    for &t in &[2usize, 8, 21] {
+        let poly = dkg_poly::Univariate::random(&mut rng, t);
+        let shares: Vec<(u64, Scalar)> = (1..=t as u64 + 1)
+            .map(|i| (i, poly.evaluate_at_index(i)))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("lagrange_at_zero", t), &shares, |b, s| {
+            b.iter(|| interpolate_secret(s).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(m1, bench_commitments, bench_scalar_ops, bench_interpolation);
+criterion_main!(m1);

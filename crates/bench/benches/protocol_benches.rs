@@ -1,0 +1,55 @@
+//! Protocol-level benchmarks: wall-clock cost of a complete HybridVSS
+//! sharing (E1's workload) and of a complete DKG run with an honest leader
+//! (E4's workload) on the deterministic simulator, for small system sizes.
+//! The message/byte tables themselves are produced by the `experiments`
+//! binary; these benches track the computational cost of the same runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkg_bench::experiments::{run_dkg, run_vss};
+use dkg_vss::CommitmentMode;
+
+fn bench_hybridvss(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_hybridvss_sharing");
+    group.sample_size(10);
+    for &n in &[4usize, 7, 10] {
+        group.bench_with_input(BenchmarkId::new("full_mode", n), &n, |b, &n| {
+            b.iter(|| {
+                let run = run_vss(n, 0, CommitmentMode::Full, None, 7);
+                assert_eq!(run.completions, n);
+            });
+        });
+    }
+    for &n in &[7usize] {
+        group.bench_with_input(BenchmarkId::new("digest_mode", n), &n, |b, &n| {
+            b.iter(|| {
+                let run = run_vss(n, 0, CommitmentMode::Digest, None, 7);
+                assert_eq!(run.completions, n);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dkg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_dkg_optimistic");
+    group.sample_size(10);
+    for &n in &[4usize, 7] {
+        group.bench_with_input(BenchmarkId::new("honest_leader", n), &n, |b, &n| {
+            b.iter(|| {
+                let run = run_dkg(n, 0, &[], &[], None, 7);
+                assert_eq!(run.completions, n);
+                assert_eq!(run.distinct_keys, 1);
+            });
+        });
+    }
+    group.bench_function("faulty_leader_n7", |b| {
+        b.iter(|| {
+            let run = run_dkg(7, 0, &[1], &[], None, 7);
+            assert!(run.distinct_keys <= 1);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(protocols, bench_hybridvss, bench_dkg);
+criterion_main!(protocols);

@@ -1,0 +1,64 @@
+//! Regenerates the experiment tables of EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dkg-bench --bin experiments            # quick set
+//! cargo run --release -p dkg-bench --bin experiments -- full    # larger sweeps
+//! cargo run --release -p dkg-bench --bin experiments -- e4 e5   # selected experiments
+//! ```
+
+use dkg_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "full");
+    let selected: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| a.starts_with('e'))
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.contains(&name);
+    let seed = 42;
+
+    let vss_sizes: &[usize] = if full {
+        &[4, 7, 10, 13, 19, 25, 31]
+    } else {
+        &[4, 7, 10, 13]
+    };
+    let dkg_sizes: &[usize] = if full { &[4, 7, 10, 13, 16] } else { &[4, 7, 10] };
+
+    if want("e1") {
+        println!("{}", exp::e1_hybridvss_scaling(vss_sizes, seed));
+    }
+    if want("e2") {
+        println!("{}", exp::e2_hash_optimization(vss_sizes, seed));
+    }
+    if want("e3") {
+        println!("{}", exp::e3_crash_recovery(10, 2, &[0, 1, 2, 4], seed));
+    }
+    if want("e4") {
+        println!("{}", exp::e4_dkg_optimistic(dkg_sizes, seed));
+    }
+    if want("e5") {
+        println!("{}", exp::e5_dkg_pessimistic(7, &[0, 1, 2], seed));
+    }
+    if want("e6") {
+        println!("{}", exp::e6_baseline_comparison(10, seed));
+    }
+    if want("e7") {
+        println!("{}", exp::e7_proactive_renewal(4, 2, seed));
+    }
+    if want("e8") {
+        println!("{}", exp::e8_group_modification(4, seed));
+    }
+    if want("e9") {
+        println!(
+            "{}",
+            exp::e9_adversarial_delay(7, &[0, 500, 2_000, 10_000, 60_000], seed)
+        );
+    }
+    if want("e10") {
+        println!("{}", exp::e10_resilience_bound(seed));
+    }
+}

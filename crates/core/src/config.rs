@@ -1,0 +1,135 @@
+//! Configuration of a DKG system instance.
+
+use dkg_crypto::{KeyDirectory, NodeId, SigningKey};
+use dkg_sim::DelayFunction;
+use dkg_vss::{CommitmentMode, ConfigError, VssConfig};
+
+/// Static parameters of a DKG session, shared by all nodes.
+#[derive(Clone, Debug)]
+pub struct DkgConfig {
+    /// The underlying VSS configuration (nodes, `t`, `f`, `d(κ)`, commitment
+    /// mode). The DKG runs one HybridVSS instance per node on top of it.
+    pub vss: VssConfig,
+    /// The weak-synchrony timeout function `delay(t)` used before suspecting
+    /// a leader (§2.1, §4).
+    pub leader_timeout: DelayFunction,
+}
+
+impl DkgConfig {
+    /// Creates a configuration, validating the resilience bound.
+    pub fn new(
+        nodes: Vec<NodeId>,
+        t: usize,
+        f: usize,
+        d_max: u64,
+        mode: CommitmentMode,
+        leader_timeout: DelayFunction,
+    ) -> Result<Self, ConfigError> {
+        Ok(DkgConfig {
+            vss: VssConfig::new(nodes, t, f, d_max, mode)?,
+            leader_timeout,
+        })
+    }
+
+    /// Convenience constructor for nodes `1..=n` with the largest safe `t`
+    /// for the given `f`.
+    pub fn standard(n: usize, f: usize) -> Result<Self, ConfigError> {
+        let t = n.saturating_sub(2 * f + 1) / 3;
+        Self::new(
+            (1..=n as NodeId).collect(),
+            t,
+            f,
+            16,
+            CommitmentMode::Full,
+            DelayFunction::default(),
+        )
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.vss.n()
+    }
+
+    /// Byzantine threshold `t`.
+    pub fn t(&self) -> usize {
+        self.vss.t
+    }
+
+    /// Crash limit `f`.
+    pub fn f(&self) -> usize {
+        self.vss.f
+    }
+
+    /// The echo threshold `⌈(n + t + 1)/2⌉` of the leader's reliable
+    /// broadcast.
+    pub fn echo_threshold(&self) -> usize {
+        self.vss.echo_threshold()
+    }
+
+    /// The completion / certificate threshold `n − t − f`.
+    pub fn completion_threshold(&self) -> usize {
+        self.vss.completion_threshold()
+    }
+
+    /// The ready amplification threshold `t + 1`.
+    pub fn ready_amplify_threshold(&self) -> usize {
+        self.vss.ready_amplify_threshold()
+    }
+
+    /// Maps a leader *rank* (0 for the initial leader, incremented on every
+    /// leader change — the permutation `π` of §4) to the node that serves as
+    /// that leader.
+    pub fn leader_at_rank(&self, rank: u64) -> NodeId {
+        let nodes = &self.vss.nodes;
+        nodes[(rank as usize) % nodes.len()]
+    }
+}
+
+/// Per-node key material: this node's signing key plus the public directory
+/// of every node's verification key (the paper's PKI, §2.3).
+#[derive(Clone, Debug)]
+pub struct NodeKeys {
+    /// This node's long-term signing key.
+    pub signing_key: SigningKey,
+    /// The directory of all nodes' public keys.
+    pub directory: KeyDirectory,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_parameters() {
+        let cfg = DkgConfig::standard(10, 1).unwrap();
+        assert_eq!(cfg.n(), 10);
+        assert_eq!(cfg.t(), 2);
+        assert_eq!(cfg.f(), 1);
+        assert_eq!(cfg.completion_threshold(), 7);
+        assert_eq!(cfg.echo_threshold(), 7);
+        assert_eq!(cfg.ready_amplify_threshold(), 3);
+    }
+
+    #[test]
+    fn leader_rotation_wraps_around() {
+        let cfg = DkgConfig::standard(4, 0).unwrap();
+        assert_eq!(cfg.leader_at_rank(0), 1);
+        assert_eq!(cfg.leader_at_rank(1), 2);
+        assert_eq!(cfg.leader_at_rank(3), 4);
+        assert_eq!(cfg.leader_at_rank(4), 1);
+        assert_eq!(cfg.leader_at_rank(9), 2);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(DkgConfig::new(
+            (1..=4).collect(),
+            1,
+            1,
+            8,
+            CommitmentMode::Full,
+            DelayFunction::default()
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,51 @@
+//! # dkg-core
+//!
+//! The primary contribution of *Distributed Key Generation for the Internet*
+//! (Kate & Goldberg, ICDCS 2009), reproduced in Rust: an asynchronous
+//! distributed key generation protocol for the hybrid failure model
+//! (`n ≥ 3t + 2f + 1`, Byzantine + crash-recovery + link failures), built
+//! from `n` parallel HybridVSS sharings and a leader-based agreement with a
+//! Castro–Liskov style leader change.
+//!
+//! * [`DkgNode`] — the per-node state machine: optimistic phase (Fig. 2),
+//!   pessimistic leader-change phase (Fig. 3), group-secret reconstruction
+//!   and crash recovery. Runs directly on the [`dkg_sim`] simulator.
+//! * [`proactive`] — share renewal and recovery across phases (§5).
+//! * [`group`] — group-modification agreement, node addition/removal and
+//!   threshold / crash-limit changes (§6).
+//! * [`runner`] — harness helpers used by the examples, integration tests
+//!   and every experiment in EXPERIMENTS.md.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dkg_core::runner::{run_key_generation, SystemSetup};
+//! use dkg_sim::DelayModel;
+//!
+//! // A 4-node system tolerating t = 1 Byzantine node.
+//! let setup = SystemSetup::generate(4, 0, 42);
+//! let (outcomes, sim) = run_key_generation(&setup, DelayModel::Constant(25), 0);
+//! assert_eq!(outcomes.len(), 4);
+//! // Every node holds the same distributed public key.
+//! assert!(outcomes.iter().all(|o| o.public_key == outcomes[0].public_key));
+//! println!("{}", sim.metrics().report());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod group;
+pub mod messages;
+pub mod node;
+pub mod proactive;
+pub mod runner;
+
+pub use config::{DkgConfig, NodeKeys};
+pub use messages::{
+    payload, CombineRule, DealerProof, DkgInput, DkgMessage, DkgOutput, Justification, Proposal,
+    SignedVote,
+};
+pub use node::{DkgNode, DkgResult};
+pub use proactive::{run_initial_phase, run_renewal_phase, PhaseState, RenewalError, RenewalOptions};
+pub use runner::{collect_outcomes, run_key_generation, NodeOutcome, SystemSetup};

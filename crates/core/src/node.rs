@@ -1,0 +1,1126 @@
+//! The DKG node state machine: optimistic phase (Fig. 2) and pessimistic
+//! leader-change phase (Fig. 3), running `n` embedded HybridVSS instances.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dkg_arith::{GroupElement, PrimeField, Scalar};
+use dkg_crypto::{Digest, NodeId, Signature};
+use dkg_poly::{interpolate_secret, CommitmentMatrix};
+use dkg_sim::{ActionSink, Protocol, TimerId};
+use dkg_vss::{
+    ReadyWitness, SessionId, SigningContext, VssAction, VssInput, VssMessage, VssNode, VssOutput,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{DkgConfig, NodeKeys};
+use crate::messages::{
+    payload, CombineRule, DealerProof, DkgInput, DkgMessage, DkgOutput, Justification, Proposal,
+    SignedVote,
+};
+
+/// Timer id used for the leader timeout.
+const LEADER_TIMER: TimerId = 1;
+
+/// Sentinel "dealer" used for group-secret reconstruction traffic.
+const GROUP_SESSION_DEALER: NodeId = 0;
+
+/// A completed embedded sharing.
+#[derive(Clone, Debug)]
+struct CompletedSharing {
+    commitment: CommitmentMatrix,
+    share: Scalar,
+    digest: Digest,
+    witnesses: Vec<ReadyWitness>,
+}
+
+/// The final result of the DKG at this node.
+#[derive(Clone, Debug)]
+pub struct DkgResult {
+    /// The agreed dealer set `Q`.
+    pub dealers: Vec<NodeId>,
+    /// The combined commitment matrix.
+    pub commitment: CommitmentMatrix,
+    /// The distributed public key `g^s`.
+    pub public_key: GroupElement,
+    /// This node's share of the secret.
+    pub share: Scalar,
+    /// The leader rank under which agreement completed.
+    pub leader_rank: u64,
+}
+
+/// The DKG protocol state machine for one node (§4 of the paper), usable
+/// directly as a [`dkg_sim::Protocol`].
+pub struct DkgNode {
+    id: NodeId,
+    config: DkgConfig,
+    keys: NodeKeys,
+    tau: u64,
+    combine: CombineRule,
+    rng: StdRng,
+
+    /// One embedded HybridVSS instance per dealer.
+    vss: BTreeMap<NodeId, VssNode>,
+    /// Completed sharings, by dealer.
+    completed_vss: BTreeMap<NodeId, CompletedSharing>,
+    /// `Q̂`: dealers whose sharing finished here, in completion order.
+    finished_set: Vec<NodeId>,
+    /// Renewal safety check: expected `g^{s_d}` per dealer (see
+    /// [`DkgNode::set_expected_dealer_commitments`]).
+    expected_dealer_keys: BTreeMap<NodeId, GroupElement>,
+    started: bool,
+
+    /// Current leader rank (`L`); the node at `config.leader_at_rank(rank)`.
+    leader_rank: u64,
+    /// `Q` / `M`: the locked proposal and its certificate, if any.
+    locked: Option<(Proposal, Justification)>,
+    /// Proposals already echoed, keyed by `(rank, proposal bytes)`.
+    echoed: BTreeSet<(u64, Vec<u8>)>,
+    /// Whether this node has sent its `ready` votes.
+    ready_sent: bool,
+    /// `e_Q`: echo votes per proposal.
+    echo_votes: BTreeMap<Vec<u8>, BTreeMap<NodeId, Signature>>,
+    /// `r_Q`: ready votes per proposal.
+    ready_votes: BTreeMap<Vec<u8>, BTreeMap<NodeId, Signature>>,
+    /// Proposals seen (needed to rebuild a `Proposal` from its key).
+    proposals: BTreeMap<Vec<u8>, Proposal>,
+
+    /// `lc_L`: lead-ch votes per requested rank.
+    lead_ch_votes: BTreeMap<u64, BTreeMap<NodeId, Signature>>,
+    /// `lcflag`: whether we already sent a lead-ch for the current view.
+    lc_flag: bool,
+    /// Certificate that legitimised our current leadership (when we are a
+    /// non-initial leader).
+    lead_ch_certificate: Vec<SignedVote>,
+    /// Number of leader changes observed (drives the growing `delay(t)`).
+    retries: u32,
+
+    /// The agreed set `Q` (after `n − t − f` ready votes), waiting for the
+    /// corresponding sharings to finish locally.
+    agreed: Option<Proposal>,
+    completed: Option<DkgResult>,
+
+    /// Group-secret reconstruction state.
+    reconstruct_started: bool,
+    reconstruct_shares: BTreeMap<NodeId, Scalar>,
+    reconstructed: Option<Scalar>,
+
+    /// Outgoing agreement messages, for recovery retransmission.
+    outbox: BTreeMap<NodeId, Vec<DkgMessage>>,
+}
+
+impl DkgNode {
+    /// Creates the DKG state machine for node `id` in session `tau`.
+    ///
+    /// `rng_seed` drives this node's local randomness (its dealt secret,
+    /// polynomial coefficients and signature nonces).
+    pub fn new(id: NodeId, config: DkgConfig, keys: NodeKeys, tau: u64, rng_seed: u64) -> Self {
+        let signing = SigningContext {
+            key: keys.signing_key,
+            directory: keys.directory.clone(),
+        };
+        let vss = config
+            .vss
+            .nodes
+            .iter()
+            .map(|&dealer| {
+                let session = SessionId::new(dealer, tau);
+                let seed = rng_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(dealer);
+                (
+                    dealer,
+                    VssNode::new(id, config.vss.clone(), session, seed, Some(signing.clone())),
+                )
+            })
+            .collect();
+        DkgNode {
+            id,
+            config,
+            keys,
+            tau,
+            combine: CombineRule::Sum,
+            rng: StdRng::seed_from_u64(rng_seed),
+            vss,
+            completed_vss: BTreeMap::new(),
+            finished_set: Vec::new(),
+            expected_dealer_keys: BTreeMap::new(),
+            started: false,
+            leader_rank: 0,
+            locked: None,
+            echoed: BTreeSet::new(),
+            ready_sent: false,
+            echo_votes: BTreeMap::new(),
+            ready_votes: BTreeMap::new(),
+            proposals: BTreeMap::new(),
+            lead_ch_votes: BTreeMap::new(),
+            lc_flag: false,
+            lead_ch_certificate: Vec::new(),
+            retries: 0,
+            agreed: None,
+            completed: None,
+            reconstruct_started: false,
+            reconstruct_shares: BTreeMap::new(),
+            reconstructed: None,
+            outbox: BTreeMap::new(),
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The session counter `τ`.
+    pub fn tau(&self) -> u64 {
+        self.tau
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DkgConfig {
+        &self.config
+    }
+
+    /// The final result, once the protocol completed at this node.
+    pub fn result(&self) -> Option<&DkgResult> {
+        self.completed.as_ref()
+    }
+
+    /// Whether the DKG has completed at this node.
+    pub fn is_complete(&self) -> bool {
+        self.completed.is_some()
+    }
+
+    /// The reconstructed group secret, if reconstruction ran.
+    pub fn reconstructed(&self) -> Option<Scalar> {
+        self.reconstructed
+    }
+
+    /// The current leader rank at this node.
+    pub fn leader_rank(&self) -> u64 {
+        self.leader_rank
+    }
+
+    /// The per-dealer sharings of the agreed set `Q`, once the protocol
+    /// completed: `(dealer, commitment matrix, this node's sub-share)`.
+    ///
+    /// The node-addition protocol (§6.2, [`crate::group`]) consumes these to
+    /// derive a sub-share for a joining node.
+    pub fn agreed_sharings(&self) -> Option<Vec<(NodeId, &CommitmentMatrix, Scalar)>> {
+        let result = self.completed.as_ref()?;
+        Some(
+            result
+                .dealers
+                .iter()
+                .map(|d| {
+                    let sharing = &self.completed_vss[d];
+                    (*d, &sharing.commitment, sharing.share)
+                })
+                .collect(),
+        )
+    }
+
+    /// Switches the share-combination rule (the share-renewal protocol of
+    /// §5.2 uses Lagrange interpolation at index 0 rather than a sum).
+    pub fn set_combine_rule(&mut self, rule: CombineRule) {
+        self.combine = rule;
+    }
+
+    /// Registers the expected resharing commitments `g^{s_d}` per dealer.
+    ///
+    /// During share renewal and node addition, dealer `P_d` must reshare its
+    /// *current* share `s_d`; a Byzantine dealer that reshares a different
+    /// value would corrupt the renewed key. When expectations are set, a
+    /// completed sharing whose `C_{00}` does not match is discarded.
+    pub fn set_expected_dealer_commitments(&mut self, expected: BTreeMap<NodeId, GroupElement>) {
+        self.expected_dealer_keys = expected;
+    }
+
+    fn is_leader(&self) -> bool {
+        self.config.leader_at_rank(self.leader_rank) == self.id
+    }
+
+    fn proposal_key(proposal: &Proposal) -> Vec<u8> {
+        proposal.to_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Embedded VSS plumbing
+    // ------------------------------------------------------------------
+
+    fn forward_vss(
+        &mut self,
+        dealer: NodeId,
+        actions: Vec<VssAction>,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        for action in actions {
+            match action {
+                VssAction::Send { to, message } => sink.send(to, DkgMessage::Vss(message)),
+                VssAction::Output(VssOutput::Shared {
+                    commitment,
+                    share,
+                    ready_proof,
+                    ..
+                }) => {
+                    let digest = dkg_crypto::sha256(&commitment.to_bytes());
+                    self.on_sharing_completed(
+                        dealer,
+                        CompletedSharing {
+                            commitment,
+                            share,
+                            digest,
+                            witnesses: ready_proof,
+                        },
+                        sink,
+                    );
+                }
+                VssAction::Output(VssOutput::Reconstructed { .. }) => {
+                    // Per-dealer reconstruction is not used by the DKG.
+                }
+            }
+        }
+    }
+
+    fn on_sharing_completed(
+        &mut self,
+        dealer: NodeId,
+        sharing: CompletedSharing,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if self.completed_vss.contains_key(&dealer) {
+            return;
+        }
+        // Renewal safety: discard dealers that reshared the wrong value.
+        if let Some(expected) = self.expected_dealer_keys.get(&dealer) {
+            if sharing.commitment.public_key() != *expected {
+                return;
+            }
+        }
+        self.completed_vss.insert(dealer, sharing);
+        self.finished_set.push(dealer);
+
+        // Fig. 2: once t+1 sharings finished and no proposal is locked,
+        // the leader broadcasts its proposal; other nodes arm their timer.
+        if self.finished_set.len() == self.config.ready_amplify_threshold()
+            && self.locked.is_none()
+            && self.agreed.is_none()
+        {
+            if self.is_leader() {
+                self.broadcast_proposal(sink);
+            } else {
+                sink.set_timer(
+                    LEADER_TIMER,
+                    self.config.leader_timeout.timeout(self.retries),
+                );
+            }
+        }
+        self.try_complete(sink);
+    }
+
+    fn current_q_hat(&self) -> (Proposal, Justification) {
+        let dealers: Vec<NodeId> = self
+            .finished_set
+            .iter()
+            .take(self.config.ready_amplify_threshold())
+            .copied()
+            .collect();
+        let proofs = dealers
+            .iter()
+            .map(|d| {
+                let sharing = &self.completed_vss[d];
+                DealerProof {
+                    dealer: *d,
+                    commitment_digest: sharing.digest,
+                    witnesses: sharing.witnesses.clone(),
+                }
+            })
+            .collect();
+        (Proposal::new(dealers), Justification::ReadyProofs(proofs))
+    }
+
+    fn broadcast_proposal(&mut self, sink: &mut ActionSink<DkgMessage, DkgOutput>) {
+        let (proposal, justification) = match &self.locked {
+            Some((p, j)) => (p.clone(), j.clone()),
+            None => self.current_q_hat(),
+        };
+        let message = DkgMessage::Send {
+            tau: self.tau,
+            rank: self.leader_rank,
+            proposal,
+            justification,
+            lead_ch_certificate: self.lead_ch_certificate.clone(),
+        };
+        self.broadcast(message, sink);
+    }
+
+    fn broadcast(&mut self, message: DkgMessage, sink: &mut ActionSink<DkgMessage, DkgOutput>) {
+        for &node in &self.config.vss.nodes.clone() {
+            self.outbox.entry(node).or_default().push(message.clone());
+            sink.send(node, message.clone());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Justification verification
+    // ------------------------------------------------------------------
+
+    fn verify_justification(&self, proposal: &Proposal, justification: &Justification) -> bool {
+        if proposal.is_empty() || proposal.len() < self.config.ready_amplify_threshold() {
+            return false;
+        }
+        if !proposal
+            .dealers()
+            .iter()
+            .all(|d| self.config.vss.nodes.contains(d))
+        {
+            return false;
+        }
+        match justification {
+            Justification::ReadyProofs(proofs) => {
+                // Every proposed dealer needs n − t − f valid ready witnesses.
+                proposal.dealers().iter().all(|dealer| {
+                    proofs.iter().any(|proof| {
+                        proof.dealer == *dealer
+                            && self.verify_dealer_proof(proof)
+                    })
+                })
+            }
+            Justification::EchoCertificate(votes) => self.verify_votes(
+                votes,
+                &payload::echo(self.tau, proposal),
+                self.config.echo_threshold(),
+            ),
+            Justification::ReadyCertificate(votes) => self.verify_votes(
+                votes,
+                &payload::ready(self.tau, proposal),
+                self.config.ready_amplify_threshold(),
+            ),
+        }
+    }
+
+    fn verify_dealer_proof(&self, proof: &DealerProof) -> bool {
+        let session = SessionId::new(proof.dealer, self.tau);
+        let payload = ReadyWitness::payload(&session, &proof.commitment_digest);
+        let mut signers = BTreeSet::new();
+        for witness in &proof.witnesses {
+            if self
+                .keys
+                .directory
+                .verify(witness.node, &payload, &witness.signature)
+                .is_ok()
+            {
+                signers.insert(witness.node);
+            }
+        }
+        signers.len() >= self.config.completion_threshold()
+    }
+
+    fn verify_votes(&self, votes: &[SignedVote], payload: &[u8], threshold: usize) -> bool {
+        let mut signers = BTreeSet::new();
+        for vote in votes {
+            if self
+                .keys
+                .directory
+                .verify(vote.node, payload, &vote.signature)
+                .is_ok()
+            {
+                signers.insert(vote.node);
+            }
+        }
+        signers.len() >= threshold
+    }
+
+    fn verify_lead_ch_certificate(&self, rank: u64, votes: &[SignedVote]) -> bool {
+        self.verify_votes(
+            votes,
+            &payload::lead_ch(self.tau, rank),
+            self.config.completion_threshold(),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Optimistic phase handlers (Fig. 2)
+    // ------------------------------------------------------------------
+
+    fn on_send(
+        &mut self,
+        from: NodeId,
+        rank: u64,
+        proposal: Proposal,
+        justification: Justification,
+        lead_ch_certificate: Vec<SignedVote>,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if self.completed.is_some() {
+            return;
+        }
+        // Catch up to a later legitimate leader if the sender proves it.
+        if rank > self.leader_rank && self.verify_lead_ch_certificate(rank, &lead_ch_certificate) {
+            self.adopt_leader(rank, sink);
+        }
+        if rank != self.leader_rank || self.config.leader_at_rank(rank) != from {
+            return;
+        }
+        let key = (rank, Self::proposal_key(&proposal));
+        if self.echoed.contains(&key) {
+            return;
+        }
+        if !self.verify_justification(&proposal, &justification) {
+            return;
+        }
+        // "if Q = ∅ or Q = Q": only echo a proposal compatible with any
+        // proposal we already locked.
+        if let Some((locked, _)) = &self.locked {
+            if *locked != proposal {
+                return;
+            }
+        }
+        self.echoed.insert(key);
+        let signature = self
+            .keys
+            .signing_key
+            .sign(&mut self.rng, &payload::echo(self.tau, &proposal));
+        let message = DkgMessage::Echo {
+            tau: self.tau,
+            rank,
+            proposal,
+            signature,
+        };
+        self.broadcast(message, sink);
+    }
+
+    fn on_echo(
+        &mut self,
+        from: NodeId,
+        rank: u64,
+        proposal: Proposal,
+        signature: Signature,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if self.completed.is_some() {
+            return;
+        }
+        if self
+            .keys
+            .directory
+            .verify(from, &payload::echo(self.tau, &proposal), &signature)
+            .is_err()
+        {
+            return;
+        }
+        let key = Self::proposal_key(&proposal);
+        self.proposals.entry(key.clone()).or_insert_with(|| proposal.clone());
+        self.echo_votes
+            .entry(key.clone())
+            .or_default()
+            .insert(from, signature);
+        let echo_count = self.echo_votes[&key].len();
+        let ready_count = self.ready_votes.get(&key).map_or(0, BTreeMap::len);
+        if echo_count == self.config.echo_threshold()
+            && ready_count < self.config.ready_amplify_threshold()
+        {
+            let certificate = Justification::EchoCertificate(
+                self.echo_votes[&key]
+                    .iter()
+                    .map(|(&node, &signature)| SignedVote { node, signature })
+                    .collect(),
+            );
+            self.locked = Some((proposal.clone(), certificate));
+            self.send_ready(rank, proposal, sink);
+        }
+    }
+
+    fn on_ready(
+        &mut self,
+        from: NodeId,
+        rank: u64,
+        proposal: Proposal,
+        signature: Signature,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if self.completed.is_some() {
+            return;
+        }
+        if self
+            .keys
+            .directory
+            .verify(from, &payload::ready(self.tau, &proposal), &signature)
+            .is_err()
+        {
+            return;
+        }
+        let key = Self::proposal_key(&proposal);
+        self.proposals.entry(key.clone()).or_insert_with(|| proposal.clone());
+        self.ready_votes
+            .entry(key.clone())
+            .or_default()
+            .insert(from, signature);
+        let ready_count = self.ready_votes[&key].len();
+        let echo_count = self.echo_votes.get(&key).map_or(0, BTreeMap::len);
+
+        if ready_count == self.config.ready_amplify_threshold()
+            && echo_count < self.config.echo_threshold()
+        {
+            let certificate = Justification::ReadyCertificate(
+                self.ready_votes[&key]
+                    .iter()
+                    .map(|(&node, &signature)| SignedVote { node, signature })
+                    .collect(),
+            );
+            self.locked = Some((proposal.clone(), certificate));
+            self.send_ready(rank, proposal.clone(), sink);
+        }
+
+        if ready_count == self.config.completion_threshold() && self.agreed.is_none() {
+            sink.cancel_timer(LEADER_TIMER);
+            self.agreed = Some(proposal);
+            self.try_complete(sink);
+        }
+    }
+
+    fn send_ready(
+        &mut self,
+        rank: u64,
+        proposal: Proposal,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if self.ready_sent {
+            return;
+        }
+        self.ready_sent = true;
+        let signature = self
+            .keys
+            .signing_key
+            .sign(&mut self.rng, &payload::ready(self.tau, &proposal));
+        let message = DkgMessage::Ready {
+            tau: self.tau,
+            rank,
+            proposal,
+            signature,
+        };
+        self.broadcast(message, sink);
+    }
+
+    fn try_complete(&mut self, sink: &mut ActionSink<DkgMessage, DkgOutput>) {
+        if self.completed.is_some() {
+            return;
+        }
+        let Some(proposal) = &self.agreed else {
+            return;
+        };
+        if !proposal
+            .dealers()
+            .iter()
+            .all(|d| self.completed_vss.contains_key(d))
+        {
+            return;
+        }
+        let dealers: Vec<NodeId> = proposal.dealers().to_vec();
+        let matrices: Vec<&CommitmentMatrix> = dealers
+            .iter()
+            .map(|d| &self.completed_vss[d].commitment)
+            .collect();
+        let (share, commitment) = match self.combine {
+            CombineRule::Sum => {
+                let share = dealers
+                    .iter()
+                    .map(|d| self.completed_vss[d].share)
+                    .sum::<Scalar>();
+                let commitment =
+                    CommitmentMatrix::combine(&matrices).expect("uniform dimensions");
+                (share, commitment)
+            }
+            CombineRule::InterpolateAtZero => {
+                let weights: Vec<Scalar> = dealers
+                    .iter()
+                    .map(|&d| {
+                        Scalar::lagrange_coefficient(&dealers, d, Scalar::zero())
+                            .expect("distinct dealer indices")
+                    })
+                    .collect();
+                let share = dealers
+                    .iter()
+                    .zip(&weights)
+                    .map(|(d, w)| self.completed_vss[d].share * *w)
+                    .sum::<Scalar>();
+                let commitment = combine_weighted_matrices(&matrices, &weights);
+                (share, commitment)
+            }
+        };
+        let result = DkgResult {
+            dealers: dealers.clone(),
+            public_key: commitment.public_key(),
+            commitment: commitment.clone(),
+            share,
+            leader_rank: self.leader_rank,
+        };
+        self.completed = Some(result);
+        sink.output(DkgOutput::Completed {
+            tau: self.tau,
+            leader_rank: self.leader_rank,
+            dealers,
+            commitment,
+            public_key: self.completed.as_ref().expect("just set").public_key,
+            share,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Pessimistic phase handlers (Fig. 3)
+    // ------------------------------------------------------------------
+
+    fn on_timeout(&mut self, sink: &mut ActionSink<DkgMessage, DkgOutput>) {
+        if self.lc_flag || self.completed.is_some() || self.agreed.is_some() {
+            return;
+        }
+        self.send_lead_ch(self.leader_rank + 1, sink);
+        self.lc_flag = true;
+    }
+
+    fn send_lead_ch(&mut self, new_rank: u64, sink: &mut ActionSink<DkgMessage, DkgOutput>) {
+        let proposal = match &self.locked {
+            Some((p, j)) => Some((p.clone(), j.clone())),
+            None if !self.finished_set.is_empty()
+                && self.finished_set.len() >= self.config.ready_amplify_threshold() =>
+            {
+                Some(self.current_q_hat())
+            }
+            None => None,
+        };
+        let signature = self
+            .keys
+            .signing_key
+            .sign(&mut self.rng, &payload::lead_ch(self.tau, new_rank));
+        let message = DkgMessage::LeadCh {
+            tau: self.tau,
+            new_rank,
+            proposal,
+            signature,
+        };
+        self.broadcast(message, sink);
+    }
+
+    fn on_lead_ch(
+        &mut self,
+        from: NodeId,
+        new_rank: u64,
+        proposal: Option<(Proposal, Justification)>,
+        signature: Signature,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if self.completed.is_some() || new_rank <= self.leader_rank {
+            return;
+        }
+        if self
+            .keys
+            .directory
+            .verify(from, &payload::lead_ch(self.tau, new_rank), &signature)
+            .is_err()
+        {
+            return;
+        }
+        self.lead_ch_votes
+            .entry(new_rank)
+            .or_default()
+            .insert(from, signature);
+
+        // Adopt a forwarded proposal if it verifies — this is how a node that
+        // missed the optimistic phase catches up ("if R/M = R then Q̂ ← Q ...
+        // else Q ← Q, M ← M").
+        if let Some((p, j)) = proposal {
+            if self.locked.is_none() && self.verify_justification(&p, &j) {
+                match &j {
+                    Justification::ReadyProofs(_) => {
+                        // Q̂/R̂ from another node: remember it as a candidate
+                        // proposal we could propose if we become leader.
+                        self.locked = None;
+                        self.proposals
+                            .entry(Self::proposal_key(&p))
+                            .or_insert_with(|| p.clone());
+                        // Keep it as a lockable fallback by storing it with
+                        // its proof; we only use it when we become leader.
+                        if self.finished_set.len() < self.config.ready_amplify_threshold() {
+                            self.locked = Some((p, j));
+                        }
+                    }
+                    _ => {
+                        self.locked = Some((p, j));
+                    }
+                }
+            }
+        }
+
+        // t + 1 lead-ch votes for ranks above ours: at least one honest node
+        // is unsatisfied, so join the leader change for the smallest
+        // requested rank.
+        let total_votes: usize = self
+            .lead_ch_votes
+            .iter()
+            .filter(|(&rank, _)| rank > self.leader_rank)
+            .map(|(_, votes)| votes.len())
+            .sum();
+        if total_votes >= self.config.ready_amplify_threshold() && !self.lc_flag {
+            let smallest = self
+                .lead_ch_votes
+                .iter()
+                .filter(|(&rank, votes)| rank > self.leader_rank && !votes.is_empty())
+                .map(|(&rank, _)| rank)
+                .min()
+                .unwrap_or(self.leader_rank + 1);
+            self.send_lead_ch(smallest, sink);
+            self.lc_flag = true;
+        }
+
+        // n − t − f lead-ch votes for one rank: accept the new leader.
+        let accepted = self
+            .lead_ch_votes
+            .get(&new_rank)
+            .map_or(0, BTreeMap::len);
+        if accepted >= self.config.completion_threshold() {
+            let certificate: Vec<SignedVote> = self.lead_ch_votes[&new_rank]
+                .iter()
+                .map(|(&node, &signature)| SignedVote { node, signature })
+                .collect();
+            self.lead_ch_certificate = certificate;
+            self.adopt_leader(new_rank, sink);
+            if self.is_leader() {
+                self.broadcast_proposal(sink);
+            } else {
+                sink.set_timer(
+                    LEADER_TIMER,
+                    self.config.leader_timeout.timeout(self.retries),
+                );
+            }
+        }
+    }
+
+    fn adopt_leader(&mut self, new_rank: u64, sink: &mut ActionSink<DkgMessage, DkgOutput>) {
+        self.leader_rank = new_rank;
+        self.retries = self.retries.saturating_add(1);
+        self.lc_flag = false;
+        self.lead_ch_votes.retain(|&rank, _| rank > new_rank);
+        sink.output(DkgOutput::LeaderChanged {
+            tau: self.tau,
+            new_rank,
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Group-secret reconstruction
+    // ------------------------------------------------------------------
+
+    fn start_reconstruction(&mut self, sink: &mut ActionSink<DkgMessage, DkgOutput>) {
+        let Some(result) = &self.completed else {
+            return;
+        };
+        if self.reconstruct_started {
+            return;
+        }
+        self.reconstruct_started = true;
+        let message = DkgMessage::Vss(VssMessage::ReconstructShare {
+            session: SessionId::new(GROUP_SESSION_DEALER, self.tau),
+            share: result.share,
+        });
+        self.broadcast(message, sink);
+    }
+
+    fn on_group_share(
+        &mut self,
+        from: NodeId,
+        share: Scalar,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if self.reconstructed.is_some() {
+            return;
+        }
+        let Some(result) = &self.completed else {
+            return;
+        };
+        if result.commitment.share_commitment(from) != GroupElement::commit(&share) {
+            return;
+        }
+        self.reconstruct_shares.insert(from, share);
+        if self.reconstruct_shares.len() == self.config.t() + 1 {
+            let shares: Vec<(u64, Scalar)> = self
+                .reconstruct_shares
+                .iter()
+                .map(|(&m, &s)| (m, s))
+                .collect();
+            let value = interpolate_secret(&shares).expect("distinct indices");
+            self.reconstructed = Some(value);
+            sink.output(DkgOutput::Reconstructed {
+                tau: self.tau,
+                value,
+            });
+        }
+    }
+}
+
+/// Entry-wise weighted combination `Π_d (C_d)^{λ_d}` of commitment matrices,
+/// used by the share-renewal combine rule.
+fn combine_weighted_matrices(
+    matrices: &[&CommitmentMatrix],
+    weights: &[Scalar],
+) -> CommitmentMatrix {
+    let t = matrices[0].threshold();
+    let mut entries = vec![vec![GroupElement::identity(); t + 1]; t + 1];
+    for (j, row) in entries.iter_mut().enumerate() {
+        for (l, entry) in row.iter_mut().enumerate() {
+            let points: Vec<GroupElement> = matrices.iter().map(|m| m.entry(j, l)).collect();
+            *entry = dkg_arith::multiexp(&points, weights);
+        }
+    }
+    CommitmentMatrix::from_entries(entries).expect("square by construction")
+}
+
+impl Protocol for DkgNode {
+    type Message = DkgMessage;
+    type Operator = DkgInput;
+    type Output = DkgOutput;
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_operator(&mut self, input: DkgInput, sink: &mut ActionSink<DkgMessage, DkgOutput>) {
+        match input {
+            DkgInput::Start => {
+                if self.started {
+                    return;
+                }
+                self.started = true;
+                self.combine = CombineRule::Sum;
+                let secret = Scalar::random(&mut self.rng);
+                let actions = self
+                    .vss
+                    .get_mut(&self.id)
+                    .expect("own VSS instance exists")
+                    .handle_input(VssInput::Share { secret });
+                self.forward_vss(self.id, actions, sink);
+            }
+            DkgInput::StartReshare { value } => {
+                if self.started {
+                    return;
+                }
+                self.started = true;
+                self.combine = CombineRule::InterpolateAtZero;
+                let actions = self
+                    .vss
+                    .get_mut(&self.id)
+                    .expect("own VSS instance exists")
+                    .handle_input(VssInput::Share { secret: value });
+                self.forward_vss(self.id, actions, sink);
+            }
+            DkgInput::Reconstruct => self.start_reconstruction(sink),
+            DkgInput::Recover => {
+                // §5.3: a rebooted node asks for help in every embedded VSS
+                // session and retransmits its own outgoing messages.
+                let dealers: Vec<NodeId> = self.vss.keys().copied().collect();
+                for dealer in dealers {
+                    let mut actions = Vec::new();
+                    if let Some(vss) = self.vss.get_mut(&dealer) {
+                        vss.recover(&mut actions);
+                    }
+                    self.forward_vss(dealer, actions, sink);
+                }
+                for (&to, messages) in &self.outbox {
+                    for message in messages {
+                        sink.send(to, message.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        message: DkgMessage,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        match message {
+            DkgMessage::Vss(vss_message) => {
+                let session = vss_message.session();
+                if session.tau != self.tau {
+                    return;
+                }
+                if session.dealer == GROUP_SESSION_DEALER {
+                    if let VssMessage::ReconstructShare { share, .. } = vss_message {
+                        self.on_group_share(from, share, sink);
+                    }
+                    return;
+                }
+                let dealer = session.dealer;
+                let Some(vss) = self.vss.get_mut(&dealer) else {
+                    return;
+                };
+                let actions = vss.handle_message(from, vss_message);
+                self.forward_vss(dealer, actions, sink);
+            }
+            DkgMessage::Send {
+                tau,
+                rank,
+                proposal,
+                justification,
+                lead_ch_certificate,
+            } => {
+                if tau == self.tau {
+                    self.on_send(from, rank, proposal, justification, lead_ch_certificate, sink);
+                }
+            }
+            DkgMessage::Echo {
+                tau,
+                rank,
+                proposal,
+                signature,
+            } => {
+                if tau == self.tau {
+                    self.on_echo(from, rank, proposal, signature, sink);
+                }
+            }
+            DkgMessage::Ready {
+                tau,
+                rank,
+                proposal,
+                signature,
+            } => {
+                if tau == self.tau {
+                    self.on_ready(from, rank, proposal, signature, sink);
+                }
+            }
+            DkgMessage::LeadCh {
+                tau,
+                new_rank,
+                proposal,
+                signature,
+            } => {
+                if tau == self.tau {
+                    self.on_lead_ch(from, new_rank, proposal, signature, sink);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, sink: &mut ActionSink<DkgMessage, DkgOutput>) {
+        if timer == LEADER_TIMER {
+            self.on_timeout(sink);
+        }
+    }
+
+    fn on_recover(&mut self, sink: &mut ActionSink<DkgMessage, DkgOutput>) {
+        self.on_operator(DkgInput::Recover, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkg_crypto::generate_keyring;
+    use dkg_sim::{DelayModel, NetworkConfig, Simulation};
+
+    /// Builds a simulation of `n` DKG nodes with `f` tolerated crashes.
+    pub(crate) fn build_dkg_sim(n: usize, f: usize, seed: u64) -> Simulation<DkgNode> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (secrets, directory) = generate_keyring(&mut rng, n);
+        let config = DkgConfig::standard(n, f).unwrap();
+        let mut sim = Simulation::new(
+            NetworkConfig {
+                delay: DelayModel::Uniform { min: 10, max: 100 },
+                self_messages_pay_delay: false,
+            },
+            seed,
+        );
+        for i in 1..=n as u64 {
+            let keys = NodeKeys {
+                signing_key: secrets[&i],
+                directory: directory.clone(),
+            };
+            sim.add_node(DkgNode::new(i, config.clone(), keys, 0, seed * 1000 + i));
+        }
+        sim
+    }
+
+    fn completions(sim: &Simulation<DkgNode>) -> Vec<(NodeId, GroupElement, Scalar)> {
+        sim.outputs()
+            .iter()
+            .filter_map(|o| match &o.output {
+                DkgOutput::Completed {
+                    public_key, share, ..
+                } => Some((o.node, *public_key, *share)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dkg_completes_with_honest_leader() {
+        let n = 4;
+        let mut sim = build_dkg_sim(n, 0, 11);
+        for i in 1..=n as u64 {
+            sim.schedule_operator(i, DkgInput::Start, 0);
+        }
+        sim.run();
+        let done = completions(&sim);
+        assert_eq!(done.len(), n);
+        // Everyone agrees on the same public key.
+        let keys: BTreeSet<_> = done.iter().map(|(_, pk, _)| pk.to_bytes()).collect();
+        assert_eq!(keys.len(), 1);
+        // The shares are consistent: any t+1 of them interpolate to a secret
+        // whose commitment is the public key.
+        let t = sim.node(1).unwrap().config().t();
+        let shares: Vec<(u64, Scalar)> = done.iter().take(t + 1).map(|(i, _, s)| (*i, *s)).collect();
+        let secret = interpolate_secret(&shares).unwrap();
+        assert_eq!(GroupElement::commit(&secret), done[0].1);
+    }
+
+    #[test]
+    fn dkg_reconstruction_matches_public_key() {
+        let n = 4;
+        let mut sim = build_dkg_sim(n, 0, 13);
+        for i in 1..=n as u64 {
+            sim.schedule_operator(i, DkgInput::Start, 0);
+        }
+        sim.run();
+        for i in 1..=n as u64 {
+            sim.schedule_operator(i, DkgInput::Reconstruct, sim.now() + 10);
+        }
+        sim.run();
+        let reconstructed: Vec<Scalar> = sim
+            .outputs()
+            .iter()
+            .filter_map(|o| match &o.output {
+                DkgOutput::Reconstructed { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reconstructed.len(), n);
+        let pk = completions(&sim)[0].1;
+        assert!(reconstructed.iter().all(|v| GroupElement::commit(v) == pk));
+    }
+
+    #[test]
+    fn dkg_completes_with_crashed_leader_via_leader_change() {
+        let n = 7;
+        let f = 1;
+        let mut sim = build_dkg_sim(n, f, 17);
+        // The initial leader (node 1) is crashed from the start; the
+        // protocol must complete under a later leader.
+        sim.schedule_crash(1, 0);
+        for i in 2..=n as u64 {
+            sim.schedule_operator(i, DkgInput::Start, 0);
+        }
+        sim.run();
+        let done = completions(&sim);
+        // All uncrashed nodes complete.
+        assert_eq!(done.len(), n - 1);
+        let keys: BTreeSet<_> = done.iter().map(|(_, pk, _)| pk.to_bytes()).collect();
+        assert_eq!(keys.len(), 1);
+        // At least one leader change happened.
+        assert!(sim
+            .outputs()
+            .iter()
+            .any(|o| matches!(o.output, DkgOutput::LeaderChanged { .. })));
+        assert!(sim.metrics().kind("dkg-lead-ch").messages > 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Proactive security: share renewal and recovery across phases (§5).
+//!
+//! The paper divides time into *phases* driven by local clock ticks (§5.1):
+//! at each tick a node reshares its previous-phase share with HybridVSS
+//! (instead of a random value), waits for `t+1` identical ticks before
+//! proceeding, and — once the leader-based agreement decides a set `Q` —
+//! Lagrange-interpolates the received sub-shares at index 0, so the group
+//! secret (and public key) is preserved while every individual share is
+//! re-randomised. Old shares are erased, so an adversary that corrupts `t`
+//! nodes in one phase and `t` different nodes in the next learns nothing.
+//!
+//! In this reproduction a phase is one simulation run: [`run_renewal_phase`]
+//! builds a fresh simulation for phase `τ`, seeds every node with its
+//! previous share via [`DkgInput::StartReshare`] (the clock tick, with a
+//! configurable per-node skew standing in for loosely synchronised local
+//! clocks), registers the expected resharing commitments (`g^{s_d}` from the
+//! previous phase's commitment matrix) so Byzantine dealers cannot inject a
+//! different value, and collects the renewed shares. Share *recovery* (§5.3)
+//! is exercised by crashing nodes mid-phase and issuing
+//! [`DkgInput::Recover`]; it rides on the HybridVSS `recover`/`help`
+//! machinery.
+
+use std::collections::BTreeMap;
+
+use dkg_arith::{GroupElement, Scalar};
+use dkg_crypto::NodeId;
+use dkg_poly::CommitmentMatrix;
+use dkg_sim::{DelayModel, SimTime, Simulation};
+
+use crate::messages::DkgInput;
+use crate::node::DkgNode;
+use crate::runner::{collect_outcomes, SystemSetup};
+
+/// A node's view of the shared key at the end of a phase.
+#[derive(Clone, Debug)]
+pub struct PhaseState {
+    /// The phase counter `τ`.
+    pub tau: u64,
+    /// The node's share for this phase.
+    pub share: Scalar,
+    /// The commitment matrix agreed in this phase.
+    pub commitment: CommitmentMatrix,
+    /// The distributed public key `g^s` (identical across phases).
+    pub public_key: GroupElement,
+}
+
+/// Options for a renewal phase.
+#[derive(Clone, Debug)]
+pub struct RenewalOptions {
+    /// Network delay model for the phase.
+    pub delay: DelayModel,
+    /// Maximum local-clock skew between nodes' phase ticks, in milliseconds.
+    /// Node `P_i` receives its tick at a pseudo-random offset in
+    /// `[0, clock_skew]`.
+    pub clock_skew: SimTime,
+    /// Nodes that are crashed for the whole phase (they neither reshare nor
+    /// receive a renewed share; at most `f` of them keeps the phase live).
+    pub crashed: Vec<NodeId>,
+}
+
+impl Default for RenewalOptions {
+    fn default() -> Self {
+        RenewalOptions {
+            delay: DelayModel::default(),
+            clock_skew: 200,
+            crashed: Vec::new(),
+        }
+    }
+}
+
+/// Errors from the renewal driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RenewalError {
+    /// A node listed in `previous` is not part of the system.
+    UnknownNode(NodeId),
+    /// Fewer previous-phase states than `t + 1` were provided, so renewal
+    /// cannot preserve the secret.
+    NotEnoughShares,
+}
+
+impl std::fmt::Display for RenewalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RenewalError::UnknownNode(id) => write!(f, "node {id} is not part of the system"),
+            RenewalError::NotEnoughShares => {
+                write!(f, "at least t + 1 previous-phase shares are required")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RenewalError {}
+
+/// Runs the initial key-generation phase (`τ = 0`) and returns each node's
+/// [`PhaseState`].
+pub fn run_initial_phase(
+    setup: &SystemSetup,
+    delay: DelayModel,
+) -> (BTreeMap<NodeId, PhaseState>, Simulation<DkgNode>) {
+    let (outcomes, sim) = crate::runner::run_key_generation(setup, delay, 0);
+    let states = outcomes
+        .into_iter()
+        .map(|o| {
+            let commitment = sim
+                .node(o.node)
+                .and_then(|n| n.result().map(|r| r.commitment.clone()))
+                .expect("completed node has a result");
+            (
+                o.node,
+                PhaseState {
+                    tau: 0,
+                    share: o.share,
+                    commitment,
+                    public_key: o.public_key,
+                },
+            )
+        })
+        .collect();
+    (states, sim)
+}
+
+/// Runs share-renewal phase `tau` (≥ 1) from the previous phase's states.
+///
+/// Returns the renewed per-node states (only for nodes that completed the
+/// phase) and the simulation for metric inspection.
+pub fn run_renewal_phase(
+    setup: &SystemSetup,
+    previous: &BTreeMap<NodeId, PhaseState>,
+    tau: u64,
+    options: &RenewalOptions,
+) -> Result<(BTreeMap<NodeId, PhaseState>, Simulation<DkgNode>), RenewalError> {
+    let t = setup.config.t();
+    let participating: Vec<NodeId> = previous
+        .keys()
+        .copied()
+        .filter(|n| !options.crashed.contains(n))
+        .collect();
+    if participating.len() < t + 1 {
+        return Err(RenewalError::NotEnoughShares);
+    }
+    for node in previous.keys() {
+        if !setup.config.vss.nodes.contains(node) {
+            return Err(RenewalError::UnknownNode(*node));
+        }
+    }
+
+    let mut sim = setup.build_simulation(tau, options.delay.clone());
+
+    // Register the expected resharing commitments g^{s_d} so that a dealer
+    // resharing anything other than its current share is ignored.
+    let reference = previous
+        .values()
+        .next()
+        .expect("at least one previous state");
+    let expected: BTreeMap<NodeId, GroupElement> = setup
+        .config
+        .vss
+        .nodes
+        .iter()
+        .map(|&d| (d, reference.commitment.share_commitment(d)))
+        .collect();
+    for &node in &setup.config.vss.nodes {
+        if let Some(n) = sim.node_mut(node) {
+            n.set_expected_dealer_commitments(expected.clone());
+            // Every node in a renewal phase combines the agreed resharings by
+            // Lagrange interpolation at index 0 — including nodes that have
+            // no previous share to contribute (e.g. a node that was crashed
+            // during the previous phase and is recovering its share, §5.3).
+            n.set_combine_rule(crate::messages::CombineRule::InterpolateAtZero);
+        }
+    }
+
+    // Crash the nodes that sit this phase out.
+    for &node in &options.crashed {
+        sim.schedule_crash(node, 0);
+    }
+
+    // Local clock ticks: each participating node reshardes its previous
+    // share at its own (skewed) tick time.
+    for (idx, &node) in participating.iter().enumerate() {
+        let tick = if options.clock_skew == 0 {
+            0
+        } else {
+            // Deterministic pseudo-random skew derived from the seed.
+            (setup.seed.wrapping_mul(31).wrapping_add(idx as u64 * 7919)) % options.clock_skew
+        };
+        let share = previous[&node].share;
+        sim.schedule_operator(node, DkgInput::StartReshare { value: share }, tick);
+    }
+    sim.run();
+
+    let states = collect_outcomes(&sim)
+        .into_iter()
+        .map(|o| {
+            let commitment = sim
+                .node(o.node)
+                .and_then(|n| n.result().map(|r| r.commitment.clone()))
+                .expect("completed node has a result");
+            (
+                o.node,
+                PhaseState {
+                    tau,
+                    share: o.share,
+                    commitment,
+                    public_key: o.public_key,
+                },
+            )
+        })
+        .collect();
+    Ok((states, sim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkg_poly::interpolate_secret;
+
+    fn secret_of(states: &BTreeMap<NodeId, PhaseState>, t: usize) -> Scalar {
+        let shares: Vec<(u64, Scalar)> = states
+            .iter()
+            .take(t + 1)
+            .map(|(&i, s)| (i, s.share))
+            .collect();
+        interpolate_secret(&shares).unwrap()
+    }
+
+    #[test]
+    fn renewal_preserves_the_secret_and_rerandomises_shares() {
+        let setup = SystemSetup::generate(4, 0, 21);
+        let t = setup.config.t();
+        let (phase0, _) = run_initial_phase(&setup, DelayModel::Constant(15));
+        assert_eq!(phase0.len(), 4);
+        let secret0 = secret_of(&phase0, t);
+        let pk = phase0[&1].public_key;
+        assert_eq!(GroupElement::commit(&secret0), pk);
+
+        let (phase1, _) =
+            run_renewal_phase(&setup, &phase0, 1, &RenewalOptions::default()).unwrap();
+        assert_eq!(phase1.len(), 4);
+        // Same public key, same secret…
+        assert!(phase1.values().all(|s| s.public_key == pk));
+        assert_eq!(secret_of(&phase1, t), secret0);
+        // …but fresh shares.
+        assert!(phase0
+            .iter()
+            .all(|(node, old)| phase1[node].share != old.share));
+    }
+
+    #[test]
+    fn two_consecutive_renewals_compose() {
+        let setup = SystemSetup::generate(4, 0, 22);
+        let t = setup.config.t();
+        let (phase0, _) = run_initial_phase(&setup, DelayModel::Constant(10));
+        let secret = secret_of(&phase0, t);
+        let (phase1, _) =
+            run_renewal_phase(&setup, &phase0, 1, &RenewalOptions::default()).unwrap();
+        let (phase2, _) =
+            run_renewal_phase(&setup, &phase1, 2, &RenewalOptions::default()).unwrap();
+        assert_eq!(secret_of(&phase2, t), secret);
+        assert!(phase2.values().all(|s| s.public_key == phase0[&1].public_key));
+    }
+
+    #[test]
+    fn renewal_with_a_crashed_node_still_preserves_the_secret() {
+        let setup = SystemSetup::generate(7, 1, 23);
+        let t = setup.config.t();
+        let (phase0, _) = run_initial_phase(&setup, DelayModel::Constant(10));
+        let secret = secret_of(&phase0, t);
+        let options = RenewalOptions {
+            crashed: vec![7],
+            ..RenewalOptions::default()
+        };
+        let (phase1, _) = run_renewal_phase(&setup, &phase0, 1, &options).unwrap();
+        // The crashed node has no renewed share, everyone else does.
+        assert!(!phase1.contains_key(&7));
+        assert_eq!(phase1.len(), 6);
+        assert_eq!(secret_of(&phase1, t), secret);
+    }
+
+    #[test]
+    fn renewal_requires_enough_shares() {
+        let setup = SystemSetup::generate(4, 0, 24);
+        let (phase0, _) = run_initial_phase(&setup, DelayModel::Constant(10));
+        let mut too_few = phase0.clone();
+        too_few.retain(|&k, _| k == 1);
+        assert_eq!(
+            run_renewal_phase(&setup, &too_few, 1, &RenewalOptions::default()).err(),
+            Some(RenewalError::NotEnoughShares)
+        );
+    }
+}

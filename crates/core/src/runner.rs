@@ -1,0 +1,190 @@
+//! Convenience harness for building and running DKG systems on the
+//! simulator.
+//!
+//! Examples, integration tests and every experiment in EXPERIMENTS.md use
+//! these helpers so that system construction (keyrings, configs, node
+//! seeding) is consistent and reproducible from a single `u64` seed.
+
+use std::collections::BTreeMap;
+
+use dkg_arith::{GroupElement, Scalar};
+use dkg_crypto::{generate_keyring, KeyDirectory, NodeId, SigningKey};
+use dkg_sim::{DelayModel, NetworkConfig, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{DkgConfig, NodeKeys};
+use crate::messages::{DkgInput, DkgOutput};
+use crate::node::DkgNode;
+
+/// Everything needed to instantiate a DKG system: the shared configuration,
+/// each node's signing key and the public directory.
+#[derive(Clone, Debug)]
+pub struct SystemSetup {
+    /// The shared protocol configuration.
+    pub config: DkgConfig,
+    /// Long-term signing keys, per node.
+    pub signing_keys: BTreeMap<NodeId, SigningKey>,
+    /// The public key directory (the paper's PKI).
+    pub directory: KeyDirectory,
+    /// The seed this setup was derived from.
+    pub seed: u64,
+}
+
+impl SystemSetup {
+    /// Generates a fresh setup for `n` nodes tolerating `f` crashes (with the
+    /// largest safe Byzantine threshold `t`).
+    pub fn generate(n: usize, f: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (signing_keys, directory) = generate_keyring(&mut rng, n);
+        SystemSetup {
+            config: DkgConfig::standard(n, f).expect("standard parameters satisfy the bound"),
+            signing_keys,
+            directory,
+            seed,
+        }
+    }
+
+    /// Generates a setup with an explicit configuration.
+    pub fn with_config(config: DkgConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (signing_keys, directory) = generate_keyring(&mut rng, config.n());
+        SystemSetup {
+            config,
+            signing_keys,
+            directory,
+            seed,
+        }
+    }
+
+    /// The key material for one node.
+    pub fn node_keys(&self, node: NodeId) -> NodeKeys {
+        NodeKeys {
+            signing_key: self.signing_keys[&node],
+            directory: self.directory.clone(),
+        }
+    }
+
+    /// Builds a [`DkgNode`] for session `tau`.
+    pub fn build_node(&self, node: NodeId, tau: u64) -> DkgNode {
+        DkgNode::new(
+            node,
+            self.config.clone(),
+            self.node_keys(node),
+            tau,
+            self.seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(node)
+                .wrapping_add(tau.wrapping_mul(97)),
+        )
+    }
+
+    /// Builds a simulation containing a [`DkgNode`] for every node, using the
+    /// given network delay model.
+    pub fn build_simulation(&self, tau: u64, delay: DelayModel) -> Simulation<DkgNode> {
+        let mut sim = Simulation::new(
+            NetworkConfig {
+                delay,
+                self_messages_pay_delay: false,
+            },
+            self.seed ^ tau,
+        );
+        for &node in &self.config.vss.nodes {
+            sim.add_node(self.build_node(node, tau));
+        }
+        sim
+    }
+}
+
+/// The per-node outcome of a completed DKG run.
+#[derive(Clone, Debug)]
+pub struct NodeOutcome {
+    /// The node.
+    pub node: NodeId,
+    /// The distributed public key it output.
+    pub public_key: GroupElement,
+    /// Its share.
+    pub share: Scalar,
+    /// The leader rank under which it completed.
+    pub leader_rank: u64,
+    /// Simulated completion time (ms).
+    pub completion_time: u64,
+}
+
+/// Runs a fresh key generation on the given setup and returns the per-node
+/// outcomes (only nodes that completed are included) plus the simulation for
+/// further inspection (metrics, state).
+pub fn run_key_generation(
+    setup: &SystemSetup,
+    delay: DelayModel,
+    tau: u64,
+) -> (Vec<NodeOutcome>, Simulation<DkgNode>) {
+    let mut sim = setup.build_simulation(tau, delay);
+    for &node in &setup.config.vss.nodes {
+        sim.schedule_operator(node, DkgInput::Start, 0);
+    }
+    sim.run();
+    let outcomes = collect_outcomes(&sim);
+    (outcomes, sim)
+}
+
+/// Extracts the completion outputs from a finished simulation.
+pub fn collect_outcomes(sim: &Simulation<DkgNode>) -> Vec<NodeOutcome> {
+    sim.outputs()
+        .iter()
+        .filter_map(|record| match &record.output {
+            DkgOutput::Completed {
+                public_key,
+                share,
+                leader_rank,
+                ..
+            } => Some(NodeOutcome {
+                node: record.node,
+                public_key: *public_key,
+                share: *share,
+                leader_rank: *leader_rank,
+                completion_time: record.time,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkg_poly::interpolate_secret;
+
+    #[test]
+    fn run_key_generation_produces_consistent_outcomes() {
+        let setup = SystemSetup::generate(4, 0, 77);
+        let (outcomes, sim) = run_key_generation(&setup, DelayModel::Constant(20), 0);
+        assert_eq!(outcomes.len(), 4);
+        let pk = outcomes[0].public_key;
+        assert!(outcomes.iter().all(|o| o.public_key == pk));
+        let shares: Vec<(u64, Scalar)> = outcomes
+            .iter()
+            .take(setup.config.t() + 1)
+            .map(|o| (o.node, o.share))
+            .collect();
+        let secret = interpolate_secret(&shares).unwrap();
+        assert_eq!(GroupElement::commit(&secret), pk);
+        assert!(sim.metrics().message_count() > 0);
+    }
+
+    #[test]
+    fn setups_are_reproducible() {
+        let a = SystemSetup::generate(4, 0, 5);
+        let b = SystemSetup::generate(4, 0, 5);
+        assert_eq!(a.directory.nodes(), b.directory.nodes());
+        assert_eq!(
+            a.signing_keys[&1].public_key(),
+            b.signing_keys[&1].public_key()
+        );
+        let c = SystemSetup::generate(4, 0, 6);
+        assert_ne!(
+            a.signing_keys[&1].public_key(),
+            c.signing_keys[&1].public_key()
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! The node key directory ("PKI").
+//!
+//! The paper assumes a PKI hierarchy with an external CA: "indices and
+//! public keys for all nodes are publicly available in the form of
+//! certificates" (§2.3). In this reproduction the CA is modelled by a static
+//! [`KeyDirectory`] distributed to every node at configuration time, mapping
+//! each node index to its Schnorr verification key. Proactive certificate
+//! rotation (§5.1) is modelled by [`KeyDirectory::rotate`].
+
+use crate::schnorr::{PublicKey, Signature, SigningKey};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Identifier of a protocol node. The paper indexes nodes `P_1 … P_n`;
+/// we use the same 1-based convention, which also serves as the polynomial
+/// evaluation point for the node's share.
+pub type NodeId = u64;
+
+/// Errors from directory lookups and signature checks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KeyringError {
+    /// The node index is not registered in the directory.
+    UnknownNode(NodeId),
+    /// The signature did not verify under the registered key.
+    BadSignature(NodeId),
+}
+
+impl std::fmt::Display for KeyringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KeyringError::UnknownNode(id) => write!(f, "node {id} is not in the key directory"),
+            KeyringError::BadSignature(id) => write!(f, "invalid signature from node {id}"),
+        }
+    }
+}
+
+impl std::error::Error for KeyringError {}
+
+/// Public directory of verification keys for all system nodes.
+#[derive(Clone, Debug, Default)]
+pub struct KeyDirectory {
+    keys: BTreeMap<NodeId, PublicKey>,
+}
+
+impl KeyDirectory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the key for a node.
+    pub fn register(&mut self, node: NodeId, key: PublicKey) {
+        self.keys.insert(node, key);
+    }
+
+    /// Removes a node (used by the node-removal group modification, §6.3).
+    pub fn remove(&mut self, node: NodeId) {
+        self.keys.remove(&node);
+    }
+
+    /// Replaces the key of an existing node, modelling the certificate
+    /// revocation + re-issuance a recovering node performs at reboot (§5.1).
+    pub fn rotate(&mut self, node: NodeId, key: PublicKey) -> Result<(), KeyringError> {
+        if !self.keys.contains_key(&node) {
+            return Err(KeyringError::UnknownNode(node));
+        }
+        self.keys.insert(node, key);
+        Ok(())
+    }
+
+    /// Looks up the key of a node.
+    pub fn public_key(&self, node: NodeId) -> Result<PublicKey, KeyringError> {
+        self.keys
+            .get(&node)
+            .copied()
+            .ok_or(KeyringError::UnknownNode(node))
+    }
+
+    /// Verifies a signature attributed to `node`.
+    pub fn verify(
+        &self,
+        node: NodeId,
+        message: &[u8],
+        signature: &Signature,
+    ) -> Result<(), KeyringError> {
+        let key = self.public_key(node)?;
+        key.verify(message, signature)
+            .map_err(|_| KeyringError::BadSignature(node))
+    }
+
+    /// Returns the registered node indices in ascending order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.keys.keys().copied().collect()
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` if no nodes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Generates signing keys for nodes `1..=n` and the matching public
+/// directory. This is the test/simulation equivalent of the external CA
+/// provisioning each node with a certificate.
+pub fn generate_keyring<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+) -> (BTreeMap<NodeId, SigningKey>, KeyDirectory) {
+    let mut secrets = BTreeMap::new();
+    let mut directory = KeyDirectory::new();
+    for node in 1..=n as NodeId {
+        let sk = SigningKey::generate(rng);
+        directory.register(node, sk.public_key());
+        secrets.insert(node, sk);
+    }
+    (secrets, directory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generate_and_verify() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (secrets, directory) = generate_keyring(&mut rng, 4);
+        assert_eq!(directory.len(), 4);
+        let sig = secrets[&2].sign(&mut rng, b"msg");
+        assert!(directory.verify(2, b"msg", &sig).is_ok());
+        assert_eq!(
+            directory.verify(3, b"msg", &sig),
+            Err(KeyringError::BadSignature(3))
+        );
+        assert_eq!(
+            directory.verify(9, b"msg", &sig),
+            Err(KeyringError::UnknownNode(9))
+        );
+    }
+
+    #[test]
+    fn rotate_replaces_key() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (secrets, mut directory) = generate_keyring(&mut rng, 3);
+        let new_key = SigningKey::generate(&mut rng);
+        directory.rotate(1, new_key.public_key()).unwrap();
+        let old_sig = secrets[&1].sign(&mut rng, b"m");
+        assert!(directory.verify(1, b"m", &old_sig).is_err());
+        let new_sig = new_key.sign(&mut rng, b"m");
+        assert!(directory.verify(1, b"m", &new_sig).is_ok());
+        assert_eq!(
+            directory.rotate(7, new_key.public_key()),
+            Err(KeyringError::UnknownNode(7))
+        );
+    }
+
+    #[test]
+    fn remove_node() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, mut directory) = generate_keyring(&mut rng, 3);
+        directory.remove(2);
+        assert_eq!(directory.nodes(), vec![1, 3]);
+        assert!(directory.public_key(2).is_err());
+        assert!(!directory.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! Merkle-tree commitment digests.
+//!
+//! HybridVSS messages carry the full commitment matrix `C` with `O(n²)`
+//! group elements, which dominates the `O(κn⁴)` communication complexity of
+//! the sharing protocol. The paper notes (§3, Efficiency) that the hashing
+//! technique of Cachin et al. [17, §3.4] reduces this to `O(κn³)`: instead of
+//! echoing the whole matrix, nodes echo a collision-resistant digest of it
+//! and prove membership of the entries they actually need. This module
+//! provides that digest as a Merkle tree over the serialized matrix rows,
+//! with inclusion proofs. Experiment E2 measures the effect.
+
+use crate::sha256::{sha256_parts, Digest};
+
+/// A Merkle tree over an ordered list of byte-string leaves.
+#[derive(Clone, Debug)]
+pub struct MerkleTree {
+    /// levels[0] is the list of leaf digests; the last level has one digest.
+    levels: Vec<Vec<Digest>>,
+}
+
+/// An inclusion proof for a single leaf.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Sibling digests from the leaf level up to (excluding) the root.
+    pub siblings: Vec<Digest>,
+}
+
+fn leaf_digest(data: &[u8]) -> Digest {
+    sha256_parts(&[b"merkle-leaf", data])
+}
+
+fn node_digest(left: &Digest, right: &Digest) -> Digest {
+    sha256_parts(&[b"merkle-node", left, right])
+}
+
+impl MerkleTree {
+    /// Builds a tree over the given leaves.
+    ///
+    /// An empty leaf list yields a well-defined sentinel root (the digest of
+    /// an empty leaf), so callers never need a special case.
+    pub fn build<L: AsRef<[u8]>>(leaves: &[L]) -> MerkleTree {
+        let mut level: Vec<Digest> = if leaves.is_empty() {
+            vec![leaf_digest(b"")]
+        } else {
+            leaves.iter().map(|l| leaf_digest(l.as_ref())).collect()
+        };
+        let mut levels = vec![level.clone()];
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                let right = pair.get(1).unwrap_or(&pair[0]);
+                next.push(node_digest(&pair[0], right));
+            }
+            levels.push(next.clone());
+            level = next;
+        }
+        MerkleTree { levels }
+    }
+
+    /// The root digest committing to all leaves.
+    pub fn root(&self) -> Digest {
+        *self.levels.last().expect("tree always has a root").first().expect("root level non-empty")
+    }
+
+    /// Number of leaves in the tree.
+    pub fn leaf_count(&self) -> usize {
+        self.levels[0].len()
+    }
+
+    /// Produces an inclusion proof for leaf `index`, or `None` if out of
+    /// range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.leaf_count() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        let mut i = index;
+        for level in &self.levels[..self.levels.len() - 1] {
+            let sibling_index = if i % 2 == 0 { i + 1 } else { i - 1 };
+            let sibling = level.get(sibling_index).copied().unwrap_or(level[i]);
+            siblings.push(sibling);
+            i /= 2;
+        }
+        Some(MerkleProof { index, siblings })
+    }
+
+    /// Verifies that `leaf_data` is the leaf at `proof.index` under `root`.
+    pub fn verify(root: &Digest, leaf_data: &[u8], proof: &MerkleProof) -> bool {
+        let mut digest = leaf_digest(leaf_data);
+        let mut i = proof.index;
+        for sibling in &proof.siblings {
+            digest = if i % 2 == 0 {
+                node_digest(&digest, sibling)
+            } else {
+                node_digest(sibling, &digest)
+            };
+            i /= 2;
+        }
+        digest == *root
+    }
+
+    /// The byte length of a proof with this tree's depth, for wire-size
+    /// accounting.
+    pub fn proof_len(&self) -> usize {
+        8 + (self.levels.len() - 1) * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let data = leaves(1);
+        let tree = MerkleTree::build(&data);
+        let proof = tree.prove(0).unwrap();
+        assert!(MerkleTree::verify(&tree.root(), &data[0], &proof));
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn proves_all_leaves_various_sizes() {
+        for n in [2usize, 3, 4, 5, 7, 8, 9, 16, 17] {
+            let data = leaves(n);
+            let tree = MerkleTree::build(&data);
+            for (i, leaf) in data.iter().enumerate() {
+                let proof = tree.prove(i).unwrap();
+                assert!(
+                    MerkleTree::verify(&tree.root(), leaf, &proof),
+                    "n={n} leaf={i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_leaf_and_wrong_index() {
+        let data = leaves(8);
+        let tree = MerkleTree::build(&data);
+        let proof = tree.prove(3).unwrap();
+        assert!(!MerkleTree::verify(&tree.root(), b"not-the-leaf", &proof));
+        let mut wrong_index = proof.clone();
+        wrong_index.index = 4;
+        assert!(!MerkleTree::verify(&tree.root(), &data[3], &wrong_index));
+    }
+
+    #[test]
+    fn rejects_tampered_sibling() {
+        let data = leaves(8);
+        let tree = MerkleTree::build(&data);
+        let mut proof = tree.prove(2).unwrap();
+        proof.siblings[1][0] ^= 0xff;
+        assert!(!MerkleTree::verify(&tree.root(), &data[2], &proof));
+    }
+
+    #[test]
+    fn different_leaves_different_roots() {
+        let a = MerkleTree::build(&leaves(4));
+        let mut altered = leaves(4);
+        altered[2] = b"changed".to_vec();
+        let b = MerkleTree::build(&altered);
+        assert_ne!(a.root(), b.root());
+    }
+
+    #[test]
+    fn out_of_range_proof_is_none() {
+        let tree = MerkleTree::build(&leaves(4));
+        assert!(tree.prove(4).is_none());
+    }
+
+    #[test]
+    fn empty_tree_has_root() {
+        let tree = MerkleTree::build::<Vec<u8>>(&[]);
+        assert_eq!(tree.leaf_count(), 1);
+        let _ = tree.root();
+    }
+
+    #[test]
+    fn leaf_and_node_domains_are_separated() {
+        // A tree whose single leaf equals another tree's root must not
+        // produce the same root (second-preimage style confusion).
+        let base = MerkleTree::build(&leaves(2));
+        let fake = MerkleTree::build(&[base.root().to_vec()]);
+        assert_ne!(base.root(), fake.root());
+    }
+}

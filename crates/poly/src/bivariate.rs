@@ -1,0 +1,201 @@
+//! Symmetric bivariate polynomials.
+//!
+//! The dealer in HybridVSS (Fig. 1) chooses a random *symmetric* bivariate
+//! polynomial `f(x, y) = Σ_{j,ℓ=0}^{t} f_{jℓ} x^j y^ℓ` with `f_{00} = s` and
+//! `f_{jℓ} = f_{ℓj}`. Symmetry is what lets any two nodes cross-verify each
+//! other's points (`f(m, i) = f(i, m)`) and gives the constant-factor
+//! savings over the general bivariate polynomial used by AVSS.
+
+use crate::univariate::Univariate;
+use dkg_arith::{PrimeField, Scalar};
+use rand::Rng;
+
+/// A symmetric bivariate polynomial of degree `t` in each variable.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SymmetricBivariate {
+    /// `coeffs[j][ℓ] = f_{jℓ}`, with the symmetry invariant
+    /// `coeffs[j][ℓ] == coeffs[ℓ][j]` maintained by construction.
+    coeffs: Vec<Vec<Scalar>>,
+}
+
+impl SymmetricBivariate {
+    /// Samples a random symmetric bivariate polynomial of degree `t` with
+    /// `f(0,0) = secret`.
+    pub fn random_with_secret<R: Rng + ?Sized>(rng: &mut R, t: usize, secret: Scalar) -> Self {
+        let mut coeffs = vec![vec![Scalar::zero(); t + 1]; t + 1];
+        for j in 0..=t {
+            for l in j..=t {
+                let value = if j == 0 && l == 0 {
+                    secret
+                } else {
+                    Scalar::random(rng)
+                };
+                coeffs[j][l] = value;
+                coeffs[l][j] = value;
+            }
+        }
+        SymmetricBivariate { coeffs }
+    }
+
+    /// Builds a polynomial from an explicit coefficient matrix.
+    ///
+    /// Returns `None` if the matrix is empty, not square, or not symmetric.
+    pub fn from_coefficients(coeffs: Vec<Vec<Scalar>>) -> Option<Self> {
+        let n = coeffs.len();
+        if n == 0 || coeffs.iter().any(|row| row.len() != n) {
+            return None;
+        }
+        for j in 0..n {
+            for l in 0..j {
+                if coeffs[j][l] != coeffs[l][j] {
+                    return None;
+                }
+            }
+        }
+        Some(SymmetricBivariate { coeffs })
+    }
+
+    /// The degree `t` in each variable.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// The shared secret `f(0, 0)`.
+    pub fn secret(&self) -> Scalar {
+        self.coeffs[0][0]
+    }
+
+    /// The coefficient matrix.
+    pub fn coefficients(&self) -> &[Vec<Scalar>] {
+        &self.coeffs
+    }
+
+    /// Evaluates `f(x, y)`.
+    pub fn evaluate(&self, x: Scalar, y: Scalar) -> Scalar {
+        // Horner in x over row polynomials in y.
+        let mut acc = Scalar::zero();
+        for row in self.coeffs.iter().rev() {
+            let mut row_val = Scalar::zero();
+            for &c in row.iter().rev() {
+                row_val = row_val * y + c;
+            }
+            acc = acc * x + row_val;
+        }
+        acc
+    }
+
+    /// The row polynomial `a_j(y) = f(j, y)` sent to node `P_j` in the
+    /// dealer's `send` message.
+    pub fn row(&self, index: u64) -> Univariate {
+        let x = Scalar::from_u64(index);
+        let t = self.degree();
+        let mut coeffs = vec![Scalar::zero(); t + 1];
+        // a_ℓ = Σ_j f_{jℓ} x^j
+        let mut x_pow = Scalar::one();
+        for j in 0..=t {
+            for (l, c) in coeffs.iter_mut().enumerate() {
+                *c += self.coeffs[j][l] * x_pow;
+            }
+            x_pow *= x;
+        }
+        Univariate::from_coefficients(coeffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn secret_is_constant_term() {
+        let mut r = rng();
+        let secret = Scalar::from_u64(424242);
+        let f = SymmetricBivariate::random_with_secret(&mut r, 3, secret);
+        assert_eq!(f.secret(), secret);
+        assert_eq!(f.evaluate(Scalar::zero(), Scalar::zero()), secret);
+        assert_eq!(f.degree(), 3);
+    }
+
+    #[test]
+    fn is_symmetric() {
+        let mut r = rng();
+        let f = SymmetricBivariate::random_with_secret(&mut r, 4, Scalar::from_u64(1));
+        for x in 0..6u64 {
+            for y in 0..6u64 {
+                assert_eq!(
+                    f.evaluate(Scalar::from_u64(x), Scalar::from_u64(y)),
+                    f.evaluate(Scalar::from_u64(y), Scalar::from_u64(x))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_matches_evaluation() {
+        let mut r = rng();
+        let f = SymmetricBivariate::random_with_secret(&mut r, 3, Scalar::from_u64(5));
+        for j in 1..=5u64 {
+            let row = f.row(j);
+            assert_eq!(row.degree(), 3);
+            for y in 0..6u64 {
+                assert_eq!(
+                    row.evaluate_at_index(y),
+                    f.evaluate(Scalar::from_u64(j), Scalar::from_u64(y))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cross_verification_of_rows() {
+        // a_i(m) == a_m(i): the property nodes rely on when verifying echo
+        // points from each other.
+        let mut r = rng();
+        let f = SymmetricBivariate::random_with_secret(&mut r, 2, Scalar::from_u64(9));
+        for i in 1..=4u64 {
+            for m in 1..=4u64 {
+                assert_eq!(f.row(i).evaluate_at_index(m), f.row(m).evaluate_at_index(i));
+            }
+        }
+    }
+
+    #[test]
+    fn rows_interpolate_to_secret() {
+        // The shares s_i = a_i(0) = f(i, 0) lie on the degree-t polynomial
+        // f(x, 0) with constant term s.
+        let mut r = rng();
+        let t = 3usize;
+        let secret = Scalar::from_u64(777);
+        let f = SymmetricBivariate::random_with_secret(&mut r, t, secret);
+        let shares: Vec<(u64, Scalar)> = (1..=t as u64 + 1)
+            .map(|i| (i, f.row(i).constant_term()))
+            .collect();
+        assert_eq!(
+            crate::univariate::interpolate_secret(&shares),
+            Some(secret)
+        );
+    }
+
+    #[test]
+    fn from_coefficients_validation() {
+        let ok = vec![
+            vec![Scalar::from_u64(1), Scalar::from_u64(2)],
+            vec![Scalar::from_u64(2), Scalar::from_u64(3)],
+        ];
+        assert!(SymmetricBivariate::from_coefficients(ok).is_some());
+        let asymmetric = vec![
+            vec![Scalar::from_u64(1), Scalar::from_u64(2)],
+            vec![Scalar::from_u64(9), Scalar::from_u64(3)],
+        ];
+        assert!(SymmetricBivariate::from_coefficients(asymmetric).is_none());
+        let ragged = vec![vec![Scalar::from_u64(1)], vec![]];
+        assert!(SymmetricBivariate::from_coefficients(ragged).is_none());
+        assert!(SymmetricBivariate::from_coefficients(vec![]).is_none());
+    }
+}

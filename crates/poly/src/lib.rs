@@ -1,0 +1,24 @@
+//! # dkg-poly
+//!
+//! Polynomial algebra for the hybrid DKG reproduction of *Distributed Key
+//! Generation for the Internet* (Kate & Goldberg, ICDCS 2009):
+//!
+//! * [`Univariate`] — degree-`t` polynomials over `Z_q` (the rows `a_j(y)`
+//!   of the dealer's polynomial, Lagrange interpolation, share recovery),
+//! * [`SymmetricBivariate`] — the dealer's symmetric bivariate polynomial
+//!   `f(x, y)` from Fig. 1,
+//! * [`CommitmentMatrix`] / [`CommitmentVector`] — Feldman commitments with
+//!   the paper's `verify-poly` and `verify-point` predicates and the
+//!   entry-wise combination rules used by the DKG, share renewal and node
+//!   addition.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bivariate;
+pub mod commitment;
+pub mod univariate;
+
+pub use bivariate::SymmetricBivariate;
+pub use commitment::{CommitmentError, CommitmentMatrix, CommitmentVector};
+pub use univariate::{interpolate_at, interpolate_polynomial, interpolate_secret, Univariate};

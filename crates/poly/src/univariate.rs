@@ -1,0 +1,300 @@
+//! Univariate polynomials over the scalar field.
+
+use dkg_arith::{PrimeField, Scalar};
+use rand::Rng;
+
+/// A polynomial `a(y) = Σ_{ℓ=0}^{t} a_ℓ y^ℓ` over `Z_q`.
+///
+/// These appear in the protocols as the rows `a_j(y) = f(j, y)` of the
+/// dealer's symmetric bivariate polynomial: the dealer sends `a_j` to node
+/// `P_j` in the `send` message, and nodes exchange single evaluations of
+/// their rows in `echo` / `ready` messages.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Univariate {
+    /// Coefficients in ascending degree order; always of length `degree + 1`
+    /// (trailing zero coefficients are kept so the *declared* degree — the
+    /// security threshold `t` — is preserved).
+    coeffs: Vec<Scalar>,
+}
+
+impl Univariate {
+    /// Creates a polynomial from coefficients in ascending degree order.
+    ///
+    /// An empty coefficient list is treated as the zero constant polynomial.
+    pub fn from_coefficients(coeffs: Vec<Scalar>) -> Self {
+        if coeffs.is_empty() {
+            Univariate {
+                coeffs: vec![Scalar::zero()],
+            }
+        } else {
+            Univariate { coeffs }
+        }
+    }
+
+    /// The zero polynomial of the given declared degree.
+    pub fn zero(degree: usize) -> Self {
+        Univariate {
+            coeffs: vec![Scalar::zero(); degree + 1],
+        }
+    }
+
+    /// Samples a uniformly random polynomial of the given degree with the
+    /// given constant term (the shared secret, when used by a dealer).
+    pub fn random_with_constant<R: Rng + ?Sized>(
+        rng: &mut R,
+        degree: usize,
+        constant: Scalar,
+    ) -> Self {
+        let mut coeffs = Vec::with_capacity(degree + 1);
+        coeffs.push(constant);
+        for _ in 0..degree {
+            coeffs.push(Scalar::random(rng));
+        }
+        Univariate { coeffs }
+    }
+
+    /// Samples a uniformly random polynomial of the given degree.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, degree: usize) -> Self {
+        let constant = Scalar::random(rng);
+        Self::random_with_constant(rng, degree, constant)
+    }
+
+    /// The declared degree (number of coefficients minus one).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// The coefficients in ascending degree order.
+    pub fn coefficients(&self) -> &[Scalar] {
+        &self.coeffs
+    }
+
+    /// The constant term `a(0)`.
+    pub fn constant_term(&self) -> Scalar {
+        self.coeffs[0]
+    }
+
+    /// Evaluates the polynomial at `x` (Horner's rule).
+    pub fn evaluate(&self, x: Scalar) -> Scalar {
+        let mut acc = Scalar::zero();
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Evaluates at a node index (the paper evaluates at the integers
+    /// `1..=n`).
+    pub fn evaluate_at_index(&self, index: u64) -> Scalar {
+        self.evaluate(Scalar::from_u64(index))
+    }
+
+    /// Adds two polynomials; the result has the larger declared degree.
+    pub fn add(&self, other: &Univariate) -> Univariate {
+        let len = self.coeffs.len().max(other.coeffs.len());
+        let mut coeffs = vec![Scalar::zero(); len];
+        for (i, c) in coeffs.iter_mut().enumerate() {
+            if i < self.coeffs.len() {
+                *c += self.coeffs[i];
+            }
+            if i < other.coeffs.len() {
+                *c += other.coeffs[i];
+            }
+        }
+        Univariate { coeffs }
+    }
+
+    /// Multiplies every coefficient by a scalar.
+    pub fn scale(&self, k: Scalar) -> Univariate {
+        Univariate {
+            coeffs: self.coeffs.iter().map(|&c| c * k).collect(),
+        }
+    }
+}
+
+/// Interpolates the unique polynomial of degree `< points.len()` through the
+/// given `(x, y)` points and evaluates it at `x = target`.
+///
+/// Returns `None` if two points share an x-coordinate.
+pub fn interpolate_at(points: &[(Scalar, Scalar)], target: Scalar) -> Option<Scalar> {
+    let mut result = Scalar::zero();
+    for (j, &(xj, yj)) in points.iter().enumerate() {
+        let mut num = Scalar::one();
+        let mut den = Scalar::one();
+        for (m, &(xm, _)) in points.iter().enumerate() {
+            if m == j {
+                continue;
+            }
+            num *= target - xm;
+            den *= xj - xm;
+        }
+        result += yj * num * den.invert()?;
+    }
+    Some(result)
+}
+
+/// Interpolates shares held at node indices and returns the value at index 0
+/// (the secret). This is the `Rec` output computation and the share-renewal
+/// "Lagrange-interpolate ... for index 0" step.
+pub fn interpolate_secret(shares: &[(u64, Scalar)]) -> Option<Scalar> {
+    let points: Vec<(Scalar, Scalar)> = shares
+        .iter()
+        .map(|&(i, s)| (Scalar::from_u64(i), s))
+        .collect();
+    interpolate_at(&points, Scalar::zero())
+}
+
+/// Interpolates the full coefficient vector of the unique polynomial of
+/// degree `points.len() - 1` through the given points.
+///
+/// Used by tests and by the reconstruction of row polynomials from echo
+/// points ("Lagrange-interpolate a from A_C" in Fig. 1). Returns `None` if
+/// two points share an x-coordinate.
+pub fn interpolate_polynomial(points: &[(Scalar, Scalar)]) -> Option<Univariate> {
+    if points.is_empty() {
+        return Some(Univariate::zero(0));
+    }
+    // Lagrange basis polynomials, accumulated coefficient-wise.
+    let n = points.len();
+    let mut coeffs = vec![Scalar::zero(); n];
+    for (j, &(xj, yj)) in points.iter().enumerate() {
+        // numerator polynomial Π_{m≠j} (x - x_m)
+        let mut basis = vec![Scalar::zero(); n];
+        basis[0] = Scalar::one();
+        let mut basis_degree = 0usize;
+        let mut den = Scalar::one();
+        for (m, &(xm, _)) in points.iter().enumerate() {
+            if m == j {
+                continue;
+            }
+            // basis *= (x - xm)
+            let mut next = vec![Scalar::zero(); n];
+            for d in 0..=basis_degree {
+                next[d + 1] += basis[d];
+                next[d] -= basis[d] * xm;
+            }
+            basis = next;
+            basis_degree += 1;
+            den *= xj - xm;
+        }
+        let factor = yj * den.invert()?;
+        for d in 0..n {
+            coeffs[d] += basis[d] * factor;
+        }
+    }
+    Some(Univariate::from_coefficients(coeffs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn evaluate_known_polynomial() {
+        // f(x) = 3 + 2x + x^2
+        let f = Univariate::from_coefficients(vec![
+            Scalar::from_u64(3),
+            Scalar::from_u64(2),
+            Scalar::from_u64(1),
+        ]);
+        assert_eq!(f.evaluate(Scalar::from_u64(0)), Scalar::from_u64(3));
+        assert_eq!(f.evaluate(Scalar::from_u64(2)), Scalar::from_u64(11));
+        assert_eq!(f.evaluate_at_index(5), Scalar::from_u64(38));
+        assert_eq!(f.degree(), 2);
+        assert_eq!(f.constant_term(), Scalar::from_u64(3));
+    }
+
+    #[test]
+    fn random_with_constant_fixes_secret() {
+        let mut r = rng();
+        let secret = Scalar::from_u64(99);
+        let f = Univariate::random_with_constant(&mut r, 5, secret);
+        assert_eq!(f.degree(), 5);
+        assert_eq!(f.evaluate(Scalar::zero()), secret);
+    }
+
+    #[test]
+    fn t_plus_one_shares_reconstruct_secret() {
+        let mut r = rng();
+        let t = 3;
+        let f = Univariate::random(&mut r, t);
+        let shares: Vec<(u64, Scalar)> = (1..=t as u64 + 1).map(|i| (i, f.evaluate_at_index(i))).collect();
+        assert_eq!(interpolate_secret(&shares), Some(f.constant_term()));
+    }
+
+    #[test]
+    fn any_subset_of_t_plus_one_reconstructs() {
+        let mut r = rng();
+        let t = 2;
+        let f = Univariate::random(&mut r, t);
+        let all: Vec<(u64, Scalar)> = (1..=7u64).map(|i| (i, f.evaluate_at_index(i))).collect();
+        for subset in [[0usize, 1, 2], [4, 5, 6], [0, 3, 6], [1, 2, 5]] {
+            let shares: Vec<(u64, Scalar)> = subset.iter().map(|&i| all[i]).collect();
+            assert_eq!(interpolate_secret(&shares), Some(f.constant_term()));
+        }
+    }
+
+    #[test]
+    fn interpolation_rejects_duplicate_x() {
+        let pts = [
+            (Scalar::from_u64(1), Scalar::from_u64(5)),
+            (Scalar::from_u64(1), Scalar::from_u64(6)),
+        ];
+        assert!(interpolate_at(&pts, Scalar::zero()).is_none());
+    }
+
+    #[test]
+    fn interpolate_polynomial_roundtrip() {
+        let mut r = rng();
+        let f = Univariate::random(&mut r, 4);
+        let points: Vec<(Scalar, Scalar)> = (1..=5u64)
+            .map(|i| (Scalar::from_u64(i), f.evaluate_at_index(i)))
+            .collect();
+        let g = interpolate_polynomial(&points).unwrap();
+        for i in 0..=10u64 {
+            assert_eq!(g.evaluate_at_index(i), f.evaluate_at_index(i));
+        }
+    }
+
+    #[test]
+    fn addition_is_pointwise() {
+        let mut r = rng();
+        let f = Univariate::random(&mut r, 3);
+        let g = Univariate::random(&mut r, 5);
+        let sum = f.add(&g);
+        assert_eq!(sum.degree(), 5);
+        for i in 0..8u64 {
+            assert_eq!(
+                sum.evaluate_at_index(i),
+                f.evaluate_at_index(i) + g.evaluate_at_index(i)
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_scales_evaluations() {
+        let mut r = rng();
+        let f = Univariate::random(&mut r, 3);
+        let k = Scalar::from_u64(7);
+        let g = f.scale(k);
+        for i in 0..5u64 {
+            assert_eq!(g.evaluate_at_index(i), f.evaluate_at_index(i) * k);
+        }
+    }
+
+    #[test]
+    fn zero_and_empty_coefficients() {
+        let z = Univariate::zero(3);
+        assert_eq!(z.degree(), 3);
+        assert!(z.evaluate_at_index(9).is_zero());
+        let e = Univariate::from_coefficients(vec![]);
+        assert_eq!(e.degree(), 0);
+        assert!(e.constant_term().is_zero());
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for polynomial algebra and Feldman commitments.
+
+use dkg_arith::{PrimeField, Scalar};
+use dkg_poly::{
+    interpolate_secret, CommitmentMatrix, CommitmentVector, SymmetricBivariate, Univariate,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scalar_from(seed: u64) -> Scalar {
+    Scalar::from_u64(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any t+1 distinct shares of a degree-t polynomial reconstruct the
+    /// secret; this is the core Shamir property the whole system rests on.
+    #[test]
+    fn shares_reconstruct_secret(
+        seed in any::<u64>(),
+        t in 1usize..6,
+        secret in any::<u64>(),
+        offset in 1u64..20,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let poly = Univariate::random_with_constant(&mut rng, t, scalar_from(secret));
+        let shares: Vec<(u64, Scalar)> = (0..=t as u64)
+            .map(|k| {
+                let idx = offset + 2 * k; // distinct, not necessarily contiguous
+                (idx, poly.evaluate_at_index(idx))
+            })
+            .collect();
+        prop_assert_eq!(interpolate_secret(&shares), Some(scalar_from(secret)));
+    }
+
+    /// Fewer than t+1 shares give no information: interpolating t shares of a
+    /// degree-t polynomial yields the wrong secret except with negligible
+    /// probability (here: just assert it doesn't panic and returns a value,
+    /// and that adding the missing share fixes it).
+    #[test]
+    fn too_few_shares_do_not_reconstruct(seed in any::<u64>(), t in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let poly = Univariate::random(&mut rng, t);
+        let shares: Vec<(u64, Scalar)> =
+            (1..=t as u64).map(|i| (i, poly.evaluate_at_index(i))).collect();
+        let guess = interpolate_secret(&shares).unwrap();
+        // With overwhelming probability the degree-(t-1) fit misses.
+        prop_assume!(guess != poly.constant_term());
+        let mut full = shares.clone();
+        full.push((t as u64 + 1, poly.evaluate_at_index(t as u64 + 1)));
+        prop_assert_eq!(interpolate_secret(&full), Some(poly.constant_term()));
+    }
+
+    /// The dealer's symmetric polynomial satisfies f(x,y) = f(y,x) and its
+    /// rows cross-verify, for arbitrary parameters.
+    #[test]
+    fn bivariate_symmetry(seed in any::<u64>(), t in 1usize..5, secret in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = SymmetricBivariate::random_with_secret(&mut rng, t, scalar_from(secret));
+        for i in 1..=(t as u64 + 2) {
+            for m in 1..=(t as u64 + 2) {
+                prop_assert_eq!(
+                    f.row(i).evaluate_at_index(m),
+                    f.row(m).evaluate_at_index(i)
+                );
+            }
+        }
+    }
+
+    /// verify-poly accepts exactly the dealer's rows (completeness) and
+    /// rejects rows for a different index (soundness, overwhelming prob.).
+    #[test]
+    fn verify_poly_completeness_and_soundness(
+        seed in any::<u64>(), t in 1usize..4, i in 1u64..8, j in 1u64..8
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = Scalar::random(&mut rng);
+        let f = SymmetricBivariate::random_with_secret(&mut rng, t, secret);
+        let c = CommitmentMatrix::commit(&f);
+        prop_assert!(c.verify_poly(i, &f.row(i)));
+        if i != j {
+            prop_assert!(!c.verify_poly(i, &f.row(j)));
+        }
+    }
+
+    /// verify-point accepts exactly the true evaluations.
+    #[test]
+    fn verify_point_completeness_and_soundness(
+        seed in any::<u64>(), t in 1usize..4, i in 1u64..6, m in 1u64..6
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = Scalar::random(&mut rng);
+        let f = SymmetricBivariate::random_with_secret(&mut rng, t, secret);
+        let c = CommitmentMatrix::commit(&f);
+        let alpha = f.evaluate(Scalar::from_u64(m), Scalar::from_u64(i));
+        prop_assert!(c.verify_point(i, m, alpha));
+        prop_assert!(!c.verify_point(i, m, alpha + Scalar::one()));
+    }
+
+    /// Summing dealers' polynomials and multiplying their commitment matrices
+    /// entry-wise stay consistent — the DKG share/commitment aggregation.
+    #[test]
+    fn aggregation_consistency(seed in any::<u64>(), t in 1usize..4, dealers in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let polys: Vec<SymmetricBivariate> = (0..dealers)
+            .map(|_| {
+                let secret = Scalar::random(&mut rng);
+                SymmetricBivariate::random_with_secret(&mut rng, t, secret)
+            })
+            .collect();
+        let matrices: Vec<CommitmentMatrix> = polys.iter().map(CommitmentMatrix::commit).collect();
+        let refs: Vec<&CommitmentMatrix> = matrices.iter().collect();
+        let combined = CommitmentMatrix::combine(&refs).unwrap();
+        for i in 1..=(t as u64 + 1) {
+            let share_sum: Scalar = polys.iter().map(|f| f.row(i).constant_term()).sum();
+            prop_assert!(combined.share_commitment(i) == dkg_arith::GroupElement::commit(&share_sum));
+        }
+    }
+
+    /// Commitment vectors verify exactly the committed polynomial's values.
+    #[test]
+    fn commitment_vector_share_verification(seed in any::<u64>(), t in 1usize..5, i in 1u64..10) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let poly = Univariate::random(&mut rng, t);
+        let v = CommitmentVector::commit(&poly);
+        prop_assert!(v.verify_share(i, poly.evaluate_at_index(i)));
+        prop_assert!(!v.verify_share(i, poly.evaluate_at_index(i) + Scalar::one()));
+    }
+}

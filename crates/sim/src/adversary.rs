@@ -1,0 +1,249 @@
+//! Adversarial control over the simulated network.
+//!
+//! The paper's adversary (§2.2–2.3) is a *static, rushing, t-limited
+//! Byzantine* adversary that additionally may crash up to `f` nodes at a
+//! time (at most `d(κ)` crashes in total) and "manages the communication
+//! channels and can delay messages as it wishes" — subject to the assumption
+//! that messages between two honest uncrashed nodes are delivered.
+//!
+//! Byzantine *behaviour* (equivocation, bogus shares, silent leaders) is
+//! implemented inside the protocol crates as misbehaving node
+//! implementations; this module provides the *scheduling* half of the
+//! adversary: message delays/reordering on the links it controls and the
+//! crash/recovery schedule.
+
+use dkg_crypto::NodeId;
+use std::collections::BTreeSet;
+
+use crate::protocol::SimTime;
+
+/// A decision the adversary takes for one message in flight.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver with the honest network delay.
+    Deliver,
+    /// Deliver, but only after the given additional delay (rushing /
+    /// stalling). The simulator adds this to the honest delay.
+    DelayBy(SimTime),
+    /// Drop the message. Only allowed for links touching a corrupted or
+    /// crashed node — the simulator enforces the paper's delivery assumption
+    /// for honest↔honest links by ignoring `Drop` verdicts on them.
+    Drop,
+}
+
+/// Adversarial message scheduling policy.
+pub trait Adversary {
+    /// Called for every message send; returns the scheduling verdict.
+    /// `kind` is the message's wire label (e.g. `"echo"`).
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        kind: &'static str,
+        now: SimTime,
+    ) -> Verdict;
+
+    /// The set of nodes this adversary has corrupted (Byzantine nodes).
+    /// Used by the simulator to decide which `Drop`/`DelayBy` verdicts are
+    /// legitimate.
+    fn corrupted(&self) -> &BTreeSet<NodeId>;
+}
+
+/// The benign scheduler: every message is delivered with the honest delay.
+#[derive(Clone, Debug, Default)]
+pub struct PassiveAdversary {
+    corrupted: BTreeSet<NodeId>,
+}
+
+impl Adversary for PassiveAdversary {
+    fn on_message(&mut self, _: NodeId, _: NodeId, _: &'static str, _: SimTime) -> Verdict {
+        Verdict::Deliver
+    }
+
+    fn corrupted(&self) -> &BTreeSet<NodeId> {
+        &self.corrupted
+    }
+}
+
+/// An adversary that stalls every message sent by its corrupted nodes by a
+/// fixed amount — the "delaying its messages to the verge of the time
+/// bounds" strategy §2.1 argues asynchronous protocols are immune to
+/// (experiment E9).
+#[derive(Clone, Debug)]
+pub struct StallingAdversary {
+    corrupted: BTreeSet<NodeId>,
+    stall: SimTime,
+}
+
+impl StallingAdversary {
+    /// Creates an adversary that corrupts `corrupted` and delays every
+    /// message they send (and every message sent to them) by `stall`
+    /// milliseconds on top of the network delay.
+    pub fn new(corrupted: impl IntoIterator<Item = NodeId>, stall: SimTime) -> Self {
+        StallingAdversary {
+            corrupted: corrupted.into_iter().collect(),
+            stall,
+        }
+    }
+}
+
+impl Adversary for StallingAdversary {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        _kind: &'static str,
+        _now: SimTime,
+    ) -> Verdict {
+        if self.corrupted.contains(&from) || self.corrupted.contains(&to) {
+            Verdict::DelayBy(self.stall)
+        } else {
+            Verdict::Deliver
+        }
+    }
+
+    fn corrupted(&self) -> &BTreeSet<NodeId> {
+        &self.corrupted
+    }
+}
+
+/// An adversary that silently drops every message from its corrupted nodes,
+/// making them behave like crashed nodes from the honest nodes' perspective
+/// (useful for testing liveness under a silent faulty leader).
+#[derive(Clone, Debug)]
+pub struct MutingAdversary {
+    corrupted: BTreeSet<NodeId>,
+}
+
+impl MutingAdversary {
+    /// Creates an adversary muting the given nodes.
+    pub fn new(corrupted: impl IntoIterator<Item = NodeId>) -> Self {
+        MutingAdversary {
+            corrupted: corrupted.into_iter().collect(),
+        }
+    }
+}
+
+impl Adversary for MutingAdversary {
+    fn on_message(
+        &mut self,
+        from: NodeId,
+        _to: NodeId,
+        _kind: &'static str,
+        _now: SimTime,
+    ) -> Verdict {
+        if self.corrupted.contains(&from) {
+            Verdict::Drop
+        } else {
+            Verdict::Deliver
+        }
+    }
+
+    fn corrupted(&self) -> &BTreeSet<NodeId> {
+        &self.corrupted
+    }
+}
+
+/// A crash/recovery schedule for the crash-recovery half of the hybrid
+/// failure model (§2.2): up to `f` nodes may be crashed at any time, with at
+/// most `d(κ)` crash events over the adversary's lifetime.
+#[derive(Clone, Debug, Default)]
+pub struct CrashSchedule {
+    events: Vec<(SimTime, CrashEvent)>,
+}
+
+/// A single crash or recovery event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashEvent {
+    /// The node stops processing and loses in-flight messages.
+    Crash(NodeId),
+    /// The node resumes from its persisted state and runs its recovery
+    /// procedure.
+    Recover(NodeId),
+}
+
+impl CrashSchedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a crash at `time`.
+    pub fn crash_at(mut self, node: NodeId, time: SimTime) -> Self {
+        self.events.push((time, CrashEvent::Crash(node)));
+        self
+    }
+
+    /// Schedules a recovery at `time`.
+    pub fn recover_at(mut self, node: NodeId, time: SimTime) -> Self {
+        self.events.push((time, CrashEvent::Recover(node)));
+        self
+    }
+
+    /// Schedules a crash at `start` followed by a recovery at `end`.
+    pub fn outage(self, node: NodeId, start: SimTime, end: SimTime) -> Self {
+        assert!(start < end, "outage must end after it starts");
+        self.crash_at(node, start).recover_at(node, end)
+    }
+
+    /// The scheduled events, sorted by time.
+    pub fn events(&self) -> Vec<(SimTime, CrashEvent)> {
+        let mut sorted = self.events.clone();
+        sorted.sort_by_key(|&(time, _)| time);
+        sorted
+    }
+
+    /// Total number of crash events (the paper's `d`).
+    pub fn crash_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| matches!(e, CrashEvent::Crash(_)))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passive_adversary_delivers_everything() {
+        let mut adv = PassiveAdversary::default();
+        assert_eq!(adv.on_message(1, 2, "echo", 0), Verdict::Deliver);
+        assert!(adv.corrupted().is_empty());
+    }
+
+    #[test]
+    fn stalling_adversary_delays_its_links_only() {
+        let mut adv = StallingAdversary::new([3], 1000);
+        assert_eq!(adv.on_message(3, 1, "send", 0), Verdict::DelayBy(1000));
+        assert_eq!(adv.on_message(1, 3, "echo", 0), Verdict::DelayBy(1000));
+        assert_eq!(adv.on_message(1, 2, "echo", 0), Verdict::Deliver);
+        assert_eq!(adv.corrupted().len(), 1);
+    }
+
+    #[test]
+    fn muting_adversary_drops_outgoing_only() {
+        let mut adv = MutingAdversary::new([2]);
+        assert_eq!(adv.on_message(2, 1, "send", 0), Verdict::Drop);
+        assert_eq!(adv.on_message(1, 2, "send", 0), Verdict::Deliver);
+    }
+
+    #[test]
+    fn crash_schedule_sorts_and_counts() {
+        let schedule = CrashSchedule::new()
+            .outage(1, 50, 150)
+            .crash_at(2, 10);
+        let events = schedule.events();
+        assert_eq!(events[0], (10, CrashEvent::Crash(2)));
+        assert_eq!(events[1], (50, CrashEvent::Crash(1)));
+        assert_eq!(events[2], (150, CrashEvent::Recover(1)));
+        assert_eq!(schedule.crash_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outage must end")]
+    fn outage_validates_interval() {
+        let _ = CrashSchedule::new().outage(1, 100, 100);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dkg-sim
+//!
+//! The "Internet" substrate for the hybrid DKG reproduction of *Distributed
+//! Key Generation for the Internet* (Kate & Goldberg, ICDCS 2009): a
+//! deterministic discrete-event simulation of an asynchronous
+//! message-passing network with
+//!
+//! * the paper's node model (§7): deterministic state machines driven by
+//!   operator, network and timer messages ([`Protocol`], [`ActionSink`]),
+//! * the hybrid failure model (§2.2): crash/recovery schedules, link
+//!   outages folded into crashes, and a pluggable [`Adversary`] controlling
+//!   delays on corrupted links while honest↔honest delivery is guaranteed,
+//! * weak synchrony for liveness (§2.1): timers and the Castro–Liskov style
+//!   [`DelayFunction`],
+//! * byte-accurate message accounting ([`Metrics`], [`WireSize`]) used by
+//!   every experiment to measure message and communication complexity.
+//!
+//! Substitution note (see DESIGN.md): the paper targets deployment over TLS
+//! links on the real Internet; this simulator replaces that deployment while
+//! preserving the purely message-driven protocol interface, which is what
+//! the paper's correctness and complexity arguments are stated in terms of.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod metrics;
+pub mod network;
+pub mod protocol;
+pub mod simulation;
+pub mod wire;
+
+pub use adversary::{
+    Adversary, CrashEvent, CrashSchedule, MutingAdversary, PassiveAdversary, StallingAdversary,
+    Verdict,
+};
+pub use dkg_crypto::NodeId;
+pub use metrics::{Metrics, Tally};
+pub use network::{DelayFunction, DelayModel, LinkOutage, NetworkConfig};
+pub use protocol::{Action, ActionSink, Protocol, SimTime, TimerId};
+pub use simulation::{OutputRecord, Simulation};
+pub use wire::{field_size, WireSize};

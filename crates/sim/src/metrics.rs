@@ -1,0 +1,152 @@
+//! Message- and communication-complexity accounting.
+//!
+//! The experiments (EXPERIMENTS.md) reproduce the paper's complexity claims
+//! by counting, for each protocol run, the number of messages transferred
+//! (message complexity) and the total bytes transferred (communication
+//! complexity), broken down per message kind and per sending node.
+
+use dkg_crypto::NodeId;
+use std::collections::BTreeMap;
+
+/// A running total of messages and bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Number of messages.
+    pub messages: u64,
+    /// Total bytes across those messages.
+    pub bytes: u64,
+}
+
+impl Tally {
+    fn record(&mut self, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+    }
+}
+
+/// Metrics collected over a simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    total: Tally,
+    by_kind: BTreeMap<&'static str, Tally>,
+    by_sender: BTreeMap<NodeId, Tally>,
+    dropped_to_crashed: u64,
+    delivered: u64,
+}
+
+impl Metrics {
+    /// Creates an empty metrics collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a message of `bytes` bytes and kind `kind` sent by `sender`.
+    pub fn record_send(&mut self, sender: NodeId, kind: &'static str, bytes: usize) {
+        self.total.record(bytes);
+        self.by_kind.entry(kind).or_default().record(bytes);
+        self.by_sender.entry(sender).or_default().record(bytes);
+    }
+
+    /// Records a successful delivery.
+    pub fn record_delivery(&mut self) {
+        self.delivered += 1;
+    }
+
+    /// Records a message dropped because its destination was crashed.
+    pub fn record_drop_to_crashed(&mut self) {
+        self.dropped_to_crashed += 1;
+    }
+
+    /// Total messages sent (the paper's message complexity).
+    pub fn message_count(&self) -> u64 {
+        self.total.messages
+    }
+
+    /// Total bytes sent (the paper's communication complexity, in bytes
+    /// rather than bits).
+    pub fn byte_count(&self) -> u64 {
+        self.total.bytes
+    }
+
+    /// Messages delivered to an uncrashed destination.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages dropped because the destination was crashed.
+    pub fn dropped_to_crashed(&self) -> u64 {
+        self.dropped_to_crashed
+    }
+
+    /// Per-message-kind totals.
+    pub fn by_kind(&self) -> &BTreeMap<&'static str, Tally> {
+        &self.by_kind
+    }
+
+    /// Per-sender totals.
+    pub fn by_sender(&self) -> &BTreeMap<NodeId, Tally> {
+        &self.by_sender
+    }
+
+    /// Tally for one message kind (zero if the kind never appeared).
+    pub fn kind(&self, kind: &str) -> Tally {
+        self.by_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Renders a compact human-readable report, used by the experiment
+    /// binaries.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "total: {} messages, {} bytes ({} delivered, {} dropped-to-crashed)\n",
+            self.total.messages, self.total.bytes, self.delivered, self.dropped_to_crashed
+        ));
+        for (kind, tally) in &self.by_kind {
+            out.push_str(&format!(
+                "  {:<12} {:>8} msgs {:>12} bytes\n",
+                kind, tally.messages, tally.bytes
+            ));
+        }
+        out
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let mut m = Metrics::new();
+        m.record_send(1, "echo", 100);
+        m.record_send(2, "echo", 150);
+        m.record_send(1, "ready", 50);
+        m.record_delivery();
+        m.record_drop_to_crashed();
+
+        assert_eq!(m.message_count(), 3);
+        assert_eq!(m.byte_count(), 300);
+        assert_eq!(m.delivered_count(), 1);
+        assert_eq!(m.dropped_to_crashed(), 1);
+        assert_eq!(m.kind("echo"), Tally { messages: 2, bytes: 250 });
+        assert_eq!(m.kind("ready"), Tally { messages: 1, bytes: 50 });
+        assert_eq!(m.kind("send"), Tally::default());
+        assert_eq!(m.by_sender()[&1], Tally { messages: 2, bytes: 150 });
+        assert!(m.report().contains("echo"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.record_send(1, "echo", 10);
+        m.reset();
+        assert_eq!(m.message_count(), 0);
+        assert_eq!(m.byte_count(), 0);
+        assert!(m.by_kind().is_empty());
+    }
+}

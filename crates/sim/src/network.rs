@@ -1,0 +1,181 @@
+//! Network delay models.
+//!
+//! §2.1 argues that over the Internet the expected message-transfer delay is
+//! a few seconds while a phase lasts days, and that the adversary may delay
+//! *its own* messages arbitrarily but "cannot control communication channels
+//! for all the honest nodes". The simulator therefore draws honest-link
+//! delays from a configurable [`DelayModel`], and gives the adversary a
+//! separate hook ([`crate::adversary::Adversary`]) to stretch the delay of
+//! the links it controls.
+
+use dkg_crypto::NodeId;
+use rand::Rng;
+
+use crate::protocol::SimTime;
+
+/// How long a message takes between two uncrashed, honest nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DelayModel {
+    /// Every message takes exactly this many milliseconds.
+    Constant(SimTime),
+    /// Delays are drawn uniformly from `[min, max]` milliseconds.
+    Uniform {
+        /// Minimum delay.
+        min: SimTime,
+        /// Maximum delay (inclusive).
+        max: SimTime,
+    },
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        // A LAN/WAN-ish default: 10–100 ms.
+        DelayModel::Uniform { min: 10, max: 100 }
+    }
+}
+
+impl DelayModel {
+    /// Samples a delay for a message.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { min, max } => {
+                if min >= max {
+                    min
+                } else {
+                    rng.gen_range(min..=max)
+                }
+            }
+        }
+    }
+
+    /// The largest delay this model can produce (used by protocols to pick
+    /// initial `delay(t)` timeout values).
+    pub fn max_delay(&self) -> SimTime {
+        match *self {
+            DelayModel::Constant(d) => d,
+            DelayModel::Uniform { max, .. } => max,
+        }
+    }
+}
+
+/// Static configuration of the simulated network.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkConfig {
+    /// Delay model for honest links.
+    pub delay: DelayModel,
+    /// Whether a message a node sends to itself still pays the network
+    /// delay (false: delivered at the next instant, which matches a local
+    /// loopback).
+    pub self_messages_pay_delay: bool,
+}
+
+/// The `delay(t)` function of the weak synchrony assumption (§2.1, after
+/// Castro & Liskov): the timeout a node uses before suspecting the leader.
+/// Each retry doubles the timeout, so the timeout eventually exceeds the real
+/// (eventually bounded) network delay and liveness is restored, while growing
+/// no faster than linearly in the number of retransmissions overall.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DelayFunction {
+    /// Initial timeout in milliseconds.
+    pub base: SimTime,
+    /// Upper bound on the timeout (keeps the doubling finite).
+    pub cap: SimTime,
+}
+
+impl Default for DelayFunction {
+    fn default() -> Self {
+        DelayFunction {
+            base: 500,
+            cap: 60_000,
+        }
+    }
+}
+
+impl DelayFunction {
+    /// The timeout to use after `retries` unsuccessful attempts.
+    pub fn timeout(&self, retries: u32) -> SimTime {
+        let doubled = self.base.saturating_mul(1u64.checked_shl(retries.min(32)).unwrap_or(u64::MAX));
+        doubled.min(self.cap)
+    }
+}
+
+/// A broken link or crashed node schedule entry: the pair `(from, to)` is
+/// interrupted during `[start, end)`. Per §2.2 a broken link is modelled by
+/// counting one of its endpoints as crashed; the simulator exposes both the
+/// node-level and the link-level view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkOutage {
+    /// Source endpoint (messages from this node are affected).
+    pub from: NodeId,
+    /// Destination endpoint.
+    pub to: NodeId,
+    /// Outage start (inclusive), in milliseconds.
+    pub start: SimTime,
+    /// Outage end (exclusive).
+    pub end: SimTime,
+}
+
+impl LinkOutage {
+    /// Returns `true` if the outage covers time `now`.
+    pub fn active_at(&self, now: SimTime) -> bool {
+        now >= self.start && now < self.end
+    }
+
+    /// Returns `true` if this outage affects a message from `from` to `to`
+    /// (in either direction — a broken link is bidirectional).
+    pub fn affects(&self, from: NodeId, to: NodeId) -> bool {
+        (self.from == from && self.to == to) || (self.from == to && self.to == from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_delay() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = DelayModel::Constant(42);
+        assert_eq!(model.sample(&mut rng), 42);
+        assert_eq!(model.max_delay(), 42);
+    }
+
+    #[test]
+    fn uniform_delay_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let model = DelayModel::Uniform { min: 10, max: 20 };
+        for _ in 0..100 {
+            let d = model.sample(&mut rng);
+            assert!((10..=20).contains(&d));
+        }
+        assert_eq!(model.max_delay(), 20);
+        // Degenerate range.
+        let degenerate = DelayModel::Uniform { min: 5, max: 5 };
+        assert_eq!(degenerate.sample(&mut rng), 5);
+    }
+
+    #[test]
+    fn delay_function_doubles_and_caps() {
+        let f = DelayFunction { base: 100, cap: 1000 };
+        assert_eq!(f.timeout(0), 100);
+        assert_eq!(f.timeout(1), 200);
+        assert_eq!(f.timeout(2), 400);
+        assert_eq!(f.timeout(10), 1000);
+        assert_eq!(f.timeout(63), 1000);
+    }
+
+    #[test]
+    fn link_outage_window_and_direction() {
+        let outage = LinkOutage { from: 1, to: 2, start: 100, end: 200 };
+        assert!(outage.active_at(100));
+        assert!(outage.active_at(199));
+        assert!(!outage.active_at(200));
+        assert!(!outage.active_at(99));
+        assert!(outage.affects(1, 2));
+        assert!(outage.affects(2, 1));
+        assert!(!outage.affects(1, 3));
+    }
+}

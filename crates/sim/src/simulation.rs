@@ -1,0 +1,686 @@
+//! The deterministic discrete-event simulator.
+//!
+//! [`Simulation`] owns a set of protocol state machines (one per node), an
+//! event queue, the crash/recovery state, the adversarial scheduler and the
+//! metrics. It is the test bed on which every experiment in EXPERIMENTS.md
+//! runs: identical seeds and schedules produce identical runs, so measured
+//! message and communication complexities are exactly reproducible.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use dkg_crypto::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::adversary::{Adversary, CrashEvent, CrashSchedule, PassiveAdversary, Verdict};
+use crate::metrics::Metrics;
+use crate::network::{LinkOutage, NetworkConfig};
+use crate::protocol::{Action, ActionSink, Protocol, SimTime, TimerId};
+use crate::wire::WireSize;
+
+/// Default cap on processed events, protecting against runaway protocols.
+const DEFAULT_EVENT_LIMIT: u64 = 50_000_000;
+
+enum EventKind<P: Protocol> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        message: P::Message,
+    },
+    TimerFire {
+        node: NodeId,
+        timer: TimerId,
+        generation: u64,
+    },
+    Operator {
+        node: NodeId,
+        input: P::Operator,
+    },
+    Crash(NodeId),
+    Recover(NodeId),
+}
+
+struct Scheduled<P: Protocol> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<P>,
+}
+
+impl<P: Protocol> PartialEq for Scheduled<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P: Protocol> Eq for Scheduled<P> {}
+impl<P: Protocol> PartialOrd for Scheduled<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P: Protocol> Ord for Scheduled<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// An operator output collected during the run, tagged with the time and the
+/// node that produced it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OutputRecord<Out> {
+    /// Simulated time at which the output was produced.
+    pub time: SimTime,
+    /// The node that produced it.
+    pub node: NodeId,
+    /// The output itself.
+    pub output: Out,
+}
+
+/// A deterministic simulation of an asynchronous message-passing network of
+/// protocol nodes.
+pub struct Simulation<P: Protocol> {
+    nodes: BTreeMap<NodeId, P>,
+    crashed: BTreeSet<NodeId>,
+    config: NetworkConfig,
+    adversary: Box<dyn Adversary>,
+    link_outages: Vec<LinkOutage>,
+    queue: BinaryHeap<Scheduled<P>>,
+    timer_generation: BTreeMap<(NodeId, TimerId), u64>,
+    outputs: Vec<OutputRecord<P::Output>>,
+    metrics: Metrics,
+    rng: StdRng,
+    now: SimTime,
+    seq: u64,
+    processed_events: u64,
+    event_limit: u64,
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Creates a simulation with the given network configuration and RNG
+    /// seed (the seed drives network delay sampling only; protocol-internal
+    /// randomness is owned by the protocols).
+    pub fn new(config: NetworkConfig, seed: u64) -> Self {
+        Simulation {
+            nodes: BTreeMap::new(),
+            crashed: BTreeSet::new(),
+            config,
+            adversary: Box::new(PassiveAdversary::default()),
+            link_outages: Vec::new(),
+            queue: BinaryHeap::new(),
+            timer_generation: BTreeMap::new(),
+            outputs: Vec::new(),
+            metrics: Metrics::new(),
+            rng: StdRng::seed_from_u64(seed),
+            now: 0,
+            seq: 0,
+            processed_events: 0,
+            event_limit: DEFAULT_EVENT_LIMIT,
+        }
+    }
+
+    /// Installs an adversarial message scheduler.
+    pub fn set_adversary(&mut self, adversary: Box<dyn Adversary>) {
+        self.adversary = adversary;
+    }
+
+    /// Lowers or raises the safety cap on processed events.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Adds a node to the system. Panics if a node with the same id already
+    /// exists (node ids are the paper's indices `P_1 … P_n`).
+    pub fn add_node(&mut self, node: P) {
+        let id = node.id();
+        assert!(
+            self.nodes.insert(id, node).is_none(),
+            "duplicate node id {id}"
+        );
+    }
+
+    /// Removes a node entirely (used by the node-removal group modification).
+    pub fn remove_node(&mut self, id: NodeId) -> Option<P> {
+        self.crashed.remove(&id);
+        self.nodes.remove(&id)
+    }
+
+    /// Immutable access to a node's state machine.
+    pub fn node(&self, id: NodeId) -> Option<&P> {
+        self.nodes.get(&id)
+    }
+
+    /// Mutable access to a node's state machine (used by tests to inspect or
+    /// perturb state between events).
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        self.nodes.get_mut(&id)
+    }
+
+    /// Ids of all nodes currently in the system.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.keys().copied().collect()
+    }
+
+    /// The current simulated time in milliseconds.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// The metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// All operator outputs produced so far.
+    pub fn outputs(&self) -> &[OutputRecord<P::Output>] {
+        &self.outputs
+    }
+
+    /// Drains and returns the operator outputs produced so far.
+    pub fn take_outputs(&mut self) -> Vec<OutputRecord<P::Output>> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    /// Schedules an operator `in` message for a node at an absolute time.
+    pub fn schedule_operator(&mut self, node: NodeId, input: P::Operator, at: SimTime) {
+        self.push_event(at, EventKind::Operator { node, input });
+    }
+
+    /// Injects a network message claimed to be from `from` (which need not be
+    /// a simulated node), delivered to `to` at time `at`. Used by
+    /// fault-injection tests to model Byzantine senders whose behaviour is
+    /// scripted outside of any [`Protocol`] implementation.
+    pub fn inject_message(&mut self, from: NodeId, to: NodeId, message: P::Message, at: SimTime) {
+        self.metrics
+            .record_send(from, message.kind(), message.wire_size());
+        self.push_event(at, EventKind::Deliver { from, to, message });
+    }
+
+    /// Schedules a crash at an absolute time.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        self.push_event(at, EventKind::Crash(node));
+    }
+
+    /// Schedules a recovery at an absolute time.
+    pub fn schedule_recover(&mut self, node: NodeId, at: SimTime) {
+        self.push_event(at, EventKind::Recover(node));
+    }
+
+    /// Applies a whole crash/recovery schedule.
+    pub fn apply_crash_schedule(&mut self, schedule: &CrashSchedule) {
+        for (time, event) in schedule.events() {
+            match event {
+                CrashEvent::Crash(node) => self.schedule_crash(node, time),
+                CrashEvent::Recover(node) => self.schedule_recover(node, time),
+            }
+        }
+    }
+
+    /// Registers a link outage window.
+    pub fn add_link_outage(&mut self, outage: LinkOutage) {
+        self.link_outages.push(outage);
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind<P>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, kind });
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty or
+    /// the event limit has been reached.
+    pub fn step(&mut self) -> bool {
+        if self.processed_events >= self.event_limit {
+            return false;
+        }
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        self.processed_events += 1;
+        debug_assert!(event.time >= self.now, "time must be monotone");
+        self.now = event.time;
+        match event.kind {
+            EventKind::Deliver { from, to, message } => {
+                if self.crashed.contains(&to) || !self.nodes.contains_key(&to) {
+                    self.metrics.record_drop_to_crashed();
+                } else {
+                    self.metrics.record_delivery();
+                    let mut sink = ActionSink::new();
+                    if let Some(node) = self.nodes.get_mut(&to) {
+                        node.on_message(from, message, &mut sink);
+                    }
+                    self.apply_actions(to, sink);
+                }
+            }
+            EventKind::TimerFire {
+                node,
+                timer,
+                generation,
+            } => {
+                let current = self
+                    .timer_generation
+                    .get(&(node, timer))
+                    .copied()
+                    .unwrap_or(0);
+                if generation == current && !self.crashed.contains(&node) {
+                    let mut sink = ActionSink::new();
+                    if let Some(state) = self.nodes.get_mut(&node) {
+                        state.on_timer(timer, &mut sink);
+                        self.apply_actions(node, sink);
+                    }
+                }
+            }
+            EventKind::Operator { node, input } => {
+                if !self.crashed.contains(&node) {
+                    let mut sink = ActionSink::new();
+                    if let Some(state) = self.nodes.get_mut(&node) {
+                        state.on_operator(input, &mut sink);
+                        self.apply_actions(node, sink);
+                    }
+                }
+            }
+            EventKind::Crash(node) => {
+                if self.nodes.contains_key(&node) {
+                    self.crashed.insert(node);
+                }
+            }
+            EventKind::Recover(node) => {
+                if self.crashed.remove(&node) {
+                    let mut sink = ActionSink::new();
+                    if let Some(state) = self.nodes.get_mut(&node) {
+                        state.on_recover(&mut sink);
+                        self.apply_actions(node, sink);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue drains (or the event limit is hit).
+    /// Returns the number of events processed by this call.
+    pub fn run(&mut self) -> u64 {
+        let start = self.processed_events;
+        while self.step() {}
+        self.processed_events - start
+    }
+
+    /// Runs until simulated time exceeds `deadline` or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.processed_events;
+        while let Some(next) = self.queue.peek() {
+            if next.time > deadline {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        self.processed_events - start
+    }
+
+    fn apply_actions(&mut self, origin: NodeId, sink: ActionSink<P::Message, P::Output>) {
+        for action in sink.into_actions() {
+            match action {
+                Action::Send { to, message } => self.dispatch_send(origin, to, message),
+                Action::Output(output) => self.outputs.push(OutputRecord {
+                    time: self.now,
+                    node: origin,
+                    output,
+                }),
+                Action::SetTimer { id, delay } => {
+                    let generation = self
+                        .timer_generation
+                        .entry((origin, id))
+                        .and_modify(|g| *g += 1)
+                        .or_insert(1);
+                    let generation = *generation;
+                    self.push_event(
+                        self.now.saturating_add(delay),
+                        EventKind::TimerFire {
+                            node: origin,
+                            timer: id,
+                            generation,
+                        },
+                    );
+                }
+                Action::CancelTimer { id } => {
+                    self.timer_generation
+                        .entry((origin, id))
+                        .and_modify(|g| *g += 1)
+                        .or_insert(1);
+                }
+            }
+        }
+    }
+
+    fn dispatch_send(&mut self, from: NodeId, to: NodeId, message: P::Message) {
+        let kind = message.kind();
+        self.metrics.record_send(from, kind, message.wire_size());
+
+        // Link outages lose the message outright (§2.2 models the broken
+        // link by counting an endpoint as crashed; the message is lost).
+        if self
+            .link_outages
+            .iter()
+            .any(|o| o.active_at(self.now) && o.affects(from, to))
+        {
+            self.metrics.record_drop_to_crashed();
+            return;
+        }
+
+        let verdict = self.adversary.on_message(from, to, kind, self.now);
+        let corrupted = self.adversary.corrupted();
+        let adversary_controls_link = corrupted.contains(&from) || corrupted.contains(&to);
+        let extra = match verdict {
+            Verdict::Deliver => 0,
+            Verdict::DelayBy(extra) if adversary_controls_link => extra,
+            // The adversary may not delay or drop honest↔honest traffic:
+            // "it is practical to assume that network links between most of
+            // the honest nodes are perfect" (§2.1) and the delivery
+            // assumption of §2.2/§3.
+            Verdict::DelayBy(_) => 0,
+            Verdict::Drop if adversary_controls_link => {
+                return;
+            }
+            Verdict::Drop => 0,
+        };
+
+        let base = if from == to && !self.config.self_messages_pay_delay {
+            0
+        } else {
+            self.config.delay.sample(&mut self.rng)
+        };
+        let deliver_at = self.now.saturating_add(base).saturating_add(extra);
+        self.push_event(deliver_at, EventKind::Deliver { from, to, message });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{MutingAdversary, StallingAdversary};
+    use crate::network::DelayModel;
+
+    /// A toy protocol: on operator "go", sends a ping to every peer; replies
+    /// to pings with pongs; outputs the number of pongs received when it has
+    /// heard from everyone; sets a timer on "go" and outputs "timeout" if it
+    /// fires before all pongs arrive.
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+    impl WireSize for Msg {
+        fn wire_size(&self) -> usize {
+            match self {
+                Msg::Ping => 10,
+                Msg::Pong => 20,
+            }
+        }
+        fn kind(&self) -> &'static str {
+            match self {
+                Msg::Ping => "ping",
+                Msg::Pong => "pong",
+            }
+        }
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum Out {
+        AllPongs(usize),
+        Timeout,
+        Recovered,
+    }
+
+    struct PingNode {
+        id: NodeId,
+        peers: Vec<NodeId>,
+        pongs: usize,
+        done: bool,
+    }
+
+    impl PingNode {
+        fn new(id: NodeId, n: u64) -> Self {
+            PingNode {
+                id,
+                peers: (1..=n).filter(|&p| p != id).collect(),
+                pongs: 0,
+                done: false,
+            }
+        }
+    }
+
+    impl Protocol for PingNode {
+        type Message = Msg;
+        type Operator = &'static str;
+        type Output = Out;
+
+        fn id(&self) -> NodeId {
+            self.id
+        }
+
+        fn on_operator(&mut self, input: &'static str, sink: &mut ActionSink<Msg, Out>) {
+            if input == "go" {
+                sink.send_to_all(self.peers.iter().copied(), Msg::Ping);
+                sink.set_timer(1, 10_000);
+            }
+        }
+
+        fn on_message(&mut self, from: NodeId, message: Msg, sink: &mut ActionSink<Msg, Out>) {
+            match message {
+                Msg::Ping => sink.send(from, Msg::Pong),
+                Msg::Pong => {
+                    self.pongs += 1;
+                    if self.pongs == self.peers.len() && !self.done {
+                        self.done = true;
+                        sink.cancel_timer(1);
+                        sink.output(Out::AllPongs(self.pongs));
+                    }
+                }
+            }
+        }
+
+        fn on_timer(&mut self, _timer: TimerId, sink: &mut ActionSink<Msg, Out>) {
+            if !self.done {
+                sink.output(Out::Timeout);
+            }
+        }
+
+        fn on_recover(&mut self, sink: &mut ActionSink<Msg, Out>) {
+            sink.output(Out::Recovered);
+        }
+    }
+
+    fn build(n: u64, seed: u64) -> Simulation<PingNode> {
+        let mut sim = Simulation::new(
+            NetworkConfig {
+                delay: DelayModel::Uniform { min: 5, max: 50 },
+                self_messages_pay_delay: false,
+            },
+            seed,
+        );
+        for i in 1..=n {
+            sim.add_node(PingNode::new(i, n));
+        }
+        sim
+    }
+
+    #[test]
+    fn all_nodes_complete_ping_pong() {
+        let n = 5;
+        let mut sim = build(n, 1);
+        for i in 1..=n {
+            sim.schedule_operator(i, "go", 0);
+        }
+        sim.run();
+        let completions: Vec<_> = sim
+            .outputs()
+            .iter()
+            .filter(|o| matches!(o.output, Out::AllPongs(_)))
+            .collect();
+        assert_eq!(completions.len(), n as usize);
+        // n*(n-1) pings and the same number of pongs.
+        assert_eq!(sim.metrics().kind("ping").messages, n * (n - 1));
+        assert_eq!(sim.metrics().kind("pong").messages, n * (n - 1));
+        assert_eq!(
+            sim.metrics().byte_count(),
+            n * (n - 1) * 10 + n * (n - 1) * 20
+        );
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed| {
+            let mut sim = build(4, seed);
+            for i in 1..=4 {
+                sim.schedule_operator(i, "go", 0);
+            }
+            sim.run();
+            let last_completion = sim
+                .outputs()
+                .iter()
+                .filter(|o| matches!(o.output, Out::AllPongs(_)))
+                .map(|o| o.time)
+                .max()
+                .unwrap();
+            (
+                last_completion,
+                sim.metrics().message_count(),
+                sim.metrics().byte_count(),
+            )
+        };
+        assert_eq!(run(99), run(99));
+        // Different seeds should (almost surely) change the completion time.
+        assert_ne!(run(1).0, run(2).0);
+    }
+
+    #[test]
+    fn crashed_nodes_do_not_respond_and_timeouts_fire() {
+        let n = 4;
+        let mut sim = build(n, 3);
+        sim.schedule_crash(4, 0);
+        sim.schedule_operator(1, "go", 1);
+        sim.run();
+        // Node 1 never gets node 4's pong, so its timer fires.
+        let outputs: Vec<_> = sim.outputs().iter().filter(|o| o.node == 1).collect();
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(outputs[0].output, Out::Timeout);
+        assert!(sim.metrics().dropped_to_crashed() > 0);
+        assert!(sim.is_crashed(4));
+    }
+
+    #[test]
+    fn recovery_invokes_on_recover_and_clears_crash_flag() {
+        let mut sim = build(3, 4);
+        sim.schedule_crash(2, 10);
+        sim.schedule_recover(2, 500);
+        sim.run();
+        assert!(!sim.is_crashed(2));
+        assert_eq!(
+            sim.outputs()
+                .iter()
+                .filter(|o| o.node == 2 && o.output == Out::Recovered)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let n = 3;
+        let mut sim = build(n, 5);
+        for i in 1..=n {
+            sim.schedule_operator(i, "go", 0);
+        }
+        sim.run();
+        assert!(sim
+            .outputs()
+            .iter()
+            .all(|o| !matches!(o.output, Out::Timeout)));
+    }
+
+    #[test]
+    fn muting_adversary_silences_corrupted_node() {
+        let n = 4;
+        let mut sim = build(n, 6);
+        sim.set_adversary(Box::new(MutingAdversary::new([2])));
+        sim.schedule_operator(1, "go", 0);
+        sim.run();
+        // Node 2's pong is dropped, so node 1 times out.
+        let outputs: Vec<_> = sim.outputs().iter().filter(|o| o.node == 1).collect();
+        assert_eq!(outputs[0].output, Out::Timeout);
+    }
+
+    #[test]
+    fn stalling_adversary_cannot_slow_honest_links() {
+        // Corrupt node 4 and stall its links by 1M ms. Honest nodes 1-3 pick
+        // up each other's pongs promptly; only pongs involving node 4 are
+        // late, so honest nodes still finish before their 10s timers — this
+        // is the §2.1 argument (experiment E9 measures it quantitatively).
+        let n = 4;
+        let mut sim = build(n, 7);
+        sim.set_adversary(Box::new(StallingAdversary::new([4], 1_000_000)));
+        sim.schedule_operator(1, "go", 0);
+        sim.run_until(20_000);
+        let outputs: Vec<_> = sim.outputs().iter().filter(|o| o.node == 1).collect();
+        // Node 1 times out because node 4's pong is stalled beyond 10s...
+        assert_eq!(outputs[0].output, Out::Timeout);
+        // ...but all honest traffic arrived long before the timer fired:
+        // the pings to nodes 2 and 3 and their pongs (4 deliveries); only the
+        // ping on the corrupted link to node 4 is still pending.
+        assert_eq!(sim.metrics().delivered_count(), 4);
+    }
+
+    #[test]
+    fn link_outage_loses_messages() {
+        let n = 3;
+        let mut sim = build(n, 8);
+        sim.add_link_outage(LinkOutage {
+            from: 1,
+            to: 3,
+            start: 0,
+            end: 100_000,
+        });
+        sim.schedule_operator(1, "go", 0);
+        sim.run();
+        // Node 1's ping to node 3 is lost, so node 1 times out.
+        let outputs: Vec<_> = sim.outputs().iter().filter(|o| o.node == 1).collect();
+        assert_eq!(outputs[0].output, Out::Timeout);
+    }
+
+    #[test]
+    fn event_limit_stops_the_run() {
+        let mut sim = build(3, 9);
+        sim.set_event_limit(2);
+        for i in 1..=3 {
+            sim.schedule_operator(i, "go", 0);
+        }
+        let processed = sim.run();
+        assert_eq!(processed, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node id")]
+    fn duplicate_node_ids_are_rejected() {
+        let mut sim = build(2, 10);
+        sim.add_node(PingNode::new(1, 2));
+    }
+
+    #[test]
+    fn remove_node_takes_it_out_of_the_system() {
+        let mut sim = build(3, 11);
+        assert!(sim.remove_node(3).is_some());
+        assert_eq!(sim.node_ids(), vec![1, 2]);
+        assert!(sim.node(3).is_none());
+        sim.schedule_operator(1, "go", 0);
+        sim.run();
+        // Messages to the removed node count as dropped.
+        assert!(sim.metrics().dropped_to_crashed() > 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Configuration of a HybridVSS instance.
+
+use dkg_crypto::NodeId;
+
+/// Errors raised when constructing an invalid configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ConfigError {
+    /// The resilience bound `n ≥ 3t + 2f + 1` (§2.2) is violated.
+    ResilienceBound {
+        /// Number of nodes.
+        n: usize,
+        /// Byzantine threshold.
+        t: usize,
+        /// Crash limit.
+        f: usize,
+    },
+    /// The node list is empty or contains duplicates.
+    BadNodeList,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ResilienceBound { n, t, f: fc } => write!(
+                f,
+                "resilience bound violated: n = {n} < 3t + 2f + 1 = {}",
+                3 * t + 2 * fc + 1
+            ),
+            ConfigError::BadNodeList => write!(f, "node list must be non-empty and duplicate-free"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// How `echo` / `ready` messages carry the dealer's commitment.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CommitmentMode {
+    /// Carry the full `(t+1)×(t+1)` matrix `C`, exactly as in Fig. 1. This
+    /// yields the paper's `O(κn⁴)` communication complexity.
+    #[default]
+    Full,
+    /// Carry a SHA-256 digest of `C` instead (the collision-resistant-hash
+    /// optimisation of Cachin et al. §3.4 referenced in the paper's
+    /// efficiency discussion), reducing communication to `O(κn³)`.
+    ///
+    /// Reproduction note: points arriving before the node learns `C` (from
+    /// the dealer's `send`) are buffered and verified once `C` is known, so
+    /// with an honest, finally-up dealer the digest mode behaves exactly like
+    /// the full mode at a fraction of the bandwidth. With a dealer that
+    /// withholds `send` messages, the full dispersal mechanism of Cachin et
+    /// al. would be needed; use [`CommitmentMode::Full`] in that setting.
+    Digest,
+}
+
+/// Static parameters of one HybridVSS session, shared by all nodes.
+#[derive(Clone, Debug)]
+pub struct VssConfig {
+    /// All node indices in the system (the paper's `P_1 … P_n`).
+    pub nodes: Vec<NodeId>,
+    /// Byzantine threshold `t`.
+    pub t: usize,
+    /// Crash limit `f`.
+    pub f: usize,
+    /// Maximum number of crashes `d(κ)` the adversary may perform, which
+    /// bounds the help counters of the recovery protocol.
+    pub d_max: u64,
+    /// How `echo`/`ready` messages carry the commitment.
+    pub mode: CommitmentMode,
+}
+
+impl VssConfig {
+    /// Creates and validates a configuration.
+    pub fn new(
+        nodes: Vec<NodeId>,
+        t: usize,
+        f: usize,
+        d_max: u64,
+        mode: CommitmentMode,
+    ) -> Result<Self, ConfigError> {
+        let n = nodes.len();
+        let mut unique = nodes.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        if n == 0 || unique.len() != n {
+            return Err(ConfigError::BadNodeList);
+        }
+        if n < 3 * t + 2 * f + 1 {
+            return Err(ConfigError::ResilienceBound { n, t, f });
+        }
+        Ok(VssConfig {
+            nodes,
+            t,
+            f,
+            d_max,
+            mode,
+        })
+    }
+
+    /// Convenience constructor for nodes `1..=n` with the largest safe `t`
+    /// for the given `f` (`t = ⌊(n − 2f − 1) / 3⌋`).
+    pub fn standard(n: usize, f: usize) -> Result<Self, ConfigError> {
+        let t = n.saturating_sub(2 * f + 1) / 3;
+        Self::new((1..=n as NodeId).collect(), t, f, 16, CommitmentMode::Full)
+    }
+
+    /// Number of nodes `n`.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The echo threshold `⌈(n + t + 1) / 2⌉`.
+    pub fn echo_threshold(&self) -> usize {
+        (self.n() + self.t + 1).div_ceil(2)
+    }
+
+    /// The first ready threshold `t + 1` (amplification).
+    pub fn ready_amplify_threshold(&self) -> usize {
+        self.t + 1
+    }
+
+    /// The completion threshold `n − t − f`.
+    pub fn completion_threshold(&self) -> usize {
+        self.n() - self.t - self.f
+    }
+
+    /// Per-helper limit on help responses, `d(κ)`.
+    pub fn per_node_help_limit(&self) -> u64 {
+        self.d_max
+    }
+
+    /// Global limit on help responses, `(t + 1)·d(κ)`.
+    pub fn total_help_limit(&self) -> u64 {
+        (self.t as u64 + 1) * self.d_max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_config_satisfies_bound() {
+        let cfg = VssConfig::standard(7, 1).unwrap();
+        assert_eq!(cfg.n(), 7);
+        assert_eq!(cfg.t, 1);
+        assert_eq!(cfg.f, 1);
+        assert!(cfg.n() >= 3 * cfg.t + 2 * cfg.f + 1);
+        assert_eq!(cfg.echo_threshold(), 5); // ceil((7+1+1)/2)
+        assert_eq!(cfg.ready_amplify_threshold(), 2);
+        assert_eq!(cfg.completion_threshold(), 5);
+    }
+
+    #[test]
+    fn resilience_bound_is_enforced() {
+        assert!(matches!(
+            VssConfig::new(vec![1, 2, 3], 1, 0, 1, CommitmentMode::Full),
+            Err(ConfigError::ResilienceBound { .. })
+        ));
+        assert!(VssConfig::new(vec![1, 2, 3, 4], 1, 0, 1, CommitmentMode::Full).is_ok());
+        // f = 1 requires two extra nodes.
+        assert!(VssConfig::new(vec![1, 2, 3, 4, 5], 1, 1, 1, CommitmentMode::Full).is_err());
+        assert!(VssConfig::new(vec![1, 2, 3, 4, 5, 6], 1, 1, 1, CommitmentMode::Full).is_ok());
+    }
+
+    #[test]
+    fn node_list_validation() {
+        assert!(matches!(
+            VssConfig::new(vec![], 0, 0, 1, CommitmentMode::Full),
+            Err(ConfigError::BadNodeList)
+        ));
+        assert!(matches!(
+            VssConfig::new(vec![1, 1, 2, 3], 0, 0, 1, CommitmentMode::Full),
+            Err(ConfigError::BadNodeList)
+        ));
+    }
+
+    #[test]
+    fn help_limits() {
+        let cfg = VssConfig::new((1..=7).collect(), 2, 0, 5, CommitmentMode::Full).unwrap();
+        assert_eq!(cfg.per_node_help_limit(), 5);
+        assert_eq!(cfg.total_help_limit(), 15);
+    }
+
+    #[test]
+    fn thresholds_for_larger_system() {
+        // n = 13, t = 2, f = 3: 13 >= 6 + 6 + 1.
+        let cfg = VssConfig::new((1..=13).collect(), 2, 3, 8, CommitmentMode::Digest).unwrap();
+        assert_eq!(cfg.echo_threshold(), 8);
+        assert_eq!(cfg.completion_threshold(), 8);
+        assert_eq!(cfg.mode, CommitmentMode::Digest);
+    }
+
+    #[test]
+    fn config_error_display() {
+        let err = VssConfig::new(vec![1, 2, 3], 1, 0, 1, CommitmentMode::Full).unwrap_err();
+        assert!(err.to_string().contains("resilience bound"));
+        assert!(ConfigError::BadNodeList.to_string().contains("node list"));
+    }
+}

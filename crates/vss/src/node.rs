@@ -1,0 +1,823 @@
+//! The HybridVSS node state machine (protocol `Sh`, `Rec` and the recovery
+//! procedure of Fig. 1).
+//!
+//! [`VssNode`] is written as a plain state machine returning [`VssAction`]s
+//! so that it can be used in two ways:
+//!
+//! * wrapped in [`crate::StandaloneVss`] and run directly on the simulator
+//!   (one VSS instance per run, as in experiments E1–E3), or
+//! * embedded `n` times inside a DKG node (`dkg-core`), which multiplexes
+//!   the messages of the `n` parallel sharings of §4.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dkg_arith::{PrimeField, Scalar};
+use dkg_crypto::{Digest, KeyDirectory, NodeId, SigningKey};
+use dkg_poly::{interpolate_polynomial, interpolate_secret, CommitmentMatrix, SymmetricBivariate, Univariate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::config::{CommitmentMode, VssConfig};
+use crate::messages::{CommitmentRef, ReadyWitness, SessionId, VssInput, VssMessage, VssOutput};
+
+/// An effect produced by the VSS state machine.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VssAction {
+    /// Send a message to a node.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        message: VssMessage,
+    },
+    /// Produce an operator output.
+    Output(VssOutput),
+}
+
+/// Keys used by the extended (signed-ready) HybridVSS variant.
+#[derive(Clone, Debug)]
+pub struct SigningContext {
+    /// This node's signing key.
+    pub key: SigningKey,
+    /// The public directory used to verify other nodes' ready signatures.
+    pub directory: KeyDirectory,
+}
+
+/// Per-commitment tallies: the sets `A_C` and counters `e_C`, `r_C` of
+/// Fig. 1, tracked separately for every distinct commitment digest (a
+/// Byzantine dealer may equivocate).
+#[derive(Clone, Debug, Default)]
+struct Tally {
+    /// `A_C`: verified points `(m, f(m, i))`, keyed by sender.
+    points: BTreeMap<NodeId, Scalar>,
+    /// Senders whose `echo` we have processed (first-time guard).
+    echo_from: BTreeSet<NodeId>,
+    /// Senders whose `ready` we have processed (first-time guard).
+    ready_from: BTreeSet<NodeId>,
+    /// Senders whose `echo` point verified (`e_C` counts these).
+    echo_verified: BTreeSet<NodeId>,
+    /// Senders whose `ready` point verified (`r_C` counts these).
+    ready_verified: BTreeSet<NodeId>,
+    /// Signed ready witnesses collected (extended variant).
+    witnesses: Vec<ReadyWitness>,
+    /// Our row polynomial `a_i(y)` under this commitment, once known.
+    row: Option<Univariate>,
+    echo_sent: bool,
+    ready_sent: bool,
+}
+
+/// A point received before the commitment it refers to was known
+/// (digest mode only).
+#[derive(Clone, Debug)]
+struct PendingPoint {
+    from: NodeId,
+    point: Scalar,
+    is_ready: bool,
+    signature: Option<dkg_crypto::Signature>,
+}
+
+/// The HybridVSS state machine for one node and one session `(P_d, τ)`.
+#[derive(Debug)]
+pub struct VssNode {
+    id: NodeId,
+    config: VssConfig,
+    session: SessionId,
+    signing: Option<SigningContext>,
+    rng: StdRng,
+
+    /// Tallies per commitment digest.
+    tallies: BTreeMap<Digest, Tally>,
+    /// Fully known commitment matrices per digest.
+    commitments: BTreeMap<Digest, CommitmentMatrix>,
+    /// Points buffered until their commitment is known (digest mode).
+    pending: BTreeMap<Digest, Vec<PendingPoint>>,
+    /// Whether the dealer's `send` has been processed already.
+    send_handled: bool,
+
+    /// Sharing result.
+    completed: Option<(CommitmentMatrix, Scalar)>,
+    completed_witnesses: Vec<ReadyWitness>,
+
+    /// Reconstruction state.
+    reconstruct_started: bool,
+    reconstruct_shares: BTreeMap<NodeId, Scalar>,
+    reconstructed: Option<Scalar>,
+
+    /// `B`: all outgoing messages, by intended recipient (for recovery).
+    outbox: BTreeMap<NodeId, Vec<VssMessage>>,
+    /// `c`: total help responses granted.
+    help_granted_total: u64,
+    /// `c_ℓ`: help responses granted per requester.
+    help_granted_per: BTreeMap<NodeId, u64>,
+}
+
+impl VssNode {
+    /// Creates the state machine for node `id` in session `session`.
+    ///
+    /// `rng_seed` drives only this node's local randomness (the dealer's
+    /// polynomial and signature nonces). `signing` enables the extended
+    /// signed-ready variant used by the DKG.
+    pub fn new(
+        id: NodeId,
+        config: VssConfig,
+        session: SessionId,
+        rng_seed: u64,
+        signing: Option<SigningContext>,
+    ) -> Self {
+        VssNode {
+            id,
+            config,
+            session,
+            signing,
+            rng: StdRng::seed_from_u64(rng_seed),
+            tallies: BTreeMap::new(),
+            commitments: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            send_handled: false,
+            completed: None,
+            completed_witnesses: Vec::new(),
+            reconstruct_started: false,
+            reconstruct_shares: BTreeMap::new(),
+            reconstructed: None,
+            outbox: BTreeMap::new(),
+            help_granted_total: 0,
+            help_granted_per: BTreeMap::new(),
+        }
+    }
+
+    /// This node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The session this instance belongs to.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &VssConfig {
+        &self.config
+    }
+
+    /// Whether the sharing protocol has completed at this node.
+    pub fn is_complete(&self) -> bool {
+        self.completed.is_some()
+    }
+
+    /// This node's share, once the sharing completed.
+    pub fn share(&self) -> Option<Scalar> {
+        self.completed.as_ref().map(|(_, s)| *s)
+    }
+
+    /// The agreed commitment, once the sharing completed.
+    pub fn commitment(&self) -> Option<&CommitmentMatrix> {
+        self.completed.as_ref().map(|(c, _)| c)
+    }
+
+    /// The signed ready witnesses collected by the extended variant.
+    pub fn ready_witnesses(&self) -> &[ReadyWitness] {
+        &self.completed_witnesses
+    }
+
+    /// The reconstructed secret, once `Rec` completed.
+    pub fn reconstructed(&self) -> Option<Scalar> {
+        self.reconstructed
+    }
+
+    /// Handles an operator `in` message.
+    pub fn handle_input(&mut self, input: VssInput) -> Vec<VssAction> {
+        let mut actions = Vec::new();
+        match input {
+            VssInput::Share { secret } => self.deal(secret, &mut actions),
+            VssInput::Reconstruct => self.start_reconstruction(&mut actions),
+            VssInput::Recover => self.recover(&mut actions),
+        }
+        actions
+    }
+
+    /// Handles a network message.
+    pub fn handle_message(&mut self, from: NodeId, message: VssMessage) -> Vec<VssAction> {
+        let mut actions = Vec::new();
+        if message.session() != self.session {
+            return actions;
+        }
+        match message {
+            VssMessage::Send {
+                commitment, row, ..
+            } => self.on_send(from, commitment, row, &mut actions),
+            VssMessage::Echo {
+                commitment, point, ..
+            } => self.on_point(from, commitment, point, false, None, &mut actions),
+            VssMessage::Ready {
+                commitment,
+                point,
+                signature,
+                ..
+            } => self.on_point(from, commitment, point, true, signature, &mut actions),
+            VssMessage::ReconstructShare { share, .. } => {
+                self.on_reconstruct_share(from, share, &mut actions)
+            }
+            VssMessage::Help { .. } => self.on_help(from, &mut actions),
+        }
+        actions
+    }
+
+    /// The crash-recovery procedure: ask every node for help and retransmit
+    /// this node's own outgoing messages (`B`).
+    pub fn recover(&mut self, actions: &mut Vec<VssAction>) {
+        for &node in &self.config.nodes {
+            actions.push(VssAction::Send {
+                to: node,
+                message: VssMessage::Help {
+                    session: self.session,
+                },
+            });
+        }
+        for (&to, messages) in &self.outbox {
+            for message in messages {
+                actions.push(VssAction::Send {
+                    to,
+                    message: message.clone(),
+                });
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sharing (Sh)
+    // ------------------------------------------------------------------
+
+    /// Dealer: share `secret` (the `(P_d, τ, in, share, s)` handler).
+    fn deal(&mut self, secret: Scalar, actions: &mut Vec<VssAction>) {
+        if self.id != self.session.dealer {
+            return;
+        }
+        let poly = SymmetricBivariate::random_with_secret(&mut self.rng, self.config.t, secret);
+        let commitment = CommitmentMatrix::commit(&poly);
+        for &node in &self.config.nodes.clone() {
+            let message = VssMessage::Send {
+                session: self.session,
+                commitment: commitment.clone(),
+                row: poly.row(node),
+            };
+            self.send_recorded(node, message, actions);
+        }
+    }
+
+    /// Handler for the dealer's `send` message.
+    fn on_send(
+        &mut self,
+        from: NodeId,
+        commitment: CommitmentMatrix,
+        row: Univariate,
+        actions: &mut Vec<VssAction>,
+    ) {
+        if from != self.session.dealer || self.send_handled {
+            return;
+        }
+        self.send_handled = true;
+        if commitment.threshold() != self.config.t || !commitment.verify_poly(self.id, &row) {
+            return;
+        }
+        let digest = dkg_crypto::sha256(&commitment.to_bytes());
+        self.commitments.insert(digest, commitment.clone());
+        {
+            let tally = self.tallies.entry(digest).or_default();
+            if tally.row.is_none() {
+                tally.row = Some(row.clone());
+            }
+            if tally.echo_sent {
+                return;
+            }
+            tally.echo_sent = true;
+        }
+        // Send echo messages (C or its digest, plus a(j)) to every node.
+        for &node in &self.config.nodes.clone() {
+            let commitment_ref = self.commitment_ref(&commitment, digest);
+            let message = VssMessage::Echo {
+                session: self.session,
+                commitment: commitment_ref,
+                point: row.evaluate_at_index(node),
+            };
+            self.send_recorded(node, message, actions);
+        }
+        // Points that arrived before we knew this commitment can now be
+        // verified (digest mode).
+        self.flush_pending(digest, actions);
+    }
+
+    /// Common handler for `echo` and `ready` points.
+    fn on_point(
+        &mut self,
+        from: NodeId,
+        commitment: CommitmentRef,
+        point: Scalar,
+        is_ready: bool,
+        signature: Option<dkg_crypto::Signature>,
+        actions: &mut Vec<VssAction>,
+    ) {
+        let digest = commitment.digest();
+        // Learn the commitment if it was carried inline.
+        if let Some(matrix) = commitment.matrix() {
+            if matrix.threshold() == self.config.t {
+                self.commitments.entry(digest).or_insert_with(|| matrix.clone());
+            }
+        }
+        if !self.commitments.contains_key(&digest) {
+            // Digest mode: buffer until the dealer's send arrives.
+            self.pending.entry(digest).or_default().push(PendingPoint {
+                from,
+                point,
+                is_ready,
+                signature,
+            });
+            return;
+        }
+        self.process_point(digest, from, point, is_ready, signature, actions);
+    }
+
+    fn flush_pending(&mut self, digest: Digest, actions: &mut Vec<VssAction>) {
+        let Some(pending) = self.pending.remove(&digest) else {
+            return;
+        };
+        for p in pending {
+            self.process_point(digest, p.from, p.point, p.is_ready, p.signature, actions);
+        }
+    }
+
+    fn process_point(
+        &mut self,
+        digest: Digest,
+        from: NodeId,
+        point: Scalar,
+        is_ready: bool,
+        signature: Option<dkg_crypto::Signature>,
+        actions: &mut Vec<VssAction>,
+    ) {
+        if self.completed.is_some() {
+            return;
+        }
+        let commitment = self.commitments[&digest].clone();
+        // "First time" guard per sender and message type, then
+        // verify-point(C, i, m, α) and tally update.
+        {
+            let tally = self.tallies.entry(digest).or_default();
+            let seen = if is_ready {
+                &mut tally.ready_from
+            } else {
+                &mut tally.echo_from
+            };
+            if !seen.insert(from) {
+                return;
+            }
+        }
+        if !commitment.verify_point(self.id, from, point) {
+            return;
+        }
+        {
+            let tally = self.tallies.get_mut(&digest).expect("tally exists");
+            tally.points.insert(from, point);
+            if is_ready {
+                tally.ready_verified.insert(from);
+                if let (Some(sig), Some(signing)) = (signature, &self.signing) {
+                    let payload = ReadyWitness::payload(&self.session, &digest);
+                    if signing.directory.verify(from, &payload, &sig).is_ok() {
+                        tally.witnesses.push(ReadyWitness {
+                            node: from,
+                            signature: sig,
+                        });
+                    }
+                }
+            } else {
+                tally.echo_verified.insert(from);
+            }
+        }
+
+        let echo_threshold = self.config.echo_threshold();
+        let ready_amplify = self.config.ready_amplify_threshold();
+        let completion = self.config.completion_threshold();
+        let (echo_count, ready_count) = {
+            let tally = &self.tallies[&digest];
+            (tally.echo_verified.len(), tally.ready_verified.len())
+        };
+
+        // e_C = ⌈(n+t+1)/2⌉ with r_C < t+1, or r_C = t+1 with
+        // e_C < ⌈(n+t+1)/2⌉: interpolate our row and send ready messages.
+        let should_send_ready = if !is_ready {
+            echo_count == echo_threshold && ready_count < ready_amplify
+        } else {
+            ready_count == ready_amplify && echo_count < echo_threshold
+        };
+        if should_send_ready {
+            let row = {
+                let tally = self.tallies.get_mut(&digest).expect("tally exists");
+                if tally.ready_sent {
+                    None
+                } else {
+                    tally.ready_sent = true;
+                    let row = Self::interpolate_row(tally, self.config.t);
+                    tally.row = Some(row.clone());
+                    Some(row)
+                }
+            };
+            if let Some(row) = row {
+                let session = self.session;
+                let mode_ref = self.commitment_ref(&commitment, digest);
+                let signature = self.signing.clone().map(|signing| {
+                    let payload = ReadyWitness::payload(&session, &digest);
+                    signing.key.sign(&mut self.rng, &payload)
+                });
+                for node in self.config.nodes.clone() {
+                    let message = VssMessage::Ready {
+                        session,
+                        commitment: mode_ref.clone(),
+                        point: row.evaluate_at_index(node),
+                        signature,
+                    };
+                    self.send_recorded(node, message, actions);
+                }
+            }
+        }
+
+        // Completion: r_C = n − t − f.
+        if is_ready && ready_count == completion {
+            let (row, witnesses) = {
+                let tally = self.tallies.get_mut(&digest).expect("tally exists");
+                let row = match &tally.row {
+                    Some(r) => r.clone(),
+                    None => {
+                        let r = Self::interpolate_row(tally, self.config.t);
+                        tally.row = Some(r.clone());
+                        r
+                    }
+                };
+                (row, tally.witnesses.clone())
+            };
+            let share = row.constant_term();
+            self.completed = Some((commitment.clone(), share));
+            self.completed_witnesses = witnesses.clone();
+            actions.push(VssAction::Output(VssOutput::Shared {
+                session: self.session,
+                commitment,
+                share,
+                ready_proof: witnesses,
+            }));
+        }
+    }
+
+    fn interpolate_row(tally: &Tally, t: usize) -> Univariate {
+        let points: Vec<(Scalar, Scalar)> = tally
+            .points
+            .iter()
+            .take(t + 1)
+            .map(|(&m, &alpha)| (Scalar::from_u64(m), alpha))
+            .collect();
+        interpolate_polynomial(&points).expect("distinct node indices")
+    }
+
+    fn commitment_ref(&self, commitment: &CommitmentMatrix, digest: Digest) -> CommitmentRef {
+        match self.config.mode {
+            CommitmentMode::Full => CommitmentRef::Full(commitment.clone()),
+            CommitmentMode::Digest => CommitmentRef::Digest(digest),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reconstruction (Rec)
+    // ------------------------------------------------------------------
+
+    fn start_reconstruction(&mut self, actions: &mut Vec<VssAction>) {
+        let Some((_, share)) = &self.completed else {
+            return;
+        };
+        if self.reconstruct_started {
+            return;
+        }
+        self.reconstruct_started = true;
+        let share = *share;
+        for &node in &self.config.nodes.clone() {
+            let message = VssMessage::ReconstructShare {
+                session: self.session,
+                share,
+            };
+            self.send_recorded(node, message, actions);
+        }
+    }
+
+    fn on_reconstruct_share(&mut self, from: NodeId, share: Scalar, actions: &mut Vec<VssAction>) {
+        if self.reconstructed.is_some() {
+            return;
+        }
+        let Some((commitment, _)) = &self.completed else {
+            return;
+        };
+        // Validate the share against the agreed commitment:
+        // g^{s_m} must equal Π_j (C_{j0})^{m^j}.
+        if commitment.share_commitment(from) != dkg_arith::GroupElement::commit(&share) {
+            return;
+        }
+        self.reconstruct_shares.insert(from, share);
+        if self.reconstruct_shares.len() == self.config.t + 1 {
+            let shares: Vec<(u64, Scalar)> = self
+                .reconstruct_shares
+                .iter()
+                .map(|(&m, &s)| (m, s))
+                .collect();
+            let value = interpolate_secret(&shares).expect("distinct indices");
+            self.reconstructed = Some(value);
+            actions.push(VssAction::Output(VssOutput::Reconstructed {
+                session: self.session,
+                value,
+            }));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery (help)
+    // ------------------------------------------------------------------
+
+    fn on_help(&mut self, from: NodeId, actions: &mut Vec<VssAction>) {
+        let per = self.help_granted_per.entry(from).or_insert(0);
+        if *per > self.config.per_node_help_limit()
+            || self.help_granted_total > self.config.total_help_limit()
+        {
+            return;
+        }
+        *per += 1;
+        self.help_granted_total += 1;
+        if let Some(messages) = self.outbox.get(&from).cloned() {
+            for message in messages {
+                actions.push(VssAction::Send { to: from, message });
+            }
+        }
+    }
+
+    /// Sends a message and records it in `B` for later retransmission.
+    fn send_recorded(&mut self, to: NodeId, message: VssMessage, actions: &mut Vec<VssAction>) {
+        let stored = match &message {
+            // Share renewal (§5.2) requires that retransmitted send messages
+            // carry only the commitment, not the univariate polynomials; the
+            // row is what could leak the previous share. We keep the row out
+            // of B for every stored send message, which is strictly safer and
+            // matches the renewal protocol's requirement.
+            VssMessage::Send {
+                session,
+                commitment,
+                ..
+            } => VssMessage::Send {
+                session: *session,
+                commitment: commitment.clone(),
+                row: Univariate::zero(self.config.t),
+            },
+            other => other.clone(),
+        };
+        self.outbox.entry(to).or_default().push(stored);
+        actions.push(VssAction::Send { to, message });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CommitmentMode;
+
+    fn config(n: usize, f: usize, mode: CommitmentMode) -> VssConfig {
+        let t = (n - 2 * f - 1) / 3;
+        VssConfig::new((1..=n as u64).collect(), t, f, 8, mode).unwrap()
+    }
+
+    /// Drives a set of VssNodes to completion by synchronously delivering all
+    /// produced messages (no network, no faults) — a pure state-machine test.
+    fn run_synchronously(
+        nodes: &mut BTreeMap<NodeId, VssNode>,
+        initial: Vec<(NodeId, Vec<VssAction>)>,
+    ) -> Vec<(NodeId, VssOutput)> {
+        let mut outputs = Vec::new();
+        let mut queue: Vec<(NodeId, NodeId, VssMessage)> = Vec::new();
+        for (from, actions) in initial {
+            for action in actions {
+                match action {
+                    VssAction::Send { to, message } => queue.push((from, to, message)),
+                    VssAction::Output(o) => outputs.push((from, o)),
+                }
+            }
+        }
+        while let Some((from, to, message)) = queue.pop() {
+            let Some(node) = nodes.get_mut(&to) else { continue };
+            for action in node.handle_message(from, message) {
+                match action {
+                    VssAction::Send { to: next_to, message } => {
+                        queue.push((to, next_to, message));
+                    }
+                    VssAction::Output(o) => outputs.push((to, o)),
+                }
+            }
+        }
+        outputs
+    }
+
+    #[test]
+    fn sharing_completes_without_faults() {
+        let n = 4;
+        let cfg = config(n, 0, CommitmentMode::Full);
+        let session = SessionId::new(1, 0);
+        let mut nodes: BTreeMap<NodeId, VssNode> = (1..=n as u64)
+            .map(|i| (i, VssNode::new(i, cfg.clone(), session, 100 + i, None)))
+            .collect();
+        let secret = Scalar::from_u64(123456);
+        let initial = vec![(
+            1u64,
+            nodes
+                .get_mut(&1)
+                .unwrap()
+                .handle_input(VssInput::Share { secret }),
+        )];
+        let outputs = run_synchronously(&mut nodes, initial);
+        let shared: Vec<_> = outputs
+            .iter()
+            .filter(|(_, o)| matches!(o, VssOutput::Shared { .. }))
+            .collect();
+        assert_eq!(shared.len(), n);
+        // All nodes agree on the commitment and the shares interpolate to the
+        // dealer's secret.
+        let commitments: BTreeSet<_> = nodes
+            .values()
+            .map(|node| node.commitment().unwrap().to_bytes())
+            .collect();
+        assert_eq!(commitments.len(), 1);
+        let shares: Vec<(u64, Scalar)> = nodes
+            .iter()
+            .take(cfg.t + 1)
+            .map(|(&i, node)| (i, node.share().unwrap()))
+            .collect();
+        assert_eq!(interpolate_secret(&shares), Some(secret));
+    }
+
+    #[test]
+    fn digest_mode_also_completes() {
+        let n = 7;
+        let cfg = config(n, 0, CommitmentMode::Digest);
+        let session = SessionId::new(3, 1);
+        let mut nodes: BTreeMap<NodeId, VssNode> = (1..=n as u64)
+            .map(|i| (i, VssNode::new(i, cfg.clone(), session, 200 + i, None)))
+            .collect();
+        let secret = Scalar::from_u64(777);
+        let initial = vec![(
+            3u64,
+            nodes
+                .get_mut(&3)
+                .unwrap()
+                .handle_input(VssInput::Share { secret }),
+        )];
+        run_synchronously(&mut nodes, initial);
+        assert!(nodes.values().all(|n| n.is_complete()));
+        let shares: Vec<(u64, Scalar)> = nodes
+            .iter()
+            .take(cfg.t + 1)
+            .map(|(&i, node)| (i, node.share().unwrap()))
+            .collect();
+        assert_eq!(interpolate_secret(&shares), Some(secret));
+    }
+
+    #[test]
+    fn non_dealer_ignores_share_input() {
+        let cfg = config(4, 0, CommitmentMode::Full);
+        let session = SessionId::new(1, 0);
+        let mut node = VssNode::new(2, cfg, session, 1, None);
+        let actions = node.handle_input(VssInput::Share {
+            secret: Scalar::from_u64(5),
+        });
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn messages_from_other_sessions_are_ignored() {
+        let cfg = config(4, 0, CommitmentMode::Full);
+        let mut node = VssNode::new(2, cfg, SessionId::new(1, 0), 1, None);
+        let other_session = SessionId::new(1, 9);
+        let actions = node.handle_message(
+            1,
+            VssMessage::Help {
+                session: other_session,
+            },
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn send_from_non_dealer_is_ignored() {
+        let cfg = config(4, 0, CommitmentMode::Full);
+        let session = SessionId::new(1, 0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let poly = SymmetricBivariate::random_with_secret(&mut rng, cfg.t, Scalar::from_u64(9));
+        let commitment = CommitmentMatrix::commit(&poly);
+        let mut node = VssNode::new(2, cfg, session, 1, None);
+        let actions = node.handle_message(
+            3, // not the dealer
+            VssMessage::Send {
+                session,
+                commitment,
+                row: poly.row(2),
+            },
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn invalid_row_from_dealer_produces_no_echo() {
+        let cfg = config(4, 0, CommitmentMode::Full);
+        let session = SessionId::new(1, 0);
+        let mut rng = StdRng::seed_from_u64(10);
+        let poly = SymmetricBivariate::random_with_secret(&mut rng, cfg.t, Scalar::from_u64(9));
+        let commitment = CommitmentMatrix::commit(&poly);
+        let mut node = VssNode::new(2, cfg, session, 1, None);
+        // Row for node 3 sent to node 2: verify-poly must fail.
+        let actions = node.handle_message(
+            1,
+            VssMessage::Send {
+                session,
+                commitment,
+                row: poly.row(3),
+            },
+        );
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn help_responses_are_bounded() {
+        let n = 4;
+        let cfg = VssConfig::new((1..=n as u64).collect(), 1, 0, 2, CommitmentMode::Full).unwrap();
+        let session = SessionId::new(1, 0);
+        let mut dealer = VssNode::new(1, cfg.clone(), session, 55, None);
+        let _ = dealer.handle_input(VssInput::Share {
+            secret: Scalar::from_u64(1),
+        });
+        // Node 2 asks for help repeatedly; responses stop after the per-node
+        // limit d(κ) is exceeded.
+        let mut grants = 0;
+        for _ in 0..10 {
+            let actions = dealer.handle_message(2, VssMessage::Help { session });
+            if !actions.is_empty() {
+                grants += 1;
+            }
+        }
+        assert!(grants as u64 <= cfg.per_node_help_limit() + 1);
+        assert!(grants > 0);
+    }
+
+    #[test]
+    fn reconstruction_recovers_the_secret() {
+        let n = 4;
+        let cfg = config(n, 0, CommitmentMode::Full);
+        let session = SessionId::new(1, 0);
+        let mut nodes: BTreeMap<NodeId, VssNode> = (1..=n as u64)
+            .map(|i| (i, VssNode::new(i, cfg.clone(), session, 300 + i, None)))
+            .collect();
+        let secret = Scalar::from_u64(31337);
+        let initial = vec![(
+            1u64,
+            nodes
+                .get_mut(&1)
+                .unwrap()
+                .handle_input(VssInput::Share { secret }),
+        )];
+        run_synchronously(&mut nodes, initial);
+        assert!(nodes.values().all(|n| n.is_complete()));
+        // Start reconstruction at every node.
+        let initial: Vec<(NodeId, Vec<VssAction>)> = (1..=n as u64)
+            .map(|i| {
+                (
+                    i,
+                    nodes.get_mut(&i).unwrap().handle_input(VssInput::Reconstruct),
+                )
+            })
+            .collect();
+        let outputs = run_synchronously(&mut nodes, initial);
+        let reconstructed: Vec<_> = outputs
+            .iter()
+            .filter_map(|(_, o)| match o {
+                VssOutput::Reconstructed { value, .. } => Some(*value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reconstructed.len(), n);
+        assert!(reconstructed.iter().all(|&v| v == secret));
+    }
+
+    #[test]
+    fn reconstruct_before_completion_is_ignored() {
+        let cfg = config(4, 0, CommitmentMode::Full);
+        let mut node = VssNode::new(2, cfg, SessionId::new(1, 0), 1, None);
+        assert!(node.handle_input(VssInput::Reconstruct).is_empty());
+        assert!(node
+            .handle_message(
+                3,
+                VssMessage::ReconstructShare {
+                    session: SessionId::new(1, 0),
+                    share: Scalar::from_u64(1),
+                },
+            )
+            .is_empty());
+    }
+}

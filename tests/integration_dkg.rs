@@ -1,0 +1,117 @@
+//! End-to-end integration tests: full DKG runs across all crates
+//! (arithmetic → commitments → VSS → agreement → simulator), checking the
+//! properties of Definition 4.1 in the fault-free and crash cases.
+
+use dkg_arith::{GroupElement, Scalar};
+use dkg_bench::experiments::{run_dkg, run_vss};
+use dkg_core::runner::{run_key_generation, SystemSetup};
+use dkg_core::{DkgInput, DkgOutput};
+use dkg_poly::interpolate_secret;
+use dkg_sim::DelayModel;
+use dkg_vss::CommitmentMode;
+
+#[test]
+fn dkg_liveness_agreement_consistency_without_faults() {
+    let setup = SystemSetup::generate(4, 0, 1001);
+    let (outcomes, _) = run_key_generation(&setup, DelayModel::Uniform { min: 5, max: 60 }, 0);
+    // Liveness: all honest finally-up nodes complete.
+    assert_eq!(outcomes.len(), 4);
+    // Agreement/consistency: a single public key, and any t+1 shares
+    // reconstruct a secret matching it.
+    let pk = outcomes[0].public_key;
+    assert!(outcomes.iter().all(|o| o.public_key == pk));
+    let t = setup.config.t();
+    for subset in [[0usize, 1], [1, 2], [2, 3], [0, 3]] {
+        let shares: Vec<(u64, Scalar)> = subset
+            .iter()
+            .map(|&i| (outcomes[i].node, outcomes[i].share))
+            .collect();
+        assert_eq!(shares.len(), t + 1);
+        let secret = interpolate_secret(&shares).unwrap();
+        assert_eq!(GroupElement::commit(&secret), pk);
+    }
+}
+
+#[test]
+fn dkg_shares_verify_against_the_commitment_matrix() {
+    let setup = SystemSetup::generate(4, 0, 1002);
+    let mut sim = setup.build_simulation(0, DelayModel::Constant(15));
+    for &node in &setup.config.vss.nodes {
+        sim.schedule_operator(node, DkgInput::Start, 0);
+    }
+    sim.run();
+    for &node in &setup.config.vss.nodes {
+        let result = sim.node(node).unwrap().result().expect("completed").clone();
+        // g^{s_i} must equal the share commitment derived from C.
+        assert_eq!(
+            result.commitment.share_commitment(node),
+            GroupElement::commit(&result.share)
+        );
+        assert_eq!(result.commitment.public_key(), result.public_key);
+        assert!(result.dealers.len() >= setup.config.t() + 1);
+    }
+}
+
+#[test]
+fn group_reconstruction_reveals_the_key_only_when_started() {
+    let setup = SystemSetup::generate(4, 0, 1003);
+    let mut sim = setup.build_simulation(0, DelayModel::Constant(10));
+    for &node in &setup.config.vss.nodes {
+        sim.schedule_operator(node, DkgInput::Start, 0);
+    }
+    sim.run();
+    // No node knows the secret yet.
+    assert!(sim
+        .outputs()
+        .iter()
+        .all(|o| !matches!(o.output, DkgOutput::Reconstructed { .. })));
+    // After reconstruction every node learns the same secret, matching g^s.
+    let now = sim.now();
+    for &node in &setup.config.vss.nodes {
+        sim.schedule_operator(node, DkgInput::Reconstruct, now + 5);
+    }
+    sim.run();
+    let values: Vec<Scalar> = sim
+        .outputs()
+        .iter()
+        .filter_map(|o| match o.output {
+            DkgOutput::Reconstructed { value, .. } => Some(value),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(values.len(), 4);
+    let pk = sim.node(1).unwrap().result().unwrap().public_key;
+    assert!(values.iter().all(|v| GroupElement::commit(v) == pk));
+}
+
+#[test]
+fn hybridvss_message_complexity_is_quadratic_and_dkg_cubic() {
+    // The shape claims of §3/§4 at two sizes: messages grow ~quadratically
+    // for one sharing and ~cubically for the full DKG.
+    let small = run_vss(4, 0, CommitmentMode::Full, None, 11);
+    let large = run_vss(10, 0, CommitmentMode::Full, None, 12);
+    let vss_ratio = large.metrics.message_count() as f64 / small.metrics.message_count() as f64;
+    let n_ratio_sq = (10.0f64 / 4.0).powi(2);
+    assert!(
+        vss_ratio > 0.5 * n_ratio_sq && vss_ratio < 2.0 * n_ratio_sq,
+        "VSS message growth {vss_ratio} should track n^2 ({n_ratio_sq})"
+    );
+
+    let small = run_dkg(4, 0, &[], &[], None, 13);
+    let large = run_dkg(7, 0, &[], &[], None, 14);
+    let dkg_ratio = large.metrics.message_count() as f64 / small.metrics.message_count() as f64;
+    let n_ratio_cube = (7.0f64 / 4.0).powi(3);
+    assert!(
+        dkg_ratio > 0.4 * n_ratio_cube && dkg_ratio < 2.5 * n_ratio_cube,
+        "DKG message growth {dkg_ratio} should track n^3 ({n_ratio_cube})"
+    );
+}
+
+#[test]
+fn digest_mode_costs_fewer_bytes_than_full_mode() {
+    let full = run_vss(10, 0, CommitmentMode::Full, None, 21);
+    let digest = run_vss(10, 0, CommitmentMode::Digest, None, 22);
+    assert_eq!(full.completions, 10);
+    assert_eq!(digest.completions, 10);
+    assert!(digest.metrics.byte_count() * 2 < full.metrics.byte_count());
+}

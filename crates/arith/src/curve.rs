@@ -101,12 +101,17 @@ impl GroupElement {
         self.y.square() == self.x.square() * self.x + curve_b()
     }
 
-    /// The Feldman commitment `g^s` (scalar multiplication of the generator).
+    /// The Feldman commitment `g^s` (scalar multiplication of the generator),
+    /// computed through the precomputed fixed-base window table — additions
+    /// only, no doublings (see [`crate::fixed_base`]).
     pub fn commit(s: &Scalar) -> Self {
-        ProjectivePoint::generator().mul_scalar(s).to_affine()
+        crate::fixed_base::generator_table().mul(s)
     }
 
     /// Scalar multiplication `[k]P`.
+    // Written multiplicatively on purpose: protocol code reads `C.mul(&e)`
+    // as the paper's `C^e` (the `Mul` operator impl delegates here).
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, k: &Scalar) -> Self {
         ProjectivePoint::from(self).mul_scalar(k).to_affine()
     }
@@ -287,6 +292,7 @@ impl ProjectivePoint {
         if self.is_identity() || self.y.is_zero() {
             return ProjectivePoint::identity();
         }
+        crate::ops::record_double();
         // Standard Jacobian doubling for a = 0 curves.
         let a = self.x.square();
         let b = self.y.square();
@@ -334,7 +340,7 @@ impl ProjectivePoint {
                 }
             }
             if digit != 0 {
-                acc = acc + table[digit];
+                acc += table[digit];
             }
         }
         acc
@@ -363,6 +369,7 @@ impl Add for ProjectivePoint {
             }
             return ProjectivePoint::identity();
         }
+        crate::ops::record_add();
         let h = u2 - u1;
         let i = h.double().square();
         let j = h * i;
@@ -452,7 +459,7 @@ mod tests {
         let mut r = rng();
         let a = GroupElement::random(&mut r);
         assert_eq!(a + GroupElement::identity(), a);
-        assert!( (a - a).is_identity());
+        assert!((a - a).is_identity());
         assert_eq!(-GroupElement::identity(), GroupElement::identity());
     }
 

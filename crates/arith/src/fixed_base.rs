@@ -1,0 +1,153 @@
+//! Precomputed fixed-base scalar multiplication.
+//!
+//! Every Feldman commitment the protocols compute or verify is an
+//! exponentiation of the *same* base: `g^s` for the fixed group generator
+//! (`GroupElement::commit`). A windowed table trades a one-time
+//! precomputation for removing all doublings from every subsequent
+//! multiplication: with window width `w`, the table stores
+//! `d · 2^{wi} · B` for every window `i` and digit `d ∈ [1, 2^w)`, and a
+//! scalar multiplication becomes at most `⌈256/w⌉ − 1` point additions — for
+//! the default `w = 8`, 31 additions instead of the ~255 doublings + ~60
+//! additions of the generic windowed double-and-add.
+//!
+//! [`generator_table`] exposes a process-wide table for `g`, built lazily on
+//! first use; [`GroupElement::commit`] routes through it, so the whole
+//! workspace (commitment generation, `verify-poly` / `verify-point`, the
+//! batch engine in `dkg-poly`) inherits the speedup transparently.
+
+use std::sync::OnceLock;
+
+use crate::curve::{GroupElement, ProjectivePoint};
+use crate::field::{PrimeField, Scalar};
+
+/// Default window width (bits per digit) for precomputed tables.
+pub const DEFAULT_WINDOW: usize = 8;
+
+const SCALAR_BITS: usize = 256;
+
+/// A windowed precomputation table for multiples of one fixed base point.
+#[derive(Clone, Debug)]
+pub struct FixedBaseTable {
+    window: usize,
+    /// `tables[i][d - 1] = d · 2^{w·i} · B` for digit `d ∈ [1, 2^w)`.
+    tables: Vec<Vec<ProjectivePoint>>,
+}
+
+impl FixedBaseTable {
+    /// Precomputes the table for `base` with window width `window` bits
+    /// (clamped to `[1, 16]`).
+    pub fn new(base: &GroupElement, window: usize) -> Self {
+        let window = window.clamp(1, 16);
+        let digits_per_window = (1usize << window) - 1;
+        let num_windows = SCALAR_BITS.div_ceil(window);
+        let mut tables = Vec::with_capacity(num_windows);
+        let mut window_base = ProjectivePoint::from(*base);
+        for _ in 0..num_windows {
+            let mut multiples = Vec::with_capacity(digits_per_window);
+            let mut acc = window_base;
+            for _ in 0..digits_per_window {
+                multiples.push(acc);
+                acc += window_base;
+            }
+            // `acc` is now 2^w · window_base: the next window's base.
+            window_base = acc;
+            tables.push(multiples);
+        }
+        FixedBaseTable { window, tables }
+    }
+
+    /// The window width in bits.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Computes `k · B` (written multiplicatively: `B^k`) using only point
+    /// additions.
+    pub fn mul(&self, k: &Scalar) -> GroupElement {
+        let bytes = k.to_be_bytes();
+        let mut acc = ProjectivePoint::identity();
+        for (w, multiples) in self.tables.iter().enumerate() {
+            let digit = extract_window(&bytes, w, self.window);
+            if digit != 0 {
+                acc += multiples[digit - 1];
+            }
+        }
+        acc.to_affine()
+    }
+}
+
+/// Extracts window `w` (width `c` bits, windows counted from the least
+/// significant bit) of a big-endian 256-bit integer.
+fn extract_window(be_bytes: &[u8; 32], w: usize, c: usize) -> usize {
+    let start_bit = w * c;
+    let mut value = 0usize;
+    for i in 0..c {
+        let bit = start_bit + i;
+        if bit >= SCALAR_BITS {
+            break;
+        }
+        let byte = be_bytes[31 - bit / 8];
+        if (byte >> (bit % 8)) & 1 == 1 {
+            value |= 1 << i;
+        }
+    }
+    value
+}
+
+/// The process-wide precomputed table for the group generator `g`, built on
+/// first use. `GroupElement::commit` is routed through this table.
+pub fn generator_table() -> &'static FixedBaseTable {
+    static TABLE: OnceLock<FixedBaseTable> = OnceLock::new();
+    TABLE.get_or_init(|| FixedBaseTable::new(&GroupElement::generator(), DEFAULT_WINDOW))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_generic_scalar_mul() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let table = generator_table();
+        for _ in 0..8 {
+            let k = Scalar::random(&mut rng);
+            assert_eq!(table.mul(&k), GroupElement::generator().mul(&k));
+        }
+    }
+
+    #[test]
+    fn handles_edge_scalars() {
+        let table = generator_table();
+        assert!(table.mul(&Scalar::zero()).is_identity());
+        assert_eq!(table.mul(&Scalar::one()), GroupElement::generator());
+        let minus_one = -Scalar::one();
+        assert_eq!(table.mul(&minus_one), -GroupElement::generator());
+    }
+
+    #[test]
+    fn works_for_non_generator_bases_and_narrow_windows() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = GroupElement::random(&mut rng);
+        for window in [1usize, 3, 5] {
+            let table = FixedBaseTable::new(&base, window);
+            let k = Scalar::random(&mut rng);
+            assert_eq!(table.mul(&k), base.mul(&k), "window {window}");
+        }
+    }
+
+    #[test]
+    fn uses_fewer_group_ops_than_generic_mul() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let k = Scalar::random(&mut rng);
+        let table = generator_table(); // warm the lazy init before measuring
+        let (a, table_ops) = ops::measure(|| table.mul(&k));
+        let (b, generic_ops) =
+            ops::measure(|| ProjectivePoint::generator().mul_scalar(&k).to_affine());
+        assert_eq!(a, b);
+        assert_eq!(table_ops.doubles, 0);
+        assert!(table_ops.total() * 4 < generic_ops.total());
+    }
+}

@@ -32,13 +32,17 @@
 
 pub mod curve;
 pub mod field;
+pub mod fixed_base;
 pub mod mont;
 pub mod multiexp;
+pub mod ops;
 pub mod u256;
 pub mod u512;
 
 pub use curve::{GroupElement, ProjectivePoint};
 pub use field::{Fp, PrimeField, Scalar};
+pub use fixed_base::{generator_table, FixedBaseTable};
 pub use multiexp::{multiexp, multiexp_powers};
+pub use ops::OpCount;
 pub use u256::U256;
 pub use u512::U512;

@@ -28,7 +28,10 @@ impl MontParams {
     ///
     /// Panics if `modulus` is even or zero.
     pub fn new(modulus: U256) -> MontParams {
-        assert!(modulus.is_odd(), "Montgomery arithmetic requires an odd modulus");
+        assert!(
+            modulus.is_odd(),
+            "Montgomery arithmetic requires an odd modulus"
+        );
         let inv = inv64(modulus.0[0]);
         // R mod m = 2^256 mod m.
         let r1 = U512::from_halves(U256::ZERO, U256::ONE).reduce_mod(&modulus);
@@ -50,6 +53,8 @@ impl MontParams {
         for i in 0..4 {
             // t += a[i] * b
             let mut carry = 0u64;
+            #[allow(clippy::needless_range_loop)]
+            // CIOS inner product mirrors the textbook index form
             for j in 0..4 {
                 let (lo, hi) = mul_add_carry(a.0[i], b.0[j], t[j], carry);
                 t[j] = lo;
@@ -188,10 +193,9 @@ mod tests {
 
     #[test]
     fn works_with_secp256k1_prime() {
-        let modulus = U256::from_hex(
-            "FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F",
-        )
-        .unwrap();
+        let modulus =
+            U256::from_hex("FFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFEFFFFFC2F")
+                .unwrap();
         let p = MontParams::new(modulus);
         let a = U256::from_hex("79BE667EF9DCBBAC55A06295CE870B07029BFCDB2DCE28D959F2815B16F81798")
             .unwrap();

@@ -111,11 +111,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn naive(points: &[GroupElement], scalars: &[Scalar]) -> GroupElement {
-        points
-            .iter()
-            .zip(scalars)
-            .map(|(p, s)| p.mul(s))
-            .sum()
+        points.iter().zip(scalars).map(|(p, s)| p.mul(s)).sum()
     }
 
     #[test]
@@ -137,7 +133,11 @@ mod tests {
         for n in [2usize, 3, 5, 13, 41] {
             let points: Vec<_> = (0..n).map(|_| GroupElement::random(&mut rng)).collect();
             let scalars: Vec<_> = (0..n).map(|_| Scalar::random(&mut rng)).collect();
-            assert_eq!(multiexp(&points, &scalars), naive(&points, &scalars), "n={n}");
+            assert_eq!(
+                multiexp(&points, &scalars),
+                naive(&points, &scalars),
+                "n={n}"
+            );
         }
     }
 

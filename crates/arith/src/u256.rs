@@ -147,6 +147,7 @@ impl U256 {
         let limb_shift = n / 64;
         let bit_shift = n % 64;
         let mut out = [0u64; 4];
+        #[allow(clippy::needless_range_loop)] // offset indexing mirrors the limb-shift algorithm
         for i in 0..(4 - limb_shift) {
             out[i] = self.0[i + limb_shift] >> bit_shift;
             if bit_shift > 0 && i + limb_shift + 1 < 4 {
@@ -395,7 +396,10 @@ mod tests {
         let a = U256::from_u64(90);
         let b = U256::from_u64(20);
         assert_eq!(a.add_mod(&b, &m), U256::from_u64(13));
-        assert_eq!(U256::from_u64(5).sub_mod(&U256::from_u64(9), &m), U256::from_u64(93));
+        assert_eq!(
+            U256::from_u64(5).sub_mod(&U256::from_u64(9), &m),
+            U256::from_u64(93)
+        );
     }
 
     #[test]

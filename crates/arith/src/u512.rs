@@ -48,6 +48,7 @@ impl U512 {
     pub fn wrapping_add(&self, rhs: &U512) -> U512 {
         let mut out = [0u64; 8];
         let mut carry = false;
+        #[allow(clippy::needless_range_loop)] // explicit carry chain over limb index
         for i in 0..8 {
             let (v, c) = carrying_add(self.0[i], rhs.0[i], carry);
             out[i] = v;
@@ -60,6 +61,7 @@ impl U512 {
     pub fn sbb(&self, rhs: &U512) -> (U512, bool) {
         let mut out = [0u64; 8];
         let mut borrow = false;
+        #[allow(clippy::needless_range_loop)] // explicit borrow chain over limb index
         for i in 0..8 {
             let (v, b) = borrowing_sub(self.0[i], rhs.0[i], borrow);
             out[i] = v;
@@ -72,6 +74,7 @@ impl U512 {
     pub fn shl1(&self) -> U512 {
         let mut out = [0u64; 8];
         let mut carry = 0u64;
+        #[allow(clippy::needless_range_loop)] // explicit carry chain over limb index
         for i in 0..8 {
             out[i] = (self.0[i] << 1) | carry;
             carry = self.0[i] >> 63;

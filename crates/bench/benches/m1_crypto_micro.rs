@@ -48,9 +48,7 @@ fn bench_scalar_ops(c: &mut Criterion) {
         b.iter(|| GroupElement::commit(&k));
     });
     for &size in &[4usize, 16, 64] {
-        let points: Vec<GroupElement> = (0..size)
-            .map(|_| GroupElement::random(&mut rng))
-            .collect();
+        let points: Vec<GroupElement> = (0..size).map(|_| GroupElement::random(&mut rng)).collect();
         let scalars: Vec<Scalar> = (0..size).map(|_| Scalar::random(&mut rng)).collect();
         group.bench_with_input(
             BenchmarkId::new("multiexp", size),

@@ -19,14 +19,13 @@ fn bench_hybridvss(c: &mut Criterion) {
             });
         });
     }
-    for &n in &[7usize] {
-        group.bench_with_input(BenchmarkId::new("digest_mode", n), &n, |b, &n| {
-            b.iter(|| {
-                let run = run_vss(n, 0, CommitmentMode::Digest, None, 7);
-                assert_eq!(run.completions, n);
-            });
+    let n = 7usize;
+    group.bench_with_input(BenchmarkId::new("digest_mode", n), &n, |b, &n| {
+        b.iter(|| {
+            let run = run_vss(n, 0, CommitmentMode::Digest, None, 7);
+            assert_eq!(run.completions, n);
         });
-    }
+    });
     group.finish();
 }
 

@@ -26,7 +26,11 @@ fn main() {
     } else {
         &[4, 7, 10, 13]
     };
-    let dkg_sizes: &[usize] = if full { &[4, 7, 10, 13, 16] } else { &[4, 7, 10] };
+    let dkg_sizes: &[usize] = if full {
+        &[4, 7, 10, 13, 16]
+    } else {
+        &[4, 7, 10]
+    };
 
     if want("e1") {
         println!("{}", exp::e1_hybridvss_scaling(vss_sizes, seed));

@@ -143,7 +143,10 @@ pub fn run_dkg(
     let mut sim = setup.build_simulation(0, DelayModel::Uniform { min: 10, max: 80 });
     if !muted.is_empty() {
         if let Some(stall) = stall {
-            sim.set_adversary(Box::new(StallingAdversary::new(muted.iter().copied(), stall)));
+            sim.set_adversary(Box::new(StallingAdversary::new(
+                muted.iter().copied(),
+                stall,
+            )));
         } else {
             sim.set_adversary(Box::new(MutingAdversary::new(muted.iter().copied())));
         }
@@ -225,7 +228,14 @@ pub fn e1_hybridvss_scaling(sizes: &[usize], seed: u64) -> Table {
 pub fn e2_hash_optimization(sizes: &[usize], seed: u64) -> Table {
     let mut table = Table::new(
         "E2 — commitment digests: bytes full-matrix mode vs digest mode",
-        &["n", "bytes (full)", "bytes/n^4", "bytes (digest)", "bytes/n^3", "reduction"],
+        &[
+            "n",
+            "bytes (full)",
+            "bytes/n^4",
+            "bytes (digest)",
+            "bytes/n^3",
+            "reduction",
+        ],
     );
     for (i, &n) in sizes.iter().enumerate() {
         let full = run_vss(n, 0, CommitmentMode::Full, None, seed + i as u64);
@@ -320,7 +330,14 @@ pub fn e4_dkg_optimistic(sizes: &[usize], seed: u64) -> Table {
 pub fn e5_dkg_pessimistic(n: usize, faulty_leaders: &[usize], seed: u64) -> Table {
     let mut table = Table::new(
         "E5 — DKG pessimistic phase: successive silent leaders",
-        &["faulty leaders", "completions", "leader-change msgs", "total msgs", "total bytes", "completion time (ms)"],
+        &[
+            "faulty leaders",
+            "completions",
+            "leader-change msgs",
+            "total msgs",
+            "total bytes",
+            "completion time (ms)",
+        ],
     );
     for (i, &k) in faulty_leaders.iter().enumerate() {
         let muted: Vec<u64> = (1..=k as u64).collect();
@@ -399,13 +416,30 @@ pub fn e7_proactive_renewal(n: usize, phases: usize, seed: u64) -> Table {
     let t = setup.config.t();
     let mut table = Table::new(
         format!("E7 — proactive share renewal over {phases} phases (n = {n})"),
-        &["phase", "completions", "messages", "bytes", "public key preserved", "shares changed"],
+        &[
+            "phase",
+            "completions",
+            "messages",
+            "bytes",
+            "public key preserved",
+            "shares changed",
+        ],
     );
     let (mut states, sim0) = run_initial_phase(&setup, DelayModel::Uniform { min: 10, max: 80 });
-    let pk = states.values().next().expect("phase 0 completed").public_key;
+    let pk = states
+        .values()
+        .next()
+        .expect("phase 0 completed")
+        .public_key;
     let secret_check = |states: &std::collections::BTreeMap<u64, dkg_core::PhaseState>| {
-        let shares: Vec<(u64, Scalar)> = states.iter().take(t + 1).map(|(&i, s)| (i, s.share)).collect();
-        interpolate_secret(&shares).map(|s| GroupElement::commit(&s) == pk).unwrap_or(false)
+        let shares: Vec<(u64, Scalar)> = states
+            .iter()
+            .take(t + 1)
+            .map(|(&i, s)| (i, s.share))
+            .collect();
+        interpolate_secret(&shares)
+            .map(|s| GroupElement::commit(&s) == pk)
+            .unwrap_or(false)
     };
     table.row(&[
         "0 (keygen)".into(),
@@ -419,9 +453,12 @@ pub fn e7_proactive_renewal(n: usize, phases: usize, seed: u64) -> Table {
         let previous = states.clone();
         let (next, sim) = run_renewal_phase(&setup, &previous, phase, &RenewalOptions::default())
             .expect("renewal phase runs");
-        let changed = next
-            .iter()
-            .all(|(node, s)| previous.get(node).map(|p| p.share != s.share).unwrap_or(true));
+        let changed = next.iter().all(|(node, s)| {
+            previous
+                .get(node)
+                .map(|p| p.share != s.share)
+                .unwrap_or(true)
+        });
         table.row(&[
             phase.to_string(),
             next.len().to_string(),
@@ -487,7 +524,13 @@ pub fn e8_group_modification(n: usize, seed: u64) -> Table {
         "threshold/crash-limit update".into(),
         "0".into(),
         "0".into(),
-        format!("n: {} -> {}, t: {}, f: {}", n, updated.n(), updated.t(), updated.f()),
+        format!(
+            "n: {} -> {}, t: {}, f: {}",
+            n,
+            updated.n(),
+            updated.t(),
+            updated.f()
+        ),
     ]);
 
     // Node addition: run a resharing DKG and derive the new node's share.
@@ -517,7 +560,7 @@ pub fn e8_group_modification(n: usize, seed: u64) -> Table {
     let _ = pk;
     table.row(&[
         "node addition (subshares -> new share)".into(),
-        ((t + 1) * 1).to_string(),
+        (t + 1).to_string(),
         ((t + 1) * (32 + 33 * (t + 1))).to_string(),
         format!("new node obtained a verifiable share: {ok}"),
     ]);
@@ -535,7 +578,12 @@ pub fn e9_adversarial_delay(n: usize, stalls: &[u64], seed: u64) -> Table {
     let t = (n - 1) / 3;
     let mut table = Table::new(
         format!("E9 — adversarial delay on corrupted links (n = {n}, t = {t} corrupted)"),
-        &["adversary stall (ms)", "async DKG completion (ms)", "sync-protocol round time (ms, model)", "async completions"],
+        &[
+            "adversary stall (ms)",
+            "async DKG completion (ms)",
+            "sync-protocol round time (ms, model)",
+            "async completions",
+        ],
     );
     let honest_delay = 80u64;
     for (i, &stall) in stalls.iter().enumerate() {
@@ -568,13 +616,27 @@ pub fn e10_resilience_bound(seed: u64) -> Table {
     let n = 7;
     let mut table = Table::new(
         "E10 — resilience of a 7-node system configured with t = 2, f = 0",
-        &["scenario", "completions", "distinct keys", "safety", "liveness"],
+        &[
+            "scenario",
+            "completions",
+            "distinct keys",
+            "safety",
+            "liveness",
+        ],
     );
     let scenarios: Vec<(&str, Vec<u64>, Vec<u64>)> = vec![
         ("no faults", vec![], vec![]),
         ("2 Byzantine (silent) — at the bound", vec![6, 7], vec![]),
-        ("3 Byzantine (silent) — beyond the bound", vec![5, 6, 7], vec![]),
-        ("2 crashed (untolerated as f = 0, still < n - t - f quorum loss)", vec![], vec![6, 7]),
+        (
+            "3 Byzantine (silent) — beyond the bound",
+            vec![5, 6, 7],
+            vec![],
+        ),
+        (
+            "2 crashed (untolerated as f = 0, still < n - t - f quorum loss)",
+            vec![],
+            vec![6, 7],
+        ),
         ("3 crashed — quorum lost", vec![], vec![5, 6, 7]),
     ];
     for (i, (name, muted, crashed)) in scenarios.into_iter().enumerate() {

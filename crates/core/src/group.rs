@@ -413,10 +413,20 @@ pub fn combine_subshares(
     }
     let (_, group) = groups.into_iter().max_by_key(|(_, g)| g.len())?;
     let commitment = group[0].commitment.clone();
-    let verified: Vec<&Subshare> = group
-        .into_iter()
-        .filter(|s| s.commitment.verify_share(s.from, s.value))
-        .collect();
+    // Batch-verify the whole candidate group with one folded multiexp; only
+    // when the fold rejects (some contributor lied) fall back to per-share
+    // verification to identify the liars. The batch engine derives its RLC
+    // coefficients Fiat–Shamir style from the claims, so a contributor
+    // fixing its sub-share cannot predict them.
+    let tuples: Vec<(u64, Scalar)> = group.iter().map(|s| (s.from, s.value)).collect();
+    let verified: Vec<&Subshare> = if dkg_poly::verify_vector_shares_batch(&commitment, &tuples) {
+        group
+    } else {
+        group
+            .into_iter()
+            .filter(|s| s.commitment.verify_share(s.from, s.value))
+            .collect()
+    };
     if verified.len() < t + 1 {
         return None;
     }
@@ -638,10 +648,7 @@ mod tests {
             .iter()
             .map(|&d| {
                 let s_d = secret_poly.evaluate_at_index(d);
-                (
-                    d,
-                    SymmetricBivariate::random_with_secret(&mut rng, t, s_d),
-                )
+                (d, SymmetricBivariate::random_with_secret(&mut rng, t, s_d))
             })
             .collect();
         let commitments: Vec<(NodeId, CommitmentMatrix)> = resharing_polys
@@ -666,8 +673,7 @@ mod tests {
             dkg_arith::GroupElement::commit(&secret_poly.evaluate_at_index(new_node))
         );
         // Keep the helper exercised.
-        let (synthetic, _) =
-            synthetic_resharings(t, 1, &secret_poly, &dealers, &mut rng);
+        let (synthetic, _) = synthetic_resharings(t, 1, &secret_poly, &dealers, &mut rng);
         assert_eq!(synthetic.len(), dealers.len());
     }
 
@@ -681,10 +687,7 @@ mod tests {
             .iter()
             .map(|&d| {
                 let s_d = secret_poly.evaluate_at_index(d);
-                (
-                    d,
-                    SymmetricBivariate::random_with_secret(&mut rng, t, s_d),
-                )
+                (d, SymmetricBivariate::random_with_secret(&mut rng, t, s_d))
             })
             .collect();
         let commitments: Vec<CommitmentMatrix> = resharing_polys

@@ -47,5 +47,7 @@ pub use messages::{
     SignedVote,
 };
 pub use node::{DkgNode, DkgResult};
-pub use proactive::{run_initial_phase, run_renewal_phase, PhaseState, RenewalError, RenewalOptions};
+pub use proactive::{
+    run_initial_phase, run_renewal_phase, PhaseState, RenewalError, RenewalOptions,
+};
 pub use runner::{collect_outcomes, run_key_generation, NodeOutcome, SystemSetup};

@@ -83,9 +83,7 @@ pub struct DealerProof {
 impl DealerProof {
     /// Wire size.
     pub fn wire_size(&self) -> usize {
-        field_size::NODE_ID
-            + field_size::DIGEST
-            + self.witnesses.len() * ReadyWitness::ENCODED_LEN
+        field_size::NODE_ID + field_size::DIGEST + self.witnesses.len() * ReadyWitness::ENCODED_LEN
     }
 }
 

@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use dkg_arith::{GroupElement, PrimeField, Scalar};
 use dkg_crypto::{Digest, NodeId, Signature};
-use dkg_poly::{interpolate_secret, CommitmentMatrix};
+use dkg_poly::{interpolate_secret, partition_valid_shares, CommitmentMatrix};
 use dkg_sim::{ActionSink, Protocol, TimerId};
 use dkg_vss::{
     ReadyWitness, SessionId, SigningContext, VssAction, VssInput, VssMessage, VssNode, VssOutput,
@@ -100,8 +100,12 @@ pub struct DkgNode {
     agreed: Option<Proposal>,
     completed: Option<DkgResult>,
 
-    /// Group-secret reconstruction state.
+    /// Group-secret reconstruction state. Incoming shares pool unverified in
+    /// `reconstruct_pending`; once a potential quorum exists they are
+    /// batch-verified with one folded multiexp (see [`dkg_poly::batch`]) and
+    /// promoted to `reconstruct_shares`.
     reconstruct_started: bool,
+    reconstruct_pending: BTreeMap<NodeId, Scalar>,
     reconstruct_shares: BTreeMap<NodeId, Scalar>,
     reconstructed: Option<Scalar>,
 
@@ -160,6 +164,7 @@ impl DkgNode {
             agreed: None,
             completed: None,
             reconstruct_started: false,
+            reconstruct_pending: BTreeMap::new(),
             reconstruct_shares: BTreeMap::new(),
             reconstructed: None,
             outbox: BTreeMap::new(),
@@ -380,10 +385,9 @@ impl DkgNode {
             Justification::ReadyProofs(proofs) => {
                 // Every proposed dealer needs n − t − f valid ready witnesses.
                 proposal.dealers().iter().all(|dealer| {
-                    proofs.iter().any(|proof| {
-                        proof.dealer == *dealer
-                            && self.verify_dealer_proof(proof)
-                    })
+                    proofs
+                        .iter()
+                        .any(|proof| proof.dealer == *dealer && self.verify_dealer_proof(proof))
                 })
             }
             Justification::EchoCertificate(votes) => self.verify_votes(
@@ -510,7 +514,9 @@ impl DkgNode {
             return;
         }
         let key = Self::proposal_key(&proposal);
-        self.proposals.entry(key.clone()).or_insert_with(|| proposal.clone());
+        self.proposals
+            .entry(key.clone())
+            .or_insert_with(|| proposal.clone());
         self.echo_votes
             .entry(key.clone())
             .or_default()
@@ -551,7 +557,9 @@ impl DkgNode {
             return;
         }
         let key = Self::proposal_key(&proposal);
-        self.proposals.entry(key.clone()).or_insert_with(|| proposal.clone());
+        self.proposals
+            .entry(key.clone())
+            .or_insert_with(|| proposal.clone());
         self.ready_votes
             .entry(key.clone())
             .or_default()
@@ -627,8 +635,7 @@ impl DkgNode {
                     .iter()
                     .map(|d| self.completed_vss[d].share)
                     .sum::<Scalar>();
-                let commitment =
-                    CommitmentMatrix::combine(&matrices).expect("uniform dimensions");
+                let commitment = CommitmentMatrix::combine(&matrices).expect("uniform dimensions");
                 (share, commitment)
             }
             CombineRule::InterpolateAtZero => {
@@ -773,10 +780,7 @@ impl DkgNode {
         }
 
         // n − t − f lead-ch votes for one rank: accept the new leader.
-        let accepted = self
-            .lead_ch_votes
-            .get(&new_rank)
-            .map_or(0, BTreeMap::len);
+        let accepted = self.lead_ch_votes.get(&new_rank).map_or(0, BTreeMap::len);
         if accepted >= self.config.completion_threshold() {
             let certificate: Vec<SignedVote> = self.lead_ch_votes[&new_rank]
                 .iter()
@@ -834,17 +838,28 @@ impl DkgNode {
         if self.reconstructed.is_some() {
             return;
         }
-        let Some(result) = &self.completed else {
-            return;
-        };
-        if result.commitment.share_commitment(from) != GroupElement::commit(&share) {
+        if self.completed.is_none() || self.reconstruct_shares.contains_key(&from) {
             return;
         }
-        self.reconstruct_shares.insert(from, share);
-        if self.reconstruct_shares.len() == self.config.t() + 1 {
+        // Pool the share unverified; each must satisfy the `share_commitment`
+        // check, but a whole quorum is validated with one folded multiexp
+        // instead of t + 1 separate ones.
+        self.reconstruct_pending.insert(from, share);
+        let needed = self.config.t() + 1;
+        if self.reconstruct_shares.len() + self.reconstruct_pending.len() < needed {
+            return;
+        }
+        let pending: Vec<(u64, Scalar)> = std::mem::take(&mut self.reconstruct_pending)
+            .into_iter()
+            .collect();
+        let commitment = &self.completed.as_ref().expect("checked above").commitment;
+        self.reconstruct_shares
+            .extend(partition_valid_shares(commitment, pending));
+        if self.reconstruct_shares.len() >= needed {
             let shares: Vec<(u64, Scalar)> = self
                 .reconstruct_shares
                 .iter()
+                .take(needed)
                 .map(|(&m, &s)| (m, s))
                 .collect();
             let value = interpolate_secret(&shares).expect("distinct indices");
@@ -966,7 +981,14 @@ impl Protocol for DkgNode {
                 lead_ch_certificate,
             } => {
                 if tau == self.tau {
-                    self.on_send(from, rank, proposal, justification, lead_ch_certificate, sink);
+                    self.on_send(
+                        from,
+                        rank,
+                        proposal,
+                        justification,
+                        lead_ch_certificate,
+                        sink,
+                    );
                 }
             }
             DkgMessage::Echo {
@@ -1069,7 +1091,8 @@ mod tests {
         // The shares are consistent: any t+1 of them interpolate to a secret
         // whose commitment is the public key.
         let t = sim.node(1).unwrap().config().t();
-        let shares: Vec<(u64, Scalar)> = done.iter().take(t + 1).map(|(i, _, s)| (*i, *s)).collect();
+        let shares: Vec<(u64, Scalar)> =
+            done.iter().take(t + 1).map(|(i, _, s)| (*i, *s)).collect();
         let secret = interpolate_secret(&shares).unwrap();
         assert_eq!(GroupElement::commit(&secret), done[0].1);
     }

@@ -257,7 +257,9 @@ mod tests {
         let (phase2, _) =
             run_renewal_phase(&setup, &phase1, 2, &RenewalOptions::default()).unwrap();
         assert_eq!(secret_of(&phase2, t), secret);
-        assert!(phase2.values().all(|s| s.public_key == phase0[&1].public_key));
+        assert!(phase2
+            .values()
+            .all(|s| s.public_key == phase0[&1].public_key));
     }
 
     #[test]

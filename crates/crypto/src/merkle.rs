@@ -61,7 +61,12 @@ impl MerkleTree {
 
     /// The root digest committing to all leaves.
     pub fn root(&self) -> Digest {
-        *self.levels.last().expect("tree always has a root").first().expect("root level non-empty")
+        *self
+            .levels
+            .last()
+            .expect("tree always has a root")
+            .first()
+            .expect("root level non-empty")
     }
 
     /// Number of leaves in the tree.

@@ -1,0 +1,419 @@
+//! Batched commitment verification.
+//!
+//! The hottest verification path the paper identifies is the product
+//! `Π_{j,ℓ} (C_{jℓ})^{m^j i^ℓ}` inside `verify-point` (Fig. 1): every echo,
+//! ready and reconstruction share pays one such multi-exponentiation. When a
+//! node holds many `(i, m, α)` claims against the same commitment — a
+//! buffered batch of echo points, a reconstruction quorum, the `t + 1`
+//! sub-shares of node addition — the checks can be *folded* into a single
+//! multi-exponentiation by a random linear combination (RLC):
+//!
+//! with random coefficients `e_k`, every claim `g^{α_k} = Π C^{w_k}` holds
+//! iff `g^{Σ e_k α_k} = Π C^{Σ e_k w_k}` except with probability `1/q` per
+//! forged claim, because a cheating tuple would have to guess the `e_k`
+//! drawn *after* the claims are fixed. One Pippenger multiexp over the
+//! `(t+1)²` matrix entries (plus one generator term) then replaces `n`
+//! separate multiexps — asymptotically `n` times fewer group operations,
+//! which `dkg_arith::ops` lets tests assert directly.
+//!
+//! The coefficients are derived **Fiat–Shamir style** inside this module:
+//! each `e_k` is the full-width hash of a transcript committing to the
+//! commitment entries and every queued claim. A sender fixing its claim
+//! therefore fixes the coefficients that will judge it; finding a bad batch
+//! that still folds to the identity requires finding a hash preimage
+//! relation, so callers cannot weaken soundness by passing a predictable
+//! randomness source — there is nothing to pass.
+//!
+//! A failed batch identifies *that* a bad tuple exists, not which one;
+//! [`partition_valid_shares`] and the callers in `dkg-vss` / `dkg-core`
+//! fall back to per-claim verification to attribute blame. The expected
+//! cost stays on the fast path because failures only occur under active
+//! misbehaviour.
+
+use dkg_arith::{multiexp, GroupElement, PrimeField, Scalar};
+use dkg_crypto::sha256;
+
+use crate::commitment::{CommitmentMatrix, CommitmentVector};
+
+/// One `verify-point` claim: node `P_verifier` received `value`, allegedly
+/// `f(sender, verifier)`, under some commitment matrix.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PointClaim {
+    /// The receiving node's index `i`.
+    pub verifier: u64,
+    /// The sending node's index `m`.
+    pub sender: u64,
+    /// The claimed evaluation `α = f(m, i)`.
+    pub value: Scalar,
+}
+
+impl PointClaim {
+    /// Convenience constructor.
+    pub fn new(verifier: u64, sender: u64, value: Scalar) -> Self {
+        PointClaim {
+            verifier,
+            sender,
+            value,
+        }
+    }
+}
+
+/// Fiat–Shamir coefficient stream: `e_k = H(H(transcript) ∥ k)` expanded to
+/// 64 uniform bytes, so each coefficient has the scalar field's full width
+/// (no 64-bit seed bottleneck to grind against).
+struct CoefficientStream {
+    transcript_digest: [u8; 32],
+    next: u64,
+}
+
+impl CoefficientStream {
+    fn new(transcript: &[u8]) -> Self {
+        CoefficientStream {
+            transcript_digest: sha256(transcript),
+            next: 0,
+        }
+    }
+
+    fn next_coefficient(&mut self) -> Scalar {
+        // The first coefficient can be fixed to 1: scaling the whole linear
+        // combination by e_0⁻¹ shows soundness is unaffected, and it saves
+        // a hash.
+        let k = self.next;
+        self.next += 1;
+        if k == 0 {
+            return Scalar::one();
+        }
+        let mut wide = [0u8; 64];
+        for (half, tag) in [(0usize, 0u8), (32, 1)] {
+            let mut block = Vec::with_capacity(32 + 9);
+            block.extend_from_slice(&self.transcript_digest);
+            block.extend_from_slice(&k.to_be_bytes());
+            block.push(tag);
+            wide[half..half + 32].copy_from_slice(&sha256(&block));
+        }
+        Scalar::from_uniform_bytes(&wide)
+    }
+}
+
+fn append_claim(transcript: &mut Vec<u8>, claim: &PointClaim) {
+    transcript.extend_from_slice(&claim.verifier.to_be_bytes());
+    transcript.extend_from_slice(&claim.sender.to_be_bytes());
+    transcript.extend_from_slice(&claim.value.to_be_bytes());
+}
+
+/// Accumulates `verify-point` claims against one or more commitment
+/// matrices (e.g. the `n` parallel VSS sessions of a DKG round) and checks
+/// them all with a single multi-exponentiation.
+#[derive(Debug, Default)]
+pub struct BatchVerifier<'a> {
+    groups: Vec<(&'a CommitmentMatrix, Vec<PointClaim>)>,
+    claims: usize,
+}
+
+impl<'a> BatchVerifier<'a> {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of claims queued.
+    pub fn len(&self) -> usize {
+        self.claims
+    }
+
+    /// Whether no claims are queued.
+    pub fn is_empty(&self) -> bool {
+        self.claims == 0
+    }
+
+    /// Queues `claim` for verification against `matrix`. Claims against the
+    /// same matrix (by identity) share its entries in the folded product.
+    pub fn push(&mut self, matrix: &'a CommitmentMatrix, claim: PointClaim) {
+        self.claims += 1;
+        if let Some((_, claims)) = self
+            .groups
+            .iter_mut()
+            .find(|(m, _)| std::ptr::eq(*m, matrix))
+        {
+            claims.push(claim);
+            return;
+        }
+        self.groups.push((matrix, vec![claim]));
+    }
+
+    /// Verifies every queued claim in one multi-exponentiation. Returns
+    /// `true` iff (up to RLC soundness error) every claim satisfies
+    /// `verify-point`. An empty batch is vacuously valid.
+    pub fn verify(&self) -> bool {
+        if self.claims == 0 {
+            return true;
+        }
+        // Bind the coefficients to everything being verified.
+        let mut transcript = b"dkg-batch-verify-point-v1".to_vec();
+        for (matrix, claims) in &self.groups {
+            transcript.extend_from_slice(&matrix.to_bytes());
+            for claim in claims {
+                append_claim(&mut transcript, claim);
+            }
+        }
+        let mut coefficients = CoefficientStream::new(&transcript);
+
+        let mut points = Vec::new();
+        let mut scalars = Vec::new();
+        // Folded generator exponent: -Σ e_k α_k across all groups.
+        let mut alpha_fold = Scalar::zero();
+        for (matrix, claims) in &self.groups {
+            let t = matrix.threshold();
+            // Σ_k e_k · m_k^j · i_k^ℓ for every matrix entry (j, ℓ).
+            let mut weights = vec![vec![Scalar::zero(); t + 1]; t + 1];
+            for claim in claims {
+                let e = coefficients.next_coefficient();
+                alpha_fold += e * claim.value;
+                let mi = Scalar::from_u64(claim.sender);
+                let xi = Scalar::from_u64(claim.verifier);
+                let mut m_pow = e;
+                for row in weights.iter_mut() {
+                    let mut term = m_pow;
+                    for w in row.iter_mut() {
+                        *w += term;
+                        term *= xi;
+                    }
+                    m_pow *= mi;
+                }
+            }
+            for (j, row) in weights.into_iter().enumerate() {
+                for (l, w) in row.into_iter().enumerate() {
+                    points.push(matrix.entry(j, l));
+                    scalars.push(w);
+                }
+            }
+        }
+        points.push(GroupElement::generator());
+        scalars.push(-alpha_fold);
+        multiexp(&points, &scalars).is_identity()
+    }
+}
+
+/// Batch-verifies `verify-point` claims against a single commitment matrix.
+/// Equivalent to `claims.iter().all(|c| matrix.verify_point(c.verifier,
+/// c.sender, c.value))` up to RLC soundness error.
+pub fn verify_points_batch(matrix: &CommitmentMatrix, claims: &[PointClaim]) -> bool {
+    let mut batch = BatchVerifier::new();
+    for &claim in claims {
+        batch.push(matrix, claim);
+    }
+    batch.verify()
+}
+
+/// Batch-verifies reconstruction shares: each `(m, s_m)` must satisfy
+/// `g^{s_m} = Π_j (C_{j0})^{m^j}` (the `share_commitment` check of `Rec`).
+/// Folds all shares into one multiexp over the matrix's first column.
+pub fn verify_shares_batch(matrix: &CommitmentMatrix, shares: &[(u64, Scalar)]) -> bool {
+    let column = matrix.share_polynomial_commitment();
+    verify_column_batch(b"dkg-batch-share-commitment-v1", column.entries(), shares)
+}
+
+/// Batch-verifies univariate-commitment shares: each `(i, s_i)` must satisfy
+/// `g^{s_i} = Π_ℓ V_ℓ^{i^ℓ}` (`CommitmentVector::verify_share`). Used by the
+/// node-addition sub-share combine step.
+pub fn verify_vector_shares_batch(vector: &CommitmentVector, shares: &[(u64, Scalar)]) -> bool {
+    verify_column_batch(b"dkg-batch-vector-share-v1", vector.entries(), shares)
+}
+
+/// The pool-then-attribute pattern shared by the `Rec` handlers in `dkg-vss`
+/// and `dkg-core`: batch-verify `pending` against the matrix's share
+/// commitments; if the fold accepts, every share is valid, otherwise fall
+/// back to the per-share `share_commitment` check and return only the valid
+/// ones.
+pub fn partition_valid_shares(
+    matrix: &CommitmentMatrix,
+    pending: Vec<(u64, Scalar)>,
+) -> Vec<(u64, Scalar)> {
+    if verify_shares_batch(matrix, &pending) {
+        return pending;
+    }
+    pending
+        .into_iter()
+        .filter(|&(m, s)| matrix.share_commitment(m) == GroupElement::commit(&s))
+        .collect()
+}
+
+/// Shared fold: checks `g^{s_k} = Π_j column_j^{k^j}` for every `(k, s_k)`
+/// with one multiexp over `column ∥ g`.
+fn verify_column_batch(domain: &[u8], column: &[GroupElement], shares: &[(u64, Scalar)]) -> bool {
+    if shares.is_empty() {
+        return true;
+    }
+    let mut transcript = domain.to_vec();
+    for entry in column {
+        transcript.extend_from_slice(&entry.to_bytes());
+    }
+    for (index, share) in shares {
+        transcript.extend_from_slice(&index.to_be_bytes());
+        transcript.extend_from_slice(&share.to_be_bytes());
+    }
+    let mut coefficients = CoefficientStream::new(&transcript);
+
+    let mut weights = vec![Scalar::zero(); column.len()];
+    let mut share_fold = Scalar::zero();
+    for (index, share) in shares.iter() {
+        let e = coefficients.next_coefficient();
+        share_fold += e * *share;
+        let x = Scalar::from_u64(*index);
+        let mut term = e;
+        for w in weights.iter_mut() {
+            *w += term;
+            term *= x;
+        }
+    }
+    let mut points = Vec::with_capacity(column.len() + 1);
+    points.extend_from_slice(column);
+    points.push(GroupElement::generator());
+    weights.push(-share_fold);
+    multiexp(&points, &weights).is_identity()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bivariate::SymmetricBivariate;
+    use crate::univariate::Univariate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(t: usize, seed: u64) -> (SymmetricBivariate, CommitmentMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = Scalar::random(&mut rng);
+        let poly = SymmetricBivariate::random_with_secret(&mut rng, t, secret);
+        let commitment = CommitmentMatrix::commit(&poly);
+        (poly, commitment)
+    }
+
+    fn honest_claims(poly: &SymmetricBivariate, verifier: u64, senders: u64) -> Vec<PointClaim> {
+        (1..=senders)
+            .map(|m| {
+                PointClaim::new(
+                    verifier,
+                    m,
+                    poly.evaluate(Scalar::from_u64(m), Scalar::from_u64(verifier)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accepts_honest_point_batches() {
+        let (poly, commitment) = setup(3, 1);
+        let claims = honest_claims(&poly, 2, 7);
+        assert!(verify_points_batch(&commitment, &claims));
+    }
+
+    #[test]
+    fn rejects_any_single_corruption() {
+        let (poly, commitment) = setup(2, 2);
+        for bad in 0..5 {
+            let mut claims = honest_claims(&poly, 3, 5);
+            claims[bad].value += Scalar::one();
+            assert!(
+                !verify_points_batch(&commitment, &claims),
+                "corrupted claim {bad} slipped through"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let (poly, commitment) = setup(2, 3);
+        assert!(verify_points_batch(&commitment, &[]));
+        let claims = honest_claims(&poly, 1, 1);
+        assert!(verify_points_batch(&commitment, &claims));
+        let bad = [PointClaim::new(1, 1, claims[0].value + Scalar::one())];
+        assert!(!verify_points_batch(&commitment, &bad));
+    }
+
+    #[test]
+    fn multi_matrix_batches_fold_into_one_check() {
+        let (poly_a, commitment_a) = setup(2, 4);
+        let (poly_b, commitment_b) = setup(3, 5);
+        let mut batch = BatchVerifier::new();
+        for claim in honest_claims(&poly_a, 4, 4) {
+            batch.push(&commitment_a, claim);
+        }
+        for claim in honest_claims(&poly_b, 2, 6) {
+            batch.push(&commitment_b, claim);
+        }
+        assert_eq!(batch.len(), 10);
+        assert!(batch.verify());
+
+        let mut bad = BatchVerifier::new();
+        for claim in honest_claims(&poly_a, 4, 4) {
+            bad.push(&commitment_a, claim);
+        }
+        bad.push(
+            &commitment_b,
+            PointClaim::new(2, 1, Scalar::from_u64(12345)),
+        );
+        assert!(!bad.verify());
+    }
+
+    #[test]
+    fn share_batches_match_share_commitment() {
+        let (poly, commitment) = setup(3, 6);
+        let shares: Vec<(u64, Scalar)> = (1..=6u64)
+            .map(|m| (m, poly.row(m).constant_term()))
+            .collect();
+        assert!(verify_shares_batch(&commitment, &shares));
+        let mut bad = shares.clone();
+        bad[4].1 += Scalar::one();
+        assert!(!verify_shares_batch(&commitment, &bad));
+    }
+
+    #[test]
+    fn vector_share_batches_match_verify_share() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let poly = Univariate::random(&mut rng, 3);
+        let vector = CommitmentVector::commit(&poly);
+        let shares: Vec<(u64, Scalar)> =
+            (1..=5u64).map(|i| (i, poly.evaluate_at_index(i))).collect();
+        assert!(verify_vector_shares_batch(&vector, &shares));
+        let mut bad = shares.clone();
+        bad[0].1 += Scalar::one();
+        assert!(!verify_vector_shares_batch(&vector, &bad));
+    }
+
+    #[test]
+    fn partition_keeps_exactly_the_valid_shares() {
+        let (poly, commitment) = setup(2, 8);
+        let mut shares: Vec<(u64, Scalar)> = (1..=5u64)
+            .map(|m| (m, poly.row(m).constant_term()))
+            .collect();
+        // All valid: returned untouched.
+        assert_eq!(partition_valid_shares(&commitment, shares.clone()), shares);
+        // Corrupt two of them: exactly the other three survive.
+        shares[1].1 += Scalar::one();
+        shares[3].1 += Scalar::from_u64(7);
+        let kept = partition_valid_shares(&commitment, shares.clone());
+        let expected: Vec<(u64, Scalar)> = [0usize, 2, 4].iter().map(|&k| shares[k]).collect();
+        assert_eq!(kept, expected);
+    }
+
+    #[test]
+    fn coefficients_are_bound_to_the_claims() {
+        // Changing any part of a claim changes its Fiat–Shamir coefficient
+        // stream; this just pins the derivation so accidental transcript
+        // omissions (e.g. dropping the matrix bytes) would be caught.
+        let (poly, commitment) = setup(2, 9);
+        let claims = honest_claims(&poly, 3, 3);
+        let mut t1 = b"dkg-batch-verify-point-v1".to_vec();
+        t1.extend_from_slice(&commitment.to_bytes());
+        for claim in &claims {
+            append_claim(&mut t1, claim);
+        }
+        let mut t2 = t1.clone();
+        *t2.last_mut().unwrap() ^= 1;
+        let mut s1 = CoefficientStream::new(&t1);
+        let mut s2 = CoefficientStream::new(&t2);
+        assert_eq!(s1.next_coefficient(), s2.next_coefficient()); // both fixed to 1
+        assert_ne!(s1.next_coefficient(), s2.next_coefficient());
+    }
+}

@@ -23,6 +23,7 @@ impl SymmetricBivariate {
     /// `f(0,0) = secret`.
     pub fn random_with_secret<R: Rng + ?Sized>(rng: &mut R, t: usize, secret: Scalar) -> Self {
         let mut coeffs = vec![vec![Scalar::zero(); t + 1]; t + 1];
+        #[allow(clippy::needless_range_loop)] // fills (j,l) and (l,j) simultaneously
         for j in 0..=t {
             for l in j..=t {
                 let value = if j == 0 && l == 0 {
@@ -45,6 +46,7 @@ impl SymmetricBivariate {
         if n == 0 || coeffs.iter().any(|row| row.len() != n) {
             return None;
         }
+        #[allow(clippy::needless_range_loop)] // symmetric pair (j,l)/(l,j) comparison
         for j in 0..n {
             for l in 0..j {
                 if coeffs[j][l] != coeffs[l][j] {
@@ -176,10 +178,7 @@ mod tests {
         let shares: Vec<(u64, Scalar)> = (1..=t as u64 + 1)
             .map(|i| (i, f.row(i).constant_term()))
             .collect();
-        assert_eq!(
-            crate::univariate::interpolate_secret(&shares),
-            Some(secret)
-        );
+        assert_eq!(crate::univariate::interpolate_secret(&shares), Some(secret));
     }
 
     #[test]

@@ -205,7 +205,11 @@ impl CommitmentVector {
     /// Commits to a univariate polynomial.
     pub fn commit(poly: &Univariate) -> Self {
         CommitmentVector {
-            entries: poly.coefficients().iter().map(GroupElement::commit).collect(),
+            entries: poly
+                .coefficients()
+                .iter()
+                .map(GroupElement::commit)
+                .collect(),
         }
     }
 
@@ -377,7 +381,10 @@ mod tests {
         );
         for i in 1..=3u64 {
             let share_sum = f1.row(i).constant_term() + f2.row(i).constant_term();
-            assert_eq!(combined.share_commitment(i), GroupElement::commit(&share_sum));
+            assert_eq!(
+                combined.share_commitment(i),
+                GroupElement::commit(&share_sum)
+            );
         }
     }
 
@@ -443,7 +450,10 @@ mod tests {
             let lambda = Scalar::lagrange_coefficient(&indices, idx, Scalar::zero()).unwrap();
             expected_secret += lambda * poly.constant_term();
         }
-        assert_eq!(combined.public_key(), GroupElement::commit(&expected_secret));
+        assert_eq!(
+            combined.public_key(),
+            GroupElement::commit(&expected_secret)
+        );
     }
 
     #[test]

@@ -10,15 +10,23 @@
 //! * [`CommitmentMatrix`] / [`CommitmentVector`] — Feldman commitments with
 //!   the paper's `verify-poly` and `verify-point` predicates and the
 //!   entry-wise combination rules used by the DKG, share renewal and node
-//!   addition.
+//!   addition,
+//! * [`batch`] — the batched verification engine: random-linear-combination
+//!   folding of many `verify-point` / share checks into a single Pippenger
+//!   multi-exponentiation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bivariate;
 pub mod commitment;
 pub mod univariate;
 
+pub use batch::{
+    partition_valid_shares, verify_points_batch, verify_shares_batch, verify_vector_shares_batch,
+    BatchVerifier, PointClaim,
+};
 pub use bivariate::SymmetricBivariate;
 pub use commitment::{CommitmentError, CommitmentMatrix, CommitmentVector};
 pub use univariate::{interpolate_at, interpolate_polynomial, interpolate_secret, Univariate};

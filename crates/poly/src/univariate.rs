@@ -224,7 +224,9 @@ mod tests {
         let mut r = rng();
         let t = 3;
         let f = Univariate::random(&mut r, t);
-        let shares: Vec<(u64, Scalar)> = (1..=t as u64 + 1).map(|i| (i, f.evaluate_at_index(i))).collect();
+        let shares: Vec<(u64, Scalar)> = (1..=t as u64 + 1)
+            .map(|i| (i, f.evaluate_at_index(i)))
+            .collect();
         assert_eq!(interpolate_secret(&shares), Some(f.constant_term()));
     }
 

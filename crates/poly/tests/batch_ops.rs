@@ -1,0 +1,91 @@
+//! Group-operation accounting for the batch verification engine.
+//!
+//! The acceptance bar for the batching PR is stated in the paper's own cost
+//! unit: batched verification of 256 shares must perform *fewer group
+//! operations* than 256 individual `verify-point` calls. `dkg_arith::ops`
+//! counts every projective addition and doubling on the current thread, so
+//! the claim is asserted exactly rather than inferred from wall-clock time.
+
+use dkg_arith::{ops, PrimeField, Scalar};
+use dkg_poly::{
+    verify_points_batch, verify_shares_batch, CommitmentMatrix, PointClaim, SymmetricBivariate,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: u64 = 256;
+
+fn setup(t: usize) -> (SymmetricBivariate, CommitmentMatrix) {
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    let secret = Scalar::random(&mut rng);
+    let poly = SymmetricBivariate::random_with_secret(&mut rng, t, secret);
+    let commitment = CommitmentMatrix::commit(&poly);
+    // Warm the lazy fixed-base generator table so its one-time construction
+    // is not attributed to either measured side.
+    let _ = dkg_arith::GroupElement::commit(&Scalar::one());
+    (poly, commitment)
+}
+
+#[test]
+fn batched_verify_point_beats_256_individual_calls() {
+    let t = 3;
+    let verifier = 5u64;
+    let (poly, commitment) = setup(t);
+    let claims: Vec<PointClaim> = (1..=N)
+        .map(|m| {
+            PointClaim::new(
+                verifier,
+                m,
+                poly.evaluate(Scalar::from_u64(m), Scalar::from_u64(verifier)),
+            )
+        })
+        .collect();
+
+    let (all_ok, individual) = ops::measure(|| {
+        claims
+            .iter()
+            .all(|c| commitment.verify_point(c.verifier, c.sender, c.value))
+    });
+    assert!(all_ok);
+
+    let (batch_ok, batched) = ops::measure(|| verify_points_batch(&commitment, &claims));
+    assert!(batch_ok);
+
+    assert!(
+        batched.total() < individual.total(),
+        "batch used {} group ops, individual used {}",
+        batched.total(),
+        individual.total()
+    );
+    // The win must be structural (one multiexp instead of 256), not marginal.
+    assert!(
+        batched.total() * 20 < individual.total(),
+        "expected ≥20× fewer group ops, got {} vs {}",
+        batched.total(),
+        individual.total()
+    );
+}
+
+#[test]
+fn batched_share_commitment_beats_individual_checks() {
+    let t = 3;
+    let (poly, commitment) = setup(t);
+    let shares: Vec<(u64, Scalar)> = (1..=N).map(|m| (m, poly.row(m).constant_term())).collect();
+
+    let (all_ok, individual) = ops::measure(|| {
+        shares
+            .iter()
+            .all(|&(m, s)| commitment.share_commitment(m) == dkg_arith::GroupElement::commit(&s))
+    });
+    assert!(all_ok);
+
+    let (batch_ok, batched) = ops::measure(|| verify_shares_batch(&commitment, &shares));
+    assert!(batch_ok);
+
+    assert!(
+        batched.total() * 20 < individual.total(),
+        "expected ≥20× fewer group ops, got {} vs {}",
+        batched.total(),
+        individual.total()
+    );
+}

@@ -2,7 +2,8 @@
 
 use dkg_arith::{PrimeField, Scalar};
 use dkg_poly::{
-    interpolate_secret, CommitmentMatrix, CommitmentVector, SymmetricBivariate, Univariate,
+    interpolate_secret, verify_points_batch, verify_vector_shares_batch, CommitmentMatrix,
+    CommitmentVector, PointClaim, SymmetricBivariate, Univariate,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -127,5 +128,67 @@ proptest! {
         let v = CommitmentVector::commit(&poly);
         prop_assert!(v.verify_share(i, poly.evaluate_at_index(i)));
         prop_assert!(!v.verify_share(i, poly.evaluate_at_index(i) + Scalar::one()));
+    }
+
+    /// Batched verification accepts exactly when every per-share
+    /// `verify-point` accepts: complete agreement on honest batches.
+    #[test]
+    fn batch_accepts_iff_individual_accepts(
+        seed in any::<u64>(), t in 1usize..4, i in 1u64..8, n in 1usize..12
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = Scalar::random(&mut rng);
+        let f = SymmetricBivariate::random_with_secret(&mut rng, t, secret);
+        let c = CommitmentMatrix::commit(&f);
+        let claims: Vec<PointClaim> = (1..=n as u64)
+            .map(|m| PointClaim::new(i, m, f.evaluate(Scalar::from_u64(m), Scalar::from_u64(i))))
+            .collect();
+        prop_assert!(claims.iter().all(|cl| c.verify_point(cl.verifier, cl.sender, cl.value)));
+        prop_assert!(verify_points_batch(&c, &claims));
+    }
+
+    /// A single corrupted tuple makes the batch reject — the RLC fold must
+    /// not mask a bad share behind good ones — and per-share verification
+    /// pinpoints exactly the corrupted tuple.
+    #[test]
+    fn batch_rejects_single_corrupted_share(
+        seed in any::<u64>(),
+        t in 1usize..4,
+        i in 1u64..8,
+        n in 1usize..10,
+        bad in any::<usize>(),
+        delta in 1u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = Scalar::random(&mut rng);
+        let f = SymmetricBivariate::random_with_secret(&mut rng, t, secret);
+        let c = CommitmentMatrix::commit(&f);
+        let mut claims: Vec<PointClaim> = (1..=n as u64)
+            .map(|m| PointClaim::new(i, m, f.evaluate(Scalar::from_u64(m), Scalar::from_u64(i))))
+            .collect();
+        let bad = bad % n;
+        claims[bad].value += Scalar::from_u64(delta);
+        prop_assert!(!verify_points_batch(&c, &claims));
+        for (k, cl) in claims.iter().enumerate() {
+            prop_assert_eq!(c.verify_point(cl.verifier, cl.sender, cl.value), k != bad);
+        }
+    }
+
+    /// The univariate (commitment-vector) batch agrees with `verify_share`
+    /// on valid shares and rejects any single corruption.
+    #[test]
+    fn vector_batch_agrees_with_verify_share(
+        seed in any::<u64>(), t in 1usize..5, n in 1usize..10, bad in any::<usize>()
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let poly = Univariate::random(&mut rng, t);
+        let v = CommitmentVector::commit(&poly);
+        let shares: Vec<(u64, Scalar)> = (1..=n as u64)
+            .map(|idx| (idx, poly.evaluate_at_index(idx)))
+            .collect();
+        prop_assert!(verify_vector_shares_batch(&v, &shares));
+        let mut corrupted = shares.clone();
+        corrupted[bad % n].1 += Scalar::one();
+        prop_assert!(!verify_vector_shares_batch(&v, &corrupted));
     }
 }

@@ -35,13 +35,8 @@ pub enum Verdict {
 pub trait Adversary {
     /// Called for every message send; returns the scheduling verdict.
     /// `kind` is the message's wire label (e.g. `"echo"`).
-    fn on_message(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        kind: &'static str,
-        now: SimTime,
-    ) -> Verdict;
+    fn on_message(&mut self, from: NodeId, to: NodeId, kind: &'static str, now: SimTime)
+        -> Verdict;
 
     /// The set of nodes this adversary has corrupted (Byzantine nodes).
     /// Used by the simulator to decide which `Drop`/`DelayBy` verdicts are
@@ -231,9 +226,7 @@ mod tests {
 
     #[test]
     fn crash_schedule_sorts_and_counts() {
-        let schedule = CrashSchedule::new()
-            .outage(1, 50, 150)
-            .crash_at(2, 10);
+        let schedule = CrashSchedule::new().outage(1, 50, 150).crash_at(2, 10);
         let events = schedule.events();
         assert_eq!(events[0], (10, CrashEvent::Crash(2)));
         assert_eq!(events[1], (50, CrashEvent::Crash(1)));

@@ -133,10 +133,28 @@ mod tests {
         assert_eq!(m.byte_count(), 300);
         assert_eq!(m.delivered_count(), 1);
         assert_eq!(m.dropped_to_crashed(), 1);
-        assert_eq!(m.kind("echo"), Tally { messages: 2, bytes: 250 });
-        assert_eq!(m.kind("ready"), Tally { messages: 1, bytes: 50 });
+        assert_eq!(
+            m.kind("echo"),
+            Tally {
+                messages: 2,
+                bytes: 250
+            }
+        );
+        assert_eq!(
+            m.kind("ready"),
+            Tally {
+                messages: 1,
+                bytes: 50
+            }
+        );
         assert_eq!(m.kind("send"), Tally::default());
-        assert_eq!(m.by_sender()[&1], Tally { messages: 2, bytes: 150 });
+        assert_eq!(
+            m.by_sender()[&1],
+            Tally {
+                messages: 2,
+                bytes: 150
+            }
+        );
         assert!(m.report().contains("echo"));
     }
 

@@ -95,7 +95,9 @@ impl Default for DelayFunction {
 impl DelayFunction {
     /// The timeout to use after `retries` unsuccessful attempts.
     pub fn timeout(&self, retries: u32) -> SimTime {
-        let doubled = self.base.saturating_mul(1u64.checked_shl(retries.min(32)).unwrap_or(u64::MAX));
+        let doubled = self
+            .base
+            .saturating_mul(1u64.checked_shl(retries.min(32)).unwrap_or(u64::MAX));
         doubled.min(self.cap)
     }
 }
@@ -159,7 +161,10 @@ mod tests {
 
     #[test]
     fn delay_function_doubles_and_caps() {
-        let f = DelayFunction { base: 100, cap: 1000 };
+        let f = DelayFunction {
+            base: 100,
+            cap: 1000,
+        };
         assert_eq!(f.timeout(0), 100);
         assert_eq!(f.timeout(1), 200);
         assert_eq!(f.timeout(2), 400);
@@ -169,7 +174,12 @@ mod tests {
 
     #[test]
     fn link_outage_window_and_direction() {
-        let outage = LinkOutage { from: 1, to: 2, start: 100, end: 200 };
+        let outage = LinkOutage {
+            from: 1,
+            to: 2,
+            start: 100,
+            end: 200,
+        };
         assert!(outage.active_at(100));
         assert!(outage.active_at(199));
         assert!(!outage.active_at(200));

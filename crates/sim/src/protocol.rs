@@ -133,7 +133,11 @@ pub trait Protocol {
     fn id(&self) -> NodeId;
 
     /// Handles an operator `in` message.
-    fn on_operator(&mut self, input: Self::Operator, sink: &mut ActionSink<Self::Message, Self::Output>);
+    fn on_operator(
+        &mut self,
+        input: Self::Operator,
+        sink: &mut ActionSink<Self::Message, Self::Output>,
+    );
 
     /// Handles a network message from `from`.
     fn on_message(

@@ -145,7 +145,7 @@ mod tests {
         assert_eq!(cfg.n(), 7);
         assert_eq!(cfg.t, 1);
         assert_eq!(cfg.f, 1);
-        assert!(cfg.n() >= 3 * cfg.t + 2 * cfg.f + 1);
+        assert!(cfg.n() > 3 * cfg.t + 2 * cfg.f);
         assert_eq!(cfg.echo_threshold(), 5); // ceil((7+1+1)/2)
         assert_eq!(cfg.ready_amplify_threshold(), 2);
         assert_eq!(cfg.completion_threshold(), 5);

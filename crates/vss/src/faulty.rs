@@ -96,7 +96,12 @@ impl Protocol for EquivocatingDealer {
         // Stays silent: contributes nothing to echo/ready quorums.
     }
 
-    fn on_timer(&mut self, _timer: dkg_sim::TimerId, _sink: &mut ActionSink<VssMessage, VssOutput>) {}
+    fn on_timer(
+        &mut self,
+        _timer: dkg_sim::TimerId,
+        _sink: &mut ActionSink<VssMessage, VssOutput>,
+    ) {
+    }
 }
 
 /// A dealer that only sends valid `send` messages to the first `reach` nodes
@@ -168,7 +173,12 @@ impl Protocol for SilentDealer {
     ) {
     }
 
-    fn on_timer(&mut self, _timer: dkg_sim::TimerId, _sink: &mut ActionSink<VssMessage, VssOutput>) {}
+    fn on_timer(
+        &mut self,
+        _timer: dkg_sim::TimerId,
+        _sink: &mut ActionSink<VssMessage, VssOutput>,
+    ) {
+    }
 }
 
 #[cfg(test)]

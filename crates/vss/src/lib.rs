@@ -52,8 +52,6 @@ pub mod node;
 pub mod standalone;
 
 pub use config::{CommitmentMode, ConfigError, VssConfig};
-pub use messages::{
-    CommitmentRef, ReadyWitness, SessionId, VssInput, VssMessage, VssOutput,
-};
+pub use messages::{CommitmentRef, ReadyWitness, SessionId, VssInput, VssMessage, VssOutput};
 pub use node::{SigningContext, VssAction, VssNode};
 pub use standalone::StandaloneVss;

@@ -161,9 +161,9 @@ impl WireSize for VssMessage {
     fn wire_size(&self) -> usize {
         let base = field_size::TAG + SessionId::ENCODED_LEN;
         match self {
-            VssMessage::Send { commitment, row, .. } => {
-                base + commitment.encoded_len() + (row.degree() + 1) * field_size::SCALAR
-            }
+            VssMessage::Send {
+                commitment, row, ..
+            } => base + commitment.encoded_len() + (row.degree() + 1) * field_size::SCALAR,
             VssMessage::Echo { commitment, .. } => {
                 base + commitment.wire_size() + field_size::SCALAR
             }
@@ -288,10 +288,7 @@ mod tests {
             commitment: c.clone(),
             row: dkg_poly::Univariate::zero(3),
         };
-        assert_eq!(
-            send.wire_size(),
-            1 + 16 + c.encoded_len() + 4 * 32
-        );
+        assert_eq!(send.wire_size(), 1 + 16 + c.encoded_len() + 4 * 32);
         let help = VssMessage::Help { session };
         assert_eq!(help.wire_size(), 17);
         assert_eq!(help.session(), session);
@@ -303,7 +300,13 @@ mod tests {
         let d2 = [2u8; 32];
         let s1 = SessionId::new(1, 0);
         let s2 = SessionId::new(2, 0);
-        assert_ne!(ReadyWitness::payload(&s1, &d1), ReadyWitness::payload(&s1, &d2));
-        assert_ne!(ReadyWitness::payload(&s1, &d1), ReadyWitness::payload(&s2, &d1));
+        assert_ne!(
+            ReadyWitness::payload(&s1, &d1),
+            ReadyWitness::payload(&s1, &d2)
+        );
+        assert_ne!(
+            ReadyWitness::payload(&s1, &d1),
+            ReadyWitness::payload(&s2, &d1)
+        );
     }
 }

@@ -13,7 +13,10 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use dkg_arith::{PrimeField, Scalar};
 use dkg_crypto::{Digest, KeyDirectory, NodeId, SigningKey};
-use dkg_poly::{interpolate_polynomial, interpolate_secret, CommitmentMatrix, SymmetricBivariate, Univariate};
+use dkg_poly::{
+    interpolate_polynomial, interpolate_secret, partition_valid_shares, verify_points_batch,
+    CommitmentMatrix, PointClaim, SymmetricBivariate, Univariate,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -98,8 +101,12 @@ pub struct VssNode {
     completed: Option<(CommitmentMatrix, Scalar)>,
     completed_witnesses: Vec<ReadyWitness>,
 
-    /// Reconstruction state.
+    /// Reconstruction state. Incoming shares are pooled unverified in
+    /// `reconstruct_pending`; once a potential quorum exists they are
+    /// batch-verified in one folded multiexp and promoted to
+    /// `reconstruct_shares` (see [`dkg_poly::batch`]).
     reconstruct_started: bool,
+    reconstruct_pending: BTreeMap<NodeId, Scalar>,
     reconstruct_shares: BTreeMap<NodeId, Scalar>,
     reconstructed: Option<Scalar>,
 
@@ -137,6 +144,7 @@ impl VssNode {
             completed: None,
             completed_witnesses: Vec::new(),
             reconstruct_started: false,
+            reconstruct_pending: BTreeMap::new(),
             reconstruct_shares: BTreeMap::new(),
             reconstructed: None,
             outbox: BTreeMap::new(),
@@ -321,7 +329,9 @@ impl VssNode {
         // Learn the commitment if it was carried inline.
         if let Some(matrix) = commitment.matrix() {
             if matrix.threshold() == self.config.t {
-                self.commitments.entry(digest).or_insert_with(|| matrix.clone());
+                self.commitments
+                    .entry(digest)
+                    .or_insert_with(|| matrix.clone());
             }
         }
         if !self.commitments.contains_key(&digest) {
@@ -334,18 +344,40 @@ impl VssNode {
             });
             return;
         }
-        self.process_point(digest, from, point, is_ready, signature, actions);
+        self.process_point(digest, from, point, is_ready, signature, false, actions);
     }
 
     fn flush_pending(&mut self, digest: Digest, actions: &mut Vec<VssAction>) {
         let Some(pending) = self.pending.remove(&digest) else {
             return;
         };
+        // Verify the whole buffered batch with one folded multiexp instead
+        // of one `verify-point` multiexp per message. If the fold rejects,
+        // some buffered point is bad: fall back to per-point verification so
+        // only the bad tuples are discarded (RLC accepts ⇒ every tuple
+        // verifies, so the fast path never admits a point the slow path
+        // would reject).
+        let batch_ok = pending.len() > 1 && {
+            let claims: Vec<PointClaim> = pending
+                .iter()
+                .map(|p| PointClaim::new(self.id, p.from, p.point))
+                .collect();
+            verify_points_batch(&self.commitments[&digest], &claims)
+        };
         for p in pending {
-            self.process_point(digest, p.from, p.point, p.is_ready, p.signature, actions);
+            self.process_point(
+                digest,
+                p.from,
+                p.point,
+                p.is_ready,
+                p.signature,
+                batch_ok,
+                actions,
+            );
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // Fig. 1's point-handler state plus the batch pre-verification flag
     fn process_point(
         &mut self,
         digest: Digest,
@@ -353,6 +385,7 @@ impl VssNode {
         point: Scalar,
         is_ready: bool,
         signature: Option<dkg_crypto::Signature>,
+        pre_verified: bool,
         actions: &mut Vec<VssAction>,
     ) {
         if self.completed.is_some() {
@@ -372,7 +405,7 @@ impl VssNode {
                 return;
             }
         }
-        if !commitment.verify_point(self.id, from, point) {
+        if !pre_verified && !commitment.verify_point(self.id, from, point) {
             return;
         }
         {
@@ -509,19 +542,29 @@ impl VssNode {
         if self.reconstructed.is_some() {
             return;
         }
-        let Some((commitment, _)) = &self.completed else {
-            return;
-        };
-        // Validate the share against the agreed commitment:
-        // g^{s_m} must equal Π_j (C_{j0})^{m^j}.
-        if commitment.share_commitment(from) != dkg_arith::GroupElement::commit(&share) {
+        if self.completed.is_none() || self.reconstruct_shares.contains_key(&from) {
             return;
         }
-        self.reconstruct_shares.insert(from, share);
-        if self.reconstruct_shares.len() == self.config.t + 1 {
+        // Pool the share unverified; each share must satisfy
+        // g^{s_m} = Π_j (C_{j0})^{m^j}, but validating lazily lets a whole
+        // quorum be checked with one folded multiexp instead of t + 1
+        // separate ones.
+        self.reconstruct_pending.insert(from, share);
+        let needed = self.config.t + 1;
+        if self.reconstruct_shares.len() + self.reconstruct_pending.len() < needed {
+            return;
+        }
+        let pending: Vec<(u64, Scalar)> = std::mem::take(&mut self.reconstruct_pending)
+            .into_iter()
+            .collect();
+        let (commitment, _) = self.completed.as_ref().expect("checked above");
+        self.reconstruct_shares
+            .extend(partition_valid_shares(commitment, pending));
+        if self.reconstruct_shares.len() >= needed {
             let shares: Vec<(u64, Scalar)> = self
                 .reconstruct_shares
                 .iter()
+                .take(needed)
                 .map(|(&m, &s)| (m, s))
                 .collect();
             let value = interpolate_secret(&shares).expect("distinct indices");
@@ -604,10 +647,15 @@ mod tests {
             }
         }
         while let Some((from, to, message)) = queue.pop() {
-            let Some(node) = nodes.get_mut(&to) else { continue };
+            let Some(node) = nodes.get_mut(&to) else {
+                continue;
+            };
             for action in node.handle_message(from, message) {
                 match action {
-                    VssAction::Send { to: next_to, message } => {
+                    VssAction::Send {
+                        to: next_to,
+                        message,
+                    } => {
                         queue.push((to, next_to, message));
                     }
                     VssAction::Output(o) => outputs.push((to, o)),
@@ -789,7 +837,10 @@ mod tests {
             .map(|i| {
                 (
                     i,
-                    nodes.get_mut(&i).unwrap().handle_input(VssInput::Reconstruct),
+                    nodes
+                        .get_mut(&i)
+                        .unwrap()
+                        .handle_input(VssInput::Reconstruct),
                 )
             })
             .collect();
@@ -803,6 +854,53 @@ mod tests {
             .collect();
         assert_eq!(reconstructed.len(), n);
         assert!(reconstructed.iter().all(|&v| v == secret));
+    }
+
+    /// A Byzantine node sends a corrupted reconstruction share: the batch
+    /// fold rejects, the per-share fallback discards exactly the bad share,
+    /// and reconstruction still recovers the dealer's secret from the
+    /// remaining honest quorum.
+    #[test]
+    fn reconstruction_survives_corrupted_share() {
+        let n = 4;
+        let cfg = config(n, 0, CommitmentMode::Full);
+        let session = SessionId::new(1, 0);
+        let mut nodes: BTreeMap<NodeId, VssNode> = (1..=n as u64)
+            .map(|i| (i, VssNode::new(i, cfg.clone(), session, 400 + i, None)))
+            .collect();
+        let secret = Scalar::from_u64(0xC0FFEE);
+        let initial = vec![(
+            1u64,
+            nodes
+                .get_mut(&1)
+                .unwrap()
+                .handle_input(VssInput::Share { secret }),
+        )];
+        run_synchronously(&mut nodes, initial);
+        assert!(nodes.values().all(|n| n.is_complete()));
+        let good: BTreeMap<NodeId, Scalar> = nodes
+            .iter()
+            .map(|(&i, node)| (i, node.share().unwrap()))
+            .collect();
+        // Node 1 receives a corrupted share from node 2 first, then honest
+        // shares from nodes 3 and 4 (t + 1 = 2 honest shares suffice).
+        let observer = nodes.get_mut(&1).unwrap();
+        let mut outputs = Vec::new();
+        for (from, share) in [
+            (2u64, good[&2] + Scalar::one()),
+            (3u64, good[&3]),
+            (4u64, good[&4]),
+        ] {
+            for action in
+                observer.handle_message(from, VssMessage::ReconstructShare { session, share })
+            {
+                if let VssAction::Output(VssOutput::Reconstructed { value, .. }) = action {
+                    outputs.push(value);
+                }
+            }
+        }
+        assert_eq!(outputs, vec![secret]);
+        assert_eq!(observer.reconstructed(), Some(secret));
     }
 
     #[test]

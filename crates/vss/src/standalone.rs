@@ -56,7 +56,11 @@ impl Protocol for StandaloneVss {
         Self::forward(self.node.handle_message(from, message), sink);
     }
 
-    fn on_timer(&mut self, _timer: dkg_sim::TimerId, _sink: &mut ActionSink<VssMessage, VssOutput>) {
+    fn on_timer(
+        &mut self,
+        _timer: dkg_sim::TimerId,
+        _sink: &mut ActionSink<VssMessage, VssOutput>,
+    ) {
         // HybridVSS itself uses no timers; timeouts appear only in the DKG's
         // leader-change logic (dkg-core).
     }

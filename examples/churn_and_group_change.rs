@@ -30,8 +30,7 @@ fn main() {
         node: (n + 1) as u64,
         adjustment: ParameterAdjustment::CrashLimit,
     };
-    let mut agreement: Simulation<GroupModNode> =
-        Simulation::new(NetworkConfig::default(), 5);
+    let mut agreement: Simulation<GroupModNode> = Simulation::new(NetworkConfig::default(), 5);
     for i in 1..=n as u64 {
         agreement.add_node(GroupModNode::new(i, setup.config.clone()));
     }
@@ -42,7 +41,10 @@ fn main() {
         .iter()
         .filter(|o| matches!(o.output, GroupModOutput::Accepted(_)))
         .count();
-    println!("add-node proposal accepted at {accepted}/{n} nodes ({} messages)", agreement.metrics().message_count());
+    println!(
+        "add-node proposal accepted at {accepted}/{n} nodes ({} messages)",
+        agreement.metrics().message_count()
+    );
 
     // --- 3. Reshare and hand the newcomer its share (§6.2). -------------
     let (renewed, renewal_sim) =

@@ -44,12 +44,21 @@ fn main() {
 
         // Invariants of §5.2: same public key, same secret, fresh shares.
         assert!(next.values().all(|s| s.public_key == public_key));
-        let shares: Vec<(u64, _)> = next.iter().take(t + 1).map(|(&i, s)| (i, s.share)).collect();
+        let shares: Vec<(u64, _)> = next
+            .iter()
+            .take(t + 1)
+            .map(|(&i, s)| (i, s.share))
+            .collect();
         let secret = interpolate_secret(&shares).unwrap();
         assert_eq!(GroupElement::commit(&secret), public_key);
         let refreshed = next
             .iter()
-            .filter(|(node, s)| previous.get(node).map(|p| p.share != s.share).unwrap_or(false))
+            .filter(|(node, s)| {
+                previous
+                    .get(node)
+                    .map(|p| p.share != s.share)
+                    .unwrap_or(false)
+            })
             .count();
         println!(
             "phase {phase} (renewal): {} nodes renewed, {} shares changed, key preserved, {} messages",
@@ -60,6 +69,9 @@ fn main() {
         states = next;
     }
 
-    println!("\nAfter 3 renewals an attacker needs t+1 = {} shares from a single phase;", t + 1);
+    println!(
+        "\nAfter 3 renewals an attacker needs t+1 = {} shares from a single phase;",
+        t + 1
+    );
     println!("shares stolen across different phases are useless together (proactive security).");
 }

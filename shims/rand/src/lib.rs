@@ -1,0 +1,218 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so instead of the real
+//! `rand` crate the workspace provides this shim: the [`RngCore`] / [`Rng`] /
+//! [`SeedableRng`] traits with the methods the DKG code actually calls
+//! (`fill`, `gen_range`, `seed_from_u64`) and a deterministic [`rngs::StdRng`]
+//! built on xoshiro256** seeded via splitmix64.
+//!
+//! The generator is *not* the real `StdRng` (ChaCha12) and makes no
+//! cryptographic claims beyond statistical quality; every use in this
+//! repository is either test/simulation randomness or explicitly seeded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of random `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random value generation, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Fills `dest` with random bytes (byte-slice specialisation of the real
+    /// crate's `Fill`-based method; byte slices are the only use here).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+
+    /// Samples a uniformly distributed value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A generator that can be instantiated from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+
+    /// Creates a generator seeded from system entropy. Offline shim: derived
+    /// from the current time; do not use where real entropy matters.
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E3779B97F4A7C15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+/// A range that can be sampled from uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, bound)` by rejection-free 128-bit multiply
+/// (Lemire's method without the bias-correcting retry; the bias is < 2⁻⁶⁴
+/// per sample, irrelevant for simulation and test workloads).
+fn uniform_below(rng: &mut (impl RngCore + ?Sized), bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    (((rng.next_u64() as u128) * (bound as u128)) >> 64) as u64
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u64, u32, u16, u8, usize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator standing in for `rand`'s
+    /// `StdRng`. Seeded via splitmix64 so that every 64-bit seed yields a
+    /// well-mixed initial state.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Returns a fresh, time-seeded generator (API-compatible convenience; the
+/// workspace itself always seeds explicitly).
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fill_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(10..=100);
+            assert!((10..=100).contains(&x));
+            let y: usize = rng.gen_range(0..7);
+            assert!(y < 7);
+        }
+    }
+
+    #[test]
+    fn gen_range_reaches_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (mut lo, mut hi) = (false, false);
+        for _ in 0..10_000 {
+            match rng.gen_range(0u64..=3) {
+                0 => lo = true,
+                3 => hi = true,
+                _ => {}
+            }
+        }
+        assert!(lo && hi);
+    }
+}

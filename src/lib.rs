@@ -1,0 +1,35 @@
+//! # dkg — Kate & Goldberg's hybrid DKG, reproduced in Rust
+//!
+//! Meta-crate over the workspace reproducing *Distributed Key Generation for
+//! the Internet* (Kate & Goldberg, ICDCS 2009). Each layer is its own crate;
+//! this crate re-exports them under one roof and hosts the cross-crate
+//! integration tests (`tests/`) and runnable walkthroughs (`examples/`).
+//!
+//! Layering (each crate depends only on the ones above it):
+//!
+//! 1. [`arith`] — fixed-width big integers, secp256k1 fields and group,
+//!    Pippenger multi-exponentiation, fixed-base tables, op counters.
+//! 2. [`crypto`] — SHA-256, Schnorr signatures, Merkle digests, keyring.
+//! 3. [`poly`] — univariate/bivariate polynomials, Feldman commitments and
+//!    the batched commitment-verification engine (Fiat–Shamir coefficients
+//!    via [`crypto`]).
+//! 4. [`sim`] — deterministic asynchronous network simulator with the
+//!    paper's hybrid failure model.
+//! 5. [`vss`] — HybridVSS (§3, Fig. 1).
+//! 6. [`core`] — the hybrid DKG (§4, Figs. 2–3), proactive refresh (§5) and
+//!    group modification (§6).
+//! 7. [`baselines`] — Feldman VSS / Joint-Feldman DKG comparators and
+//!    closed-form complexity models.
+//! 8. [`bench`] — the experiment harness reproducing the paper's tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dkg_arith as arith;
+pub use dkg_baselines as baselines;
+pub use dkg_bench as bench;
+pub use dkg_core as core;
+pub use dkg_crypto as crypto;
+pub use dkg_poly as poly;
+pub use dkg_sim as sim;
+pub use dkg_vss as vss;

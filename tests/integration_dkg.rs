@@ -48,7 +48,7 @@ fn dkg_shares_verify_against_the_commitment_matrix() {
             GroupElement::commit(&result.share)
         );
         assert_eq!(result.commitment.public_key(), result.public_key);
-        assert!(result.dealers.len() >= setup.config.t() + 1);
+        assert!(result.dealers.len() > setup.config.t());
     }
 }
 

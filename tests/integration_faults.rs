@@ -70,7 +70,10 @@ fn equivocating_dealer_cannot_split_the_honest_nodes() {
                 .and_then(|node| node.inner().commitment().map(|c| c.to_bytes()))
         })
         .collect();
-    assert!(commitments.len() <= 1, "honest nodes split between commitments");
+    assert!(
+        commitments.len() <= 1,
+        "honest nodes split between commitments"
+    );
 }
 
 #[test]
@@ -140,7 +143,11 @@ fn crash_recovery_mid_sharing_still_completes_everywhere() {
         .filter(|o| matches!(o.output, VssOutput::Shared { .. }))
         .map(|o| o.node)
         .collect();
-    assert_eq!(completed.len(), n, "finally-up nodes (incl. the recovered one) all complete");
+    assert_eq!(
+        completed.len(),
+        n,
+        "finally-up nodes (incl. the recovered one) all complete"
+    );
     assert!(sim.metrics().kind("vss-help").messages > 0);
 }
 

@@ -24,7 +24,11 @@ fn mobile_adversary_across_phases_learns_nothing_useful() {
     let pk = phase0[&1].public_key;
 
     // t+1 shares from one phase: works.
-    let same_phase: Vec<(u64, Scalar)> = phase1.iter().take(t + 1).map(|(&i, s)| (i, s.share)).collect();
+    let same_phase: Vec<(u64, Scalar)> = phase1
+        .iter()
+        .take(t + 1)
+        .map(|(&i, s)| (i, s.share))
+        .collect();
     assert_eq!(
         GroupElement::commit(&interpolate_secret(&same_phase).unwrap()),
         pk
@@ -104,9 +108,13 @@ fn full_membership_change_lifecycle() {
     // 4. The new node's share extends the *current* sharing: any t existing
     //    (phase-0) shares plus the new share reconstruct the same secret, so
     //    the newcomer can participate without anyone else changing shares.
-    let mut shares: Vec<(u64, Scalar)> = phase0.iter().take(t).map(|(&i, s)| (i, s.share)).collect();
+    let mut shares: Vec<(u64, Scalar)> =
+        phase0.iter().take(t).map(|(&i, s)| (i, s.share)).collect();
     shares.push((5, new_share));
-    assert_eq!(GroupElement::commit(&interpolate_secret(&shares).unwrap()), pk);
+    assert_eq!(
+        GroupElement::commit(&interpolate_secret(&shares).unwrap()),
+        pk
+    );
 
     // 5. Parameters update at the phase change; node removal keeps the bound.
     let grown = apply_group_changes(&setup.config, &[change]).unwrap();

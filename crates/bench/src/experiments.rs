@@ -38,8 +38,7 @@ pub fn run_vss(
     crashes: Option<CrashSchedule>,
     seed: u64,
 ) -> VssRun {
-    let t = (n - 2 * f - 1) / 3;
-    let cfg = VssConfig::new((1..=n as u64).collect(), t, f, 16, mode).expect("valid parameters");
+    let cfg = VssConfig::standard_with_mode(n, f, mode).expect("valid parameters");
     let session = SessionId::new(1, 0);
     let mut sim = Simulation::new(
         NetworkConfig {

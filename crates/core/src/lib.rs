@@ -40,6 +40,7 @@ pub mod messages;
 pub mod node;
 pub mod proactive;
 pub mod runner;
+pub mod wire;
 
 pub use config::{DkgConfig, NodeKeys};
 pub use messages::{
@@ -48,6 +49,7 @@ pub use messages::{
 };
 pub use node::{DkgNode, DkgResult};
 pub use proactive::{
-    run_initial_phase, run_renewal_phase, PhaseState, RenewalError, RenewalOptions,
+    plan_renewal, run_initial_phase, run_renewal_phase, PhaseState, RenewalError, RenewalOptions,
+    RenewalPlan,
 };
 pub use runner::{collect_outcomes, run_key_generation, NodeOutcome, SystemSetup};

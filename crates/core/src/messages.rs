@@ -46,9 +46,10 @@ impl Proposal {
         out
     }
 
-    /// Wire size.
+    /// Wire size: the exact length of the canonical encoding (`u32` count
+    /// prefix plus the dealer ids).
     pub fn wire_size(&self) -> usize {
-        field_size::COUNTER + field_size::NODE_ID * self.dealers.len()
+        dkg_wire::WireEncode::encoded_len(self)
     }
 }
 
@@ -81,9 +82,9 @@ pub struct DealerProof {
 }
 
 impl DealerProof {
-    /// Wire size.
+    /// Wire size: the exact length of the canonical encoding.
     pub fn wire_size(&self) -> usize {
-        field_size::NODE_ID + field_size::DIGEST + self.witnesses.len() * ReadyWitness::ENCODED_LEN
+        dkg_wire::WireEncode::encoded_len(self)
     }
 }
 
@@ -102,16 +103,9 @@ pub enum Justification {
 }
 
 impl Justification {
-    /// Wire size.
+    /// Wire size: the exact length of the canonical encoding.
     pub fn wire_size(&self) -> usize {
-        match self {
-            Justification::ReadyProofs(proofs) => {
-                proofs.iter().map(DealerProof::wire_size).sum::<usize>() + field_size::TAG
-            }
-            Justification::EchoCertificate(votes) | Justification::ReadyCertificate(votes) => {
-                votes.len() * SignedVote::ENCODED_LEN + field_size::TAG
-            }
-        }
+        dkg_wire::WireEncode::encoded_len(self)
     }
 }
 
@@ -202,33 +196,13 @@ pub enum DkgMessage {
 }
 
 impl WireSize for DkgMessage {
+    /// The exact length of the message's canonical [`dkg_wire`] encoding.
+    /// Earlier revisions hand-estimated this from `field_size` constants and
+    /// drifted from reality on variable-length fields (length prefixes,
+    /// certificate vectors, justification payloads); it is now *defined* as
+    /// `encode().len()` and asserted equal by round-trip property tests.
     fn wire_size(&self) -> usize {
-        let base = field_size::TAG + field_size::COUNTER;
-        match self {
-            DkgMessage::Vss(m) => field_size::TAG + m.wire_size(),
-            DkgMessage::Send {
-                proposal,
-                justification,
-                lead_ch_certificate,
-                ..
-            } => {
-                base + field_size::COUNTER
-                    + proposal.wire_size()
-                    + justification.wire_size()
-                    + lead_ch_certificate.len() * SignedVote::ENCODED_LEN
-            }
-            DkgMessage::Echo { proposal, .. } | DkgMessage::Ready { proposal, .. } => {
-                base + field_size::COUNTER + proposal.wire_size() + field_size::SIGNATURE
-            }
-            DkgMessage::LeadCh { proposal, .. } => {
-                base + field_size::COUNTER
-                    + proposal
-                        .as_ref()
-                        .map(|(p, j)| p.wire_size() + j.wire_size())
-                        .unwrap_or(0)
-                    + field_size::SIGNATURE
-            }
-        }
+        dkg_wire::WireEncode::encoded_len(self)
     }
 
     fn kind(&self) -> &'static str {

@@ -119,16 +119,29 @@ pub fn run_initial_phase(
     (states, sim)
 }
 
-/// Runs share-renewal phase `tau` (≥ 1) from the previous phase's states.
-///
-/// Returns the renewed per-node states (only for nodes that completed the
-/// phase) and the simulation for metric inspection.
-pub fn run_renewal_phase(
+/// The transport-independent plan for a renewal phase: the §5.2 safeguards
+/// and tick schedule, shared by every harness that drives a renewal
+/// (the in-process simulator here, the byte-datagram endpoint runner in
+/// `dkg-engine`). Keeping this in one place means a future tightening of
+/// the safeguards cannot silently diverge between harnesses.
+#[derive(Clone, Debug)]
+pub struct RenewalPlan {
+    /// Expected resharing commitments `g^{s_d}` per dealer: a dealer
+    /// resharing anything other than its current share is ignored
+    /// ([`DkgNode::set_expected_dealer_commitments`]).
+    pub expected_commitments: BTreeMap<NodeId, GroupElement>,
+    /// `(node, tick time)` for each participating node: the local clock
+    /// ticks at which nodes reshare, with the deterministic pseudo-random
+    /// skew derived from the setup seed.
+    pub ticks: Vec<(NodeId, SimTime)>,
+}
+
+/// Validates a renewal phase's inputs and computes its [`RenewalPlan`].
+pub fn plan_renewal(
     setup: &SystemSetup,
     previous: &BTreeMap<NodeId, PhaseState>,
-    tau: u64,
     options: &RenewalOptions,
-) -> Result<(BTreeMap<NodeId, PhaseState>, Simulation<DkgNode>), RenewalError> {
+) -> Result<RenewalPlan, RenewalError> {
     let t = setup.config.t();
     let participating: Vec<NodeId> = previous
         .keys()
@@ -143,25 +156,51 @@ pub fn run_renewal_phase(
             return Err(RenewalError::UnknownNode(*node));
         }
     }
-
-    let mut sim = setup.build_simulation(tau, options.delay.clone());
-
-    // Register the expected resharing commitments g^{s_d} so that a dealer
-    // resharing anything other than its current share is ignored.
     let reference = previous
         .values()
         .next()
         .expect("at least one previous state");
-    let expected: BTreeMap<NodeId, GroupElement> = setup
+    let expected_commitments: BTreeMap<NodeId, GroupElement> = setup
         .config
         .vss
         .nodes
         .iter()
         .map(|&d| (d, reference.commitment.share_commitment(d)))
         .collect();
+    let ticks = participating
+        .iter()
+        .enumerate()
+        .map(|(idx, &node)| {
+            let tick = if options.clock_skew == 0 {
+                0
+            } else {
+                (setup.seed.wrapping_mul(31).wrapping_add(idx as u64 * 7919)) % options.clock_skew
+            };
+            (node, tick)
+        })
+        .collect();
+    Ok(RenewalPlan {
+        expected_commitments,
+        ticks,
+    })
+}
+
+/// Runs share-renewal phase `tau` (≥ 1) from the previous phase's states.
+///
+/// Returns the renewed per-node states (only for nodes that completed the
+/// phase) and the simulation for metric inspection.
+pub fn run_renewal_phase(
+    setup: &SystemSetup,
+    previous: &BTreeMap<NodeId, PhaseState>,
+    tau: u64,
+    options: &RenewalOptions,
+) -> Result<(BTreeMap<NodeId, PhaseState>, Simulation<DkgNode>), RenewalError> {
+    let plan = plan_renewal(setup, previous, options)?;
+
+    let mut sim = setup.build_simulation(tau, options.delay.clone());
     for &node in &setup.config.vss.nodes {
         if let Some(n) = sim.node_mut(node) {
-            n.set_expected_dealer_commitments(expected.clone());
+            n.set_expected_dealer_commitments(plan.expected_commitments.clone());
             // Every node in a renewal phase combines the agreed resharings by
             // Lagrange interpolation at index 0 — including nodes that have
             // no previous share to contribute (e.g. a node that was crashed
@@ -175,15 +214,9 @@ pub fn run_renewal_phase(
         sim.schedule_crash(node, 0);
     }
 
-    // Local clock ticks: each participating node reshardes its previous
+    // Local clock ticks: each participating node reshares its previous
     // share at its own (skewed) tick time.
-    for (idx, &node) in participating.iter().enumerate() {
-        let tick = if options.clock_skew == 0 {
-            0
-        } else {
-            // Deterministic pseudo-random skew derived from the seed.
-            (setup.seed.wrapping_mul(31).wrapping_add(idx as u64 * 7919)) % options.clock_skew
-        };
+    for &(node, tick) in &plan.ticks {
         let share = previous[&node].share;
         sim.schedule_operator(node, DkgInput::StartReshare { value: share }, tick);
     }

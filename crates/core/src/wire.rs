@@ -1,0 +1,253 @@
+//! Canonical wire codec for the DKG agreement messages ([`dkg_wire`]
+//! traits).
+//!
+//! Layout (all integers big-endian, lengths `u32`-prefixed):
+//!
+//! ```text
+//! DkgMessage       := tag:u8 body
+//!   0 vss          := VssMessage                         (see dkg-vss)
+//!   1 send         := tau:u64 rank:u64 proposal justification vote*
+//!   2 echo         := tau:u64 rank:u64 proposal signature:65B
+//!   3 ready        := tau:u64 rank:u64 proposal signature:65B
+//!   4 lead-ch      := tau:u64 new_rank:u64 option<proposal justification>
+//!                     signature:65B
+//! proposal         := count:u32 dealer:u64 × count       (strictly ascending)
+//! justification    := 0 dealer-proof* | 1 vote* | 2 vote*
+//! dealer-proof     := dealer:u64 digest:32B witness*
+//! vote             := node:u64 signature:65B
+//! ```
+//!
+//! Proposals are canonical on the wire: decoders reject dealer lists that
+//! are not strictly ascending, so equal proposals have equal encodings and
+//! the signatures over [`crate::messages::payload`] bind unambiguously.
+
+use dkg_crypto::Signature;
+use dkg_wire::{Reader, WireDecode, WireEncode, WireError, WireWrite};
+
+use crate::messages::{DealerProof, DkgMessage, Justification, Proposal, SignedVote};
+use dkg_vss::{ReadyWitness, VssMessage};
+
+impl WireEncode for Proposal {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_len(self.dealers().len());
+        for &dealer in self.dealers() {
+            w.put_u64(dealer);
+        }
+    }
+}
+
+impl WireDecode for Proposal {
+    const MIN_WIRE_LEN: usize = 4;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.len("proposal", dkg_wire::MAX_SEQUENCE_LEN, 8)?;
+        let mut dealers = Vec::with_capacity(len);
+        for _ in 0..len {
+            let dealer = r.u64()?;
+            if dealers.last().is_some_and(|&last| last >= dealer) {
+                return Err(WireError::InvalidValue {
+                    context: "proposal dealer list not strictly ascending",
+                });
+            }
+            dealers.push(dealer);
+        }
+        Ok(Proposal::new(dealers))
+    }
+}
+
+impl WireEncode for SignedVote {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_u64(self.node);
+        self.signature.encode_to(w);
+    }
+}
+
+impl WireDecode for SignedVote {
+    const MIN_WIRE_LEN: usize = SignedVote::ENCODED_LEN;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SignedVote {
+            node: r.u64()?,
+            signature: Signature::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for DealerProof {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_u64(self.dealer);
+        self.commitment_digest.encode_to(w);
+        self.witnesses.encode_to(w);
+    }
+}
+
+impl WireDecode for DealerProof {
+    // Dealer id, digest, and an empty witness list's length prefix.
+    const MIN_WIRE_LEN: usize = 8 + 32 + 4;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(DealerProof {
+            dealer: r.u64()?,
+            commitment_digest: <[u8; 32]>::decode_from(r)?,
+            witnesses: Vec::<ReadyWitness>::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for Justification {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        match self {
+            Justification::ReadyProofs(proofs) => {
+                w.put_u8(0);
+                proofs.encode_to(w);
+            }
+            Justification::EchoCertificate(votes) => {
+                w.put_u8(1);
+                votes.encode_to(w);
+            }
+            Justification::ReadyCertificate(votes) => {
+                w.put_u8(2);
+                votes.encode_to(w);
+            }
+        }
+    }
+}
+
+impl WireDecode for Justification {
+    // Tag byte plus an empty certificate's length prefix.
+    const MIN_WIRE_LEN: usize = 1 + 4;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(Justification::ReadyProofs(Vec::decode_from(r)?)),
+            1 => Ok(Justification::EchoCertificate(Vec::decode_from(r)?)),
+            2 => Ok(Justification::ReadyCertificate(Vec::decode_from(r)?)),
+            tag => Err(WireError::UnknownTag {
+                context: "justification",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for DkgMessage {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        match self {
+            DkgMessage::Vss(message) => {
+                w.put_u8(0);
+                message.encode_to(w);
+            }
+            DkgMessage::Send {
+                tau,
+                rank,
+                proposal,
+                justification,
+                lead_ch_certificate,
+            } => {
+                w.put_u8(1);
+                w.put_u64(*tau);
+                w.put_u64(*rank);
+                proposal.encode_to(w);
+                justification.encode_to(w);
+                lead_ch_certificate.encode_to(w);
+            }
+            DkgMessage::Echo {
+                tau,
+                rank,
+                proposal,
+                signature,
+            } => {
+                w.put_u8(2);
+                w.put_u64(*tau);
+                w.put_u64(*rank);
+                proposal.encode_to(w);
+                signature.encode_to(w);
+            }
+            DkgMessage::Ready {
+                tau,
+                rank,
+                proposal,
+                signature,
+            } => {
+                w.put_u8(3);
+                w.put_u64(*tau);
+                w.put_u64(*rank);
+                proposal.encode_to(w);
+                signature.encode_to(w);
+            }
+            DkgMessage::LeadCh {
+                tau,
+                new_rank,
+                proposal,
+                signature,
+            } => {
+                w.put_u8(4);
+                w.put_u64(*tau);
+                w.put_u64(*new_rank);
+                match proposal {
+                    None => w.put_u8(0),
+                    Some((proposal, justification)) => {
+                        w.put_u8(1);
+                        proposal.encode_to(w);
+                        justification.encode_to(w);
+                    }
+                }
+                signature.encode_to(w);
+            }
+        }
+    }
+}
+
+impl WireDecode for DkgMessage {
+    // Tag byte plus the smallest embedded VSS message.
+    const MIN_WIRE_LEN: usize = 1 + 1 + 16;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(DkgMessage::Vss(VssMessage::decode_from(r)?)),
+            1 => Ok(DkgMessage::Send {
+                tau: r.u64()?,
+                rank: r.u64()?,
+                proposal: Proposal::decode_from(r)?,
+                justification: Justification::decode_from(r)?,
+                lead_ch_certificate: Vec::decode_from(r)?,
+            }),
+            2 => Ok(DkgMessage::Echo {
+                tau: r.u64()?,
+                rank: r.u64()?,
+                proposal: Proposal::decode_from(r)?,
+                signature: Signature::decode_from(r)?,
+            }),
+            3 => Ok(DkgMessage::Ready {
+                tau: r.u64()?,
+                rank: r.u64()?,
+                proposal: Proposal::decode_from(r)?,
+                signature: Signature::decode_from(r)?,
+            }),
+            4 => {
+                let tau = r.u64()?;
+                let new_rank = r.u64()?;
+                let proposal = match r.u8()? {
+                    0 => None,
+                    1 => Some((Proposal::decode_from(r)?, Justification::decode_from(r)?)),
+                    tag => {
+                        return Err(WireError::UnknownTag {
+                            context: "lead-ch proposal option",
+                            tag,
+                        })
+                    }
+                };
+                Ok(DkgMessage::LeadCh {
+                    tau,
+                    new_rank,
+                    proposal,
+                    signature: Signature::decode_from(r)?,
+                })
+            }
+            tag => Err(WireError::UnknownTag {
+                context: "dkg message",
+                tag,
+            }),
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Codec properties for the DKG agreement messages: lossless round-trips,
+//! `wire_size()` == real encoded length, canonical proposals, and no panics
+//! on adversarially mangled bytes.
+//!
+//! `WIRE_FUZZ_CASES` raises the per-test case count (used by CI's fuzz step).
+
+use dkg_arith::{PrimeField, Scalar};
+use dkg_core::{DealerProof, DkgMessage, Justification, Proposal, SignedVote};
+use dkg_crypto::SigningKey;
+use dkg_poly::{CommitmentMatrix, SymmetricBivariate};
+use dkg_sim::WireSize;
+use dkg_vss::{CommitmentRef, ReadyWitness, SessionId, VssMessage};
+use dkg_wire::{WireDecode, WireEncode, WireError};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cases(default: u32) -> u32 {
+    std::env::var("WIRE_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Deterministically builds one of each message shape from a seed.
+fn sample_messages(seed: u64) -> Vec<DkgMessage> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let key = SigningKey::generate(&mut rng);
+    let sig = key.sign(&mut rng, b"dkg-roundtrip");
+    let proposal = Proposal::new((1..=(seed % 5 + 1)).collect());
+    let votes: Vec<SignedVote> = (1..=(seed % 4 + 1))
+        .map(|node| SignedVote {
+            node,
+            signature: sig,
+        })
+        .collect();
+    let secret = Scalar::random(&mut rng);
+    let f = SymmetricBivariate::random_with_secret(&mut rng, 2, secret);
+    let matrix = CommitmentMatrix::commit(&f);
+    let proofs: Vec<DealerProof> = (1..=(seed % 3 + 1))
+        .map(|dealer| DealerProof {
+            dealer,
+            commitment_digest: dkg_crypto::sha256(&matrix.to_bytes()),
+            witnesses: (1..=(seed % 3 + 1))
+                .map(|node| ReadyWitness {
+                    node,
+                    signature: sig,
+                })
+                .collect(),
+        })
+        .collect();
+    let session = SessionId::new(seed % 6 + 1, seed % 2);
+    vec![
+        DkgMessage::Vss(VssMessage::Echo {
+            session,
+            commitment: CommitmentRef::Full(matrix),
+            point: Scalar::random(&mut rng),
+        }),
+        DkgMessage::Send {
+            tau: seed % 2,
+            rank: seed % 3,
+            proposal: proposal.clone(),
+            justification: Justification::ReadyProofs(proofs),
+            lead_ch_certificate: votes.clone(),
+        },
+        DkgMessage::Send {
+            tau: seed % 2,
+            rank: 0,
+            proposal: proposal.clone(),
+            justification: Justification::EchoCertificate(votes.clone()),
+            lead_ch_certificate: Vec::new(),
+        },
+        DkgMessage::Echo {
+            tau: seed % 2,
+            rank: seed % 3,
+            proposal: proposal.clone(),
+            signature: sig,
+        },
+        DkgMessage::Ready {
+            tau: seed % 2,
+            rank: seed % 3,
+            proposal: proposal.clone(),
+            signature: sig,
+        },
+        DkgMessage::LeadCh {
+            tau: seed % 2,
+            new_rank: seed % 4 + 1,
+            proposal: None,
+            signature: sig,
+        },
+        DkgMessage::LeadCh {
+            tau: seed % 2,
+            new_rank: seed % 4 + 1,
+            proposal: Some((proposal, Justification::ReadyCertificate(votes))),
+            signature: sig,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(32)))]
+
+    #[test]
+    fn every_message_roundtrips_losslessly(seed in any::<u64>()) {
+        for message in sample_messages(seed) {
+            let bytes = message.encode();
+            let back = DkgMessage::decode(&bytes);
+            prop_assert_eq!(back.as_ref(), Ok(&message));
+        }
+    }
+
+    #[test]
+    fn wire_size_is_the_exact_encoded_length(seed in any::<u64>()) {
+        for message in sample_messages(seed) {
+            prop_assert_eq!(message.wire_size(), message.encode().len());
+        }
+    }
+
+    #[test]
+    fn mangled_messages_never_panic(
+        seed in any::<u64>(),
+        pick in 0usize..7,
+        flip_byte in 0usize..usize::MAX,
+        flip_bit in 0u8..8,
+        cut in 0usize..usize::MAX,
+    ) {
+        let message = sample_messages(seed).swap_remove(pick);
+        let bytes = message.encode();
+        prop_assert!(DkgMessage::decode(&bytes[..cut % bytes.len()]).is_err());
+        let mut flipped = bytes.clone();
+        let idx = flip_byte % flipped.len();
+        flipped[idx] ^= 1 << flip_bit;
+        if let Ok(back) = DkgMessage::decode(&flipped) {
+            prop_assert_eq!(back.encode(), flipped);
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..300)) {
+        let _ = DkgMessage::decode(&bytes);
+    }
+}
+
+#[test]
+fn hostile_element_counts_are_rejected_before_allocation() {
+    // A justification declaring 65 535 dealer proofs in a tiny frame must be
+    // refused by the length guard (declared · MIN_WIRE_LEN > remaining)
+    // before any per-element allocation happens.
+    use dkg_wire::WireWrite;
+    let mut bytes = Vec::new();
+    bytes.put_u8(0); // Justification::ReadyProofs
+    bytes.put_u32(65_535);
+    bytes.put(&[0u8; 40]); // far less than 65 535 × 44 bytes of body
+    assert!(matches!(
+        Justification::decode(&bytes),
+        Err(WireError::LengthOverflow { .. })
+    ));
+    // Same for witness lists inside a dealer proof.
+    let mut bytes = Vec::new();
+    bytes.put_u64(1);
+    bytes.put(&[0u8; 32]);
+    bytes.put_u32(50_000);
+    bytes.put(&[0u8; 73]); // one witness's worth of body, 50 000 declared
+    assert!(matches!(
+        DealerProof::decode(&bytes),
+        Err(WireError::LengthOverflow { .. })
+    ));
+}
+
+#[test]
+fn non_canonical_proposals_are_rejected() {
+    // Encode a proposal by hand with descending dealers: decode must refuse
+    // it, otherwise two byte strings would denote the same proposal and
+    // votes/signatures over it would become ambiguous.
+    let mut bytes = Vec::new();
+    use dkg_wire::WireWrite;
+    bytes.put_u32(2);
+    bytes.put_u64(5);
+    bytes.put_u64(3);
+    assert_eq!(
+        Proposal::decode(&bytes),
+        Err(WireError::InvalidValue {
+            context: "proposal dealer list not strictly ascending"
+        })
+    );
+    // Duplicates are equally non-canonical.
+    let mut bytes = Vec::new();
+    bytes.put_u32(2);
+    bytes.put_u64(3);
+    bytes.put_u64(3);
+    assert!(Proposal::decode(&bytes).is_err());
+}

@@ -1,0 +1,712 @@
+//! The sans-I/O protocol endpoint.
+//!
+//! [`Endpoint`] multiplexes many concurrent DKG and standalone-VSS sessions
+//! — keyed by `(SessionId, τ)` — behind a quinn-style poll API. It performs
+//! **no I/O and keeps no clock**: the caller feeds it received datagrams and
+//! the current time (`handle_datagram`, `handle_timeout`) and drains what
+//! the endpoint wants to do (`poll_transmit`, `poll_event`,
+//! `poll_timeout`). This makes the same protocol state machines runnable
+//! over UDP, TCP, TLS, an async reactor or the deterministic test network in
+//! [`crate::net`], without the state machines (which still speak the pure
+//! [`dkg_sim::Protocol`] action interface internally) knowing anything about
+//! transports.
+//!
+//! Untrusted input is handled totally: every malformed, wrong-version,
+//! oversized, unknown-session or mis-routed datagram is refused with a typed
+//! [`Reject`] — never a panic — and counted in the endpoint's statistics.
+//! The outbox is bounded: once `outbox_capacity` encoded datagrams are
+//! queued, further input is refused with [`Reject::Backpressure`] until the
+//! caller drains `poll_transmit`, so a slow transport applies backpressure
+//! to the protocol instead of growing memory without limit.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use dkg_core::{DkgInput, DkgMessage, DkgNode, DkgOutput, DkgResult};
+use dkg_crypto::NodeId;
+use dkg_sim::{Action, ActionSink, Protocol, TimerId, WireSize};
+use dkg_vss::{SessionId, VssInput, VssMessage, VssNode, VssOutput};
+use dkg_wire::{decode_datagram, encode_datagram, Header, ProtocolId, WireDecode, WireError};
+
+/// Milliseconds on the caller's clock. The endpoint only compares and adds
+/// these values; the epoch is the caller's business.
+pub type WallClock = u64;
+
+/// Tuning knobs for an [`Endpoint`].
+#[derive(Clone, Debug)]
+pub struct EndpointConfig {
+    /// Maximum number of encoded datagrams the outbox holds before the
+    /// endpoint refuses further input with [`Reject::Backpressure`].
+    pub outbox_capacity: usize,
+    /// Datagrams longer than this are refused before any parsing.
+    pub max_datagram_len: usize,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        EndpointConfig {
+            outbox_capacity: 4096,
+            max_datagram_len: 1 << 22,
+        }
+    }
+}
+
+/// Identifies one session multiplexed on an endpoint: a DKG run (keyed by
+/// its phase counter `τ`) or a standalone HybridVSS sharing (keyed by its
+/// `(dealer, τ)` session id).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum SessionKey {
+    /// A standalone HybridVSS session.
+    Vss {
+        /// The `(dealer, τ)` session identifier.
+        session: SessionId,
+    },
+    /// A DKG session (with its `n` embedded VSS instances).
+    Dkg {
+        /// The phase counter `τ`.
+        tau: u64,
+    },
+}
+
+impl SessionKey {
+    /// The wire protocol tag for this session's datagrams.
+    pub fn protocol(&self) -> ProtocolId {
+        match self {
+            SessionKey::Vss { .. } => ProtocolId::Vss,
+            SessionKey::Dkg { .. } => ProtocolId::Dkg,
+        }
+    }
+
+    /// The 16-byte routing channel carried in the datagram header.
+    pub fn channel(&self) -> [u8; 16] {
+        match self {
+            SessionKey::Vss { session } => session.to_bytes(),
+            SessionKey::Dkg { tau } => {
+                let mut out = [0u8; 16];
+                out[..8].copy_from_slice(&tau.to_be_bytes());
+                out
+            }
+        }
+    }
+
+    /// Reconstructs the key from a datagram header. Rejects DKG channels
+    /// with non-zero reserved bytes so every session has exactly one header
+    /// encoding.
+    pub fn from_header(header: &Header) -> Result<Self, WireError> {
+        let hi = u64::from_be_bytes(header.channel[..8].try_into().expect("8 bytes"));
+        let lo = u64::from_be_bytes(header.channel[8..].try_into().expect("8 bytes"));
+        match header.protocol {
+            ProtocolId::Vss => Ok(SessionKey::Vss {
+                session: SessionId::new(hi, lo),
+            }),
+            ProtocolId::Dkg => {
+                if lo != 0 {
+                    return Err(WireError::InvalidValue {
+                        context: "non-zero reserved bytes in dkg channel",
+                    });
+                }
+                Ok(SessionKey::Dkg { tau: hi })
+            }
+        }
+    }
+}
+
+/// A typed refusal of an input datagram or operator call. Rejections are
+/// the endpoint's answer to everything that used to be a panic or a silent
+/// drop: the caller learns exactly why a datagram went nowhere.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Reject {
+    /// The datagram exceeds [`EndpointConfig::max_datagram_len`].
+    OversizedDatagram {
+        /// Received length.
+        len: usize,
+        /// Configured maximum.
+        max: usize,
+    },
+    /// Framing or payload decoding failed.
+    Malformed(WireError),
+    /// The datagram routed to a session this endpoint does not host.
+    UnknownSession(SessionKey),
+    /// The payload's own session/τ disagrees with the routing header — a
+    /// spliced or replayed datagram.
+    SessionMismatch {
+        /// The session from the routing header.
+        header: SessionKey,
+    },
+    /// The outbox is full; drain [`Endpoint::poll_transmit`] first.
+    Backpressure {
+        /// The configured outbox capacity.
+        capacity: usize,
+    },
+    /// A session with this key already exists on the endpoint.
+    DuplicateSession(SessionKey),
+    /// The session state machine belongs to a different node id than the
+    /// endpoint.
+    WrongNode {
+        /// The endpoint's node id.
+        endpoint: NodeId,
+        /// The state machine's node id.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for Reject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Reject::OversizedDatagram { len, max } => {
+                write!(f, "datagram of {len} bytes exceeds the {max}-byte limit")
+            }
+            Reject::Malformed(err) => write!(f, "malformed datagram: {err}"),
+            Reject::UnknownSession(key) => write!(f, "no session {key:?} on this endpoint"),
+            Reject::SessionMismatch { header } => {
+                write!(
+                    f,
+                    "payload session disagrees with routing header {header:?}"
+                )
+            }
+            Reject::Backpressure { capacity } => {
+                write!(f, "outbox full ({capacity} datagrams); drain poll_transmit")
+            }
+            Reject::DuplicateSession(key) => write!(f, "session {key:?} already exists"),
+            Reject::WrongNode { endpoint, node } => {
+                write!(
+                    f,
+                    "state machine for node {node} added to endpoint {endpoint}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Reject {}
+
+/// An encoded datagram the endpoint wants sent.
+#[derive(Clone, Debug)]
+pub struct Transmit {
+    /// Destination node.
+    pub to: NodeId,
+    /// The session that produced the datagram.
+    pub session: SessionKey,
+    /// The message kind (`"vss-echo"`, `"dkg-send"`, …) for accounting.
+    pub kind: &'static str,
+    /// The complete framed datagram (header + canonical payload encoding).
+    pub payload: Vec<u8>,
+}
+
+/// A protocol-level event surfaced to the application.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A DKG session produced an operator output.
+    Dkg {
+        /// The session's phase counter.
+        tau: u64,
+        /// The output (`Completed`, `Reconstructed`, `LeaderChanged`).
+        output: DkgOutput,
+    },
+    /// A standalone VSS session produced an operator output.
+    Vss {
+        /// The session id.
+        session: SessionId,
+        /// The output (`Shared`, `Reconstructed`).
+        output: VssOutput,
+    },
+}
+
+/// Per-session traffic and lifecycle counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Datagrams accepted into this session.
+    pub datagrams_in: u64,
+    /// Bytes accepted into this session.
+    pub bytes_in: u64,
+    /// Datagrams emitted by this session.
+    pub datagrams_out: u64,
+    /// Bytes emitted by this session.
+    pub bytes_out: u64,
+    /// Datagrams that routed here but failed payload decoding or session
+    /// consistency checks.
+    pub rejected: u64,
+    /// Events surfaced to the application.
+    pub events: u64,
+    /// When the session's protocol first reported completion.
+    pub completed_at: Option<WallClock>,
+}
+
+enum SessionState {
+    Dkg(Box<DkgNode>),
+    Vss(Box<VssNode>),
+}
+
+struct Session {
+    state: SessionState,
+    timers: BTreeMap<TimerId, WallClock>,
+    stats: SessionStats,
+}
+
+impl Session {
+    fn is_complete(&self) -> bool {
+        match &self.state {
+            SessionState::Dkg(node) => node.is_complete(),
+            SessionState::Vss(node) => node.is_complete(),
+        }
+    }
+}
+
+/// Aggregate endpoint counters (rejections that never reached a session).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Datagrams refused before reaching any session (oversized, malformed
+    /// framing, unknown session, backpressure).
+    pub rejected: u64,
+    /// Sessions evicted over the endpoint's lifetime.
+    pub evicted: u64,
+}
+
+/// A sans-I/O endpoint multiplexing DKG/VSS sessions for one node.
+///
+/// See the [module docs](self) for the interaction contract. Typical loop:
+///
+/// ```text
+/// loop {
+///     while let Some(t) = endpoint.poll_transmit() { socket.send_to(t.to, &t.payload); }
+///     while let Some(e) = endpoint.poll_event()    { application(e); }
+///     let deadline = endpoint.poll_timeout();
+///     match socket.recv_deadline(deadline) {
+///         Ok((from, bytes)) => { let _ = endpoint.handle_datagram(from, &bytes, now()); }
+///         Err(Timeout)      => endpoint.handle_timeout(now()),
+///     }
+/// }
+/// ```
+pub struct Endpoint {
+    id: NodeId,
+    config: EndpointConfig,
+    sessions: BTreeMap<SessionKey, Session>,
+    outbox: VecDeque<Transmit>,
+    events: VecDeque<Event>,
+    stats: EndpointStats,
+}
+
+impl Endpoint {
+    /// Creates an endpoint for node `id`.
+    pub fn new(id: NodeId, config: EndpointConfig) -> Self {
+        Endpoint {
+            id,
+            config,
+            sessions: BTreeMap::new(),
+            outbox: VecDeque::new(),
+            events: VecDeque::new(),
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// The node this endpoint speaks for.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Aggregate endpoint counters.
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+
+    /// Keys of all hosted sessions, in order.
+    pub fn session_keys(&self) -> Vec<SessionKey> {
+        self.sessions.keys().copied().collect()
+    }
+
+    /// Per-session counters.
+    pub fn session_stats(&self, key: SessionKey) -> Option<SessionStats> {
+        self.sessions.get(&key).map(|s| s.stats)
+    }
+
+    /// Whether the given session's protocol has completed.
+    pub fn is_complete(&self, key: SessionKey) -> bool {
+        self.sessions.get(&key).is_some_and(Session::is_complete)
+    }
+
+    /// Read access to a hosted DKG state machine.
+    pub fn dkg_session(&self, tau: u64) -> Option<&DkgNode> {
+        match &self.sessions.get(&SessionKey::Dkg { tau })?.state {
+            SessionState::Dkg(node) => Some(node),
+            SessionState::Vss(_) => None,
+        }
+    }
+
+    /// Read access to a hosted VSS state machine.
+    pub fn vss_session(&self, session: SessionId) -> Option<&VssNode> {
+        match &self.sessions.get(&SessionKey::Vss { session })?.state {
+            SessionState::Vss(node) => Some(node),
+            SessionState::Dkg(_) => None,
+        }
+    }
+
+    /// The completed result of a DKG session, if any.
+    pub fn dkg_result(&self, tau: u64) -> Option<&DkgResult> {
+        self.dkg_session(tau).and_then(DkgNode::result)
+    }
+
+    /// Adds a DKG session (keyed by its `τ`).
+    pub fn add_dkg_session(&mut self, node: DkgNode) -> Result<SessionKey, Reject> {
+        if node.id() != self.id {
+            return Err(Reject::WrongNode {
+                endpoint: self.id,
+                node: node.id(),
+            });
+        }
+        let key = SessionKey::Dkg { tau: node.tau() };
+        self.insert_session(key, SessionState::Dkg(Box::new(node)))
+    }
+
+    /// Adds a standalone VSS session (keyed by its `(dealer, τ)`).
+    pub fn add_vss_session(&mut self, node: VssNode) -> Result<SessionKey, Reject> {
+        if node.id() != self.id {
+            return Err(Reject::WrongNode {
+                endpoint: self.id,
+                node: node.id(),
+            });
+        }
+        let key = SessionKey::Vss {
+            session: node.session(),
+        };
+        self.insert_session(key, SessionState::Vss(Box::new(node)))
+    }
+
+    fn insert_session(
+        &mut self,
+        key: SessionKey,
+        state: SessionState,
+    ) -> Result<SessionKey, Reject> {
+        if self.sessions.contains_key(&key) {
+            return Err(Reject::DuplicateSession(key));
+        }
+        self.sessions.insert(
+            key,
+            Session {
+                state,
+                timers: BTreeMap::new(),
+                stats: SessionStats::default(),
+            },
+        );
+        Ok(key)
+    }
+
+    /// Removes a session, returning its final counters.
+    pub fn evict(&mut self, key: SessionKey) -> Option<SessionStats> {
+        let session = self.sessions.remove(&key)?;
+        self.stats.evicted += 1;
+        Some(session.stats)
+    }
+
+    /// Removes every completed session, returning their keys and counters.
+    /// Queued transmits and events of evicted sessions survive (they are
+    /// already encoded / surfaced).
+    pub fn evict_completed(&mut self) -> Vec<(SessionKey, SessionStats)> {
+        let done: Vec<SessionKey> = self
+            .sessions
+            .iter()
+            .filter(|(_, s)| s.is_complete())
+            .map(|(&k, _)| k)
+            .collect();
+        done.into_iter()
+            .filter_map(|key| self.evict(key).map(|stats| (key, stats)))
+            .collect()
+    }
+
+    /// Number of hosted sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn check_backpressure(&mut self) -> Result<(), Reject> {
+        if self.outbox.len() >= self.config.outbox_capacity {
+            self.stats.rejected += 1;
+            return Err(Reject::Backpressure {
+                capacity: self.config.outbox_capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Feeds an operator input to a DKG session (start, reshare,
+    /// reconstruct, recover).
+    pub fn handle_dkg_input(
+        &mut self,
+        tau: u64,
+        input: DkgInput,
+        now: WallClock,
+    ) -> Result<(), Reject> {
+        self.check_backpressure()?;
+        let key = SessionKey::Dkg { tau };
+        if !self.sessions.contains_key(&key) {
+            self.stats.rejected += 1;
+            return Err(Reject::UnknownSession(key));
+        }
+        self.run_dkg(key, now, |node, sink| node.on_operator(input, sink));
+        Ok(())
+    }
+
+    /// Feeds an operator input to a VSS session (share, reconstruct,
+    /// recover).
+    pub fn handle_vss_input(
+        &mut self,
+        session: SessionId,
+        input: VssInput,
+        now: WallClock,
+    ) -> Result<(), Reject> {
+        self.check_backpressure()?;
+        let key = SessionKey::Vss { session };
+        if !self.sessions.contains_key(&key) {
+            self.stats.rejected += 1;
+            return Err(Reject::UnknownSession(key));
+        }
+        self.run_vss(key, now, |node| node.handle_input(input));
+        Ok(())
+    }
+
+    /// Runs the crash-recovery procedure of every hosted session (§5.3):
+    /// called by the application after rebooting from stable storage.
+    pub fn recover_all(&mut self, now: WallClock) {
+        for key in self.session_keys() {
+            match key {
+                SessionKey::Dkg { .. } => {
+                    self.run_dkg(key, now, |node, sink| node.on_recover(sink))
+                }
+                SessionKey::Vss { .. } => self.run_vss(key, now, |node| {
+                    let mut actions = Vec::new();
+                    node.recover(&mut actions);
+                    actions
+                }),
+            }
+        }
+    }
+
+    /// Processes one received datagram. Returns the session it routed to, or
+    /// a typed [`Reject`] explaining why it was refused. Never panics on any
+    /// input.
+    pub fn handle_datagram(
+        &mut self,
+        from: NodeId,
+        datagram: &[u8],
+        now: WallClock,
+    ) -> Result<SessionKey, Reject> {
+        self.check_backpressure()?;
+        if datagram.len() > self.config.max_datagram_len {
+            self.stats.rejected += 1;
+            return Err(Reject::OversizedDatagram {
+                len: datagram.len(),
+                max: self.config.max_datagram_len,
+            });
+        }
+        let (header, payload) = decode_datagram(datagram).map_err(|e| {
+            self.stats.rejected += 1;
+            Reject::Malformed(e)
+        })?;
+        let key = SessionKey::from_header(&header).map_err(|e| {
+            self.stats.rejected += 1;
+            Reject::Malformed(e)
+        })?;
+        let Some(session) = self.sessions.get_mut(&key) else {
+            self.stats.rejected += 1;
+            return Err(Reject::UnknownSession(key));
+        };
+
+        match (&mut session.state, key) {
+            (SessionState::Dkg(_), SessionKey::Dkg { tau }) => {
+                let message = match DkgMessage::decode(payload) {
+                    Ok(message) => message,
+                    Err(e) => {
+                        session.stats.rejected += 1;
+                        return Err(Reject::Malformed(e));
+                    }
+                };
+                let message_tau = match &message {
+                    DkgMessage::Vss(m) => m.session().tau,
+                    DkgMessage::Send { tau, .. }
+                    | DkgMessage::Echo { tau, .. }
+                    | DkgMessage::Ready { tau, .. }
+                    | DkgMessage::LeadCh { tau, .. } => *tau,
+                };
+                if message_tau != tau {
+                    session.stats.rejected += 1;
+                    return Err(Reject::SessionMismatch { header: key });
+                }
+                session.stats.datagrams_in += 1;
+                session.stats.bytes_in += datagram.len() as u64;
+                self.run_dkg(key, now, |node, sink| node.on_message(from, message, sink));
+            }
+            (SessionState::Vss(_), SessionKey::Vss { session: sid }) => {
+                let message = match VssMessage::decode(payload) {
+                    Ok(message) => message,
+                    Err(e) => {
+                        session.stats.rejected += 1;
+                        return Err(Reject::Malformed(e));
+                    }
+                };
+                if message.session() != sid {
+                    session.stats.rejected += 1;
+                    return Err(Reject::SessionMismatch { header: key });
+                }
+                session.stats.datagrams_in += 1;
+                session.stats.bytes_in += datagram.len() as u64;
+                self.run_vss(key, now, |node| node.handle_message(from, message));
+            }
+            // `from_header` pairs protocols and key variants 1:1, and
+            // sessions are inserted under their own key, so a hosted session
+            // always matches its key's variant.
+            _ => unreachable!("session key variant matches session state"),
+        }
+        Ok(key)
+    }
+
+    /// Fires every timer with a deadline `≤ now`, across all sessions.
+    pub fn handle_timeout(&mut self, now: WallClock) {
+        let due: Vec<(SessionKey, TimerId)> = self
+            .sessions
+            .iter()
+            .flat_map(|(&key, session)| {
+                session
+                    .timers
+                    .iter()
+                    .filter(move |(_, &deadline)| deadline <= now)
+                    .map(move |(&timer, _)| (key, timer))
+            })
+            .collect();
+        for (key, timer) in due {
+            if let Some(session) = self.sessions.get_mut(&key) {
+                // An earlier firing in this same batch may have cancelled the
+                // timer or re-armed it to a *future* deadline; in either case
+                // it is no longer due and must survive untouched.
+                match session.timers.get(&timer) {
+                    Some(&deadline) if deadline <= now => {
+                        session.timers.remove(&timer);
+                    }
+                    _ => continue,
+                }
+                match key {
+                    SessionKey::Dkg { .. } => {
+                        self.run_dkg(key, now, |node, sink| node.on_timer(timer, sink))
+                    }
+                    // VSS state machines register no timers today; guard for
+                    // future protocols.
+                    SessionKey::Vss { .. } => {}
+                }
+            }
+        }
+    }
+
+    /// The earliest timer deadline across all sessions, if any.
+    pub fn poll_timeout(&self) -> Option<WallClock> {
+        self.sessions
+            .values()
+            .flat_map(|s| s.timers.values().copied())
+            .min()
+    }
+
+    /// Takes the next encoded datagram to send, if any.
+    pub fn poll_transmit(&mut self) -> Option<Transmit> {
+        self.outbox.pop_front()
+    }
+
+    /// Takes the next application event, if any.
+    pub fn poll_event(&mut self) -> Option<Event> {
+        self.events.pop_front()
+    }
+
+    /// Queued (undelivered) transmits.
+    pub fn outbox_len(&self) -> usize {
+        self.outbox.len()
+    }
+
+    fn run_dkg<F>(&mut self, key: SessionKey, now: WallClock, f: F)
+    where
+        F: FnOnce(&mut DkgNode, &mut ActionSink<DkgMessage, DkgOutput>),
+    {
+        let session = self.sessions.get_mut(&key).expect("caller checked");
+        let SessionState::Dkg(node) = &mut session.state else {
+            unreachable!("dkg key hosts a dkg session");
+        };
+        let mut sink = ActionSink::new();
+        f(node, &mut sink);
+        let complete = node.is_complete();
+        let tau = node.tau();
+        for action in sink.into_actions() {
+            match action {
+                Action::Send { to, message } => {
+                    let kind = message.kind();
+                    let payload = encode_datagram(
+                        Header {
+                            protocol: key.protocol(),
+                            channel: key.channel(),
+                        },
+                        &message,
+                    );
+                    session.stats.datagrams_out += 1;
+                    session.stats.bytes_out += payload.len() as u64;
+                    self.outbox.push_back(Transmit {
+                        to,
+                        session: key,
+                        kind,
+                        payload,
+                    });
+                }
+                Action::Output(output) => {
+                    session.stats.events += 1;
+                    self.events.push_back(Event::Dkg { tau, output });
+                }
+                Action::SetTimer { id, delay } => {
+                    session.timers.insert(id, now.saturating_add(delay));
+                }
+                Action::CancelTimer { id } => {
+                    session.timers.remove(&id);
+                }
+            }
+        }
+        if complete && session.stats.completed_at.is_none() {
+            session.stats.completed_at = Some(now);
+        }
+    }
+
+    fn run_vss<F>(&mut self, key: SessionKey, now: WallClock, f: F)
+    where
+        F: FnOnce(&mut VssNode) -> Vec<dkg_vss::VssAction>,
+    {
+        let session = self.sessions.get_mut(&key).expect("caller checked");
+        let SessionState::Vss(node) = &mut session.state else {
+            unreachable!("vss key hosts a vss session");
+        };
+        let actions = f(node);
+        let complete = node.is_complete();
+        let sid = node.session();
+        for action in actions {
+            match action {
+                dkg_vss::VssAction::Send { to, message } => {
+                    let kind = message.kind();
+                    let payload = encode_datagram(
+                        Header {
+                            protocol: key.protocol(),
+                            channel: key.channel(),
+                        },
+                        &message,
+                    );
+                    session.stats.datagrams_out += 1;
+                    session.stats.bytes_out += payload.len() as u64;
+                    self.outbox.push_back(Transmit {
+                        to,
+                        session: key,
+                        kind,
+                        payload,
+                    });
+                }
+                dkg_vss::VssAction::Output(output) => {
+                    session.stats.events += 1;
+                    self.events.push_back(Event::Vss {
+                        session: sid,
+                        output,
+                    });
+                }
+            }
+        }
+        if complete && session.stats.completed_at.is_none() {
+            session.stats.completed_at = Some(now);
+        }
+    }
+}

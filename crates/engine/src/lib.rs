@@ -1,0 +1,56 @@
+//! # dkg-engine
+//!
+//! The sans-I/O protocol engine for the hybrid DKG reproduction of
+//! *Distributed Key Generation for the Internet* (Kate & Goldberg,
+//! ICDCS 2009): a poll-based [`Endpoint`] that multiplexes many concurrent
+//! DKG and HybridVSS sessions — keyed by `(SessionId, τ)` — over real
+//! encoded byte datagrams.
+//!
+//! Where `dkg_sim::Protocol` is an in-process callback interface (and
+//! remains, unchanged, the pure state-machine contract the protocol crates
+//! implement), the endpoint is the *transport-facing* surface: bytes in
+//! ([`Endpoint::handle_datagram`], [`Endpoint::handle_timeout`]), bytes and
+//! events out ([`Endpoint::poll_transmit`], [`Endpoint::poll_event`],
+//! [`Endpoint::poll_timeout`]). It owns the [`dkg_wire`] codec boundary, so
+//! malformed, wrong-version, oversized, unknown-session or mis-routed
+//! datagrams are refused with a typed [`Reject`] instead of reaching (or
+//! panicking) a state machine, the outbox is bounded (backpressure instead
+//! of unbounded buffering), and per-session traffic statistics come for
+//! free.
+//!
+//! * [`endpoint`] — [`Endpoint`], [`SessionKey`], [`Transmit`], [`Event`],
+//!   [`Reject`], per-session [`SessionStats`], completion-based eviction.
+//! * [`net`] — [`EndpointNet`], a deterministic datagram network for tests
+//!   and experiments: real bytes, pseudo-random delays, crashes, muted
+//!   nodes, raw-datagram injection, byte-accurate [`dkg_sim::Metrics`].
+//! * [`runner`] — endpoint-based successors of the `dkg_core::runner`
+//!   harness helpers ([`runner::run_key_generation`], [`runner::run_vss`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use dkg_core::runner::SystemSetup;
+//! use dkg_engine::runner::run_key_generation;
+//! use dkg_sim::DelayModel;
+//!
+//! // A 4-node DKG, every message travelling as encoded datagrams.
+//! let setup = SystemSetup::generate(4, 0, 42);
+//! let (outcomes, net) = run_key_generation(&setup, DelayModel::Constant(25), 0);
+//! assert_eq!(outcomes.len(), 4);
+//! assert!(outcomes.iter().all(|o| o.public_key == outcomes[0].public_key));
+//! // Communication complexity, measured on the real encodings:
+//! println!("{}", net.metrics().report());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod endpoint;
+pub mod net;
+pub mod runner;
+
+pub use endpoint::{
+    Endpoint, EndpointConfig, EndpointStats, Event, Reject, SessionKey, SessionStats, Transmit,
+    WallClock,
+};
+pub use net::{EndpointNet, EventRecord, RejectRecord};

@@ -1,0 +1,420 @@
+//! A deterministic byte-level network for endpoints.
+//!
+//! [`EndpointNet`] is the transport the [`crate::Endpoint`] poll API plugs
+//! into for tests, examples and experiments: a discrete-event simulation
+//! that carries **real encoded datagrams** (`Vec<u8>`) between endpoints
+//! with pseudo-random link delays, crash/recovery of nodes, muted
+//! (Byzantine-silent) nodes and raw datagram injection for adversarial
+//! tests. Because every delivered frame is the canonical [`dkg_wire`]
+//! encoding, the [`dkg_sim::Metrics`] it collects measure the paper's
+//! communication complexity on actual bytes — nothing is estimated.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use dkg_core::DkgInput;
+use dkg_crypto::NodeId;
+use dkg_sim::{DelayModel, Metrics};
+use dkg_vss::{SessionId, VssInput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::endpoint::{Endpoint, Event, Reject, WallClock};
+
+/// Default cap on processed events, protecting against runaway protocols.
+const DEFAULT_EVENT_LIMIT: u64 = 50_000_000;
+
+enum NetEvent {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        bytes: Vec<u8>,
+    },
+    Wake {
+        node: NodeId,
+    },
+    DkgInput {
+        node: NodeId,
+        tau: u64,
+        input: DkgInput,
+    },
+    VssInput {
+        node: NodeId,
+        session: SessionId,
+        input: VssInput,
+    },
+    Crash(NodeId),
+    Recover(NodeId),
+}
+
+struct Scheduled {
+    time: WallClock,
+    seq: u64,
+    event: NetEvent,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// An application event collected during the run, tagged with time and node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Simulated time of the event.
+    pub time: WallClock,
+    /// The endpoint that produced it.
+    pub node: NodeId,
+    /// The event.
+    pub event: Event,
+}
+
+/// A datagram rejection observed during the run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RejectRecord {
+    /// Simulated time of the rejection.
+    pub time: WallClock,
+    /// The endpoint that refused the datagram.
+    pub node: NodeId,
+    /// The claimed sender.
+    pub from: NodeId,
+    /// Why it was refused.
+    pub reject: Reject,
+}
+
+/// A deterministic datagram network connecting [`Endpoint`]s.
+pub struct EndpointNet {
+    endpoints: BTreeMap<NodeId, Endpoint>,
+    crashed: BTreeSet<NodeId>,
+    muted: BTreeSet<NodeId>,
+    queue: BinaryHeap<Scheduled>,
+    scheduled_wake: BTreeMap<NodeId, WallClock>,
+    delay: DelayModel,
+    rng: StdRng,
+    metrics: Metrics,
+    events: Vec<EventRecord>,
+    rejections: Vec<RejectRecord>,
+    now: WallClock,
+    seq: u64,
+    processed: u64,
+    event_limit: u64,
+}
+
+impl EndpointNet {
+    /// Creates a network with the given link-delay model and RNG seed.
+    pub fn new(delay: DelayModel, seed: u64) -> Self {
+        EndpointNet {
+            endpoints: BTreeMap::new(),
+            crashed: BTreeSet::new(),
+            muted: BTreeSet::new(),
+            queue: BinaryHeap::new(),
+            scheduled_wake: BTreeMap::new(),
+            delay,
+            rng: StdRng::seed_from_u64(seed),
+            metrics: Metrics::new(),
+            events: Vec::new(),
+            rejections: Vec::new(),
+            now: 0,
+            seq: 0,
+            processed: 0,
+            event_limit: DEFAULT_EVENT_LIMIT,
+        }
+    }
+
+    /// Adds an endpoint. Panics on duplicate node ids.
+    pub fn add_endpoint(&mut self, endpoint: Endpoint) {
+        let id = endpoint.id();
+        assert!(
+            self.endpoints.insert(id, endpoint).is_none(),
+            "duplicate endpoint id {id}"
+        );
+    }
+
+    /// Read access to an endpoint.
+    pub fn endpoint(&self, id: NodeId) -> Option<&Endpoint> {
+        self.endpoints.get(&id)
+    }
+
+    /// Mutable access to an endpoint (tests inspect or evict sessions
+    /// between runs).
+    pub fn endpoint_mut(&mut self, id: NodeId) -> Option<&mut Endpoint> {
+        self.endpoints.get_mut(&id)
+    }
+
+    /// Ids of all endpoints.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.endpoints.keys().copied().collect()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> WallClock {
+        self.now
+    }
+
+    /// Byte-accurate traffic metrics: sizes are the lengths of the real
+    /// framed datagrams, i.e. [`dkg_wire::HEADER_LEN`] (22 bytes of
+    /// version/routing/length framing) **plus** the message payload. The
+    /// in-process `dkg_sim::Simulation` counts payload-only `wire_size()`,
+    /// so its byte totals for the same run are exactly
+    /// `HEADER_LEN × messages` smaller.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Application events produced so far.
+    pub fn events(&self) -> &[EventRecord] {
+        &self.events
+    }
+
+    /// Datagram rejections observed so far.
+    pub fn rejections(&self) -> &[RejectRecord] {
+        &self.rejections
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.crashed.contains(&node)
+    }
+
+    /// Lowers or raises the safety cap on processed events.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Drops all future datagrams *sent by* `node` (a Byzantine-silent /
+    /// muted adversary position; the sends still count in the metrics, as in
+    /// the in-process simulator).
+    pub fn mute(&mut self, node: NodeId) {
+        self.muted.insert(node);
+    }
+
+    /// Schedules a DKG operator input.
+    pub fn schedule_dkg_input(&mut self, node: NodeId, tau: u64, input: DkgInput, at: WallClock) {
+        self.push(at, NetEvent::DkgInput { node, tau, input });
+    }
+
+    /// Schedules a VSS operator input.
+    pub fn schedule_vss_input(
+        &mut self,
+        node: NodeId,
+        session: SessionId,
+        input: VssInput,
+        at: WallClock,
+    ) {
+        self.push(
+            at,
+            NetEvent::VssInput {
+                node,
+                session,
+                input,
+            },
+        );
+    }
+
+    /// Schedules a crash: from `at`, the node receives nothing and fires no
+    /// timers until recovered.
+    pub fn schedule_crash(&mut self, node: NodeId, at: WallClock) {
+        self.push(at, NetEvent::Crash(node));
+    }
+
+    /// Schedules a recovery (the application-level §5.3 recovery procedure
+    /// is a separate [`DkgInput::Recover`] / [`VssInput::Recover`] input).
+    pub fn schedule_recover(&mut self, node: NodeId, at: WallClock) {
+        self.push(at, NetEvent::Recover(node));
+    }
+
+    /// Injects a raw datagram claimed to be from `from` (which need not be a
+    /// real endpoint) — the fault-injection hook for Byzantine senders and
+    /// malformed-bytes tests.
+    pub fn inject_datagram(&mut self, from: NodeId, to: NodeId, bytes: Vec<u8>, at: WallClock) {
+        self.metrics.record_send(from, "injected", bytes.len());
+        self.push(at, NetEvent::Deliver { from, to, bytes });
+    }
+
+    fn push(&mut self, time: WallClock, event: NetEvent) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, event });
+    }
+
+    /// Processes one network event. Returns `false` when the queue is empty
+    /// or the event limit is reached.
+    pub fn step(&mut self) -> bool {
+        if self.processed >= self.event_limit {
+            return false;
+        }
+        let Some(scheduled) = self.queue.pop() else {
+            return false;
+        };
+        self.processed += 1;
+        debug_assert!(scheduled.time >= self.now, "time must be monotone");
+        self.now = scheduled.time;
+        match scheduled.event {
+            NetEvent::Deliver { from, to, bytes } => {
+                if self.crashed.contains(&to) || !self.endpoints.contains_key(&to) {
+                    self.metrics.record_drop_to_crashed();
+                } else {
+                    let now = self.now;
+                    let endpoint = self.endpoints.get_mut(&to).expect("checked above");
+                    match endpoint.handle_datagram(from, &bytes, now) {
+                        Ok(_) => self.metrics.record_delivery(),
+                        Err(reject) => self.rejections.push(RejectRecord {
+                            time: now,
+                            node: to,
+                            from,
+                            reject,
+                        }),
+                    }
+                    self.drain(to);
+                }
+            }
+            NetEvent::Wake { node } => {
+                self.scheduled_wake.remove(&node);
+                if !self.crashed.contains(&node) {
+                    let now = self.now;
+                    if let Some(endpoint) = self.endpoints.get_mut(&node) {
+                        endpoint.handle_timeout(now);
+                        self.drain(node);
+                    }
+                }
+            }
+            NetEvent::DkgInput { node, tau, input } => {
+                if !self.crashed.contains(&node) {
+                    let now = self.now;
+                    if let Some(endpoint) = self.endpoints.get_mut(&node) {
+                        if let Err(reject) = endpoint.handle_dkg_input(tau, input, now) {
+                            self.rejections.push(RejectRecord {
+                                time: now,
+                                node,
+                                from: node,
+                                reject,
+                            });
+                        }
+                        self.drain(node);
+                    }
+                }
+            }
+            NetEvent::VssInput {
+                node,
+                session,
+                input,
+            } => {
+                if !self.crashed.contains(&node) {
+                    let now = self.now;
+                    if let Some(endpoint) = self.endpoints.get_mut(&node) {
+                        if let Err(reject) = endpoint.handle_vss_input(session, input, now) {
+                            self.rejections.push(RejectRecord {
+                                time: now,
+                                node,
+                                from: node,
+                                reject,
+                            });
+                        }
+                        self.drain(node);
+                    }
+                }
+            }
+            NetEvent::Crash(node) => {
+                if self.endpoints.contains_key(&node) {
+                    self.crashed.insert(node);
+                }
+            }
+            NetEvent::Recover(node) => {
+                if self.crashed.remove(&node) {
+                    // Timers that expired during the outage fire now; the
+                    // protocol-level recovery procedure is the caller's
+                    // scheduled `Recover` input.
+                    let now = self.now;
+                    if let Some(endpoint) = self.endpoints.get_mut(&node) {
+                        endpoint.handle_timeout(now);
+                        self.drain(node);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue drains (or the event limit is hit). Returns the
+    /// number of events processed by this call.
+    pub fn run(&mut self) -> u64 {
+        let start = self.processed;
+        while self.step() {}
+        self.processed - start
+    }
+
+    /// Runs until simulated time exceeds `deadline` or the queue drains.
+    pub fn run_until(&mut self, deadline: WallClock) -> u64 {
+        let start = self.processed;
+        while let Some(next) = self.queue.peek() {
+            if next.time > deadline {
+                break;
+            }
+            if !self.step() {
+                break;
+            }
+        }
+        self.processed - start
+    }
+
+    /// Moves an endpoint's pending transmits into the network, surfaces its
+    /// events, and keeps its timer wake-up scheduled.
+    fn drain(&mut self, node: NodeId) {
+        let now = self.now;
+        loop {
+            let Some(endpoint) = self.endpoints.get_mut(&node) else {
+                return;
+            };
+            let Some(transmit) = endpoint.poll_transmit() else {
+                break;
+            };
+            self.metrics
+                .record_send(node, transmit.kind, transmit.payload.len());
+            if self.muted.contains(&node) {
+                continue;
+            }
+            let delay = if transmit.to == node {
+                0
+            } else {
+                self.delay.sample(&mut self.rng)
+            };
+            self.push(
+                now.saturating_add(delay),
+                NetEvent::Deliver {
+                    from: node,
+                    to: transmit.to,
+                    bytes: transmit.payload,
+                },
+            );
+        }
+        let endpoint = self.endpoints.get_mut(&node).expect("endpoint exists");
+        while let Some(event) = endpoint.poll_event() {
+            self.events.push(EventRecord {
+                time: now,
+                node,
+                event,
+            });
+        }
+        if let Some(deadline) = self.endpoints[&node].poll_timeout() {
+            let wake_at = deadline.max(now);
+            let already = self.scheduled_wake.get(&node).copied();
+            if already.is_none_or(|t| wake_at < t) {
+                self.scheduled_wake.insert(node, wake_at);
+                self.push(wake_at, NetEvent::Wake { node });
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Harness helpers running whole protocols through the [`Endpoint`] poll
+//! API over [`EndpointNet`] — the byte-level successor of
+//! `dkg_core::runner`'s in-process helpers. Every metric these runs report
+//! is measured on real encoded datagrams.
+
+use std::collections::BTreeMap;
+
+use dkg_arith::{PrimeField, Scalar};
+use dkg_core::proactive::{plan_renewal, PhaseState, RenewalError, RenewalOptions};
+use dkg_core::runner::{NodeOutcome, SystemSetup};
+use dkg_core::{CombineRule, DkgInput, DkgOutput};
+use dkg_crypto::NodeId;
+use dkg_sim::DelayModel;
+use dkg_vss::{CommitmentMode, SessionId, VssConfig, VssInput, VssNode, VssOutput};
+
+use crate::endpoint::{Endpoint, EndpointConfig, Event};
+use crate::net::EndpointNet;
+
+/// Builds one endpoint per node of `setup`, each hosting the DKG session
+/// `tau`, wired into a fresh [`EndpointNet`].
+pub fn build_dkg_net(setup: &SystemSetup, tau: u64, delay: DelayModel) -> EndpointNet {
+    let mut net = EndpointNet::new(delay, setup.seed ^ tau);
+    for &node in &setup.config.vss.nodes {
+        let mut endpoint = Endpoint::new(node, EndpointConfig::default());
+        endpoint
+            .add_dkg_session(setup.build_node(node, tau))
+            .expect("fresh endpoint has no session");
+        net.add_endpoint(endpoint);
+    }
+    net
+}
+
+/// Runs a fresh key generation end to end through the endpoint API and
+/// returns the per-node outcomes (only nodes that completed are included)
+/// plus the network for further inspection (byte-accurate metrics, session
+/// state, rejections).
+pub fn run_key_generation(
+    setup: &SystemSetup,
+    delay: DelayModel,
+    tau: u64,
+) -> (Vec<NodeOutcome>, EndpointNet) {
+    let mut net = build_dkg_net(setup, tau, delay);
+    for &node in &setup.config.vss.nodes {
+        net.schedule_dkg_input(node, tau, DkgInput::Start, 0);
+    }
+    net.run();
+    let outcomes = collect_outcomes(&net, tau);
+    (outcomes, net)
+}
+
+/// Extracts the `DKG-completed` outcomes for session `tau` from a finished
+/// network.
+pub fn collect_outcomes(net: &EndpointNet, tau: u64) -> Vec<NodeOutcome> {
+    net.events()
+        .iter()
+        .filter_map(|record| match &record.event {
+            Event::Dkg {
+                tau: event_tau,
+                output:
+                    DkgOutput::Completed {
+                        public_key,
+                        share,
+                        leader_rank,
+                        ..
+                    },
+            } if *event_tau == tau => Some(NodeOutcome {
+                node: record.node,
+                public_key: *public_key,
+                share: *share,
+                leader_rank: *leader_rank,
+                completion_time: record.time,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Outcome of a standalone HybridVSS sharing driven over endpoints.
+pub struct VssNetRun {
+    /// Nodes that output `shared`.
+    pub completions: Vec<NodeId>,
+    /// The network (metrics, endpoints) after the run.
+    pub net: EndpointNet,
+}
+
+/// Runs one HybridVSS sharing (dealer 1) for `n` nodes over endpoints,
+/// returning completions and the network.
+pub fn run_vss(
+    n: usize,
+    f: usize,
+    mode: CommitmentMode,
+    delay: DelayModel,
+    seed: u64,
+) -> VssNetRun {
+    let cfg = VssConfig::standard_with_mode(n, f, mode).expect("valid parameters");
+    let session = SessionId::new(1, 0);
+    let mut net = EndpointNet::new(delay, seed);
+    for i in 1..=n as u64 {
+        let mut endpoint = Endpoint::new(i, EndpointConfig::default());
+        endpoint
+            .add_vss_session(VssNode::new(
+                i,
+                cfg.clone(),
+                session,
+                seed.wrapping_mul(131).wrapping_add(i),
+                None,
+            ))
+            .expect("fresh endpoint has no session");
+        net.add_endpoint(endpoint);
+    }
+    net.schedule_vss_input(
+        1,
+        session,
+        VssInput::Share {
+            secret: Scalar::from_u64(seed),
+        },
+        0,
+    );
+    net.run();
+    let completions = net
+        .events()
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                Event::Vss {
+                    output: VssOutput::Shared { .. },
+                    ..
+                }
+            )
+        })
+        .map(|r| r.node)
+        .collect();
+    VssNetRun { completions, net }
+}
+
+/// Groups completed outcomes by node (helper for multi-session runs).
+pub fn outcomes_by_node(outcomes: &[NodeOutcome]) -> BTreeMap<NodeId, &NodeOutcome> {
+    outcomes.iter().map(|o| (o.node, o)).collect()
+}
+
+/// Summary of a DKG run with faults, mirroring the experiment harness's
+/// `DkgRun` but measured on real datagrams.
+pub struct DkgNetRun {
+    /// Nodes that completed.
+    pub completions: usize,
+    /// Distinct public keys output (must be 1 for consistency).
+    pub distinct_keys: usize,
+    /// Leader changes observed anywhere.
+    pub leader_changes: usize,
+    /// Per-node completion times `(node, time)`.
+    pub completion_times: Vec<(NodeId, u64)>,
+    /// The network after the run.
+    pub net: EndpointNet,
+}
+
+impl DkgNetRun {
+    /// Completions restricted to the given node set.
+    pub fn completions_among(&self, nodes: &[NodeId]) -> usize {
+        self.completion_times
+            .iter()
+            .filter(|(n, _)| nodes.contains(n))
+            .count()
+    }
+}
+
+/// Runs a full DKG over endpoints with optional muted (Byzantine-silent)
+/// and crashed nodes.
+pub fn run_dkg(n: usize, f: usize, muted: &[NodeId], crashed: &[NodeId], seed: u64) -> DkgNetRun {
+    let setup = SystemSetup::generate(n, f, seed);
+    let mut net = build_dkg_net(&setup, 0, DelayModel::Uniform { min: 10, max: 80 });
+    for &node in muted {
+        net.mute(node);
+    }
+    for &node in crashed {
+        net.schedule_crash(node, 0);
+    }
+    for &node in &setup.config.vss.nodes {
+        if !crashed.contains(&node) {
+            net.schedule_dkg_input(node, 0, DkgInput::Start, 0);
+        }
+    }
+    net.run();
+
+    let mut keys = std::collections::BTreeSet::new();
+    let mut completion_times = Vec::new();
+    let mut leader_changes = 0;
+    for record in net.events() {
+        match &record.event {
+            Event::Dkg {
+                output: DkgOutput::Completed { public_key, .. },
+                ..
+            } => {
+                keys.insert(public_key.to_bytes());
+                completion_times.push((record.node, record.time));
+            }
+            Event::Dkg {
+                output: DkgOutput::LeaderChanged { .. },
+                ..
+            } => leader_changes += 1,
+            _ => {}
+        }
+    }
+    DkgNetRun {
+        completions: completion_times.len(),
+        distinct_keys: keys.len(),
+        leader_changes,
+        completion_times,
+        net,
+    }
+}
+
+/// Runs the initial key-generation phase (`τ = 0`) over endpoints and
+/// returns each node's [`PhaseState`] — the endpoint-based successor of
+/// `dkg_core::proactive::run_initial_phase`.
+pub fn run_initial_phase(
+    setup: &SystemSetup,
+    delay: DelayModel,
+) -> (BTreeMap<NodeId, PhaseState>, EndpointNet) {
+    let (outcomes, net) = run_key_generation(setup, delay, 0);
+    let states = phase_states(&net, &outcomes, 0);
+    (states, net)
+}
+
+/// Runs share-renewal phase `tau` (≥ 1) over endpoints from the previous
+/// phase's states — the endpoint-based successor of
+/// `dkg_core::proactive::run_renewal_phase`. The §5.2 safeguards and tick
+/// schedule come from the shared [`plan_renewal`] planner, so they cannot
+/// diverge from the in-process harness: expected resharing commitments are
+/// registered so Byzantine dealers cannot inject a different value, and all
+/// nodes combine by interpolation at zero so the group secret is preserved.
+pub fn run_renewal_phase(
+    setup: &SystemSetup,
+    previous: &BTreeMap<NodeId, PhaseState>,
+    tau: u64,
+    options: &RenewalOptions,
+) -> Result<(BTreeMap<NodeId, PhaseState>, EndpointNet), RenewalError> {
+    let plan = plan_renewal(setup, previous, options)?;
+
+    let mut net = EndpointNet::new(options.delay.clone(), setup.seed ^ tau);
+    for &node in &setup.config.vss.nodes {
+        let mut dkg_node = setup.build_node(node, tau);
+        dkg_node.set_expected_dealer_commitments(plan.expected_commitments.clone());
+        dkg_node.set_combine_rule(CombineRule::InterpolateAtZero);
+        let mut endpoint = Endpoint::new(node, EndpointConfig::default());
+        endpoint
+            .add_dkg_session(dkg_node)
+            .expect("fresh endpoint has no session");
+        net.add_endpoint(endpoint);
+    }
+
+    for &node in &options.crashed {
+        net.schedule_crash(node, 0);
+    }
+
+    // Local clock ticks: each participating node reshares its previous
+    // share at its own (deterministically skewed) tick time.
+    for &(node, tick) in &plan.ticks {
+        let share = previous[&node].share;
+        net.schedule_dkg_input(node, tau, DkgInput::StartReshare { value: share }, tick);
+    }
+    net.run();
+
+    let outcomes = collect_outcomes(&net, tau);
+    let states = phase_states(&net, &outcomes, tau);
+    Ok((states, net))
+}
+
+fn phase_states(
+    net: &EndpointNet,
+    outcomes: &[NodeOutcome],
+    tau: u64,
+) -> BTreeMap<NodeId, PhaseState> {
+    outcomes
+        .iter()
+        .map(|o| {
+            let commitment = net
+                .endpoint(o.node)
+                .and_then(|e| e.dkg_result(tau))
+                .map(|r| r.commitment.clone())
+                .expect("completed node has a result");
+            (
+                o.node,
+                PhaseState {
+                    tau,
+                    share: o.share,
+                    commitment,
+                    public_key: o.public_key,
+                },
+            )
+        })
+        .collect()
+}

@@ -1,0 +1,111 @@
+//! End-to-end DKG runs through the sans-I/O `Endpoint` poll API: the
+//! acceptance run at n = 16, share consistency, byte-measured metrics and
+//! endpoint bookkeeping.
+
+use dkg_arith::{GroupElement, Scalar};
+use dkg_core::runner::SystemSetup;
+use dkg_engine::runner::{run_key_generation, run_vss};
+use dkg_engine::SessionKey;
+use dkg_poly::interpolate_secret;
+use dkg_sim::DelayModel;
+use dkg_vss::CommitmentMode;
+
+#[test]
+fn sixteen_node_dkg_completes_through_the_endpoint_api() {
+    // The acceptance criterion: a full n = 16 DKG, every message a real
+    // encoded datagram, completes end to end through the poll API.
+    let setup = SystemSetup::generate(16, 1, 1601);
+    let (outcomes, net) = run_key_generation(&setup, DelayModel::Uniform { min: 5, max: 40 }, 0);
+    assert_eq!(outcomes.len(), 16);
+    let pk = outcomes[0].public_key;
+    assert!(outcomes.iter().all(|o| o.public_key == pk));
+    // Any t+1 shares reconstruct the secret behind the public key.
+    let t = setup.config.t();
+    let shares: Vec<(u64, Scalar)> = outcomes
+        .iter()
+        .take(t + 1)
+        .map(|o| (o.node, o.share))
+        .collect();
+    let secret = interpolate_secret(&shares).unwrap();
+    assert_eq!(GroupElement::commit(&secret), pk);
+    // All traffic was well-formed: zero rejections, byte counts measured
+    // from real encodings.
+    assert!(net.rejections().is_empty());
+    assert!(net.metrics().message_count() > 0);
+    assert!(net.metrics().byte_count() > net.metrics().message_count());
+}
+
+#[test]
+fn endpoint_metrics_match_network_metrics() {
+    let setup = SystemSetup::generate(4, 0, 77);
+    let (outcomes, net) = run_key_generation(&setup, DelayModel::Constant(20), 0);
+    assert_eq!(outcomes.len(), 4);
+    // The sum of per-session bytes-out across endpoints equals the bytes the
+    // network counted (every datagram originates in exactly one session).
+    let key = SessionKey::Dkg { tau: 0 };
+    let total_out: u64 = net
+        .node_ids()
+        .iter()
+        .map(|&id| {
+            net.endpoint(id)
+                .unwrap()
+                .session_stats(key)
+                .unwrap()
+                .bytes_out
+        })
+        .sum();
+    assert_eq!(total_out, net.metrics().byte_count());
+    // Completion is recorded per session.
+    for id in net.node_ids() {
+        let endpoint = net.endpoint(id).unwrap();
+        assert!(endpoint.is_complete(key));
+        assert!(endpoint.session_stats(key).unwrap().completed_at.is_some());
+        assert!(endpoint.dkg_result(0).is_some());
+    }
+}
+
+#[test]
+fn endpoint_shares_verify_against_the_commitment_matrix() {
+    let setup = SystemSetup::generate(4, 0, 1002);
+    let (_, net) = run_key_generation(&setup, DelayModel::Constant(15), 0);
+    for &node in &setup.config.vss.nodes {
+        let result = net
+            .endpoint(node)
+            .unwrap()
+            .dkg_result(0)
+            .expect("completed")
+            .clone();
+        assert_eq!(
+            result.commitment.share_commitment(node),
+            GroupElement::commit(&result.share)
+        );
+        assert_eq!(result.commitment.public_key(), result.public_key);
+        assert!(result.dealers.len() > setup.config.t());
+    }
+}
+
+#[test]
+fn standalone_vss_runs_over_endpoints() {
+    let run = run_vss(
+        7,
+        0,
+        CommitmentMode::Full,
+        DelayModel::Uniform { min: 10, max: 80 },
+        42,
+    );
+    assert_eq!(run.completions.len(), 7);
+    // Message complexity sanity carries over from the in-process simulator:
+    // n sends, n² echoes.
+    assert_eq!(run.net.metrics().kind("vss-send").messages, 7);
+    assert_eq!(run.net.metrics().kind("vss-echo").messages, 49);
+    assert!(run.net.rejections().is_empty());
+}
+
+#[test]
+fn digest_mode_still_saves_bytes_on_the_wire() {
+    let full = run_vss(10, 0, CommitmentMode::Full, DelayModel::Constant(10), 21);
+    let digest = run_vss(10, 0, CommitmentMode::Digest, DelayModel::Constant(10), 22);
+    assert_eq!(full.completions.len(), 10);
+    assert_eq!(digest.completions.len(), 10);
+    assert!(digest.net.metrics().byte_count() * 2 < full.net.metrics().byte_count());
+}

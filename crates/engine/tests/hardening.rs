@@ -1,0 +1,239 @@
+//! Adversarial-input hardening at the endpoint boundary: malformed,
+//! truncated, bit-flipped, wrong-version, oversized, mis-routed and
+//! unknown-session datagrams are all refused with typed [`Reject`]s — never
+//! panics — and an ongoing DKG still completes while garbage pours in.
+//! Also covers the bounded-outbox backpressure contract.
+
+use dkg_core::runner::SystemSetup;
+use dkg_core::DkgInput;
+use dkg_engine::runner::{collect_outcomes, run_key_generation};
+use dkg_engine::{Endpoint, EndpointConfig, Reject, SessionKey};
+use dkg_sim::DelayModel;
+use dkg_wire::WireError;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+fn cases(default: u32) -> u32 {
+    std::env::var("WIRE_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn endpoint_with_dkg(seed: u64) -> (SystemSetup, Endpoint) {
+    let setup = SystemSetup::generate(4, 0, seed);
+    let node = 1;
+    let mut endpoint = Endpoint::new(node, EndpointConfig::default());
+    endpoint.add_dkg_session(setup.build_node(node, 0)).unwrap();
+    (setup, endpoint)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(64)))]
+
+    #[test]
+    fn arbitrary_datagrams_never_panic_the_endpoint(
+        bytes in vec(any::<u8>(), 0..400),
+        from in any::<u64>(),
+    ) {
+        let (_, mut endpoint) = endpoint_with_dkg(7);
+        let result = endpoint.handle_datagram(from, &bytes, 0);
+        prop_assert!(result.is_err(), "random bytes must never be accepted");
+        prop_assert!(endpoint.stats().rejected > 0);
+    }
+
+    #[test]
+    fn mangled_real_traffic_never_panics(
+        seed in any::<u64>(),
+        flip_byte in 0usize..usize::MAX,
+        flip_bit in 0u8..8,
+        cut in 0usize..usize::MAX,
+    ) {
+        // Capture a genuine datagram by starting the protocol, then mangle it.
+        let (_, mut endpoint) = endpoint_with_dkg(seed % 64);
+        endpoint.handle_dkg_input(0, DkgInput::Start, 0).unwrap();
+        let transmit = endpoint.poll_transmit().expect("start emits sends");
+        let bytes = transmit.payload;
+
+        // Truncation.
+        let cut = cut % bytes.len();
+        prop_assert!(endpoint.handle_datagram(2, &bytes[..cut], 1).is_err());
+
+        // Bit flip: either refused, or (if the flip keeps the frame valid,
+        // e.g. inside an unauthenticated scalar) absorbed by the state
+        // machine without panicking.
+        let mut flipped = bytes.clone();
+        let idx = flip_byte % flipped.len();
+        flipped[idx] ^= 1 << flip_bit;
+        let _ = endpoint.handle_datagram(2, &flipped, 2);
+    }
+}
+
+#[test]
+fn typed_rejections_name_the_failure() {
+    let (setup, mut endpoint) = endpoint_with_dkg(11);
+
+    // Wrong version.
+    endpoint.handle_dkg_input(0, DkgInput::Start, 0).unwrap();
+    let good = endpoint.poll_transmit().unwrap().payload;
+    let mut wrong_version = good.clone();
+    wrong_version[0] = 9;
+    assert_eq!(
+        endpoint.handle_datagram(2, &wrong_version, 0),
+        Err(Reject::Malformed(WireError::UnsupportedVersion {
+            version: 9
+        }))
+    );
+
+    // Unknown session: reroute a valid frame to τ = 5.
+    let mut unknown = good.clone();
+    unknown[2..10].copy_from_slice(&5u64.to_be_bytes());
+    assert_eq!(
+        endpoint.handle_datagram(2, &unknown, 0),
+        Err(Reject::UnknownSession(SessionKey::Dkg { tau: 5 }))
+    );
+
+    // Session mismatch: host τ = 5 too, then replay the τ = 0 payload under
+    // the τ = 5 header — the splice is caught.
+    endpoint.add_dkg_session(setup.build_node(1, 5)).unwrap();
+    assert_eq!(
+        endpoint.handle_datagram(2, &unknown, 0),
+        Err(Reject::SessionMismatch {
+            header: SessionKey::Dkg { tau: 5 }
+        })
+    );
+
+    // Oversized datagram.
+    let mut small = Endpoint::new(
+        1,
+        EndpointConfig {
+            max_datagram_len: 64,
+            ..EndpointConfig::default()
+        },
+    );
+    small.add_dkg_session(setup.build_node(1, 0)).unwrap();
+    assert_eq!(
+        small.handle_datagram(2, &[0u8; 65], 0),
+        Err(Reject::OversizedDatagram { len: 65, max: 64 })
+    );
+
+    // Duplicate session / wrong node are refused at insertion.
+    assert_eq!(
+        endpoint
+            .add_dkg_session(setup.build_node(1, 0))
+            .unwrap_err(),
+        Reject::DuplicateSession(SessionKey::Dkg { tau: 0 })
+    );
+    assert_eq!(
+        endpoint
+            .add_dkg_session(setup.build_node(2, 7))
+            .unwrap_err(),
+        Reject::WrongNode {
+            endpoint: 1,
+            node: 2
+        }
+    );
+}
+
+#[test]
+fn bounded_outbox_applies_backpressure() {
+    let setup = SystemSetup::generate(4, 0, 13);
+    let mut endpoint = Endpoint::new(
+        1,
+        EndpointConfig {
+            outbox_capacity: 2,
+            ..EndpointConfig::default()
+        },
+    );
+    endpoint.add_dkg_session(setup.build_node(1, 0)).unwrap();
+    // Starting floods the outbox past its capacity (a single handler's burst
+    // is never split), after which further input is refused…
+    endpoint.handle_dkg_input(0, DkgInput::Start, 0).unwrap();
+    assert!(endpoint.outbox_len() >= 2);
+    let refused = endpoint.handle_datagram(2, &[0u8; 8], 1);
+    assert_eq!(refused, Err(Reject::Backpressure { capacity: 2 }));
+    assert_eq!(
+        endpoint.handle_dkg_input(0, DkgInput::Reconstruct, 1),
+        Err(Reject::Backpressure { capacity: 2 })
+    );
+    // …until the transport drains the queue.
+    while endpoint.poll_transmit().is_some() {}
+    assert!(endpoint.handle_datagram(2, &[0u8; 8], 2).is_err_and(
+        |r| matches!(r, Reject::Malformed(_)) // parsed again, not backpressured
+    ));
+}
+
+#[test]
+fn dkg_completes_under_a_garbage_storm() {
+    // The acceptance criterion: zero panics on adversarially malformed
+    // datagrams, while the protocol still completes. A hostile sender
+    // sprays every node with random bytes, truncated real frames and
+    // wrong-version frames throughout the run.
+    let setup = SystemSetup::generate(4, 0, 666);
+    let mut net = dkg_engine::runner::build_dkg_net(&setup, 0, DelayModel::Constant(15));
+    for &node in &setup.config.vss.nodes {
+        net.schedule_dkg_input(node, 0, DkgInput::Start, 0);
+    }
+    let mut rng = StdRng::seed_from_u64(999);
+    for step in 0..60u64 {
+        for &node in &setup.config.vss.nodes {
+            let mut garbage = vec![0u8; (step as usize * 7) % 96 + 1];
+            rng.fill_bytes(&mut garbage);
+            net.inject_datagram(100, node, garbage, step * 5);
+        }
+    }
+    net.run();
+    let outcomes = collect_outcomes(&net, 0);
+    assert_eq!(outcomes.len(), 4, "storm must not stop completion");
+    assert!(
+        net.rejections().len() >= 200,
+        "the garbage was refused, not absorbed: {} rejections",
+        net.rejections().len()
+    );
+    assert!(net
+        .rejections()
+        .iter()
+        .all(|r| matches!(r.reject, Reject::Malformed(_) | Reject::UnknownSession(_))));
+}
+
+#[test]
+fn replayed_and_cross_routed_traffic_is_contained() {
+    // Record all real τ = 0 traffic of one run, then replay it into a
+    // different run keyed τ = 1: every frame is refused as unknown-session
+    // (the header routes it to a session the endpoints do not host).
+    let setup = SystemSetup::generate(4, 0, 31);
+    let (_, net0) = run_key_generation(&setup, DelayModel::Constant(10), 0);
+    assert!(net0.rejections().is_empty());
+
+    let mut net1 = dkg_engine::runner::build_dkg_net(&setup, 1, DelayModel::Constant(10));
+    for &node in &setup.config.vss.nodes {
+        net1.schedule_dkg_input(node, 1, DkgInput::Start, 0);
+    }
+    // Replay: recreate a frame of real τ = 0 traffic from a fresh identical
+    // run (deterministic), inject into the τ = 1 network.
+    let setup_replay = SystemSetup::generate(4, 0, 31);
+    let mut replay_endpoint = Endpoint::new(1, dkg_engine::EndpointConfig::default());
+    replay_endpoint
+        .add_dkg_session(setup_replay.build_node(1, 0))
+        .unwrap();
+    replay_endpoint
+        .handle_dkg_input(0, DkgInput::Start, 0)
+        .unwrap();
+    let mut replayed = 0;
+    while let Some(t) = replay_endpoint.poll_transmit() {
+        net1.inject_datagram(1, t.to, t.payload, 5);
+        replayed += 1;
+    }
+    assert!(replayed > 0);
+    net1.run();
+    assert_eq!(collect_outcomes(&net1, 1).len(), 4);
+    assert_eq!(
+        net1.rejections()
+            .iter()
+            .filter(|r| matches!(r.reject, Reject::UnknownSession(SessionKey::Dkg { tau: 0 })))
+            .count(),
+        replayed
+    );
+}

@@ -100,8 +100,19 @@ impl VssConfig {
     /// Convenience constructor for nodes `1..=n` with the largest safe `t`
     /// for the given `f` (`t = ⌊(n − 2f − 1) / 3⌋`).
     pub fn standard(n: usize, f: usize) -> Result<Self, ConfigError> {
+        Self::standard_with_mode(n, f, CommitmentMode::Full)
+    }
+
+    /// [`VssConfig::standard`] with an explicit commitment mode — the single
+    /// home of the `t = ⌊(n − 2f − 1) / 3⌋` derivation used by every
+    /// experiment and test harness.
+    pub fn standard_with_mode(
+        n: usize,
+        f: usize,
+        mode: CommitmentMode,
+    ) -> Result<Self, ConfigError> {
         let t = n.saturating_sub(2 * f + 1) / 3;
-        Self::new((1..=n as NodeId).collect(), t, f, 16, CommitmentMode::Full)
+        Self::new((1..=n as NodeId).collect(), t, f, 16, mode)
     }
 
     /// Number of nodes `n`.

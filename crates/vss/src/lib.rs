@@ -50,6 +50,7 @@ pub mod faulty;
 pub mod messages;
 pub mod node;
 pub mod standalone;
+pub mod wire;
 
 pub use config::{CommitmentMode, ConfigError, VssConfig};
 pub use messages::{CommitmentRef, ReadyWitness, SessionId, VssInput, VssMessage, VssOutput};

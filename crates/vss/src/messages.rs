@@ -60,12 +60,10 @@ impl CommitmentRef {
         }
     }
 
-    /// Wire size of this reference.
+    /// Wire size of this reference: the exact length of its canonical
+    /// encoding (a tag byte plus the matrix or digest body).
     pub fn wire_size(&self) -> usize {
-        match self {
-            CommitmentRef::Full(c) => c.encoded_len(),
-            CommitmentRef::Digest(_) => field_size::DIGEST,
-        }
+        dkg_wire::WireEncode::encoded_len(self)
     }
 }
 
@@ -158,27 +156,13 @@ impl VssMessage {
 }
 
 impl WireSize for VssMessage {
+    /// The exact length of the message's canonical [`dkg_wire`] encoding.
+    /// Earlier revisions hand-estimated this from `field_size` constants and
+    /// drifted from reality on variable-length fields (length prefixes,
+    /// optional signatures); it is now *defined* as `encode().len()` and
+    /// asserted equal by round-trip property tests.
     fn wire_size(&self) -> usize {
-        let base = field_size::TAG + SessionId::ENCODED_LEN;
-        match self {
-            VssMessage::Send {
-                commitment, row, ..
-            } => base + commitment.encoded_len() + (row.degree() + 1) * field_size::SCALAR,
-            VssMessage::Echo { commitment, .. } => {
-                base + commitment.wire_size() + field_size::SCALAR
-            }
-            VssMessage::Ready {
-                commitment,
-                signature,
-                ..
-            } => {
-                base + commitment.wire_size()
-                    + field_size::SCALAR
-                    + signature.map_or(0, |_| field_size::SIGNATURE)
-            }
-            VssMessage::ReconstructShare { .. } => base + field_size::SCALAR,
-            VssMessage::Help { .. } => base,
-        }
+        dkg_wire::WireEncode::encoded_len(self)
     }
 
     fn kind(&self) -> &'static str {
@@ -263,7 +247,8 @@ mod tests {
         assert!(full.matrix().is_some());
         assert!(digest.matrix().is_none());
         assert!(full.wire_size() > digest.wire_size());
-        assert_eq!(digest.wire_size(), 32);
+        // One tag byte plus the 32-byte digest.
+        assert_eq!(digest.wire_size(), 33);
     }
 
     #[test]
@@ -282,13 +267,17 @@ mod tests {
         };
         assert!(echo_full.wire_size() > echo_digest.wire_size());
         assert_eq!(echo_full.kind(), "vss-echo");
-        // Send always carries the matrix plus t+1 scalars.
+        // Send carries the matrix (u32 dimension prefix + entries) plus the
+        // t+1 row scalars (u32 count prefix).
         let send = VssMessage::Send {
             session,
             commitment: c.clone(),
             row: dkg_poly::Univariate::zero(3),
         };
-        assert_eq!(send.wire_size(), 1 + 16 + c.encoded_len() + 4 * 32);
+        assert_eq!(
+            send.wire_size(),
+            1 + 16 + (4 + c.encoded_len()) + (4 + 4 * 32)
+        );
         let help = VssMessage::Help { session };
         assert_eq!(help.wire_size(), 17);
         assert_eq!(help.session(), session);

@@ -1,0 +1,176 @@
+//! Canonical wire codec for the HybridVSS messages ([`dkg_wire`] traits).
+//!
+//! Layout (all integers big-endian, lengths `u32`-prefixed):
+//!
+//! ```text
+//! VssMessage        := tag:u8 session:16B body
+//!   0 send          := matrix row
+//!   1 echo          := commitment-ref point:32B
+//!   2 ready         := commitment-ref point:32B option<signature:65B>
+//!   3 reconstruct   := share:32B
+//!   4 help          := ε
+//! commitment-ref    := 0 matrix | 1 digest:32B
+//! matrix            := dim:u32 point:33B × dim²          (row-major)
+//! row               := count:u32 scalar:32B × count
+//! ReadyWitness      := node:u64 signature:65B
+//! ```
+//!
+//! `VssMessage::wire_size()` is defined as the exact encoded length, so the
+//! simulator's communication-complexity metrics are measured, not estimated.
+
+use dkg_arith::Scalar;
+use dkg_crypto::Signature;
+use dkg_poly::{CommitmentMatrix, Univariate};
+use dkg_wire::{Reader, WireDecode, WireEncode, WireError, WireWrite};
+
+use crate::messages::{CommitmentRef, ReadyWitness, SessionId, VssMessage};
+
+impl WireEncode for SessionId {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put(&self.to_bytes());
+    }
+}
+
+impl WireDecode for SessionId {
+    const MIN_WIRE_LEN: usize = SessionId::ENCODED_LEN;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let dealer = r.u64()?;
+        let tau = r.u64()?;
+        Ok(SessionId::new(dealer, tau))
+    }
+}
+
+impl WireEncode for CommitmentRef {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        match self {
+            CommitmentRef::Full(matrix) => {
+                w.put_u8(0);
+                matrix.encode_to(w);
+            }
+            CommitmentRef::Digest(digest) => {
+                w.put_u8(1);
+                digest.encode_to(w);
+            }
+        }
+    }
+}
+
+impl WireDecode for CommitmentRef {
+    // Tag byte plus a 32-byte digest (the smaller arm).
+    const MIN_WIRE_LEN: usize = 1 + 32;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(CommitmentRef::Full(CommitmentMatrix::decode_from(r)?)),
+            1 => Ok(CommitmentRef::Digest(<[u8; 32]>::decode_from(r)?)),
+            tag => Err(WireError::UnknownTag {
+                context: "commitment ref",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for ReadyWitness {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_u64(self.node);
+        self.signature.encode_to(w);
+    }
+}
+
+impl WireDecode for ReadyWitness {
+    const MIN_WIRE_LEN: usize = ReadyWitness::ENCODED_LEN;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(ReadyWitness {
+            node: r.u64()?,
+            signature: Signature::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for VssMessage {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        match self {
+            VssMessage::Send {
+                session,
+                commitment,
+                row,
+            } => {
+                w.put_u8(0);
+                session.encode_to(w);
+                commitment.encode_to(w);
+                row.encode_to(w);
+            }
+            VssMessage::Echo {
+                session,
+                commitment,
+                point,
+            } => {
+                w.put_u8(1);
+                session.encode_to(w);
+                commitment.encode_to(w);
+                point.encode_to(w);
+            }
+            VssMessage::Ready {
+                session,
+                commitment,
+                point,
+                signature,
+            } => {
+                w.put_u8(2);
+                session.encode_to(w);
+                commitment.encode_to(w);
+                point.encode_to(w);
+                signature.encode_to(w);
+            }
+            VssMessage::ReconstructShare { session, share } => {
+                w.put_u8(3);
+                session.encode_to(w);
+                share.encode_to(w);
+            }
+            VssMessage::Help { session } => {
+                w.put_u8(4);
+                session.encode_to(w);
+            }
+        }
+    }
+}
+
+impl WireDecode for VssMessage {
+    // Tag byte plus a session id (the `help` message).
+    const MIN_WIRE_LEN: usize = 1 + SessionId::ENCODED_LEN;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let tag = r.u8()?;
+        let session = SessionId::decode_from(r)?;
+        match tag {
+            0 => Ok(VssMessage::Send {
+                session,
+                commitment: CommitmentMatrix::decode_from(r)?,
+                row: Univariate::decode_from(r)?,
+            }),
+            1 => Ok(VssMessage::Echo {
+                session,
+                commitment: CommitmentRef::decode_from(r)?,
+                point: Scalar::decode_from(r)?,
+            }),
+            2 => Ok(VssMessage::Ready {
+                session,
+                commitment: CommitmentRef::decode_from(r)?,
+                point: Scalar::decode_from(r)?,
+                signature: Option::<Signature>::decode_from(r)?,
+            }),
+            3 => Ok(VssMessage::ReconstructShare {
+                session,
+                share: Scalar::decode_from(r)?,
+            }),
+            4 => Ok(VssMessage::Help { session }),
+            tag => Err(WireError::UnknownTag {
+                context: "vss message",
+                tag,
+            }),
+        }
+    }
+}

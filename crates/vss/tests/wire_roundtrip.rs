@@ -1,0 +1,127 @@
+//! Codec properties for the HybridVSS messages: every message round-trips
+//! `encode → decode` losslessly, `wire_size()` equals the real encoded
+//! length, and decoding adversarially mangled bytes never panics.
+//!
+//! `WIRE_FUZZ_CASES` raises the per-test case count (used by CI's fuzz step).
+
+use dkg_arith::{PrimeField, Scalar};
+use dkg_crypto::SigningKey;
+use dkg_poly::{CommitmentMatrix, SymmetricBivariate, Univariate};
+use dkg_sim::WireSize;
+use dkg_vss::{CommitmentRef, ReadyWitness, SessionId, VssMessage};
+use dkg_wire::{WireDecode, WireEncode};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cases(default: u32) -> u32 {
+    std::env::var("WIRE_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Deterministically builds one of each message shape from a seed.
+fn sample_messages(seed: u64) -> Vec<VssMessage> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t = (seed % 4) as usize + 1;
+    let secret = Scalar::random(&mut rng);
+    let f = SymmetricBivariate::random_with_secret(&mut rng, t, secret);
+    let matrix = CommitmentMatrix::commit(&f);
+    let digest = dkg_crypto::sha256(&matrix.to_bytes());
+    let session = SessionId::new(seed % 7 + 1, seed % 3);
+    let key = SigningKey::generate(&mut rng);
+    let signature = key.sign(&mut rng, b"roundtrip");
+    vec![
+        VssMessage::Send {
+            session,
+            commitment: matrix.clone(),
+            row: Univariate::random(&mut rng, t),
+        },
+        VssMessage::Echo {
+            session,
+            commitment: CommitmentRef::Full(matrix.clone()),
+            point: Scalar::random(&mut rng),
+        },
+        VssMessage::Echo {
+            session,
+            commitment: CommitmentRef::Digest(digest),
+            point: Scalar::random(&mut rng),
+        },
+        VssMessage::Ready {
+            session,
+            commitment: CommitmentRef::Digest(digest),
+            point: Scalar::random(&mut rng),
+            signature: Some(signature),
+        },
+        VssMessage::Ready {
+            session,
+            commitment: CommitmentRef::Full(matrix),
+            point: Scalar::random(&mut rng),
+            signature: None,
+        },
+        VssMessage::ReconstructShare {
+            session,
+            share: Scalar::random(&mut rng),
+        },
+        VssMessage::Help { session },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(48)))]
+
+    #[test]
+    fn every_message_roundtrips_losslessly(seed in any::<u64>()) {
+        for message in sample_messages(seed) {
+            let bytes = message.encode();
+            let back = VssMessage::decode(&bytes);
+            prop_assert_eq!(back.as_ref(), Ok(&message));
+        }
+    }
+
+    #[test]
+    fn wire_size_is_the_exact_encoded_length(seed in any::<u64>()) {
+        for message in sample_messages(seed) {
+            prop_assert_eq!(message.wire_size(), message.encode().len());
+        }
+    }
+
+    #[test]
+    fn witness_roundtrip_and_size(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = SigningKey::generate(&mut rng);
+        let witness = ReadyWitness { node: seed, signature: key.sign(&mut rng, b"w") };
+        let bytes = witness.encode();
+        prop_assert_eq!(bytes.len(), ReadyWitness::ENCODED_LEN);
+        prop_assert_eq!(ReadyWitness::decode(&bytes), Ok(witness));
+    }
+
+    #[test]
+    fn mangled_messages_never_panic(
+        seed in any::<u64>(),
+        pick in 0usize..7,
+        flip_byte in 0usize..usize::MAX,
+        flip_bit in 0u8..8,
+        cut in 0usize..usize::MAX,
+    ) {
+        let message = sample_messages(seed).swap_remove(pick);
+        let bytes = message.encode();
+        // Truncation: must error, never panic.
+        prop_assert!(VssMessage::decode(&bytes[..cut % bytes.len()]).is_err());
+        // Bit flip: must not panic; if it still decodes, re-encoding must be
+        // canonical (equal to the flipped input).
+        let mut flipped = bytes.clone();
+        let idx = flip_byte % flipped.len();
+        flipped[idx] ^= 1 << flip_bit;
+        if let Ok(back) = VssMessage::decode(&flipped) {
+            prop_assert_eq!(back.encode(), flipped);
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..300)) {
+        let _ = VssMessage::decode(&bytes);
+    }
+}

@@ -1,0 +1,94 @@
+//! The typed decode error.
+
+/// Everything that can go wrong while decoding untrusted wire bytes.
+///
+/// Decoding **never panics**: every malformed, truncated, bit-flipped,
+/// wrong-version or oversized input is mapped to one of these variants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    UnexpectedEof {
+        /// Bytes the decoder needed to make progress.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// The value decoded, but bytes were left over. Canonical encodings are
+    /// exact: trailing garbage is an error, not padding.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// An enum discriminant byte was not one of the defined tags.
+    UnknownTag {
+        /// What was being decoded (e.g. `"vss-message"`).
+        context: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The frame's version byte is not [`crate::frame::VERSION`].
+    UnsupportedVersion {
+        /// The version byte found.
+        version: u8,
+    },
+    /// A declared length exceeds the decoder's hard cap, or declares more
+    /// elements than the remaining input could possibly hold.
+    LengthOverflow {
+        /// What was being decoded.
+        context: &'static str,
+        /// The declared length.
+        declared: u64,
+        /// The maximum the decoder accepts here.
+        max: u64,
+    },
+    /// 32 bytes that are not a canonical scalar (≥ the group order).
+    InvalidScalar,
+    /// 33 bytes that are not a valid compressed curve point.
+    InvalidPoint,
+    /// 65 bytes that are not a valid Schnorr signature encoding.
+    InvalidSignature,
+    /// A structurally invalid value: non-square commitment matrix, unsorted
+    /// proposal, empty commitment vector, …
+    InvalidValue {
+        /// What was being decoded.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+                )
+            }
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after a complete value")
+            }
+            WireError::UnknownTag { context, tag } => {
+                write!(f, "unknown tag {tag:#04x} while decoding {context}")
+            }
+            WireError::UnsupportedVersion { version } => {
+                write!(f, "unsupported wire version {version}")
+            }
+            WireError::LengthOverflow {
+                context,
+                declared,
+                max,
+            } => write!(
+                f,
+                "declared length {declared} exceeds limit {max} while decoding {context}"
+            ),
+            WireError::InvalidScalar => write!(f, "non-canonical scalar encoding"),
+            WireError::InvalidPoint => write!(f, "invalid compressed curve point"),
+            WireError::InvalidSignature => write!(f, "invalid signature encoding"),
+            WireError::InvalidValue { context } => {
+                write!(f, "structurally invalid {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,190 @@
+//! Versioned, length-delimited datagram framing.
+//!
+//! Every datagram on the wire is
+//!
+//! ```text
+//! byte 0        version            (currently 1)
+//! byte 1        protocol tag       (0 = HybridVSS, 1 = DKG)
+//! bytes 2..18   channel            16-byte opaque session routing key
+//! bytes 18..22  payload length     u32, big-endian
+//! bytes 22..    payload            the message's canonical encoding
+//! ```
+//!
+//! The channel lets an endpoint route a datagram to the right session
+//! without decoding the payload (the same role QUIC's connection IDs play);
+//! the explicit payload length makes the frames self-delimiting so they can
+//! be carried back-to-back over a stream transport as well as one-per-packet
+//! over a datagram transport.
+
+use crate::codec::{Reader, WireEncode, WireWrite};
+use crate::error::WireError;
+
+/// The current wire version. Decoders reject any other value, which is what
+/// makes incompatible future revisions safe to deploy incrementally.
+pub const VERSION: u8 = 1;
+
+/// Bytes of framing around every payload.
+pub const HEADER_LEN: usize = 1 + 1 + 16 + 4;
+
+/// Which protocol's codec interprets the payload.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ProtocolId {
+    /// A standalone HybridVSS session ([`dkg_poly`]-level sharing traffic).
+    Vss,
+    /// A DKG session (embedded VSS traffic included).
+    Dkg,
+}
+
+impl ProtocolId {
+    fn tag(self) -> u8 {
+        match self {
+            ProtocolId::Vss => 0,
+            ProtocolId::Dkg => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self, WireError> {
+        match tag {
+            0 => Ok(ProtocolId::Vss),
+            1 => Ok(ProtocolId::Dkg),
+            tag => Err(WireError::UnknownTag {
+                context: "protocol id",
+                tag,
+            }),
+        }
+    }
+}
+
+/// The routing header of a datagram.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Header {
+    /// Which protocol's codec interprets the payload.
+    pub protocol: ProtocolId,
+    /// Opaque 16-byte session routing key (the endpoint layer defines its
+    /// contents — e.g. `(dealer, τ)` for VSS, `τ` for DKG).
+    pub channel: [u8; 16],
+}
+
+/// Frames `payload` into a complete versioned datagram.
+pub fn encode_datagram<M: WireEncode>(header: Header, payload: &M) -> Vec<u8> {
+    let payload_len = payload.encoded_len();
+    let mut out = Vec::with_capacity(HEADER_LEN + payload_len);
+    out.put_u8(VERSION);
+    out.put_u8(header.protocol.tag());
+    out.put(&header.channel);
+    out.put_u32(payload_len as u32);
+    payload.encode_to(&mut out);
+    debug_assert_eq!(out.len(), HEADER_LEN + payload_len);
+    out
+}
+
+/// Parses a datagram's framing, returning the header and the exact payload
+/// bytes. Rejects wrong versions, unknown protocol tags, and frames whose
+/// declared payload length disagrees with the actual datagram size (both
+/// truncation and trailing garbage).
+pub fn decode_datagram(bytes: &[u8]) -> Result<(Header, &[u8]), WireError> {
+    let mut r = Reader::new(bytes);
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion { version });
+    }
+    let protocol = ProtocolId::from_tag(r.u8()?)?;
+    let channel: [u8; 16] = r.array()?;
+    let declared = r.u32()? as usize;
+    let payload = bytes
+        .get(HEADER_LEN..)
+        .expect("header fully consumed above");
+    if payload.len() < declared {
+        return Err(WireError::UnexpectedEof {
+            needed: declared,
+            remaining: payload.len(),
+        });
+    }
+    if payload.len() > declared {
+        return Err(WireError::TrailingBytes {
+            remaining: payload.len() - declared,
+        });
+    }
+    Ok((Header { protocol, channel }, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let header = Header {
+            protocol: ProtocolId::Dkg,
+            channel: [9u8; 16],
+        };
+        let bytes = encode_datagram(header, &42u64);
+        assert_eq!(bytes.len(), HEADER_LEN + 8);
+        let (back, payload) = decode_datagram(&bytes).unwrap();
+        assert_eq!(back, header);
+        assert_eq!(payload, 42u64.to_be_bytes());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = encode_datagram(
+            Header {
+                protocol: ProtocolId::Vss,
+                channel: [0u8; 16],
+            },
+            &1u64,
+        );
+        bytes[0] = 9;
+        assert_eq!(
+            decode_datagram(&bytes),
+            Err(WireError::UnsupportedVersion { version: 9 })
+        );
+    }
+
+    #[test]
+    fn unknown_protocol_is_rejected() {
+        let mut bytes = encode_datagram(
+            Header {
+                protocol: ProtocolId::Vss,
+                channel: [0u8; 16],
+            },
+            &1u64,
+        );
+        bytes[1] = 7;
+        assert!(matches!(
+            decode_datagram(&bytes),
+            Err(WireError::UnknownTag {
+                context: "protocol id",
+                tag: 7
+            })
+        ));
+    }
+
+    #[test]
+    fn length_mismatches_are_rejected() {
+        let bytes = encode_datagram(
+            Header {
+                protocol: ProtocolId::Vss,
+                channel: [0u8; 16],
+            },
+            &1u64,
+        );
+        // Truncated payload.
+        assert!(matches!(
+            decode_datagram(&bytes[..bytes.len() - 1]),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+        // Trailing garbage.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(
+            decode_datagram(&extended),
+            Err(WireError::TrailingBytes { remaining: 1 })
+        );
+        // Truncated header.
+        assert!(matches!(
+            decode_datagram(&bytes[..10]),
+            Err(WireError::UnexpectedEof { .. })
+        ));
+    }
+}

@@ -1,0 +1,364 @@
+//! Codec implementations for the primitive protocol fields: integers,
+//! digests, scalars, group elements, signatures, polynomials and Feldman
+//! commitments.
+
+use crate::codec::{Reader, WireDecode, WireEncode, WireWrite, MAX_COMMITMENT_DIM};
+use crate::error::WireError;
+use dkg_arith::{GroupElement, PrimeField, Scalar};
+use dkg_crypto::Signature;
+use dkg_poly::{CommitmentMatrix, CommitmentVector, Univariate};
+
+impl WireEncode for u8 {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_u8(*self);
+    }
+}
+
+impl WireDecode for u8 {
+    const MIN_WIRE_LEN: usize = 1;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u8()
+    }
+}
+
+impl WireEncode for u32 {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_u32(*self);
+    }
+}
+
+impl WireDecode for u32 {
+    const MIN_WIRE_LEN: usize = 4;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u32()
+    }
+}
+
+impl WireEncode for u64 {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_u64(*self);
+    }
+}
+
+impl WireDecode for u64 {
+    const MIN_WIRE_LEN: usize = 8;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.u64()
+    }
+}
+
+/// Digests (and any other fixed 32-byte field) travel raw.
+impl WireEncode for [u8; 32] {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put(self);
+    }
+}
+
+impl WireDecode for [u8; 32] {
+    const MIN_WIRE_LEN: usize = 32;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        r.array()
+    }
+}
+
+/// Scalars are 32 big-endian bytes; non-canonical values (≥ the group order)
+/// are rejected on decode.
+impl WireEncode for Scalar {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put(&self.to_be_bytes());
+    }
+}
+
+impl WireDecode for Scalar {
+    const MIN_WIRE_LEN: usize = 32;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Scalar::from_be_bytes(&r.array()?).ok_or(WireError::InvalidScalar)
+    }
+}
+
+/// Group elements use the 33-byte compressed SEC1 encoding (identity is
+/// `0x00` + 32 zero bytes); anything off-curve is rejected on decode.
+impl WireEncode for GroupElement {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put(&self.to_bytes());
+    }
+}
+
+impl WireDecode for GroupElement {
+    const MIN_WIRE_LEN: usize = 33;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        GroupElement::from_bytes(&r.array()?).ok_or(WireError::InvalidPoint)
+    }
+}
+
+/// Schnorr signatures are 65 bytes: compressed nonce commitment + response
+/// scalar.
+impl WireEncode for Signature {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put(&self.to_bytes());
+    }
+}
+
+impl WireDecode for Signature {
+    const MIN_WIRE_LEN: usize = 65;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Signature::from_bytes(&r.array()?).ok_or(WireError::InvalidSignature)
+    }
+}
+
+/// `Option<T>` is a presence byte (`0`/`1`) followed by the value.
+impl<T: WireEncode> WireEncode for Option<T> {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        match self {
+            None => w.put_u8(0),
+            Some(value) => {
+                w.put_u8(1);
+                value.encode_to(w);
+            }
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Option<T> {
+    const MIN_WIRE_LEN: usize = 1;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode_from(r)?)),
+            tag => Err(WireError::UnknownTag {
+                context: "option",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Sequences carry a `u32` length prefix capped at
+/// [`crate::MAX_SEQUENCE_LEN`].
+impl<T: WireEncode> WireEncode for Vec<T> {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_len(self.len());
+        for item in self {
+            item.encode_to(w);
+        }
+    }
+}
+
+impl<T: WireDecode> WireDecode for Vec<T> {
+    const MIN_WIRE_LEN: usize = 4;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.len("sequence", crate::MAX_SEQUENCE_LEN, T::MIN_WIRE_LEN)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode_from(r)?);
+        }
+        Ok(out)
+    }
+}
+
+/// A univariate polynomial is its `u32` coefficient count followed by the
+/// coefficients in ascending degree order. The declared degree (the security
+/// threshold `t`) is preserved exactly: trailing zero coefficients travel.
+impl WireEncode for Univariate {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_len(self.coefficients().len());
+        for coeff in self.coefficients() {
+            coeff.encode_to(w);
+        }
+    }
+}
+
+impl WireDecode for Univariate {
+    const MIN_WIRE_LEN: usize = 4 + 32;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.len("polynomial", MAX_COMMITMENT_DIM, 32)?;
+        if len == 0 {
+            return Err(WireError::InvalidValue {
+                context: "polynomial with zero coefficients",
+            });
+        }
+        let mut coeffs = Vec::with_capacity(len);
+        for _ in 0..len {
+            coeffs.push(Scalar::decode_from(r)?);
+        }
+        Ok(Univariate::from_coefficients(coeffs))
+    }
+}
+
+/// A commitment matrix is its `u32` dimension (`t + 1`) followed by the
+/// `(t+1)²` compressed points in row-major order.
+impl WireEncode for CommitmentMatrix {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        let dim = self.threshold() + 1;
+        w.put_len(dim);
+        for row in self.entries() {
+            for entry in row {
+                entry.encode_to(w);
+            }
+        }
+    }
+}
+
+impl WireDecode for CommitmentMatrix {
+    const MIN_WIRE_LEN: usize = 4 + 33;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let dim = r.len("commitment matrix", MAX_COMMITMENT_DIM, 33)?;
+        if dim == 0 {
+            return Err(WireError::InvalidValue {
+                context: "empty commitment matrix",
+            });
+        }
+        // The length guard above only proves `dim` rows fit; a square matrix
+        // needs dim² entries.
+        if dim.saturating_mul(dim).saturating_mul(33) > r.remaining() {
+            return Err(WireError::LengthOverflow {
+                context: "commitment matrix",
+                declared: (dim * dim) as u64,
+                max: (r.remaining() / 33) as u64,
+            });
+        }
+        let mut entries = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            let mut row = Vec::with_capacity(dim);
+            for _ in 0..dim {
+                row.push(GroupElement::decode_from(r)?);
+            }
+            entries.push(row);
+        }
+        CommitmentMatrix::from_entries(entries).ok_or(WireError::InvalidValue {
+            context: "commitment matrix",
+        })
+    }
+}
+
+/// A commitment vector is its `u32` length (`t + 1`) followed by the
+/// compressed points.
+impl WireEncode for CommitmentVector {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_len(self.entries().len());
+        for entry in self.entries() {
+            entry.encode_to(w);
+        }
+    }
+}
+
+impl WireDecode for CommitmentVector {
+    const MIN_WIRE_LEN: usize = 4 + 33;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.len("commitment vector", MAX_COMMITMENT_DIM, 33)?;
+        let mut entries = Vec::with_capacity(len);
+        for _ in 0..len {
+            entries.push(GroupElement::decode_from(r)?);
+        }
+        CommitmentVector::from_entries(entries).ok_or(WireError::InvalidValue {
+            context: "empty commitment vector",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dkg_poly::SymmetricBivariate;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn roundtrip<T: WireEncode + WireDecode + PartialEq + std::fmt::Debug>(value: &T) {
+        let bytes = value.encode();
+        assert_eq!(
+            bytes.len(),
+            value.encoded_len(),
+            "encoded_len must be exact"
+        );
+        let back = T::decode(&bytes).expect("round-trip decodes");
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn primitive_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(1);
+        roundtrip(&0u8);
+        roundtrip(&u32::MAX);
+        roundtrip(&u64::MAX);
+        roundtrip(&[7u8; 32]);
+        roundtrip(&Scalar::random(&mut rng));
+        roundtrip(&GroupElement::random(&mut rng));
+        roundtrip(&GroupElement::identity());
+        roundtrip(&Some(Scalar::one()));
+        roundtrip(&Option::<Scalar>::None);
+        roundtrip(&vec![1u64, 2, 3]);
+        roundtrip(&Vec::<u64>::new());
+    }
+
+    #[test]
+    fn signature_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let key = dkg_crypto::SigningKey::generate(&mut rng);
+        roundtrip(&key.sign(&mut rng, b"wire"));
+    }
+
+    #[test]
+    fn polynomial_and_commitment_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let poly = Univariate::random(&mut rng, 4);
+        roundtrip(&poly);
+        // Declared degree survives (trailing zeros travel).
+        roundtrip(&Univariate::zero(3));
+        let f = SymmetricBivariate::random_with_secret(&mut rng, 3, Scalar::from_u64(9));
+        let matrix = CommitmentMatrix::commit(&f);
+        roundtrip(&matrix);
+        roundtrip(&matrix.share_polynomial_commitment());
+    }
+
+    #[test]
+    fn scalar_decode_rejects_noncanonical() {
+        // The group order itself is not a canonical scalar.
+        let bytes = [0xffu8; 32];
+        assert_eq!(Scalar::decode(&bytes), Err(WireError::InvalidScalar));
+    }
+
+    #[test]
+    fn point_decode_rejects_garbage() {
+        let mut bytes = [0u8; 33];
+        bytes[0] = 0x07;
+        assert_eq!(GroupElement::decode(&bytes), Err(WireError::InvalidPoint));
+        // Non-zero identity body.
+        let mut bytes = [0u8; 33];
+        bytes[32] = 1;
+        assert_eq!(GroupElement::decode(&bytes), Err(WireError::InvalidPoint));
+    }
+
+    #[test]
+    fn matrix_decode_rejects_oversized_dimension() {
+        let mut bytes = Vec::new();
+        bytes.put_u32(500); // plausible cap-wise, but the body is missing
+        bytes.put(&[0u8; 40]);
+        assert!(matches!(
+            CommitmentMatrix::decode(&bytes),
+            Err(WireError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn option_decode_rejects_bad_presence_byte() {
+        assert_eq!(
+            Option::<u64>::decode(&[2]),
+            Err(WireError::UnknownTag {
+                context: "option",
+                tag: 2
+            })
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Malformed-input hardening for the primitive codecs: decoding arbitrary,
+//! truncated or bit-flipped bytes must never panic — every failure is a
+//! typed `WireError`.
+//!
+//! The per-test case count can be raised via the `WIRE_FUZZ_CASES`
+//! environment variable (CI runs these with a much larger budget).
+
+use dkg_arith::{GroupElement, PrimeField, Scalar};
+use dkg_crypto::Signature;
+use dkg_poly::{CommitmentMatrix, CommitmentVector, SymmetricBivariate, Univariate};
+use dkg_wire::{decode_datagram, WireDecode, WireEncode};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Case count, overridable from the environment so CI can fuzz harder.
+fn cases(default: u32) -> u32 {
+    std::env::var("WIRE_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Decode must return (not panic) on every input; when it succeeds, the
+/// value must re-encode to the exact input (canonicity).
+fn assert_total<T: WireDecode + WireEncode>(bytes: &[u8]) -> Result<(), proptest::TestCaseError> {
+    if let Ok(value) = T::decode(bytes) {
+        // decode must invert encode exactly (canonicity).
+        prop_assert_eq!(value.encode(), bytes);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..200)) {
+        assert_total::<Scalar>(&bytes)?;
+        assert_total::<GroupElement>(&bytes)?;
+        assert_total::<Signature>(&bytes)?;
+        assert_total::<Univariate>(&bytes)?;
+        assert_total::<CommitmentVector>(&bytes)?;
+        assert_total::<CommitmentMatrix>(&bytes)?;
+        assert_total::<Vec<u64>>(&bytes)?;
+        assert_total::<Option<[u8; 32]>>(&bytes)?;
+        let _ = decode_datagram(&bytes);
+    }
+
+    #[test]
+    fn truncated_valid_encodings_error_cleanly(
+        seed in any::<u64>(),
+        cut in 0usize..usize::MAX,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let f = SymmetricBivariate::random_with_secret(&mut rng, 2, Scalar::from_u64(5));
+        let matrix = CommitmentMatrix::commit(&f);
+        let bytes = matrix.encode();
+        let cut = cut % bytes.len();
+        // Every strict prefix must fail (never panic, never succeed).
+        prop_assert!(CommitmentMatrix::decode(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn bit_flipped_encodings_never_panic(
+        seed in any::<u64>(),
+        flip_byte in 0usize..usize::MAX,
+        flip_bit in 0u8..8,
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let poly = Univariate::random(&mut rng, 3);
+        let mut bytes = poly.encode();
+        let idx = flip_byte % bytes.len();
+        bytes[idx] ^= 1 << flip_bit;
+        if let Ok(back) = Univariate::decode(&bytes) {
+            prop_assert_eq!(back.encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefixes_do_not_allocate(len in any::<u32>()) {
+        // A frame that *declares* a huge sequence but carries no body must be
+        // rejected by the length guard before any allocation is attempted.
+        let mut bytes = Vec::new();
+        use dkg_wire::WireWrite;
+        bytes.put_u32(len);
+        let decoded = Vec::<u64>::decode(&bytes);
+        if len == 0 {
+            prop_assert!(decoded.is_ok());
+        } else {
+            prop_assert!(decoded.is_err());
+        }
+    }
+}

@@ -3,15 +3,16 @@
 //! the *same* key, and removes a departing member at the next phase change
 //! with the threshold adjusted.
 //!
-//! Run with: `cargo run --release -p dkg-bench --example churn_and_group_change`
+//! Run with: `cargo run --release --example churn_and_group_change`
 
 use dkg_arith::GroupElement;
 use dkg_core::group::{
     apply_group_changes, combine_subshares, subshare_for_new_node, GroupChange, GroupModInput,
     GroupModNode, GroupModOutput, ParameterAdjustment,
 };
-use dkg_core::proactive::{run_initial_phase, run_renewal_phase, RenewalOptions};
+use dkg_core::proactive::RenewalOptions;
 use dkg_core::runner::SystemSetup;
+use dkg_engine::runner::{run_initial_phase, run_renewal_phase};
 use dkg_sim::{DelayModel, NetworkConfig, Simulation};
 
 fn main() {
@@ -47,12 +48,15 @@ fn main() {
     );
 
     // --- 3. Reshare and hand the newcomer its share (§6.2). -------------
-    let (renewed, renewal_sim) =
+    let (renewed, renewal_net) =
         run_renewal_phase(&setup, &states, 1, &RenewalOptions::default()).expect("renewal");
     let new_node = (n + 1) as u64;
     let mut subshares = Vec::new();
     for &contributor in setup.config.vss.nodes.iter().take(t + 1) {
-        let node = renewal_sim.node(contributor).expect("node exists");
+        let node = renewal_net
+            .endpoint(contributor)
+            .and_then(|e| e.dkg_session(1))
+            .expect("node exists");
         let sharings = node.agreed_sharings().expect("completed");
         subshares.push(
             subshare_for_new_node(contributor, new_node, &sharings, t).expect("enough resharings"),

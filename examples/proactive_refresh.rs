@@ -3,11 +3,12 @@
 //! stays fixed, with one node crashed during the second phase and recovering
 //! later.
 //!
-//! Run with: `cargo run --release -p dkg-bench --example proactive_refresh`
+//! Run with: `cargo run --release --example proactive_refresh`
 
 use dkg_arith::GroupElement;
-use dkg_core::proactive::{run_initial_phase, run_renewal_phase, RenewalOptions};
+use dkg_core::proactive::RenewalOptions;
 use dkg_core::runner::SystemSetup;
+use dkg_engine::runner::{run_initial_phase, run_renewal_phase};
 use dkg_poly::interpolate_secret;
 use dkg_sim::DelayModel;
 
@@ -21,13 +22,15 @@ fn main() {
         setup.config.f()
     );
 
-    // Phase 0: distributed key generation.
-    let (mut states, sim) = run_initial_phase(&setup, DelayModel::Uniform { min: 10, max: 100 });
+    // Phase 0: distributed key generation, over the byte-datagram endpoint
+    // API (metrics are measured on the real encodings).
+    let (mut states, net) = run_initial_phase(&setup, DelayModel::Uniform { min: 10, max: 100 });
     let public_key = states.values().next().unwrap().public_key;
     println!(
-        "phase 0 (keygen): {} nodes, public key {public_key}, {} messages",
+        "phase 0 (keygen): {} nodes, public key {public_key}, {} messages / {} bytes",
         states.len(),
-        sim.metrics().message_count()
+        net.metrics().message_count(),
+        net.metrics().byte_count()
     );
 
     for phase in 1..=3u64 {
@@ -39,7 +42,7 @@ fn main() {
             crashed: if phase == 2 { vec![7] } else { vec![] },
         };
         let previous = states.clone();
-        let (next, sim) =
+        let (next, net) =
             run_renewal_phase(&setup, &previous, phase, &options).expect("renewal completes");
 
         // Invariants of §5.2: same public key, same secret, fresh shares.
@@ -64,7 +67,7 @@ fn main() {
             "phase {phase} (renewal): {} nodes renewed, {} shares changed, key preserved, {} messages",
             next.len(),
             refreshed,
-            sim.metrics().message_count()
+            net.metrics().message_count()
         );
         states = next;
     }

@@ -13,14 +13,19 @@
 //! 3. [`poly`] — univariate/bivariate polynomials, Feldman commitments and
 //!    the batched commitment-verification engine (Fiat–Shamir coefficients
 //!    via [`crypto`]).
-//! 4. [`sim`] — deterministic asynchronous network simulator with the
+//! 4. [`wire`] — the canonical, versioned, length-delimited binary codec
+//!    (`WireEncode`/`WireDecode`) every protocol message travels through.
+//! 5. [`sim`] — deterministic asynchronous network simulator with the
 //!    paper's hybrid failure model.
-//! 5. [`vss`] — HybridVSS (§3, Fig. 1).
-//! 6. [`core`] — the hybrid DKG (§4, Figs. 2–3), proactive refresh (§5) and
+//! 6. [`vss`] — HybridVSS (§3, Fig. 1).
+//! 7. [`core`] — the hybrid DKG (§4, Figs. 2–3), proactive refresh (§5) and
 //!    group modification (§6).
-//! 7. [`baselines`] — Feldman VSS / Joint-Feldman DKG comparators and
+//! 8. [`engine`] — the sans-I/O poll-based `Endpoint` multiplexing many
+//!    DKG/VSS sessions over encoded byte datagrams, plus the byte-level
+//!    deterministic network driver.
+//! 9. [`baselines`] — Feldman VSS / Joint-Feldman DKG comparators and
 //!    closed-form complexity models.
-//! 8. [`bench`] — the experiment harness reproducing the paper's tables.
+//! 10. [`bench`] — the experiment harness reproducing the paper's tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +35,8 @@ pub use dkg_baselines as baselines;
 pub use dkg_bench as bench;
 pub use dkg_core as core;
 pub use dkg_crypto as crypto;
+pub use dkg_engine as engine;
 pub use dkg_poly as poly;
 pub use dkg_sim as sim;
 pub use dkg_vss as vss;
+pub use dkg_wire as wire;

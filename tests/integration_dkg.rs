@@ -1,11 +1,14 @@
 //! End-to-end integration tests: full DKG runs across all crates
-//! (arithmetic → commitments → VSS → agreement → simulator), checking the
-//! properties of Definition 4.1 in the fault-free and crash cases.
+//! (arithmetic → commitments → VSS → agreement → wire codec → endpoint →
+//! byte network), checking the properties of Definition 4.1 in the
+//! fault-free and crash cases. Every run travels through the sans-I/O
+//! `Endpoint` API as real encoded datagrams.
 
 use dkg_arith::{GroupElement, Scalar};
-use dkg_bench::experiments::{run_dkg, run_vss};
-use dkg_core::runner::{run_key_generation, SystemSetup};
+use dkg_core::runner::SystemSetup;
 use dkg_core::{DkgInput, DkgOutput};
+use dkg_engine::runner::{run_dkg, run_key_generation, run_vss};
+use dkg_engine::Event;
 use dkg_poly::interpolate_secret;
 use dkg_sim::DelayModel;
 use dkg_vss::CommitmentMode;
@@ -13,9 +16,11 @@ use dkg_vss::CommitmentMode;
 #[test]
 fn dkg_liveness_agreement_consistency_without_faults() {
     let setup = SystemSetup::generate(4, 0, 1001);
-    let (outcomes, _) = run_key_generation(&setup, DelayModel::Uniform { min: 5, max: 60 }, 0);
+    let (outcomes, net) = run_key_generation(&setup, DelayModel::Uniform { min: 5, max: 60 }, 0);
     // Liveness: all honest finally-up nodes complete.
     assert_eq!(outcomes.len(), 4);
+    // All traffic round-tripped the codec without a single rejection.
+    assert!(net.rejections().is_empty());
     // Agreement/consistency: a single public key, and any t+1 shares
     // reconstruct a secret matching it.
     let pk = outcomes[0].public_key;
@@ -35,13 +40,15 @@ fn dkg_liveness_agreement_consistency_without_faults() {
 #[test]
 fn dkg_shares_verify_against_the_commitment_matrix() {
     let setup = SystemSetup::generate(4, 0, 1002);
-    let mut sim = setup.build_simulation(0, DelayModel::Constant(15));
+    let (outcomes, net) = run_key_generation(&setup, DelayModel::Constant(15), 0);
+    assert_eq!(outcomes.len(), 4);
     for &node in &setup.config.vss.nodes {
-        sim.schedule_operator(node, DkgInput::Start, 0);
-    }
-    sim.run();
-    for &node in &setup.config.vss.nodes {
-        let result = sim.node(node).unwrap().result().expect("completed").clone();
+        let result = net
+            .endpoint(node)
+            .unwrap()
+            .dkg_result(0)
+            .expect("completed")
+            .clone();
         // g^{s_i} must equal the share commitment derived from C.
         assert_eq!(
             result.commitment.share_commitment(node),
@@ -55,51 +62,61 @@ fn dkg_shares_verify_against_the_commitment_matrix() {
 #[test]
 fn group_reconstruction_reveals_the_key_only_when_started() {
     let setup = SystemSetup::generate(4, 0, 1003);
-    let mut sim = setup.build_simulation(0, DelayModel::Constant(10));
+    let mut net = dkg_engine::runner::build_dkg_net(&setup, 0, DelayModel::Constant(10));
     for &node in &setup.config.vss.nodes {
-        sim.schedule_operator(node, DkgInput::Start, 0);
+        net.schedule_dkg_input(node, 0, DkgInput::Start, 0);
     }
-    sim.run();
+    net.run();
     // No node knows the secret yet.
-    assert!(sim
-        .outputs()
-        .iter()
-        .all(|o| !matches!(o.output, DkgOutput::Reconstructed { .. })));
+    assert!(net.events().iter().all(|r| !matches!(
+        r.event,
+        Event::Dkg {
+            output: DkgOutput::Reconstructed { .. },
+            ..
+        }
+    )));
     // After reconstruction every node learns the same secret, matching g^s.
-    let now = sim.now();
+    let now = net.now();
     for &node in &setup.config.vss.nodes {
-        sim.schedule_operator(node, DkgInput::Reconstruct, now + 5);
+        net.schedule_dkg_input(node, 0, DkgInput::Reconstruct, now + 5);
     }
-    sim.run();
-    let values: Vec<Scalar> = sim
-        .outputs()
+    net.run();
+    let values: Vec<Scalar> = net
+        .events()
         .iter()
-        .filter_map(|o| match o.output {
-            DkgOutput::Reconstructed { value, .. } => Some(value),
+        .filter_map(|r| match r.event {
+            Event::Dkg {
+                output: DkgOutput::Reconstructed { value, .. },
+                ..
+            } => Some(value),
             _ => None,
         })
         .collect();
     assert_eq!(values.len(), 4);
-    let pk = sim.node(1).unwrap().result().unwrap().public_key;
+    let pk = net.endpoint(1).unwrap().dkg_result(0).unwrap().public_key;
     assert!(values.iter().all(|v| GroupElement::commit(v) == pk));
 }
 
 #[test]
 fn hybridvss_message_complexity_is_quadratic_and_dkg_cubic() {
     // The shape claims of §3/§4 at two sizes: messages grow ~quadratically
-    // for one sharing and ~cubically for the full DKG.
-    let small = run_vss(4, 0, CommitmentMode::Full, None, 11);
-    let large = run_vss(10, 0, CommitmentMode::Full, None, 12);
-    let vss_ratio = large.metrics.message_count() as f64 / small.metrics.message_count() as f64;
+    // for one sharing and ~cubically for the full DKG — measured on real
+    // datagrams through the endpoint stack.
+    let delay = DelayModel::Uniform { min: 10, max: 80 };
+    let small = run_vss(4, 0, CommitmentMode::Full, delay.clone(), 11);
+    let large = run_vss(10, 0, CommitmentMode::Full, delay, 12);
+    let vss_ratio =
+        large.net.metrics().message_count() as f64 / small.net.metrics().message_count() as f64;
     let n_ratio_sq = (10.0f64 / 4.0).powi(2);
     assert!(
         vss_ratio > 0.5 * n_ratio_sq && vss_ratio < 2.0 * n_ratio_sq,
         "VSS message growth {vss_ratio} should track n^2 ({n_ratio_sq})"
     );
 
-    let small = run_dkg(4, 0, &[], &[], None, 13);
-    let large = run_dkg(7, 0, &[], &[], None, 14);
-    let dkg_ratio = large.metrics.message_count() as f64 / small.metrics.message_count() as f64;
+    let small = run_dkg(4, 0, &[], &[], 13);
+    let large = run_dkg(7, 0, &[], &[], 14);
+    let dkg_ratio =
+        large.net.metrics().message_count() as f64 / small.net.metrics().message_count() as f64;
     let n_ratio_cube = (7.0f64 / 4.0).powi(3);
     assert!(
         dkg_ratio > 0.4 * n_ratio_cube && dkg_ratio < 2.5 * n_ratio_cube,
@@ -109,9 +126,10 @@ fn hybridvss_message_complexity_is_quadratic_and_dkg_cubic() {
 
 #[test]
 fn digest_mode_costs_fewer_bytes_than_full_mode() {
-    let full = run_vss(10, 0, CommitmentMode::Full, None, 21);
-    let digest = run_vss(10, 0, CommitmentMode::Digest, None, 22);
-    assert_eq!(full.completions, 10);
-    assert_eq!(digest.completions, 10);
-    assert!(digest.metrics.byte_count() * 2 < full.metrics.byte_count());
+    let delay = DelayModel::Uniform { min: 10, max: 80 };
+    let full = run_vss(10, 0, CommitmentMode::Full, delay.clone(), 21);
+    let digest = run_vss(10, 0, CommitmentMode::Digest, delay, 22);
+    assert_eq!(full.completions.len(), 10);
+    assert_eq!(digest.completions.len(), 10);
+    assert!(digest.net.metrics().byte_count() * 2 < full.net.metrics().byte_count());
 }

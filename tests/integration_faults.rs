@@ -1,42 +1,69 @@
 //! Fault-injection integration tests: Byzantine dealers, silent leaders,
-//! crash-recovery and behaviour beyond the resilience bound.
+//! crash-recovery and behaviour beyond the resilience bound — all running
+//! through the sans-I/O `Endpoint` API, with Byzantine traffic injected as
+//! raw encoded datagrams.
 
 use dkg_arith::{PrimeField, Scalar};
-use dkg_bench::experiments::run_dkg;
-use dkg_sim::{CrashSchedule, DelayModel, MutingAdversary, NetworkConfig, Simulation};
+use dkg_engine::runner::run_dkg;
+use dkg_engine::{Endpoint, EndpointConfig, EndpointNet, SessionKey};
+use dkg_sim::DelayModel;
 use dkg_vss::faulty::EquivocatingDealer;
-use dkg_vss::{SessionId, StandaloneVss, VssConfig, VssInput, VssNode, VssOutput};
+use dkg_vss::{SessionId, VssConfig, VssInput, VssMessage, VssNode, VssOutput};
+use dkg_wire::{encode_datagram, Header};
 use std::collections::BTreeSet;
+
+/// Builds a network of endpoints each hosting one VSS session.
+fn vss_net(
+    nodes: impl IntoIterator<Item = u64>,
+    cfg: &VssConfig,
+    session: SessionId,
+    seed_base: u64,
+    delay: DelayModel,
+    net_seed: u64,
+) -> EndpointNet {
+    let mut net = EndpointNet::new(delay, net_seed);
+    for i in nodes {
+        let mut endpoint = Endpoint::new(i, EndpointConfig::default());
+        endpoint
+            .add_vss_session(VssNode::new(i, cfg.clone(), session, seed_base + i, None))
+            .unwrap();
+        net.add_endpoint(endpoint);
+    }
+    net
+}
+
+/// Frames a VSS message as the dealer's endpoint would.
+fn vss_datagram(session: SessionId, message: &VssMessage) -> Vec<u8> {
+    let key = SessionKey::Vss { session };
+    encode_datagram(
+        Header {
+            protocol: key.protocol(),
+            channel: key.channel(),
+        },
+        message,
+    )
+}
 
 /// Runs one VSS sharing where the dealer equivocates between two secrets.
 /// Consistency (Definition 3.1) demands that honest nodes never complete
-/// with two different commitments.
+/// with two different commitments. The faulty dealer's messages reach the
+/// honest endpoints as raw encoded datagrams, exactly as a real Byzantine
+/// peer's bytes would.
 #[test]
 fn equivocating_dealer_cannot_split_the_honest_nodes() {
     let n = 7usize;
     let cfg = VssConfig::standard(n, 0).unwrap();
     let session = SessionId::new(1, 0);
 
-    // Two simulations share the topology: honest nodes 2..=7, faulty dealer 1.
-    let mut honest_sim: Simulation<StandaloneVss> = Simulation::new(
-        NetworkConfig {
-            delay: DelayModel::Uniform { min: 5, max: 50 },
-            self_messages_pay_delay: false,
-        },
+    // Honest nodes 2..=7 on endpoints; faulty dealer 1 scripted outside.
+    let mut net = vss_net(
+        2..=n as u64,
+        &cfg,
+        session,
+        100,
+        DelayModel::Uniform { min: 5, max: 50 },
         3,
     );
-    for i in 2..=n as u64 {
-        honest_sim.add_node(StandaloneVss::new(VssNode::new(
-            i,
-            cfg.clone(),
-            session,
-            100 + i,
-            None,
-        )));
-    }
-    // The faulty dealer's behaviour is scripted outside the simulation:
-    // generate its two inconsistent dealings and inject the send messages as
-    // if they came from node 1.
     let mut dealer = EquivocatingDealer::new(
         1,
         cfg.clone(),
@@ -55,19 +82,19 @@ fn equivocating_dealer_cannot_split_the_honest_nodes() {
     for action in sink.into_actions() {
         if let dkg_sim::Action::Send { to, message } = action {
             if to != 1 {
-                honest_sim.inject_message(1, to, message, 0);
+                net.inject_datagram(1, to, vss_datagram(session, &message), 0);
             }
         }
     }
-    honest_sim.run();
+    net.run();
     // Honest nodes must not have completed with two different commitments:
     // the echo quorum ⌈(n+t+1)/2⌉ ensures at most one commitment can gather
     // enough support.
     let commitments: BTreeSet<Vec<u8>> = (2..=n as u64)
         .filter_map(|i| {
-            honest_sim
-                .node(i)
-                .and_then(|node| node.inner().commitment().map(|c| c.to_bytes()))
+            net.endpoint(i)
+                .and_then(|e| e.vss_session(session))
+                .and_then(|node| node.commitment().map(|c| c.to_bytes()))
         })
         .collect();
     assert!(
@@ -80,16 +107,16 @@ fn equivocating_dealer_cannot_split_the_honest_nodes() {
 fn silent_byzantine_leader_does_not_block_the_dkg() {
     // Leader 1 is Byzantine-silent; the leader change (Fig. 3) must still
     // complete the protocol among the remaining nodes with one agreed key.
-    let run = run_dkg(7, 0, &[1], &[], None, 2002);
+    let run = run_dkg(7, 0, &[1], &[], 2002);
     assert!(run.completions >= 6);
     assert_eq!(run.distinct_keys, 1);
     assert!(run.leader_changes > 0);
-    assert!(run.metrics.kind("dkg-lead-ch").messages > 0);
+    assert!(run.net.metrics().kind("dkg-lead-ch").messages > 0);
 }
 
 #[test]
 fn two_successive_faulty_leaders_are_tolerated() {
-    let run = run_dkg(7, 0, &[1, 2], &[], None, 2003);
+    let run = run_dkg(7, 0, &[1, 2], &[], 2003);
     assert!(run.completions >= 5);
     assert_eq!(run.distinct_keys, 1);
 }
@@ -98,7 +125,7 @@ fn two_successive_faulty_leaders_are_tolerated() {
 fn beyond_the_byzantine_bound_safety_still_holds() {
     // 3 silent Byzantine nodes in a 7-node t = 2 system: liveness is lost,
     // but no two honest nodes ever output different keys.
-    let run = run_dkg(7, 0, &[5, 6, 7], &[], None, 2004);
+    let run = run_dkg(7, 0, &[5, 6, 7], &[], 2004);
     assert!(run.distinct_keys <= 1);
     let honest: Vec<u64> = vec![1, 2, 3, 4];
     assert_eq!(run.completions_among(&honest), 0);
@@ -110,79 +137,81 @@ fn crash_recovery_mid_sharing_still_completes_everywhere() {
     let f = 1usize;
     let cfg = VssConfig::standard(n, f).unwrap();
     let session = SessionId::new(1, 0);
-    let mut sim: Simulation<StandaloneVss> = Simulation::new(
-        NetworkConfig {
-            delay: DelayModel::Uniform { min: 10, max: 60 },
-            self_messages_pay_delay: false,
-        },
+    let mut net = vss_net(
+        1..=n as u64,
+        &cfg,
+        session,
+        400,
+        DelayModel::Uniform { min: 10, max: 60 },
         8,
     );
-    for i in 1..=n as u64 {
-        sim.add_node(StandaloneVss::new(VssNode::new(
-            i,
-            cfg.clone(),
-            session,
-            400 + i,
-            None,
-        )));
-    }
-    let schedule = CrashSchedule::new().outage(5, 20, 1_500);
-    sim.apply_crash_schedule(&schedule);
-    sim.schedule_operator(5, VssInput::Recover, 1_501);
-    sim.schedule_operator(
+    // Node 5 is down from t = 20 to t = 1500 and runs the §5.3 recovery
+    // procedure right after rebooting.
+    net.schedule_crash(5, 20);
+    net.schedule_recover(5, 1_500);
+    net.schedule_vss_input(5, session, VssInput::Recover, 1_501);
+    net.schedule_vss_input(
         1,
+        session,
         VssInput::Share {
             secret: Scalar::from_u64(5555),
         },
         0,
     );
-    sim.run();
-    let completed: BTreeSet<u64> = sim
-        .outputs()
+    net.run();
+    let completed: BTreeSet<u64> = net
+        .events()
         .iter()
-        .filter(|o| matches!(o.output, VssOutput::Shared { .. }))
-        .map(|o| o.node)
+        .filter(|r| {
+            matches!(
+                r.event,
+                dkg_engine::Event::Vss {
+                    output: VssOutput::Shared { .. },
+                    ..
+                }
+            )
+        })
+        .map(|r| r.node)
         .collect();
     assert_eq!(
         completed.len(),
         n,
         "finally-up nodes (incl. the recovered one) all complete"
     );
-    assert!(sim.metrics().kind("vss-help").messages > 0);
+    assert!(net.metrics().kind("vss-help").messages > 0);
 }
 
 #[test]
-fn muting_adversary_cannot_forge_completion_with_bad_quorums() {
-    // Sanity: with all of the adversary's nodes silent, the metrics show no
-    // messages from them at all (the simulator enforces the corruption set).
+fn muted_node_cannot_block_reachable_quorums() {
+    // With node 4 muted (its datagrams never leave the wire), quorums of 3
+    // are still reachable in an n = 4, t = 1, f = 0 system, so the sharing
+    // completes at the honest nodes.
     let n = 4;
     let cfg = VssConfig::standard(n, 0).unwrap();
     let session = SessionId::new(1, 0);
-    let mut sim: Simulation<StandaloneVss> = Simulation::new(NetworkConfig::default(), 4);
-    for i in 1..=n as u64 {
-        sim.add_node(StandaloneVss::new(VssNode::new(
-            i,
-            cfg.clone(),
-            session,
-            i,
-            None,
-        )));
-    }
-    sim.set_adversary(Box::new(MutingAdversary::new([4])));
-    sim.schedule_operator(
+    let mut net = vss_net(1..=n as u64, &cfg, session, 0, DelayModel::default(), 4);
+    net.mute(4);
+    net.schedule_vss_input(
         1,
+        session,
         VssInput::Share {
             secret: Scalar::from_u64(1),
         },
         0,
     );
-    sim.run();
-    // n = 4, t = 1, f = 0: quorums of 3 are reachable without node 4, so the
-    // sharing still completes at the honest nodes.
-    let completed = sim
-        .outputs()
+    net.run();
+    let completed = net
+        .events()
         .iter()
-        .filter(|o| matches!(o.output, VssOutput::Shared { .. }))
+        .filter(|r| {
+            matches!(
+                r.event,
+                dkg_engine::Event::Vss {
+                    output: VssOutput::Shared { .. },
+                    ..
+                }
+            )
+        })
         .count();
     assert!(completed >= 3);
 }

@@ -1,13 +1,17 @@
 //! Integration tests for proactive share renewal (§5) and group
-//! modification (§6) spanning all crates.
+//! modification (§6) spanning all crates. The DKG phases run through the
+//! sans-I/O `Endpoint` API over real encoded datagrams; the
+//! group-modification agreement (a separate broadcast protocol) stays on
+//! the in-process simulator.
 
 use dkg_arith::{GroupElement, Scalar};
 use dkg_core::group::{
     apply_group_changes, combine_subshares, subshare_for_new_node, GroupChange, GroupModInput,
     GroupModNode, GroupModOutput, ParameterAdjustment,
 };
-use dkg_core::proactive::{run_initial_phase, run_renewal_phase, RenewalOptions};
+use dkg_core::proactive::RenewalOptions;
 use dkg_core::runner::SystemSetup;
+use dkg_engine::runner::{run_initial_phase, run_renewal_phase};
 use dkg_poly::interpolate_secret;
 use dkg_sim::{DelayModel, NetworkConfig, Simulation};
 
@@ -47,11 +51,11 @@ fn renewal_metrics_match_dkg_scale() {
     // §5.2: the renewal protocol is the DKG with a different combination
     // rule, so its message complexity is of the same order as key generation.
     let setup = SystemSetup::generate(4, 0, 3002);
-    let (phase0, keygen_sim) = run_initial_phase(&setup, DelayModel::Constant(10));
-    let (_, renewal_sim) =
+    let (phase0, keygen_net) = run_initial_phase(&setup, DelayModel::Constant(10));
+    let (_, renewal_net) =
         run_renewal_phase(&setup, &phase0, 1, &RenewalOptions::default()).unwrap();
-    let keygen_msgs = keygen_sim.metrics().message_count() as f64;
-    let renewal_msgs = renewal_sim.metrics().message_count() as f64;
+    let keygen_msgs = keygen_net.metrics().message_count() as f64;
+    let renewal_msgs = renewal_net.metrics().message_count() as f64;
     assert!(
         renewal_msgs > 0.5 * keygen_msgs && renewal_msgs < 2.0 * keygen_msgs,
         "renewal ({renewal_msgs}) should cost roughly one DKG ({keygen_msgs})"
@@ -91,12 +95,13 @@ fn full_membership_change_lifecycle() {
     // 3. Resharing run (§6.2: nodes reshare their *current* shares and keep
     //    them unchanged); each existing node derives a sub-share for node 5
     //    from the agreed resharings.
-    let (_renewed, resharing_sim) =
+    let (_renewed, resharing_net) =
         run_renewal_phase(&setup, &phase0, 1, &RenewalOptions::default()).unwrap();
     let mut subshares = Vec::new();
     for &contributor in setup.config.vss.nodes.iter().take(t + 1) {
-        let sharings = resharing_sim
-            .node(contributor)
+        let sharings = resharing_net
+            .endpoint(contributor)
+            .and_then(|e| e.dkg_session(1))
             .unwrap()
             .agreed_sharings()
             .expect("completed");

@@ -5,9 +5,9 @@
 
 use dkg_arith::{GroupElement, PrimeField, Scalar};
 use dkg_baselines::{comparison_table, JfDkg, Scheme};
-use dkg_core::proactive::{run_initial_phase, run_renewal_phase, RenewalOptions};
-use dkg_core::runner::SystemSetup;
+use dkg_core::proactive::RenewalOptions;
 use dkg_core::{DkgInput, DkgNode, DkgOutput};
+use dkg_engine::runner::{run_initial_phase, run_renewal_phase, SystemSetup};
 use dkg_poly::interpolate_secret;
 use dkg_sim::{
     CrashSchedule, DelayModel, Metrics, MutingAdversary, NetworkConfig, Simulation,
@@ -542,7 +542,10 @@ pub fn e8_group_modification(n: usize, seed: u64) -> Table {
     let new_node = (n + 1) as u64;
     let mut subshares = Vec::new();
     for &contributor in setup.config.vss.nodes.iter().take(t + 1) {
-        let node = renewal_sim.node(contributor).expect("node exists");
+        let node = renewal_sim
+            .endpoint(contributor)
+            .and_then(|e| e.dkg_session(1))
+            .expect("node exists");
         let sharings = node.agreed_sharings().expect("completed");
         if let Some(sub) = subshare_for_new_node(contributor, new_node, &sharings, t) {
             subshares.push(sub);

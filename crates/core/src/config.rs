@@ -86,13 +86,15 @@ impl DkgConfig {
 }
 
 /// Per-node key material: this node's signing key plus the public directory
-/// of every node's verification key (the paper's PKI, §2.3).
+/// of every node's verification key (the paper's PKI, §2.3). The directory
+/// is a shared handle: the node, its `n` embedded VSS instances and every
+/// signature job reference one copy.
 #[derive(Clone, Debug)]
 pub struct NodeKeys {
     /// This node's long-term signing key.
     pub signing_key: SigningKey,
     /// The directory of all nodes' public keys.
-    pub directory: KeyDirectory,
+    pub directory: std::sync::Arc<KeyDirectory>,
 }
 
 #[cfg(test)]

@@ -22,8 +22,8 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use dkg_arith::{PrimeField, Scalar};
 use dkg_crypto::NodeId;
-use dkg_poly::{CommitmentMatrix, CommitmentVector};
-use dkg_sim::{field_size, ActionSink, Protocol, WireSize};
+use dkg_poly::{CommitmentMatrix, CommitmentVector, CryptoJob, CryptoVerdict};
+use dkg_sim::{ActionSink, Protocol, WireSize};
 
 use crate::config::DkgConfig;
 use crate::messages::CombineRule;
@@ -158,9 +158,10 @@ pub enum GroupModMessage {
 }
 
 impl WireSize for GroupModMessage {
+    /// The exact length of the message's canonical [`dkg_wire`] encoding
+    /// (see [`crate::wire`]), like every other protocol message.
     fn wire_size(&self) -> usize {
-        // tag + change (node id + adjustment + kind)
-        field_size::TAG + field_size::NODE_ID + 2 * field_size::TAG
+        dkg_wire::WireEncode::encoded_len(self)
     }
 
     fn kind(&self) -> &'static str {
@@ -406,27 +407,69 @@ pub fn combine_subshares(
     subshares: &[Subshare],
     t: usize,
 ) -> Option<(Scalar, CommitmentVector)> {
-    // Group by commitment (a Byzantine contributor could send a bogus one).
+    let (prepared, job) = prepare_subshare_combine(subshares)?;
+    combine_verified_subshares(new_node, prepared, &job.run(), t)
+}
+
+/// The prepare half of [`combine_subshares`]: the majority-commitment
+/// candidate group, carried from prepare to apply alongside its
+/// [`CryptoJob`].
+#[derive(Clone, Debug)]
+pub struct SubshareCombine {
+    commitment: CommitmentVector,
+    candidates: Vec<Subshare>,
+}
+
+/// Selects the majority-commitment candidate group (a Byzantine contributor
+/// could send a bogus commitment) and packages its verification — one
+/// folded multiexp over all candidate sub-shares, with per-share blame
+/// attribution on failure — as a schedulable [`CryptoJob`]. The batch
+/// engine derives its RLC coefficients Fiat–Shamir style from the claims,
+/// so a contributor fixing its sub-share cannot predict them.
+///
+/// Returns `None` when no sub-shares were supplied.
+pub fn prepare_subshare_combine(subshares: &[Subshare]) -> Option<(SubshareCombine, CryptoJob)> {
     let mut groups: BTreeMap<Vec<u8>, Vec<&Subshare>> = BTreeMap::new();
     for s in subshares {
         groups.entry(s.commitment.to_bytes()).or_default().push(s);
     }
     let (_, group) = groups.into_iter().max_by_key(|(_, g)| g.len())?;
     let commitment = group[0].commitment.clone();
-    // Batch-verify the whole candidate group with one folded multiexp; only
-    // when the fold rejects (some contributor lied) fall back to per-share
-    // verification to identify the liars. The batch engine derives its RLC
-    // coefficients Fiat–Shamir style from the claims, so a contributor
-    // fixing its sub-share cannot predict them.
-    let tuples: Vec<(u64, Scalar)> = group.iter().map(|s| (s.from, s.value)).collect();
-    let verified: Vec<&Subshare> = if dkg_poly::verify_vector_shares_batch(&commitment, &tuples) {
-        group
-    } else {
-        group
-            .into_iter()
-            .filter(|s| s.commitment.verify_share(s.from, s.value))
-            .collect()
+    let candidates: Vec<Subshare> = group.into_iter().cloned().collect();
+    let job = CryptoJob::VectorShareBatch {
+        vector: commitment.clone(),
+        shares: candidates.iter().map(|s| (s.from, s.value)).collect(),
     };
+    Some((
+        SubshareCombine {
+            commitment,
+            candidates,
+        },
+        job,
+    ))
+}
+
+/// The apply half of [`combine_subshares`]: keeps exactly the sub-shares
+/// the job's verdict validated and interpolates the joining node's share.
+pub fn combine_verified_subshares(
+    new_node: NodeId,
+    prepared: SubshareCombine,
+    verdict: &CryptoVerdict,
+    t: usize,
+) -> Option<(Scalar, CommitmentVector)> {
+    let SubshareCombine {
+        commitment,
+        candidates,
+    } = prepared;
+    if verdict.len() != candidates.len() {
+        return None;
+    }
+    let verified: Vec<&Subshare> = candidates
+        .iter()
+        .zip(&verdict.valid)
+        .filter(|(_, &ok)| ok)
+        .map(|(s, _)| s)
+        .collect();
     if verified.len() < t + 1 {
         return None;
     }

@@ -10,24 +10,31 @@
 //! * [`DkgNode`] — the per-node state machine: optimistic phase (Fig. 2),
 //!   pessimistic leader-change phase (Fig. 3), group-secret reconstruction
 //!   and crash recovery. Runs directly on the [`dkg_sim`] simulator.
-//! * [`proactive`] — share renewal and recovery across phases (§5).
+//! * [`proactive`] — share renewal and recovery across phases (§5):
+//!   [`PhaseState`], [`RenewalOptions`] and the shared [`plan_renewal`]
+//!   safeguards (the end-to-end drivers live in `dkg_engine::runner`).
 //! * [`group`] — group-modification agreement, node addition/removal and
 //!   threshold / crash-limit changes (§6).
-//! * [`runner`] — harness helpers used by the examples, integration tests
-//!   and every experiment in EXPERIMENTS.md.
+//! * [`runner`] — system construction ([`SystemSetup`]): keyrings, configs
+//!   and node seeding from a single seed. The canonical end-to-end driver
+//!   is `dkg_engine::runner`, which re-exports it.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use dkg_core::runner::{run_key_generation, SystemSetup};
-//! use dkg_sim::DelayModel;
+//! use dkg_core::runner::SystemSetup;
+//! use dkg_core::DkgInput;
+//! use dkg_sim::{DelayModel, Simulation};
 //!
-//! // A 4-node system tolerating t = 1 Byzantine node.
+//! // A 4-node system tolerating t = 1 Byzantine node, on the in-process
+//! // simulator (see dkg_engine::runner for the byte-datagram driver).
 //! let setup = SystemSetup::generate(4, 0, 42);
-//! let (outcomes, sim) = run_key_generation(&setup, DelayModel::Constant(25), 0);
-//! assert_eq!(outcomes.len(), 4);
-//! // Every node holds the same distributed public key.
-//! assert!(outcomes.iter().all(|o| o.public_key == outcomes[0].public_key));
+//! let mut sim = setup.build_simulation(0, DelayModel::Constant(25));
+//! for node in 1..=4 {
+//!     sim.schedule_operator(node, DkgInput::Start, 0);
+//! }
+//! sim.run();
+//! assert!((1..=4).all(|node| sim.node(node).unwrap().is_complete()));
 //! println!("{}", sim.metrics().report());
 //! ```
 
@@ -47,9 +54,6 @@ pub use messages::{
     payload, CombineRule, DealerProof, DkgInput, DkgMessage, DkgOutput, Justification, Proposal,
     SignedVote,
 };
-pub use node::{DkgNode, DkgResult};
-pub use proactive::{
-    plan_renewal, run_initial_phase, run_renewal_phase, PhaseState, RenewalError, RenewalOptions,
-    RenewalPlan,
-};
-pub use runner::{collect_outcomes, run_key_generation, NodeOutcome, SystemSetup};
+pub use node::{DkgJobId, DkgNode, DkgResult};
+pub use proactive::{plan_renewal, PhaseState, RenewalError, RenewalOptions, RenewalPlan};
+pub use runner::SystemSetup;

@@ -3,7 +3,7 @@
 use dkg_arith::{GroupElement, Scalar};
 use dkg_crypto::{Digest, NodeId, Signature};
 use dkg_poly::CommitmentMatrix;
-use dkg_sim::{field_size, WireSize};
+use dkg_sim::WireSize;
 use dkg_vss::{ReadyWitness, VssMessage};
 
 /// The set `Q` (or `Q̂`) of dealers whose HybridVSS instances the system
@@ -64,8 +64,8 @@ pub struct SignedVote {
 }
 
 impl SignedVote {
-    /// Wire size of a vote.
-    pub const ENCODED_LEN: usize = field_size::NODE_ID + field_size::SIGNATURE;
+    /// Wire size of a vote: the signer's id plus its Schnorr signature.
+    pub const ENCODED_LEN: usize = 8 + Signature::ENCODED_LEN;
 }
 
 /// Transferable evidence that a dealer's HybridVSS instance will complete at

@@ -1,14 +1,30 @@
 //! The DKG node state machine: optimistic phase (Fig. 2) and pessimistic
 //! leader-change phase (Fig. 3), running `n` embedded HybridVSS instances.
+//!
+//! Like [`VssNode`], the DKG state machine runs on the crypto-job pipeline:
+//! every expensive check — the embedded VSS verifications, the
+//! lead-ch-certificate and justification signature sets of `send`, the vote
+//! signatures of `echo`/`ready`/`lead-ch`, the group reconstruction share
+//! batch — is prepared as a [`CryptoJob`] and its [`CryptoVerdict`] applied
+//! separately. Inline by default (identical to the historical synchronous
+//! behaviour); with [`DkgNode::set_deferred_crypto`] the jobs queue for
+//! [`DkgNode::poll_job`] / [`DkgNode::complete_job`] so an executor can run
+//! them on worker threads, and the jobs of the `n` embedded VSS instances
+//! are surfaced through the same queue.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use dkg_arith::{GroupElement, PrimeField, Scalar};
 use dkg_crypto::{Digest, NodeId, Signature};
-use dkg_poly::{interpolate_secret, partition_valid_shares, CommitmentMatrix};
+use dkg_poly::{
+    interpolate_secret, CommitmentMatrix, CryptoJob, CryptoVerdict, JobQueue, ShareCollector,
+    ShareProgress, SignatureCheck, Submission,
+};
 use dkg_sim::{ActionSink, Protocol, TimerId};
 use dkg_vss::{
-    ReadyWitness, SessionId, SigningContext, VssAction, VssInput, VssMessage, VssNode, VssOutput,
+    ReadyWitness, SessionId, SigningContext, VssAction, VssInput, VssJobId, VssMessage, VssNode,
+    VssOutput,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,6 +50,54 @@ struct CompletedSharing {
     witnesses: Vec<ReadyWitness>,
 }
 
+/// Identifies a [`CryptoJob`] handed out by [`DkgNode::poll_job`].
+pub type DkgJobId = u64;
+
+/// Context carried from a job's prepare stage to its apply stage.
+#[derive(Clone, Debug)]
+enum JobCtx {
+    /// A job prepared by an embedded VSS instance.
+    Vss { dealer: NodeId, inner: VssJobId },
+    /// The signature sets of a leader `send`: `cert_count` lead-ch
+    /// certificate checks followed by `just_count` justification checks
+    /// (zero when the prepare stage could already rule the echo out).
+    Send {
+        from: NodeId,
+        rank: u64,
+        proposal: Proposal,
+        justification: Justification,
+        lead_ch_certificate: Vec<SignedVote>,
+        cert_count: usize,
+        just_count: usize,
+    },
+    /// One `echo` vote signature.
+    EchoVote {
+        from: NodeId,
+        rank: u64,
+        proposal: Proposal,
+        signature: Signature,
+    },
+    /// One `ready` vote signature.
+    ReadyVote {
+        from: NodeId,
+        rank: u64,
+        proposal: Proposal,
+        signature: Signature,
+    },
+    /// A `lead-ch` request: the sender's signature followed by
+    /// `just_count` checks of the forwarded justification (zero when no
+    /// proposal was forwarded or a lock already made it moot).
+    LeadCh {
+        from: NodeId,
+        new_rank: u64,
+        proposal: Option<(Proposal, Justification)>,
+        signature: Signature,
+        just_count: usize,
+    },
+    /// A batch of group-secret reconstruction shares.
+    GroupShares { entries: Vec<(NodeId, Scalar)> },
+}
+
 /// The final result of the DKG at this node.
 #[derive(Clone, Debug)]
 pub struct DkgResult {
@@ -55,6 +119,8 @@ pub struct DkgNode {
     id: NodeId,
     config: DkgConfig,
     keys: NodeKeys,
+    /// Shared handle to the public directory for signature jobs.
+    directory: Arc<dkg_crypto::KeyDirectory>,
     tau: u64,
     combine: CombineRule,
     rng: StdRng,
@@ -100,17 +166,18 @@ pub struct DkgNode {
     agreed: Option<Proposal>,
     completed: Option<DkgResult>,
 
-    /// Group-secret reconstruction state. Incoming shares pool unverified in
-    /// `reconstruct_pending`; once a potential quorum exists they are
-    /// batch-verified with one folded multiexp (see [`dkg_poly::batch`]) and
-    /// promoted to `reconstruct_shares`.
+    /// Group-secret reconstruction state: the shared pool-then-batch
+    /// discipline ([`ShareCollector`]) plus the result.
     reconstruct_started: bool,
-    reconstruct_pending: BTreeMap<NodeId, Scalar>,
-    reconstruct_shares: BTreeMap<NodeId, Scalar>,
+    reconstruct: ShareCollector,
     reconstructed: Option<Scalar>,
 
     /// Outgoing agreement messages, for recovery retransmission.
     outbox: BTreeMap<NodeId, Vec<DkgMessage>>,
+
+    /// Prepared jobs (own and embedded-VSS): run inline by default, queued
+    /// for [`DkgNode::poll_job`] in deferred mode.
+    jobs: JobQueue<JobCtx>,
 }
 
 impl DkgNode {
@@ -119,9 +186,10 @@ impl DkgNode {
     /// `rng_seed` drives this node's local randomness (its dealt secret,
     /// polynomial coefficients and signature nonces).
     pub fn new(id: NodeId, config: DkgConfig, keys: NodeKeys, tau: u64, rng_seed: u64) -> Self {
+        let directory = Arc::clone(&keys.directory);
         let signing = SigningContext {
             key: keys.signing_key,
-            directory: keys.directory.clone(),
+            directory: Arc::clone(&directory),
         };
         let vss = config
             .vss
@@ -142,6 +210,7 @@ impl DkgNode {
             id,
             config,
             keys,
+            directory,
             tau,
             combine: CombineRule::Sum,
             rng: StdRng::seed_from_u64(rng_seed),
@@ -164,10 +233,159 @@ impl DkgNode {
             agreed: None,
             completed: None,
             reconstruct_started: false,
-            reconstruct_pending: BTreeMap::new(),
-            reconstruct_shares: BTreeMap::new(),
+            reconstruct: ShareCollector::new(),
             reconstructed: None,
             outbox: BTreeMap::new(),
+            jobs: JobQueue::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crypto-job pipeline
+    // ------------------------------------------------------------------
+
+    /// Switches between inline crypto (default) and deferred crypto for
+    /// this node *and* its `n` embedded VSS instances.
+    pub fn set_deferred_crypto(&mut self, deferred: bool) {
+        self.jobs.set_deferred(deferred);
+        for vss in self.vss.values_mut() {
+            vss.set_deferred_crypto(deferred);
+        }
+    }
+
+    /// Takes the next prepared [`CryptoJob`], if any (deferred mode only).
+    pub fn poll_job(&mut self) -> Option<(DkgJobId, CryptoJob)> {
+        self.jobs.poll()
+    }
+
+    /// Jobs prepared but not yet completed.
+    pub fn jobs_in_flight(&self) -> usize {
+        self.jobs.in_flight()
+    }
+
+    /// Whether any prepared job is waiting to be polled.
+    pub fn has_queued_jobs(&self) -> bool {
+        self.jobs.queued() > 0
+    }
+
+    /// Feeds back the verdict of a previously polled job; the apply stage's
+    /// protocol effects land in `sink`. Unknown ids and wrong-length
+    /// verdicts are ignored.
+    pub fn complete_job(
+        &mut self,
+        id: DkgJobId,
+        verdict: CryptoVerdict,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if let Some(ctx) = self.jobs.complete(id, &verdict) {
+            self.apply_verdict(ctx, verdict, sink);
+        }
+    }
+
+    /// Runs `job` inline or queues it, depending on the configured mode.
+    fn submit(
+        &mut self,
+        job: CryptoJob,
+        ctx: JobCtx,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if let Submission::Ready(ctx, verdict) = self.jobs.submit(job, ctx) {
+            self.apply_verdict(ctx, verdict, sink);
+        }
+    }
+
+    /// Builds a signature job over the node directory (a refcount bump,
+    /// not a directory clone).
+    fn signature_job(&self, checks: Vec<SignatureCheck>) -> CryptoJob {
+        CryptoJob::Signatures {
+            directory: Arc::clone(&self.directory),
+            checks,
+        }
+    }
+
+    /// Moves the jobs an embedded VSS instance queued into this node's
+    /// queue, wrapped with their dealer for routing. (The instances only
+    /// queue in deferred mode, where this node's queue defers too.)
+    fn collect_vss_jobs(&mut self, dealer: NodeId) {
+        let Some(vss) = self.vss.get_mut(&dealer) else {
+            return;
+        };
+        while let Some((inner, job)) = vss.poll_job() {
+            self.jobs.enqueue(job, JobCtx::Vss { dealer, inner });
+        }
+    }
+
+    fn apply_verdict(
+        &mut self,
+        ctx: JobCtx,
+        verdict: CryptoVerdict,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        match ctx {
+            JobCtx::Vss { dealer, inner } => {
+                let Some(vss) = self.vss.get_mut(&dealer) else {
+                    return;
+                };
+                let actions = vss.complete_job(inner, verdict);
+                self.forward_vss(dealer, actions, sink);
+            }
+            JobCtx::Send {
+                from,
+                rank,
+                proposal,
+                justification,
+                lead_ch_certificate,
+                cert_count,
+                just_count,
+            } => self.apply_send(
+                from,
+                rank,
+                proposal,
+                justification,
+                lead_ch_certificate,
+                cert_count,
+                just_count,
+                &verdict.valid,
+                sink,
+            ),
+            JobCtx::EchoVote {
+                from,
+                rank,
+                proposal,
+                signature,
+            } => {
+                if verdict.all_valid() {
+                    self.apply_echo(from, rank, proposal, signature, sink);
+                }
+            }
+            JobCtx::ReadyVote {
+                from,
+                rank,
+                proposal,
+                signature,
+            } => {
+                if verdict.all_valid() {
+                    self.apply_ready(from, rank, proposal, signature, sink);
+                }
+            }
+            JobCtx::LeadCh {
+                from,
+                new_rank,
+                proposal,
+                signature,
+                just_count,
+            } => self.apply_lead_ch(
+                from,
+                new_rank,
+                proposal,
+                signature,
+                just_count,
+                &verdict.valid,
+                sink,
+            ),
+            JobCtx::GroupShares { entries } => {
+                self.apply_group_shares(entries, &verdict.valid, sink)
+            }
         }
     }
 
@@ -259,6 +477,8 @@ impl DkgNode {
         actions: Vec<VssAction>,
         sink: &mut ActionSink<DkgMessage, DkgOutput>,
     ) {
+        // Surface any crypto jobs the instance prepared while handling.
+        self.collect_vss_jobs(dealer);
         for action in actions {
             match action {
                 VssAction::Send { to, message } => sink.send(to, DkgMessage::Vss(message)),
@@ -367,86 +587,140 @@ impl DkgNode {
     }
 
     // ------------------------------------------------------------------
-    // Justification verification
+    // Justification verification (prepare: the signature checks; apply:
+    // the threshold counting over the job's per-signature bits)
     // ------------------------------------------------------------------
 
-    fn verify_justification(&self, proposal: &Proposal, justification: &Justification) -> bool {
-        if proposal.is_empty() || proposal.len() < self.config.ready_amplify_threshold() {
+    /// Prepare half: the signature checks a justification's validity rests
+    /// on, in a deterministic order the apply half can index into.
+    fn justification_checks(
+        &self,
+        proposal: &Proposal,
+        justification: &Justification,
+    ) -> Vec<SignatureCheck> {
+        match justification {
+            Justification::ReadyProofs(proofs) => proofs
+                .iter()
+                .flat_map(|proof| {
+                    let session = SessionId::new(proof.dealer, self.tau);
+                    let payload: Arc<[u8]> =
+                        ReadyWitness::payload(&session, &proof.commitment_digest).into();
+                    proof.witnesses.iter().map(move |witness| SignatureCheck {
+                        signer: witness.node,
+                        payload: Arc::clone(&payload),
+                        signature: witness.signature,
+                    })
+                })
+                .collect(),
+            Justification::EchoCertificate(votes) => {
+                Self::vote_checks(votes, payload::echo(self.tau, proposal))
+            }
+            Justification::ReadyCertificate(votes) => {
+                Self::vote_checks(votes, payload::ready(self.tau, proposal))
+            }
+        }
+    }
+
+    fn vote_checks(votes: &[SignedVote], payload: Vec<u8>) -> Vec<SignatureCheck> {
+        let payload: Arc<[u8]> = payload.into();
+        votes
+            .iter()
+            .map(|vote| SignatureCheck {
+                signer: vote.node,
+                payload: Arc::clone(&payload),
+                signature: vote.signature,
+            })
+            .collect()
+    }
+
+    /// The free structural admission checks of a justification; everything
+    /// failing here is rejected without buying a single signature
+    /// verification. Also the first gate of [`Self::justification_valid`].
+    fn justification_structure_ok(&self, proposal: &Proposal) -> bool {
+        !proposal.is_empty()
+            && proposal.len() >= self.config.ready_amplify_threshold()
+            && proposal
+                .dealers()
+                .iter()
+                .all(|d| self.config.vss.nodes.contains(d))
+    }
+
+    /// Apply half: decides a justification's validity from the per-check
+    /// bits of its signature job (bit order = [`Self::justification_checks`]
+    /// order).
+    fn justification_valid(
+        &self,
+        proposal: &Proposal,
+        justification: &Justification,
+        bits: &[bool],
+    ) -> bool {
+        let expected: usize = match justification {
+            Justification::ReadyProofs(proofs) => proofs.iter().map(|p| p.witnesses.len()).sum(),
+            Justification::EchoCertificate(votes) | Justification::ReadyCertificate(votes) => {
+                votes.len()
+            }
+        };
+        if bits.len() != expected {
             return false;
         }
-        if !proposal
-            .dealers()
-            .iter()
-            .all(|d| self.config.vss.nodes.contains(d))
-        {
+        if !self.justification_structure_ok(proposal) {
             return false;
         }
         match justification {
             Justification::ReadyProofs(proofs) => {
-                // Every proposed dealer needs n − t − f valid ready witnesses.
-                proposal.dealers().iter().all(|dealer| {
-                    proofs
+                // Every proposed dealer needs n − t − f valid ready
+                // witnesses in some proof carried for it.
+                let mut offset = 0;
+                let mut proof_valid: Vec<(NodeId, bool)> = Vec::with_capacity(proofs.len());
+                for proof in proofs {
+                    let signers: BTreeSet<NodeId> = proof
+                        .witnesses
                         .iter()
-                        .any(|proof| proof.dealer == *dealer && self.verify_dealer_proof(proof))
-                })
+                        .zip(&bits[offset..offset + proof.witnesses.len()])
+                        .filter(|(_, &ok)| ok)
+                        .map(|(w, _)| w.node)
+                        .collect();
+                    proof_valid.push((
+                        proof.dealer,
+                        signers.len() >= self.config.completion_threshold(),
+                    ));
+                    offset += proof.witnesses.len();
+                }
+                proposal
+                    .dealers()
+                    .iter()
+                    .all(|dealer| proof_valid.iter().any(|&(d, ok)| d == *dealer && ok))
             }
-            Justification::EchoCertificate(votes) => self.verify_votes(
-                votes,
-                &payload::echo(self.tau, proposal),
-                self.config.echo_threshold(),
-            ),
-            Justification::ReadyCertificate(votes) => self.verify_votes(
-                votes,
-                &payload::ready(self.tau, proposal),
-                self.config.ready_amplify_threshold(),
-            ),
+            Justification::EchoCertificate(votes) => {
+                Self::distinct_valid_signers(votes, bits) >= self.config.echo_threshold()
+            }
+            Justification::ReadyCertificate(votes) => {
+                Self::distinct_valid_signers(votes, bits) >= self.config.ready_amplify_threshold()
+            }
         }
     }
 
-    fn verify_dealer_proof(&self, proof: &DealerProof) -> bool {
-        let session = SessionId::new(proof.dealer, self.tau);
-        let payload = ReadyWitness::payload(&session, &proof.commitment_digest);
-        let mut signers = BTreeSet::new();
-        for witness in &proof.witnesses {
-            if self
-                .keys
-                .directory
-                .verify(witness.node, &payload, &witness.signature)
-                .is_ok()
-            {
-                signers.insert(witness.node);
-            }
-        }
-        signers.len() >= self.config.completion_threshold()
-    }
-
-    fn verify_votes(&self, votes: &[SignedVote], payload: &[u8], threshold: usize) -> bool {
-        let mut signers = BTreeSet::new();
-        for vote in votes {
-            if self
-                .keys
-                .directory
-                .verify(vote.node, payload, &vote.signature)
-                .is_ok()
-            {
-                signers.insert(vote.node);
-            }
-        }
-        signers.len() >= threshold
-    }
-
-    fn verify_lead_ch_certificate(&self, rank: u64, votes: &[SignedVote]) -> bool {
-        self.verify_votes(
-            votes,
-            &payload::lead_ch(self.tau, rank),
-            self.config.completion_threshold(),
-        )
+    fn distinct_valid_signers(votes: &[SignedVote], bits: &[bool]) -> usize {
+        votes
+            .iter()
+            .zip(bits)
+            .filter(|(_, &ok)| ok)
+            .map(|(v, _)| v.node)
+            .collect::<BTreeSet<_>>()
+            .len()
     }
 
     // ------------------------------------------------------------------
     // Optimistic phase handlers (Fig. 2)
     // ------------------------------------------------------------------
 
+    /// Prepare stage of the leader's `send`: the cheap admission checks the
+    /// pre-pipeline handler applied first still run here — spam that a
+    /// comparison can reject (wrong sender for the rank, already-echoed
+    /// proposal, lock mismatch) must not buy any signature verification.
+    /// What remains becomes one job covering the lead-ch certificate
+    /// (leader catch-up) and, when an echo is still possible, the
+    /// proposal's justification.
     fn on_send(
         &mut self,
         from: NodeId,
@@ -456,11 +730,97 @@ impl DkgNode {
         lead_ch_certificate: Vec<SignedVote>,
         sink: &mut ActionSink<DkgMessage, DkgOutput>,
     ) {
-        if self.completed.is_some() {
+        if self.completed.is_some() || rank < self.leader_rank {
             return;
         }
+        // `leader_at_rank` is pure, so this holds at apply time too: a
+        // sender that is not the leader of the rank it claims can at most
+        // prove a leader change (certificate), never earn an echo.
+        let sender_leads = self.config.leader_at_rank(rank) == from;
+        if rank == self.leader_rank && !sender_leads {
+            return;
+        }
+        let mut checks = if rank > self.leader_rank {
+            Self::vote_checks(&lead_ch_certificate, payload::lead_ch(self.tau, rank))
+        } else {
+            Vec::new()
+        };
+        let cert_count = checks.len();
+        // For a future rank, an echo is only reachable if the certificate
+        // could at least structurally prove the leader change (distinct
+        // signers counted for free; the signatures are judged by the job).
+        let adoption_plausible = rank == self.leader_rank
+            || lead_ch_certificate
+                .iter()
+                .map(|v| v.node)
+                .collect::<BTreeSet<_>>()
+                .len()
+                >= self.config.completion_threshold();
+        // Non-mutating previews of the apply-stage guards (`echoed` and
+        // `locked` only grow, so a rejection here is final): only pay for
+        // justification checks while an echo is still reachable.
+        let echo_possible = sender_leads
+            && adoption_plausible
+            && self.justification_structure_ok(&proposal)
+            && !self.echoed.contains(&(rank, Self::proposal_key(&proposal)))
+            && self
+                .locked
+                .as_ref()
+                .is_none_or(|(locked, _)| *locked == proposal);
+        let just_count = if echo_possible {
+            let just_checks = self.justification_checks(&proposal, &justification);
+            let count = just_checks.len();
+            checks.extend(just_checks);
+            count
+        } else {
+            0
+        };
+        if checks.is_empty() {
+            return;
+        }
+        let job = self.signature_job(checks);
+        self.submit(
+            job,
+            JobCtx::Send {
+                from,
+                rank,
+                proposal,
+                justification,
+                lead_ch_certificate,
+                cert_count,
+                just_count,
+            },
+            sink,
+        );
+    }
+
+    /// Apply stage of the leader's `send` (Fig. 2's handler, with every
+    /// signature already judged by the job). `bits` is split as
+    /// `[cert_count certificate bits][just_count justification bits]`;
+    /// the queue validated the total length against the job.
+    #[allow(clippy::too_many_arguments)] // Fig. 2's send-handler state plus the job-verdict plumbing
+    fn apply_send(
+        &mut self,
+        from: NodeId,
+        rank: u64,
+        proposal: Proposal,
+        justification: Justification,
+        lead_ch_certificate: Vec<SignedVote>,
+        cert_count: usize,
+        just_count: usize,
+        bits: &[bool],
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if self.completed.is_some() || bits.len() != cert_count + just_count {
+            return;
+        }
+        let (cert_bits, just_bits) = bits.split_at(cert_count);
         // Catch up to a later legitimate leader if the sender proves it.
-        if rank > self.leader_rank && self.verify_lead_ch_certificate(rank, &lead_ch_certificate) {
+        if rank > self.leader_rank
+            && cert_count > 0
+            && Self::distinct_valid_signers(&lead_ch_certificate, cert_bits)
+                >= self.config.completion_threshold()
+        {
             self.adopt_leader(rank, sink);
         }
         if rank != self.leader_rank || self.config.leader_at_rank(rank) != from {
@@ -470,15 +830,17 @@ impl DkgNode {
         if self.echoed.contains(&key) {
             return;
         }
-        if !self.verify_justification(&proposal, &justification) {
-            return;
-        }
         // "if Q = ∅ or Q = Q": only echo a proposal compatible with any
-        // proposal we already locked.
+        // proposal we already locked. (Checked before the justification —
+        // when the prepare stage already saw the mismatch it carried no
+        // justification bits at all.)
         if let Some((locked, _)) = &self.locked {
             if *locked != proposal {
                 return;
             }
+        }
+        if just_count == 0 || !self.justification_valid(&proposal, &justification, just_bits) {
+            return;
         }
         self.echoed.insert(key);
         let signature = self
@@ -494,6 +856,9 @@ impl DkgNode {
         self.broadcast(message, sink);
     }
 
+    /// Prepare stage of an `echo` vote: its signature becomes a job. A
+    /// replayed vote from a sender already counted buys no signature
+    /// verification (non-mutating preview of the apply-stage map insert).
     fn on_echo(
         &mut self,
         from: NodeId,
@@ -506,11 +871,39 @@ impl DkgNode {
             return;
         }
         if self
-            .keys
-            .directory
-            .verify(from, &payload::echo(self.tau, &proposal), &signature)
-            .is_err()
+            .echo_votes
+            .get(&Self::proposal_key(&proposal))
+            .is_some_and(|votes| votes.contains_key(&from))
         {
+            return;
+        }
+        let checks = vec![SignatureCheck {
+            signer: from,
+            payload: payload::echo(self.tau, &proposal).into(),
+            signature,
+        }];
+        let job = self.signature_job(checks);
+        self.submit(
+            job,
+            JobCtx::EchoVote {
+                from,
+                rank,
+                proposal,
+                signature,
+            },
+            sink,
+        );
+    }
+
+    fn apply_echo(
+        &mut self,
+        from: NodeId,
+        rank: u64,
+        proposal: Proposal,
+        signature: Signature,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if self.completed.is_some() {
             return;
         }
         let key = Self::proposal_key(&proposal);
@@ -537,6 +930,8 @@ impl DkgNode {
         }
     }
 
+    /// Prepare stage of a `ready` vote: its signature becomes a job. Like
+    /// `echo`, replayed votes are rejected before any crypto.
     fn on_ready(
         &mut self,
         from: NodeId,
@@ -549,11 +944,39 @@ impl DkgNode {
             return;
         }
         if self
-            .keys
-            .directory
-            .verify(from, &payload::ready(self.tau, &proposal), &signature)
-            .is_err()
+            .ready_votes
+            .get(&Self::proposal_key(&proposal))
+            .is_some_and(|votes| votes.contains_key(&from))
         {
+            return;
+        }
+        let checks = vec![SignatureCheck {
+            signer: from,
+            payload: payload::ready(self.tau, &proposal).into(),
+            signature,
+        }];
+        let job = self.signature_job(checks);
+        self.submit(
+            job,
+            JobCtx::ReadyVote {
+                from,
+                rank,
+                proposal,
+                signature,
+            },
+            sink,
+        );
+    }
+
+    fn apply_ready(
+        &mut self,
+        from: NodeId,
+        rank: u64,
+        proposal: Proposal,
+        signature: Signature,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if self.completed.is_some() {
             return;
         }
         let key = Self::proposal_key(&proposal);
@@ -708,6 +1131,11 @@ impl DkgNode {
         self.broadcast(message, sink);
     }
 
+    /// Prepare stage of a `lead-ch` request: one job carrying the sender's
+    /// signature plus the forwarded justification's checks — the latter
+    /// only while this node could still adopt it (`locked` is empty; like
+    /// the pre-pipeline handler, a lock makes the justification moot and
+    /// must not cost signature verifications).
     fn on_lead_ch(
         &mut self,
         from: NodeId,
@@ -719,12 +1147,53 @@ impl DkgNode {
         if self.completed.is_some() || new_rank <= self.leader_rank {
             return;
         }
-        if self
-            .keys
-            .directory
-            .verify(from, &payload::lead_ch(self.tau, new_rank), &signature)
-            .is_err()
+        let mut checks = vec![SignatureCheck {
+            signer: from,
+            payload: payload::lead_ch(self.tau, new_rank).into(),
+            signature,
+        }];
+        let mut just_count = 0;
+        if let Some((p, j)) = &proposal {
+            // `locked` only ever gains a value, so skipping here can never
+            // starve the apply stage of bits it would have used; garbage
+            // proposals fail the free structural checks before any
+            // signature is queued.
+            if self.locked.is_none() && self.justification_structure_ok(p) {
+                let just_checks = self.justification_checks(p, j);
+                just_count = just_checks.len();
+                checks.extend(just_checks);
+            }
+        }
+        let job = self.signature_job(checks);
+        self.submit(
+            job,
+            JobCtx::LeadCh {
+                from,
+                new_rank,
+                proposal,
+                signature,
+                just_count,
+            },
+            sink,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)] // Fig. 3's lead-ch state plus the job-verdict plumbing
+    fn apply_lead_ch(
+        &mut self,
+        from: NodeId,
+        new_rank: u64,
+        proposal: Option<(Proposal, Justification)>,
+        signature: Signature,
+        just_count: usize,
+        bits: &[bool],
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if self.completed.is_some() || new_rank <= self.leader_rank || bits.len() != 1 + just_count
         {
+            return;
+        }
+        if !bits[0] {
             return;
         }
         self.lead_ch_votes
@@ -736,7 +1205,10 @@ impl DkgNode {
         // missed the optimistic phase catches up ("if R/M = R then Q̂ ← Q ...
         // else Q ← Q, M ← M").
         if let Some((p, j)) = proposal {
-            if self.locked.is_none() && self.verify_justification(&p, &j) {
+            if just_count > 0
+                && self.locked.is_none()
+                && self.justification_valid(&p, &j, &bits[1..])
+            {
                 match &j {
                     Justification::ReadyProofs(_) => {
                         // Q̂/R̂ from another node: remember it as a candidate
@@ -838,36 +1310,58 @@ impl DkgNode {
         if self.reconstructed.is_some() {
             return;
         }
-        if self.completed.is_none() || self.reconstruct_shares.contains_key(&from) {
+        if self.completed.is_none() || self.reconstruct.seen(from) {
             return;
         }
         // Pool the share unverified; each must satisfy the `share_commitment`
         // check, but a whole quorum is validated with one folded multiexp
         // instead of t + 1 separate ones.
-        self.reconstruct_pending.insert(from, share);
-        let needed = self.config.t() + 1;
-        if self.reconstruct_shares.len() + self.reconstruct_pending.len() < needed {
+        if let Some(entries) = self.reconstruct.pool(from, share, self.config.t() + 1) {
+            self.submit_group_share_batch(entries, sink);
+        }
+    }
+
+    fn submit_group_share_batch(
+        &mut self,
+        entries: Vec<(u64, Scalar)>,
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        let commitment = &self
+            .completed
+            .as_ref()
+            .expect("caller checked completion")
+            .commitment;
+        let job = CryptoJob::ShareBatch {
+            // Group reconstruction happens at most once per session, so a
+            // one-off copy into the shared handle is fine here.
+            matrix: Arc::new(commitment.clone()),
+            shares: entries.clone(),
+        };
+        self.submit(job, JobCtx::GroupShares { entries }, sink);
+    }
+
+    /// Apply stage for a group reconstruction share batch: promote valid
+    /// shares, interpolate on quorum, re-batch shares pooled in flight.
+    fn apply_group_shares(
+        &mut self,
+        entries: Vec<(NodeId, Scalar)>,
+        valid: &[bool],
+        sink: &mut ActionSink<DkgMessage, DkgOutput>,
+    ) {
+        if self.reconstructed.is_some() || self.completed.is_none() {
             return;
         }
-        let pending: Vec<(u64, Scalar)> = std::mem::take(&mut self.reconstruct_pending)
-            .into_iter()
-            .collect();
-        let commitment = &self.completed.as_ref().expect("checked above").commitment;
-        self.reconstruct_shares
-            .extend(partition_valid_shares(commitment, pending));
-        if self.reconstruct_shares.len() >= needed {
-            let shares: Vec<(u64, Scalar)> = self
-                .reconstruct_shares
-                .iter()
-                .take(needed)
-                .map(|(&m, &s)| (m, s))
-                .collect();
-            let value = interpolate_secret(&shares).expect("distinct indices");
-            self.reconstructed = Some(value);
-            sink.output(DkgOutput::Reconstructed {
-                tau: self.tau,
-                value,
-            });
+        match self.reconstruct.absorb(entries, valid, self.config.t() + 1) {
+            ShareProgress::Quorum(shares) => {
+                let value = interpolate_secret(&shares).expect("distinct indices");
+                self.reconstructed = Some(value);
+                sink.output(DkgOutput::Reconstructed {
+                    tau: self.tau,
+                    value,
+                });
+            }
+            ShareProgress::Submit(entries) => self.submit_group_share_batch(entries, sink),
+            ShareProgress::Pending => {}
         }
     }
 }
@@ -1056,7 +1550,7 @@ mod tests {
         for i in 1..=n as u64 {
             let keys = NodeKeys {
                 signing_key: secrets[&i],
-                directory: directory.clone(),
+                directory: Arc::new(directory.clone()),
             };
             sim.add_node(DkgNode::new(i, config.clone(), keys, 0, seed * 1000 + i));
         }
@@ -1120,6 +1614,90 @@ mod tests {
         assert_eq!(reconstructed.len(), n);
         let pk = completions(&sim)[0].1;
         assert!(reconstructed.iter().all(|v| GroupElement::commit(v) == pk));
+    }
+
+    /// Drives `n` DkgNodes to completion by synchronously delivering all
+    /// produced messages, pumping each node's crypto jobs after every
+    /// handler call (inline nodes queue none). Timer actions are ignored:
+    /// with an honest initial leader the optimistic phase completes without
+    /// timeouts.
+    fn run_synchronously(nodes: &mut BTreeMap<NodeId, DkgNode>) -> Vec<(NodeId, DkgOutput)> {
+        let mut outputs = Vec::new();
+        let mut queue: Vec<(NodeId, NodeId, DkgMessage)> = Vec::new();
+        let mut dispatch =
+            |node: &mut DkgNode, sink: ActionSink<DkgMessage, DkgOutput>, from: NodeId| {
+                let mut sink = sink;
+                while let Some((id, job)) = node.poll_job() {
+                    node.complete_job(id, job.run(), &mut sink);
+                }
+                sink.into_actions()
+                    .into_iter()
+                    .filter_map(|action| match action {
+                        dkg_sim::Action::Send { to, message } => Some((from, to, message)),
+                        dkg_sim::Action::Output(o) => {
+                            outputs.push((from, o));
+                            None
+                        }
+                        _ => None,
+                    })
+                    .collect::<Vec<_>>()
+            };
+        for (&id, node) in nodes.iter_mut() {
+            let mut sink = ActionSink::new();
+            node.on_operator(DkgInput::Start, &mut sink);
+            queue.extend(dispatch(node, sink, id));
+        }
+        while let Some((from, to, message)) = queue.pop() {
+            let Some(node) = nodes.get_mut(&to) else {
+                continue;
+            };
+            let mut sink = ActionSink::new();
+            node.on_message(from, message, &mut sink);
+            queue.extend(dispatch(node, sink, to));
+        }
+        outputs
+    }
+
+    /// A full 4-node DKG driven synchronously in deferred-crypto mode
+    /// produces the same public key and shares as the inline default.
+    #[test]
+    fn deferred_crypto_matches_inline() {
+        let run = |deferred: bool| {
+            let n = 4;
+            let mut rng = StdRng::seed_from_u64(99);
+            let (secrets, directory) = generate_keyring(&mut rng, n);
+            let config = DkgConfig::standard(n, 0).unwrap();
+            let mut nodes: BTreeMap<NodeId, DkgNode> = (1..=n as u64)
+                .map(|i| {
+                    let keys = NodeKeys {
+                        signing_key: secrets[&i],
+                        directory: Arc::new(directory.clone()),
+                    };
+                    let mut node = DkgNode::new(i, config.clone(), keys, 0, 4200 + i);
+                    node.set_deferred_crypto(deferred);
+                    (i, node)
+                })
+                .collect();
+            let outputs = run_synchronously(&mut nodes);
+            let mut done: Vec<(NodeId, Vec<u8>, Vec<u8>)> = outputs
+                .into_iter()
+                .filter_map(|(node, o)| match o {
+                    DkgOutput::Completed {
+                        public_key, share, ..
+                    } => Some((
+                        node,
+                        public_key.to_bytes().to_vec(),
+                        share.to_be_bytes().to_vec(),
+                    )),
+                    _ => None,
+                })
+                .collect();
+            done.sort();
+            assert_eq!(done.len(), n);
+            assert!(nodes.values().all(|node| node.jobs_in_flight() == 0));
+            done
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

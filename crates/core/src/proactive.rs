@@ -9,27 +9,27 @@
 //! re-randomised. Old shares are erased, so an adversary that corrupts `t`
 //! nodes in one phase and `t` different nodes in the next learns nothing.
 //!
-//! In this reproduction a phase is one simulation run: [`run_renewal_phase`]
-//! builds a fresh simulation for phase `τ`, seeds every node with its
-//! previous share via [`DkgInput::StartReshare`] (the clock tick, with a
-//! configurable per-node skew standing in for loosely synchronised local
-//! clocks), registers the expected resharing commitments (`g^{s_d}` from the
-//! previous phase's commitment matrix) so Byzantine dealers cannot inject a
-//! different value, and collects the renewed shares. Share *recovery* (§5.3)
-//! is exercised by crashing nodes mid-phase and issuing
-//! [`DkgInput::Recover`]; it rides on the HybridVSS `recover`/`help`
-//! machinery.
+//! In this reproduction a phase is one endpoint-network run driven by
+//! `dkg_engine::runner::run_renewal_phase`: it seeds every node with its
+//! previous share via [`crate::DkgInput::StartReshare`] (the clock tick,
+//! with a configurable per-node skew standing in for loosely synchronised
+//! local clocks), registers the expected resharing commitments (`g^{s_d}`
+//! from the previous phase's commitment matrix) so Byzantine dealers cannot
+//! inject a different value, and collects the renewed shares. This module
+//! holds the transport-independent parts — [`PhaseState`],
+//! [`RenewalOptions`] and the [`plan_renewal`] safeguards — so no driver
+//! can diverge on them. Share *recovery* (§5.3) is exercised by crashing
+//! nodes mid-phase and issuing [`crate::DkgInput::Recover`]; it rides on
+//! the HybridVSS `recover`/`help` machinery.
 
 use std::collections::BTreeMap;
 
 use dkg_arith::{GroupElement, Scalar};
 use dkg_crypto::NodeId;
 use dkg_poly::CommitmentMatrix;
-use dkg_sim::{DelayModel, SimTime, Simulation};
+use dkg_sim::{DelayModel, SimTime};
 
-use crate::messages::DkgInput;
-use crate::node::DkgNode;
-use crate::runner::{collect_outcomes, SystemSetup};
+use crate::runner::SystemSetup;
 
 /// A node's view of the shared key at the end of a phase.
 #[derive(Clone, Debug)]
@@ -90,34 +90,6 @@ impl std::fmt::Display for RenewalError {
 }
 
 impl std::error::Error for RenewalError {}
-
-/// Runs the initial key-generation phase (`τ = 0`) and returns each node's
-/// [`PhaseState`].
-pub fn run_initial_phase(
-    setup: &SystemSetup,
-    delay: DelayModel,
-) -> (BTreeMap<NodeId, PhaseState>, Simulation<DkgNode>) {
-    let (outcomes, sim) = crate::runner::run_key_generation(setup, delay, 0);
-    let states = outcomes
-        .into_iter()
-        .map(|o| {
-            let commitment = sim
-                .node(o.node)
-                .and_then(|n| n.result().map(|r| r.commitment.clone()))
-                .expect("completed node has a result");
-            (
-                o.node,
-                PhaseState {
-                    tau: 0,
-                    share: o.share,
-                    commitment,
-                    public_key: o.public_key,
-                },
-            )
-        })
-        .collect();
-    (states, sim)
-}
 
 /// The transport-independent plan for a renewal phase: the §5.2 safeguards
 /// and tick schedule, shared by every harness that drives a renewal
@@ -185,142 +157,76 @@ pub fn plan_renewal(
     })
 }
 
-/// Runs share-renewal phase `tau` (≥ 1) from the previous phase's states.
-///
-/// Returns the renewed per-node states (only for nodes that completed the
-/// phase) and the simulation for metric inspection.
-pub fn run_renewal_phase(
-    setup: &SystemSetup,
-    previous: &BTreeMap<NodeId, PhaseState>,
-    tau: u64,
-    options: &RenewalOptions,
-) -> Result<(BTreeMap<NodeId, PhaseState>, Simulation<DkgNode>), RenewalError> {
-    let plan = plan_renewal(setup, previous, options)?;
-
-    let mut sim = setup.build_simulation(tau, options.delay.clone());
-    for &node in &setup.config.vss.nodes {
-        if let Some(n) = sim.node_mut(node) {
-            n.set_expected_dealer_commitments(plan.expected_commitments.clone());
-            // Every node in a renewal phase combines the agreed resharings by
-            // Lagrange interpolation at index 0 — including nodes that have
-            // no previous share to contribute (e.g. a node that was crashed
-            // during the previous phase and is recovering its share, §5.3).
-            n.set_combine_rule(crate::messages::CombineRule::InterpolateAtZero);
-        }
-    }
-
-    // Crash the nodes that sit this phase out.
-    for &node in &options.crashed {
-        sim.schedule_crash(node, 0);
-    }
-
-    // Local clock ticks: each participating node reshares its previous
-    // share at its own (skewed) tick time.
-    for &(node, tick) in &plan.ticks {
-        let share = previous[&node].share;
-        sim.schedule_operator(node, DkgInput::StartReshare { value: share }, tick);
-    }
-    sim.run();
-
-    let states = collect_outcomes(&sim)
-        .into_iter()
-        .map(|o| {
-            let commitment = sim
-                .node(o.node)
-                .and_then(|n| n.result().map(|r| r.commitment.clone()))
-                .expect("completed node has a result");
-            (
-                o.node,
-                PhaseState {
-                    tau,
-                    share: o.share,
-                    commitment,
-                    public_key: o.public_key,
-                },
-            )
-        })
-        .collect();
-    Ok((states, sim))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dkg_poly::interpolate_secret;
+    use dkg_arith::PrimeField;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
-    fn secret_of(states: &BTreeMap<NodeId, PhaseState>, t: usize) -> Scalar {
-        let shares: Vec<(u64, Scalar)> = states
+    fn phase_states(setup: &SystemSetup, nodes: &[NodeId]) -> BTreeMap<NodeId, PhaseState> {
+        // Synthesises consistent previous-phase states without running a
+        // protocol: the plan only reads shares and the commitment matrix.
+        let mut rng = StdRng::seed_from_u64(setup.seed);
+        let secret = Scalar::random(&mut rng);
+        let poly =
+            dkg_poly::SymmetricBivariate::random_with_secret(&mut rng, setup.config.t(), secret);
+        let commitment = CommitmentMatrix::commit(&poly);
+        nodes
             .iter()
-            .take(t + 1)
-            .map(|(&i, s)| (i, s.share))
-            .collect();
-        interpolate_secret(&shares).unwrap()
+            .map(|&node| {
+                (
+                    node,
+                    PhaseState {
+                        tau: 0,
+                        share: poly.row(node).constant_term(),
+                        commitment: commitment.clone(),
+                        public_key: commitment.public_key(),
+                    },
+                )
+            })
+            .collect()
     }
 
     #[test]
-    fn renewal_preserves_the_secret_and_rerandomises_shares() {
+    fn plan_registers_expected_commitments_for_every_dealer() {
         let setup = SystemSetup::generate(4, 0, 21);
-        let t = setup.config.t();
-        let (phase0, _) = run_initial_phase(&setup, DelayModel::Constant(15));
-        assert_eq!(phase0.len(), 4);
-        let secret0 = secret_of(&phase0, t);
-        let pk = phase0[&1].public_key;
-        assert_eq!(GroupElement::commit(&secret0), pk);
-
-        let (phase1, _) =
-            run_renewal_phase(&setup, &phase0, 1, &RenewalOptions::default()).unwrap();
-        assert_eq!(phase1.len(), 4);
-        // Same public key, same secret…
-        assert!(phase1.values().all(|s| s.public_key == pk));
-        assert_eq!(secret_of(&phase1, t), secret0);
-        // …but fresh shares.
-        assert!(phase0
-            .iter()
-            .all(|(node, old)| phase1[node].share != old.share));
+        let previous = phase_states(&setup, &[1, 2, 3, 4]);
+        let plan = plan_renewal(&setup, &previous, &RenewalOptions::default()).unwrap();
+        assert_eq!(plan.expected_commitments.len(), 4);
+        for (&d, expected) in &plan.expected_commitments {
+            assert_eq!(*expected, previous[&1].commitment.share_commitment(d));
+        }
+        assert_eq!(plan.ticks.len(), 4);
+        let skew = RenewalOptions::default().clock_skew;
+        assert!(plan.ticks.iter().all(|&(_, tick)| tick < skew));
     }
 
     #[test]
-    fn two_consecutive_renewals_compose() {
-        let setup = SystemSetup::generate(4, 0, 22);
-        let t = setup.config.t();
-        let (phase0, _) = run_initial_phase(&setup, DelayModel::Constant(10));
-        let secret = secret_of(&phase0, t);
-        let (phase1, _) =
-            run_renewal_phase(&setup, &phase0, 1, &RenewalOptions::default()).unwrap();
-        let (phase2, _) =
-            run_renewal_phase(&setup, &phase1, 2, &RenewalOptions::default()).unwrap();
-        assert_eq!(secret_of(&phase2, t), secret);
-        assert!(phase2
-            .values()
-            .all(|s| s.public_key == phase0[&1].public_key));
-    }
-
-    #[test]
-    fn renewal_with_a_crashed_node_still_preserves_the_secret() {
+    fn plan_excludes_crashed_nodes_from_ticks() {
         let setup = SystemSetup::generate(7, 1, 23);
-        let t = setup.config.t();
-        let (phase0, _) = run_initial_phase(&setup, DelayModel::Constant(10));
-        let secret = secret_of(&phase0, t);
+        let previous = phase_states(&setup, &[1, 2, 3, 4, 5, 6, 7]);
         let options = RenewalOptions {
             crashed: vec![7],
             ..RenewalOptions::default()
         };
-        let (phase1, _) = run_renewal_phase(&setup, &phase0, 1, &options).unwrap();
-        // The crashed node has no renewed share, everyone else does.
-        assert!(!phase1.contains_key(&7));
-        assert_eq!(phase1.len(), 6);
-        assert_eq!(secret_of(&phase1, t), secret);
+        let plan = plan_renewal(&setup, &previous, &options).unwrap();
+        assert!(plan.ticks.iter().all(|&(node, _)| node != 7));
+        assert_eq!(plan.ticks.len(), 6);
     }
 
     #[test]
-    fn renewal_requires_enough_shares() {
+    fn plan_requires_enough_shares_and_known_nodes() {
         let setup = SystemSetup::generate(4, 0, 24);
-        let (phase0, _) = run_initial_phase(&setup, DelayModel::Constant(10));
-        let mut too_few = phase0.clone();
-        too_few.retain(|&k, _| k == 1);
+        let mut too_few = phase_states(&setup, &[1]);
         assert_eq!(
-            run_renewal_phase(&setup, &too_few, 1, &RenewalOptions::default()).err(),
+            plan_renewal(&setup, &too_few, &RenewalOptions::default()).err(),
             Some(RenewalError::NotEnoughShares)
+        );
+        too_few.extend(phase_states(&setup, &[2, 9]));
+        assert_eq!(
+            plan_renewal(&setup, &too_few, &RenewalOptions::default()).err(),
+            Some(RenewalError::UnknownNode(9))
         );
     }
 }

@@ -1,20 +1,21 @@
-//! Convenience harness for building and running DKG systems on the
-//! simulator.
+//! System construction: keyrings, configs and node seeding, reproducible
+//! from a single `u64` seed.
 //!
-//! Examples, integration tests and every experiment in EXPERIMENTS.md use
-//! these helpers so that system construction (keyrings, configs, node
-//! seeding) is consistent and reproducible from a single `u64` seed.
+//! This module only *builds* systems ([`SystemSetup`]). The canonical
+//! driver that runs them end-to-end over encoded byte datagrams lives in
+//! `dkg_engine::runner` (which re-exports [`SystemSetup`], so examples and
+//! tests have a single import path); [`SystemSetup::build_simulation`]
+//! remains for experiments that need the in-process simulator's adversary
+//! hooks.
 
 use std::collections::BTreeMap;
 
-use dkg_arith::{GroupElement, Scalar};
 use dkg_crypto::{generate_keyring, KeyDirectory, NodeId, SigningKey};
 use dkg_sim::{DelayModel, NetworkConfig, Simulation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::config::{DkgConfig, NodeKeys};
-use crate::messages::{DkgInput, DkgOutput};
 use crate::node::DkgNode;
 
 /// Everything needed to instantiate a DKG system: the shared configuration,
@@ -61,7 +62,7 @@ impl SystemSetup {
     pub fn node_keys(&self, node: NodeId) -> NodeKeys {
         NodeKeys {
             signing_key: self.signing_keys[&node],
-            directory: self.directory.clone(),
+            directory: std::sync::Arc::new(self.directory.clone()),
         }
     }
 
@@ -96,81 +97,9 @@ impl SystemSetup {
     }
 }
 
-/// The per-node outcome of a completed DKG run.
-#[derive(Clone, Debug)]
-pub struct NodeOutcome {
-    /// The node.
-    pub node: NodeId,
-    /// The distributed public key it output.
-    pub public_key: GroupElement,
-    /// Its share.
-    pub share: Scalar,
-    /// The leader rank under which it completed.
-    pub leader_rank: u64,
-    /// Simulated completion time (ms).
-    pub completion_time: u64,
-}
-
-/// Runs a fresh key generation on the given setup and returns the per-node
-/// outcomes (only nodes that completed are included) plus the simulation for
-/// further inspection (metrics, state).
-pub fn run_key_generation(
-    setup: &SystemSetup,
-    delay: DelayModel,
-    tau: u64,
-) -> (Vec<NodeOutcome>, Simulation<DkgNode>) {
-    let mut sim = setup.build_simulation(tau, delay);
-    for &node in &setup.config.vss.nodes {
-        sim.schedule_operator(node, DkgInput::Start, 0);
-    }
-    sim.run();
-    let outcomes = collect_outcomes(&sim);
-    (outcomes, sim)
-}
-
-/// Extracts the completion outputs from a finished simulation.
-pub fn collect_outcomes(sim: &Simulation<DkgNode>) -> Vec<NodeOutcome> {
-    sim.outputs()
-        .iter()
-        .filter_map(|record| match &record.output {
-            DkgOutput::Completed {
-                public_key,
-                share,
-                leader_rank,
-                ..
-            } => Some(NodeOutcome {
-                node: record.node,
-                public_key: *public_key,
-                share: *share,
-                leader_rank: *leader_rank,
-                completion_time: record.time,
-            }),
-            _ => None,
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dkg_poly::interpolate_secret;
-
-    #[test]
-    fn run_key_generation_produces_consistent_outcomes() {
-        let setup = SystemSetup::generate(4, 0, 77);
-        let (outcomes, sim) = run_key_generation(&setup, DelayModel::Constant(20), 0);
-        assert_eq!(outcomes.len(), 4);
-        let pk = outcomes[0].public_key;
-        assert!(outcomes.iter().all(|o| o.public_key == pk));
-        let shares: Vec<(u64, Scalar)> = outcomes
-            .iter()
-            .take(setup.config.t() + 1)
-            .map(|o| (o.node, o.share))
-            .collect();
-        let secret = interpolate_secret(&shares).unwrap();
-        assert_eq!(GroupElement::commit(&secret), pk);
-        assert!(sim.metrics().message_count() > 0);
-    }
 
     #[test]
     fn setups_are_reproducible() {

@@ -24,6 +24,7 @@
 use dkg_crypto::Signature;
 use dkg_wire::{Reader, WireDecode, WireEncode, WireError, WireWrite};
 
+use crate::group::{GroupChange, GroupModMessage, ParameterAdjustment};
 use crate::messages::{DealerProof, DkgMessage, Justification, Proposal, SignedVote};
 use dkg_vss::{ReadyWitness, VssMessage};
 
@@ -246,6 +247,88 @@ impl WireDecode for DkgMessage {
             }
             tag => Err(WireError::UnknownTag {
                 context: "dkg message",
+                tag,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group-modification agreement messages (§6.1)
+// ---------------------------------------------------------------------
+//
+// ```text
+// GroupModMessage  := tag:u8 change          (0 propose | 1 echo | 2 ready)
+// change           := kind:u8 node:u64 adjustment:u8
+//                     (kind: 0 add | 1 remove; adjustment: 0 t | 1 f | 2 none)
+// ```
+
+impl WireEncode for GroupChange {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        let (kind, node, adjustment) = match *self {
+            GroupChange::AddNode { node, adjustment } => (0u8, node, adjustment),
+            GroupChange::RemoveNode { node, adjustment } => (1, node, adjustment),
+        };
+        w.put_u8(kind);
+        w.put_u64(node);
+        w.put_u8(match adjustment {
+            ParameterAdjustment::Threshold => 0,
+            ParameterAdjustment::CrashLimit => 1,
+            ParameterAdjustment::None => 2,
+        });
+    }
+}
+
+impl WireDecode for GroupChange {
+    const MIN_WIRE_LEN: usize = 1 + 8 + 1;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let kind = r.u8()?;
+        let node = r.u64()?;
+        let adjustment = match r.u8()? {
+            0 => ParameterAdjustment::Threshold,
+            1 => ParameterAdjustment::CrashLimit,
+            2 => ParameterAdjustment::None,
+            tag => {
+                return Err(WireError::UnknownTag {
+                    context: "parameter adjustment",
+                    tag,
+                })
+            }
+        };
+        match kind {
+            0 => Ok(GroupChange::AddNode { node, adjustment }),
+            1 => Ok(GroupChange::RemoveNode { node, adjustment }),
+            tag => Err(WireError::UnknownTag {
+                context: "group change",
+                tag,
+            }),
+        }
+    }
+}
+
+impl WireEncode for GroupModMessage {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        let (tag, change) = match self {
+            GroupModMessage::Propose(c) => (0u8, c),
+            GroupModMessage::Echo(c) => (1, c),
+            GroupModMessage::Ready(c) => (2, c),
+        };
+        w.put_u8(tag);
+        change.encode_to(w);
+    }
+}
+
+impl WireDecode for GroupModMessage {
+    const MIN_WIRE_LEN: usize = 1 + GroupChange::MIN_WIRE_LEN;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(GroupModMessage::Propose(GroupChange::decode_from(r)?)),
+            1 => Ok(GroupModMessage::Echo(GroupChange::decode_from(r)?)),
+            2 => Ok(GroupModMessage::Ready(GroupChange::decode_from(r)?)),
+            tag => Err(WireError::UnknownTag {
+                context: "group-mod message",
                 tag,
             }),
         }

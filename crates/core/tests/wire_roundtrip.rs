@@ -191,3 +191,45 @@ fn non_canonical_proposals_are_rejected() {
     bytes.put_u64(3);
     assert!(Proposal::decode(&bytes).is_err());
 }
+
+/// Group-modification agreement messages share the canonical codec: they
+/// round-trip losslessly, `wire_size()` is the exact encoded length, and
+/// unknown tags are refused rather than misparsed.
+#[test]
+fn group_mod_messages_roundtrip_and_size_exactly() {
+    use dkg_core::group::{GroupChange, GroupModMessage, ParameterAdjustment};
+    let changes = [
+        GroupChange::AddNode {
+            node: 9,
+            adjustment: ParameterAdjustment::Threshold,
+        },
+        GroupChange::AddNode {
+            node: 10,
+            adjustment: ParameterAdjustment::None,
+        },
+        GroupChange::RemoveNode {
+            node: 3,
+            adjustment: ParameterAdjustment::CrashLimit,
+        },
+    ];
+    for change in changes {
+        for message in [
+            GroupModMessage::Propose(change),
+            GroupModMessage::Echo(change),
+            GroupModMessage::Ready(change),
+        ] {
+            let bytes = message.encode();
+            assert_eq!(bytes.len(), message.wire_size());
+            assert_eq!(GroupModMessage::decode(&bytes).unwrap(), message);
+        }
+    }
+    // Unknown message and adjustment tags are typed errors, not panics.
+    assert!(matches!(
+        GroupModMessage::decode(&[7, 0, 0, 0, 0, 0, 0, 0, 0, 1, 2]),
+        Err(WireError::UnknownTag { .. })
+    ));
+    assert!(matches!(
+        GroupModMessage::decode(&[0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 9]),
+        Err(WireError::UnknownTag { .. })
+    ));
+}

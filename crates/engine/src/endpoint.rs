@@ -23,6 +23,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use dkg_core::{DkgInput, DkgMessage, DkgNode, DkgOutput, DkgResult};
 use dkg_crypto::NodeId;
+use dkg_poly::{CryptoJob, CryptoVerdict};
 use dkg_sim::{Action, ActionSink, Protocol, TimerId, WireSize};
 use dkg_vss::{SessionId, VssInput, VssMessage, VssNode, VssOutput};
 use dkg_wire::{decode_datagram, encode_datagram, Header, ProtocolId, WireDecode, WireError};
@@ -39,6 +40,14 @@ pub struct EndpointConfig {
     pub outbox_capacity: usize,
     /// Datagrams longer than this are refused before any parsing.
     pub max_datagram_len: usize,
+    /// When `true`, the hosted state machines defer their expensive crypto
+    /// checks as [`CryptoJob`]s: the caller drains them with
+    /// [`Endpoint::poll_jobs`], runs them on an
+    /// [`Executor`](crate::executor::Executor) of its choice and feeds the
+    /// verdicts back through [`Endpoint::complete_job`]. When `false`
+    /// (default), every check runs inline inside `handle_*`, preserving the
+    /// fully synchronous behaviour.
+    pub defer_crypto: bool,
 }
 
 impl Default for EndpointConfig {
@@ -46,6 +55,7 @@ impl Default for EndpointConfig {
         EndpointConfig {
             outbox_capacity: 4096,
             max_datagram_len: 1 << 22,
+            defer_crypto: false,
         }
     }
 }
@@ -147,6 +157,9 @@ pub enum Reject {
         /// The state machine's node id.
         node: NodeId,
     },
+    /// [`Endpoint::complete_job`] was called with an id this endpoint never
+    /// handed out (or already completed).
+    UnknownJob(u64),
 }
 
 impl std::fmt::Display for Reject {
@@ -173,6 +186,7 @@ impl std::fmt::Display for Reject {
                     "state machine for node {node} added to endpoint {endpoint}"
                 )
             }
+            Reject::UnknownJob(id) => write!(f, "no pending crypto job with id {id}"),
         }
     }
 }
@@ -227,8 +241,24 @@ pub struct SessionStats {
     pub rejected: u64,
     /// Events surfaced to the application.
     pub events: u64,
+    /// Crypto jobs handed out for this session (deferred mode only).
+    pub jobs: u64,
     /// When the session's protocol first reported completion.
     pub completed_at: Option<WallClock>,
+}
+
+/// A pending crypto job handed out by [`Endpoint::poll_jobs`]: run it on
+/// any [`Executor`](crate::executor::Executor) (or call
+/// [`CryptoJob::run`] directly) and feed the verdict back through
+/// [`Endpoint::complete_job`] under the same `id`.
+#[derive(Clone, Debug)]
+pub struct JobTicket {
+    /// The endpoint-level job id.
+    pub id: u64,
+    /// The session that prepared the job.
+    pub session: SessionKey,
+    /// The schedulable work.
+    pub job: CryptoJob,
 }
 
 enum SessionState {
@@ -283,6 +313,13 @@ pub struct Endpoint {
     outbox: VecDeque<Transmit>,
     events: VecDeque<Event>,
     stats: EndpointStats,
+    next_job: u64,
+    /// Routes an endpoint-level job id to the session that prepared it and
+    /// the session's own (inner) job id.
+    job_routes: BTreeMap<u64, (SessionKey, u64)>,
+    /// Sessions that queued jobs since the last [`Endpoint::poll_jobs`], so
+    /// polling costs O(sessions with work), not O(hosted sessions).
+    jobs_ready: std::collections::BTreeSet<SessionKey>,
 }
 
 impl Endpoint {
@@ -295,6 +332,9 @@ impl Endpoint {
             outbox: VecDeque::new(),
             events: VecDeque::new(),
             stats: EndpointStats::default(),
+            next_job: 0,
+            job_routes: BTreeMap::new(),
+            jobs_ready: std::collections::BTreeSet::new(),
         }
     }
 
@@ -373,10 +413,16 @@ impl Endpoint {
     fn insert_session(
         &mut self,
         key: SessionKey,
-        state: SessionState,
+        mut state: SessionState,
     ) -> Result<SessionKey, Reject> {
         if self.sessions.contains_key(&key) {
             return Err(Reject::DuplicateSession(key));
+        }
+        // The endpoint owns the inline/deferred decision for everything it
+        // hosts.
+        match &mut state {
+            SessionState::Dkg(node) => node.set_deferred_crypto(self.config.defer_crypto),
+            SessionState::Vss(node) => node.set_deferred_crypto(self.config.defer_crypto),
         }
         self.sessions.insert(
             key,
@@ -601,6 +647,81 @@ impl Endpoint {
             .min()
     }
 
+    /// Hands out every pending [`CryptoJob`] across all sessions, in
+    /// session-key order (deferred mode; inline endpoints never queue
+    /// jobs). Each ticket must be answered once via
+    /// [`Endpoint::complete_job`].
+    ///
+    /// Determinism contract: within one session, ticket-id order equals
+    /// prepare order. Across sessions it is session-key order for whatever
+    /// was pending at the moment of the call, so a driver that wants runs
+    /// byte-identical to inline execution must drain jobs to quiescence
+    /// (poll → execute → complete, repeated) after *each* input event —
+    /// exactly what [`crate::EndpointNet`] does — rather than batching
+    /// events from different sessions before polling.
+    pub fn poll_jobs(&mut self) -> Vec<JobTicket> {
+        let mut out = Vec::new();
+        let keys: Vec<SessionKey> = std::mem::take(&mut self.jobs_ready).into_iter().collect();
+        for key in keys {
+            let Some(session) = self.sessions.get_mut(&key) else {
+                continue;
+            };
+            loop {
+                let polled = match &mut session.state {
+                    SessionState::Dkg(node) => node.poll_job(),
+                    SessionState::Vss(node) => node.poll_job(),
+                };
+                let Some((inner, job)) = polled else {
+                    break;
+                };
+                let id = self.next_job;
+                self.next_job += 1;
+                session.stats.jobs += 1;
+                self.job_routes.insert(id, (key, inner));
+                out.push(JobTicket {
+                    id,
+                    session: key,
+                    job,
+                });
+            }
+        }
+        out
+    }
+
+    /// Pending (handed-out but unanswered) crypto jobs.
+    pub fn jobs_in_flight(&self) -> usize {
+        self.job_routes.len()
+    }
+
+    /// Feeds a job's verdict back into the session that prepared it,
+    /// running the apply stage (which may emit transmits, events, timers —
+    /// and prepare further jobs). Returns the session the job belonged to.
+    pub fn complete_job(
+        &mut self,
+        id: u64,
+        verdict: CryptoVerdict,
+        now: WallClock,
+    ) -> Result<SessionKey, Reject> {
+        self.check_backpressure()?;
+        let Some(&(key, inner)) = self.job_routes.get(&id) else {
+            return Err(Reject::UnknownJob(id));
+        };
+        self.job_routes.remove(&id);
+        if !self.sessions.contains_key(&key) {
+            // The session was evicted while the job was in flight.
+            return Err(Reject::UnknownSession(key));
+        }
+        match key {
+            SessionKey::Dkg { .. } => self.run_dkg(key, now, |node, sink| {
+                node.complete_job(inner, verdict, sink)
+            }),
+            SessionKey::Vss { .. } => {
+                self.run_vss(key, now, |node| node.complete_job(inner, verdict))
+            }
+        }
+        Ok(key)
+    }
+
     /// Takes the next encoded datagram to send, if any.
     pub fn poll_transmit(&mut self) -> Option<Transmit> {
         self.outbox.pop_front()
@@ -663,6 +784,12 @@ impl Endpoint {
         if complete && session.stats.completed_at.is_none() {
             session.stats.completed_at = Some(now);
         }
+        let SessionState::Dkg(node) = &session.state else {
+            unreachable!("dkg key hosts a dkg session");
+        };
+        if node.has_queued_jobs() {
+            self.jobs_ready.insert(key);
+        }
     }
 
     fn run_vss<F>(&mut self, key: SessionKey, now: WallClock, f: F)
@@ -707,6 +834,12 @@ impl Endpoint {
         }
         if complete && session.stats.completed_at.is_none() {
             session.stats.completed_at = Some(now);
+        }
+        let SessionState::Vss(node) = &session.state else {
+            unreachable!("vss key hosts a vss session");
+        };
+        if node.has_queued_jobs() {
+            self.jobs_ready.insert(key);
         }
     }
 }

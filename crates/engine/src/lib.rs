@@ -18,13 +18,26 @@
 //! of unbounded buffering), and per-session traffic statistics come for
 //! free.
 //!
+//! The endpoint also separates *protocol* work from *crypto* work: in
+//! deferred mode every expensive verification the hosted state machines
+//! would run becomes a [`dkg_poly::CryptoJob`] handed out through
+//! [`Endpoint::poll_jobs`] and answered through [`Endpoint::complete_job`],
+//! so an [`executor::Executor`] — inline for determinism-sensitive callers,
+//! a [`executor::ThreadPoolExecutor`] for multi-core throughput — decides
+//! where the O(n²) group operations actually run.
+//!
 //! * [`endpoint`] — [`Endpoint`], [`SessionKey`], [`Transmit`], [`Event`],
-//!   [`Reject`], per-session [`SessionStats`], completion-based eviction.
+//!   [`Reject`], per-session [`SessionStats`], completion-based eviction,
+//!   the crypto-job interface ([`JobTicket`]).
+//! * [`executor`] — [`executor::Executor`], [`executor::InlineExecutor`],
+//!   [`executor::ThreadPoolExecutor`] (`DKG_WORKERS`, bounded queue).
 //! * [`net`] — [`EndpointNet`], a deterministic datagram network for tests
 //!   and experiments: real bytes, pseudo-random delays, crashes, muted
-//!   nodes, raw-datagram injection, byte-accurate [`dkg_sim::Metrics`].
-//! * [`runner`] — endpoint-based successors of the `dkg_core::runner`
-//!   harness helpers ([`runner::run_key_generation`], [`runner::run_vss`]).
+//!   nodes, raw-datagram injection, byte-accurate [`dkg_sim::Metrics`],
+//!   executor-driven job completion with a byte transcript digest.
+//! * [`runner`] — endpoint-based harness helpers (the single import path
+//!   for examples/tests: [`runner::SystemSetup`],
+//!   [`runner::run_key_generation`], [`runner::run_vss`], …).
 //!
 //! ## Example
 //!
@@ -46,11 +59,13 @@
 #![warn(missing_docs)]
 
 pub mod endpoint;
+pub mod executor;
 pub mod net;
 pub mod runner;
 
 pub use endpoint::{
-    Endpoint, EndpointConfig, EndpointStats, Event, Reject, SessionKey, SessionStats, Transmit,
-    WallClock,
+    Endpoint, EndpointConfig, EndpointStats, Event, JobTicket, Reject, SessionKey, SessionStats,
+    Transmit, WallClock,
 };
+pub use executor::{Executor, InlineExecutor, JobOutcome, ThreadPoolExecutor};
 pub use net::{EndpointNet, EventRecord, RejectRecord};

@@ -13,13 +13,14 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use dkg_core::DkgInput;
-use dkg_crypto::NodeId;
+use dkg_crypto::{sha256, NodeId};
 use dkg_sim::{DelayModel, Metrics};
 use dkg_vss::{SessionId, VssInput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::endpoint::{Endpoint, Event, Reject, WallClock};
+use crate::executor::{Executor, InlineExecutor};
 
 /// Default cap on processed events, protecting against runaway protocols.
 const DEFAULT_EVENT_LIMIT: u64 = 50_000_000;
@@ -96,6 +97,14 @@ pub struct RejectRecord {
 }
 
 /// A deterministic datagram network connecting [`Endpoint`]s.
+///
+/// The network also owns the [`Executor`] that runs the endpoints' crypto
+/// jobs. With the default [`InlineExecutor`] (and endpoints in their
+/// default inline mode) nothing changes versus a pre-pipeline network; with
+/// [`EndpointNet::with_executor`] and deferred endpoints, every job an
+/// event produces is handed to the executor and its verdict applied in
+/// job-id order before the next event runs — so runs are byte-identical
+/// across executors and worker counts (`transcript_digest` proves it).
 pub struct EndpointNet {
     endpoints: BTreeMap<NodeId, Endpoint>,
     crashed: BTreeSet<NodeId>,
@@ -107,6 +116,11 @@ pub struct EndpointNet {
     metrics: Metrics,
     events: Vec<EventRecord>,
     rejections: Vec<RejectRecord>,
+    executor: Box<dyn Executor>,
+    /// Running hash over every datagram handed to the network, in order.
+    /// `None` until [`EndpointNet::record_transcript`] opts in, so the
+    /// per-datagram hashing costs nothing by default.
+    transcript: Option<[u8; 32]>,
     now: WallClock,
     seq: u64,
     processed: u64,
@@ -114,8 +128,17 @@ pub struct EndpointNet {
 }
 
 impl EndpointNet {
-    /// Creates a network with the given link-delay model and RNG seed.
+    /// Creates a network with the given link-delay model and RNG seed,
+    /// running crypto jobs on an [`InlineExecutor`].
     pub fn new(delay: DelayModel, seed: u64) -> Self {
+        Self::with_executor(delay, seed, Box::new(InlineExecutor::new()))
+    }
+
+    /// Creates a network whose endpoints' crypto jobs run on the given
+    /// executor. Pair this with endpoints configured with
+    /// [`defer_crypto`](crate::EndpointConfig::defer_crypto), otherwise the
+    /// executor never sees work.
+    pub fn with_executor(delay: DelayModel, seed: u64, executor: Box<dyn Executor>) -> Self {
         EndpointNet {
             endpoints: BTreeMap::new(),
             crashed: BTreeSet::new(),
@@ -127,11 +150,29 @@ impl EndpointNet {
             metrics: Metrics::new(),
             events: Vec::new(),
             rejections: Vec::new(),
+            executor,
+            transcript: None,
             now: 0,
             seq: 0,
             processed: 0,
             event_limit: DEFAULT_EVENT_LIMIT,
         }
+    }
+
+    /// Starts folding every subsequently sent datagram `(from, to, bytes)`
+    /// into a running SHA-256 — the byte-level transcript of the run. Call
+    /// it before scheduling any input; off by default so ordinary runs pay
+    /// no per-datagram hashing.
+    pub fn record_transcript(&mut self) {
+        self.transcript.get_or_insert([0u8; 32]);
+    }
+
+    /// The transcript digest, if [`EndpointNet::record_transcript`] was
+    /// enabled. Two runs with identical digests sent identical bytes in
+    /// the identical order, which is how the executor-determinism tests
+    /// compare a worker pool against inline execution.
+    pub fn transcript_digest(&self) -> Option<[u8; 32]> {
+        self.transcript
     }
 
     /// Adds an endpoint. Panics on duplicate node ids.
@@ -371,8 +412,64 @@ impl EndpointNet {
     }
 
     /// Moves an endpoint's pending transmits into the network, surfaces its
-    /// events, and keeps its timer wake-up scheduled.
+    /// events, runs its pending crypto jobs to quiescence on the executor,
+    /// and keeps its timer wake-up scheduled.
     fn drain(&mut self, node: NodeId) {
+        let now = self.now;
+        loop {
+            self.pump_io(node);
+            // Hand pending crypto jobs to the executor and apply the
+            // verdicts in job-id order: applying a verdict can prepare
+            // further jobs (e.g. a verified dealing releasing buffered
+            // points), so loop until the endpoint is quiescent. Only one
+            // endpoint's jobs are ever in the executor at a time, so
+            // endpoint-local job ids cannot collide.
+            let Some(endpoint) = self.endpoints.get_mut(&node) else {
+                return;
+            };
+            let tickets = endpoint.poll_jobs();
+            if tickets.is_empty() {
+                break;
+            }
+            for ticket in tickets {
+                self.executor.submit(ticket.id, ticket.job);
+            }
+            for outcome in self.executor.drain() {
+                loop {
+                    let Some(endpoint) = self.endpoints.get_mut(&node) else {
+                        return;
+                    };
+                    match endpoint.complete_job(outcome.id, outcome.verdict.clone(), now) {
+                        // A full outbox mid-drain: move the queued bytes
+                        // into the network, then retry the verdict.
+                        Err(Reject::Backpressure { .. }) => self.pump_io(node),
+                        Err(reject) => {
+                            self.rejections.push(RejectRecord {
+                                time: now,
+                                node,
+                                from: node,
+                                reject,
+                            });
+                            break;
+                        }
+                        Ok(_) => break,
+                    }
+                }
+            }
+        }
+        if let Some(deadline) = self.endpoints[&node].poll_timeout() {
+            let wake_at = deadline.max(now);
+            let already = self.scheduled_wake.get(&node).copied();
+            if already.is_none_or(|t| wake_at < t) {
+                self.scheduled_wake.insert(node, wake_at);
+                self.push(wake_at, NetEvent::Wake { node });
+            }
+        }
+    }
+
+    /// Moves pending transmits into the network (folding each into the
+    /// byte transcript) and surfaces application events.
+    fn pump_io(&mut self, node: NodeId) {
         let now = self.now;
         loop {
             let Some(endpoint) = self.endpoints.get_mut(&node) else {
@@ -383,6 +480,14 @@ impl EndpointNet {
             };
             self.metrics
                 .record_send(node, transmit.kind, transmit.payload.len());
+            if let Some(transcript) = &mut self.transcript {
+                let mut chained = Vec::with_capacity(32 + 16 + transmit.payload.len());
+                chained.extend_from_slice(&transcript[..]);
+                chained.extend_from_slice(&node.to_be_bytes());
+                chained.extend_from_slice(&transmit.to.to_be_bytes());
+                chained.extend_from_slice(&transmit.payload);
+                *transcript = sha256(&chained);
+            }
             if self.muted.contains(&node) {
                 continue;
             }
@@ -407,14 +512,6 @@ impl EndpointNet {
                 node,
                 event,
             });
-        }
-        if let Some(deadline) = self.endpoints[&node].poll_timeout() {
-            let wake_at = deadline.max(now);
-            let already = self.scheduled_wake.get(&node).copied();
-            if already.is_none_or(|t| wake_at < t) {
-                self.scheduled_wake.insert(node, wake_at);
-                self.push(wake_at, NetEvent::Wake { node });
-            }
         }
     }
 }

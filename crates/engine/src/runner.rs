@@ -1,27 +1,71 @@
 //! Harness helpers running whole protocols through the [`Endpoint`] poll
-//! API over [`EndpointNet`] — the byte-level successor of
-//! `dkg_core::runner`'s in-process helpers. Every metric these runs report
-//! is measured on real encoded datagrams.
+//! API over [`EndpointNet`] — the canonical driver for examples,
+//! integration tests and experiments (it re-exports [`SystemSetup`], so
+//! one `dkg_engine::runner` import path covers system construction and
+//! execution). Every metric these runs report is measured on real encoded
+//! datagrams.
+//!
+//! Each entry point has an `_on` variant taking an [`Executor`]: the run
+//! then hosts its sessions in deferred-crypto mode and the executor (e.g.
+//! a [`crate::ThreadPoolExecutor`] sized by `DKG_WORKERS`) performs every
+//! expensive verification. Executor choice cannot change the outcome —
+//! verdicts are pure functions of the jobs and are applied in job order —
+//! which the executor-determinism tests assert transcript-for-transcript.
 
 use std::collections::BTreeMap;
 
-use dkg_arith::{PrimeField, Scalar};
+use dkg_arith::{GroupElement, PrimeField, Scalar};
 use dkg_core::proactive::{plan_renewal, PhaseState, RenewalError, RenewalOptions};
-use dkg_core::runner::{NodeOutcome, SystemSetup};
 use dkg_core::{CombineRule, DkgInput, DkgOutput};
 use dkg_crypto::NodeId;
 use dkg_sim::DelayModel;
 use dkg_vss::{CommitmentMode, SessionId, VssConfig, VssInput, VssNode, VssOutput};
 
+pub use dkg_core::runner::SystemSetup;
+
 use crate::endpoint::{Endpoint, EndpointConfig, Event};
+use crate::executor::{Executor, InlineExecutor};
 use crate::net::EndpointNet;
 
+/// The per-node outcome of a completed DKG run.
+#[derive(Clone, Debug)]
+pub struct NodeOutcome {
+    /// The node.
+    pub node: NodeId,
+    /// The distributed public key it output.
+    pub public_key: GroupElement,
+    /// Its share.
+    pub share: Scalar,
+    /// The leader rank under which it completed.
+    pub leader_rank: u64,
+    /// Simulated completion time (ms).
+    pub completion_time: u64,
+}
+
 /// Builds one endpoint per node of `setup`, each hosting the DKG session
-/// `tau`, wired into a fresh [`EndpointNet`].
+/// `tau`, wired into a fresh [`EndpointNet`] (inline crypto).
 pub fn build_dkg_net(setup: &SystemSetup, tau: u64, delay: DelayModel) -> EndpointNet {
-    let mut net = EndpointNet::new(delay, setup.seed ^ tau);
+    build_dkg_net_on(setup, tau, delay, Box::new(InlineExecutor::new()), false)
+}
+
+/// [`build_dkg_net`] with an explicit executor. With `defer_crypto` the
+/// endpoints queue their verification work and the network feeds it to
+/// `executor`; without it the executor sits idle and every check runs
+/// inline (useful as the determinism baseline).
+pub fn build_dkg_net_on(
+    setup: &SystemSetup,
+    tau: u64,
+    delay: DelayModel,
+    executor: Box<dyn Executor>,
+    defer_crypto: bool,
+) -> EndpointNet {
+    let mut net = EndpointNet::with_executor(delay, setup.seed ^ tau, executor);
+    let config = EndpointConfig {
+        defer_crypto,
+        ..EndpointConfig::default()
+    };
     for &node in &setup.config.vss.nodes {
-        let mut endpoint = Endpoint::new(node, EndpointConfig::default());
+        let mut endpoint = Endpoint::new(node, config.clone());
         endpoint
             .add_dkg_session(setup.build_node(node, tau))
             .expect("fresh endpoint has no session");
@@ -39,7 +83,19 @@ pub fn run_key_generation(
     delay: DelayModel,
     tau: u64,
 ) -> (Vec<NodeOutcome>, EndpointNet) {
-    let mut net = build_dkg_net(setup, tau, delay);
+    run_key_generation_on(setup, delay, tau, Box::new(InlineExecutor::new()), false)
+}
+
+/// [`run_key_generation`] with an explicit executor (see
+/// [`build_dkg_net_on`]).
+pub fn run_key_generation_on(
+    setup: &SystemSetup,
+    delay: DelayModel,
+    tau: u64,
+    executor: Box<dyn Executor>,
+    defer_crypto: bool,
+) -> (Vec<NodeOutcome>, EndpointNet) {
+    let mut net = build_dkg_net_on(setup, tau, delay, executor, defer_crypto);
     for &node in &setup.config.vss.nodes {
         net.schedule_dkg_input(node, tau, DkgInput::Start, 0);
     }
@@ -211,8 +267,7 @@ pub fn run_dkg(n: usize, f: usize, muted: &[NodeId], crashed: &[NodeId], seed: u
 }
 
 /// Runs the initial key-generation phase (`τ = 0`) over endpoints and
-/// returns each node's [`PhaseState`] — the endpoint-based successor of
-/// `dkg_core::proactive::run_initial_phase`.
+/// returns each node's [`PhaseState`].
 pub fn run_initial_phase(
     setup: &SystemSetup,
     delay: DelayModel,
@@ -223,12 +278,11 @@ pub fn run_initial_phase(
 }
 
 /// Runs share-renewal phase `tau` (≥ 1) over endpoints from the previous
-/// phase's states — the endpoint-based successor of
-/// `dkg_core::proactive::run_renewal_phase`. The §5.2 safeguards and tick
-/// schedule come from the shared [`plan_renewal`] planner, so they cannot
-/// diverge from the in-process harness: expected resharing commitments are
-/// registered so Byzantine dealers cannot inject a different value, and all
-/// nodes combine by interpolation at zero so the group secret is preserved.
+/// phase's states. The §5.2 safeguards and tick schedule come from the
+/// shared [`plan_renewal`] planner, so no driver can diverge on them:
+/// expected resharing commitments are registered so Byzantine dealers
+/// cannot inject a different value, and all nodes combine by interpolation
+/// at zero so the group secret is preserved.
 pub fn run_renewal_phase(
     setup: &SystemSetup,
     previous: &BTreeMap<NodeId, PhaseState>,

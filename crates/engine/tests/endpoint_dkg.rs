@@ -3,7 +3,7 @@
 //! endpoint bookkeeping.
 
 use dkg_arith::{GroupElement, Scalar};
-use dkg_core::runner::SystemSetup;
+use dkg_engine::runner::SystemSetup;
 use dkg_engine::runner::{run_key_generation, run_vss};
 use dkg_engine::SessionKey;
 use dkg_poly::interpolate_secret;

@@ -4,8 +4,8 @@
 //! panics — and an ongoing DKG still completes while garbage pours in.
 //! Also covers the bounded-outbox backpressure contract.
 
-use dkg_core::runner::SystemSetup;
 use dkg_core::DkgInput;
+use dkg_engine::runner::SystemSetup;
 use dkg_engine::runner::{collect_outcomes, run_key_generation};
 use dkg_engine::{Endpoint, EndpointConfig, Reject, SessionKey};
 use dkg_sim::DelayModel;

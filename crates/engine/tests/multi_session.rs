@@ -3,9 +3,9 @@
 //! order — plus eviction of completed sessions.
 
 use dkg_arith::GroupElement;
-use dkg_core::runner::SystemSetup;
 use dkg_core::DkgInput;
 use dkg_engine::runner::collect_outcomes;
+use dkg_engine::runner::SystemSetup;
 use dkg_engine::{Endpoint, EndpointConfig, EndpointNet, SessionKey};
 use dkg_poly::interpolate_secret;
 use dkg_sim::DelayModel;

@@ -25,10 +25,9 @@
 //! randomness source — there is nothing to pass.
 //!
 //! A failed batch identifies *that* a bad tuple exists, not which one;
-//! [`partition_valid_shares`] and the callers in `dkg-vss` / `dkg-core`
-//! fall back to per-claim verification to attribute blame. The expected
-//! cost stays on the fast path because failures only occur under active
-//! misbehaviour.
+//! [`crate::CryptoJob::run`] falls back to per-claim verification to
+//! attribute blame. The expected cost stays on the fast path because
+//! failures only occur under active misbehaviour.
 
 use dkg_arith::{multiexp, GroupElement, PrimeField, Scalar};
 use dkg_crypto::sha256;
@@ -220,24 +219,6 @@ pub fn verify_vector_shares_batch(vector: &CommitmentVector, shares: &[(u64, Sca
     verify_column_batch(b"dkg-batch-vector-share-v1", vector.entries(), shares)
 }
 
-/// The pool-then-attribute pattern shared by the `Rec` handlers in `dkg-vss`
-/// and `dkg-core`: batch-verify `pending` against the matrix's share
-/// commitments; if the fold accepts, every share is valid, otherwise fall
-/// back to the per-share `share_commitment` check and return only the valid
-/// ones.
-pub fn partition_valid_shares(
-    matrix: &CommitmentMatrix,
-    pending: Vec<(u64, Scalar)>,
-) -> Vec<(u64, Scalar)> {
-    if verify_shares_batch(matrix, &pending) {
-        return pending;
-    }
-    pending
-        .into_iter()
-        .filter(|&(m, s)| matrix.share_commitment(m) == GroupElement::commit(&s))
-        .collect()
-}
-
 /// Shared fold: checks `g^{s_k} = Π_j column_j^{k^j}` for every `(k, s_k)`
 /// with one multiexp over `column ∥ g`.
 fn verify_column_batch(domain: &[u8], column: &[GroupElement], shares: &[(u64, Scalar)]) -> bool {
@@ -379,22 +360,6 @@ mod tests {
         let mut bad = shares.clone();
         bad[0].1 += Scalar::one();
         assert!(!verify_vector_shares_batch(&vector, &bad));
-    }
-
-    #[test]
-    fn partition_keeps_exactly_the_valid_shares() {
-        let (poly, commitment) = setup(2, 8);
-        let mut shares: Vec<(u64, Scalar)> = (1..=5u64)
-            .map(|m| (m, poly.row(m).constant_term()))
-            .collect();
-        // All valid: returned untouched.
-        assert_eq!(partition_valid_shares(&commitment, shares.clone()), shares);
-        // Corrupt two of them: exactly the other three survive.
-        shares[1].1 += Scalar::one();
-        shares[3].1 += Scalar::from_u64(7);
-        let kept = partition_valid_shares(&commitment, shares.clone());
-        let expected: Vec<(u64, Scalar)> = [0usize, 2, 4].iter().map(|&k| shares[k]).collect();
-        assert_eq!(kept, expected);
     }
 
     #[test]

@@ -1,0 +1,654 @@
+//! Schedulable crypto work: [`CryptoJob`] and [`CryptoVerdict`].
+//!
+//! Every expensive check the protocol state machines perform — dealing
+//! (`verify-poly`) verification, `verify-point` batches, reconstruction
+//! share batches, sub-share vector checks and signature-set checks — can be
+//! captured as a self-contained [`CryptoJob`]: an owned, `Send` description
+//! of pure computation with **no access to protocol state**. Running a job
+//! ([`CryptoJob::run`]) is deterministic, so the same job always yields the
+//! same [`CryptoVerdict`] whether it executes inline on the protocol thread,
+//! on a worker pool, or on another machine entirely.
+//!
+//! This is the seam that lets the state machines in `dkg-vss` / `dkg-core`
+//! stay cheap and non-blocking: message handlers *prepare* jobs (cheap
+//! bookkeeping plus an owned snapshot of the inputs), an executor *runs*
+//! them wherever it likes, and the handlers later *apply* the verdict. The
+//! per-claim attribution loop that used to be duplicated at every call site
+//! (batch-verify first, fall back to per-claim checks only when the fold
+//! rejects) lives here once, inside [`CryptoJob::run`].
+//!
+//! Batched point verification is a single job kind that carries claims
+//! against *many* commitment matrices at once ([`CryptoJob::point_batch`]
+//! with several groups, or [`CryptoJob::fold`] merging the point batches of
+//! several sessions), so an executor can fold the verification work of
+//! independent sessions into one Pippenger multi-exponentiation.
+
+use std::sync::Arc;
+
+use dkg_arith::Scalar;
+use dkg_crypto::{KeyDirectory, NodeId, Signature};
+
+use crate::batch::{BatchVerifier, PointClaim};
+use crate::commitment::{CommitmentMatrix, CommitmentVector};
+use crate::univariate::Univariate;
+
+/// One signature check: did `signer` sign `payload` with the key the
+/// directory holds for it? The payload is shared so a certificate of `n`
+/// votes over one payload costs one allocation, not `n` copies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignatureCheck {
+    /// The claimed signer.
+    pub signer: NodeId,
+    /// The signed byte string.
+    pub payload: Arc<[u8]>,
+    /// The signature to verify.
+    pub signature: Signature,
+}
+
+/// A self-contained unit of expensive verification work. Owns every input
+/// it needs (commitments, claims, keys), so it can be executed on any
+/// thread. Claims are ordered; [`CryptoVerdict::valid`] reports one bit per
+/// claim in the same order.
+#[derive(Clone, Debug)]
+pub enum CryptoJob {
+    /// `verify-poly(C, i, a)` — one claim: the dealing's row polynomial is
+    /// consistent with the commitment matrix. Matrices are shared
+    /// (`Arc`), so preparing a job costs a refcount bump, not an O(t²)
+    /// group-element copy per message.
+    VerifyPoly {
+        /// The dealer's commitment matrix.
+        matrix: Arc<CommitmentMatrix>,
+        /// The receiving node's index `i`.
+        index: u64,
+        /// The claimed row polynomial `a_i(y)`.
+        row: Univariate,
+    },
+    /// A batch of `verify-point` claims, possibly against several
+    /// commitment matrices (e.g. the parallel VSS sessions of one or more
+    /// DKG rounds). Verified with one RLC-folded multi-exponentiation
+    /// across *all* groups; per-claim attribution only on failure.
+    PointBatch {
+        /// `(matrix, claims)` groups; claim order is group-major.
+        groups: Vec<(Arc<CommitmentMatrix>, Vec<PointClaim>)>,
+    },
+    /// A batch of reconstruction shares: each `(m, s_m)` must satisfy
+    /// `g^{s_m} = Π_j (C_{j0})^{m^j}`.
+    ShareBatch {
+        /// The commitment matrix whose first column judges the shares.
+        matrix: Arc<CommitmentMatrix>,
+        /// The `(node index, share)` claims.
+        shares: Vec<(u64, Scalar)>,
+    },
+    /// A batch of univariate-commitment share checks (node-addition
+    /// sub-shares): each `(i, s_i)` must satisfy `g^{s_i} = Π_ℓ V_ℓ^{i^ℓ}`.
+    VectorShareBatch {
+        /// The commitment vector.
+        vector: CommitmentVector,
+        /// The `(node index, share)` claims.
+        shares: Vec<(u64, Scalar)>,
+    },
+    /// A batch of Schnorr signature checks against a key directory
+    /// (justification certificates, vote signatures, ready witnesses).
+    /// The directory is shared — preparing a job costs a refcount bump,
+    /// not an O(n) map clone per message.
+    Signatures {
+        /// The public-key directory to verify against.
+        directory: Arc<KeyDirectory>,
+        /// The checks, one claim each.
+        checks: Vec<SignatureCheck>,
+    },
+}
+
+/// The result of running a [`CryptoJob`]: one validity bit per claim, in
+/// the job's claim order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CryptoVerdict {
+    /// Per-claim validity, in claim order.
+    pub valid: Vec<bool>,
+}
+
+impl CryptoVerdict {
+    /// A verdict accepting `n` claims.
+    pub fn accept_all(n: usize) -> Self {
+        CryptoVerdict {
+            valid: vec![true; n],
+        }
+    }
+
+    /// Whether every claim verified.
+    pub fn all_valid(&self) -> bool {
+        self.valid.iter().all(|&v| v)
+    }
+
+    /// Number of claims judged.
+    pub fn len(&self) -> usize {
+        self.valid.len()
+    }
+
+    /// Whether the verdict covers no claims.
+    pub fn is_empty(&self) -> bool {
+        self.valid.is_empty()
+    }
+
+    /// Splits the verdict into consecutive chunks of the given claim
+    /// counts — the inverse of [`CryptoJob::fold`]. Returns `None` if the
+    /// counts do not sum to the verdict's length.
+    pub fn split(&self, counts: &[usize]) -> Option<Vec<CryptoVerdict>> {
+        if counts.iter().sum::<usize>() != self.valid.len() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(counts.len());
+        let mut offset = 0;
+        for &count in counts {
+            out.push(CryptoVerdict {
+                valid: self.valid[offset..offset + count].to_vec(),
+            });
+            offset += count;
+        }
+        Some(out)
+    }
+}
+
+impl CryptoJob {
+    /// A point batch against a single commitment matrix.
+    pub fn point_batch(matrix: impl Into<Arc<CommitmentMatrix>>, claims: Vec<PointClaim>) -> Self {
+        CryptoJob::PointBatch {
+            groups: vec![(matrix.into(), claims)],
+        }
+    }
+
+    /// Number of claims this job will judge (the length of the verdict's
+    /// `valid` vector).
+    pub fn claim_count(&self) -> usize {
+        match self {
+            CryptoJob::VerifyPoly { .. } => 1,
+            CryptoJob::PointBatch { groups } => groups.iter().map(|(_, c)| c.len()).sum(),
+            CryptoJob::ShareBatch { shares, .. } => shares.len(),
+            CryptoJob::VectorShareBatch { shares, .. } => shares.len(),
+            CryptoJob::Signatures { checks, .. } => checks.len(),
+        }
+    }
+
+    /// A short label for accounting and progress display.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CryptoJob::VerifyPoly { .. } => "verify-poly",
+            CryptoJob::PointBatch { .. } => "point-batch",
+            CryptoJob::ShareBatch { .. } => "share-batch",
+            CryptoJob::VectorShareBatch { .. } => "vector-share-batch",
+            CryptoJob::Signatures { .. } => "signatures",
+        }
+    }
+
+    /// Merges several [`CryptoJob::PointBatch`] jobs into one, so their
+    /// claims fold into a single multi-exponentiation even when they came
+    /// from different sessions. Claim order is preserved (jobs in input
+    /// order, claims in job order): split the verdict back per input job
+    /// with [`CryptoVerdict::split`] over the inputs' claim counts.
+    ///
+    /// Returns `None` if any input is not a point batch.
+    pub fn fold(jobs: Vec<CryptoJob>) -> Option<CryptoJob> {
+        let mut groups = Vec::new();
+        for job in jobs {
+            match job {
+                CryptoJob::PointBatch { groups: g } => groups.extend(g),
+                _ => return None,
+            }
+        }
+        Some(CryptoJob::PointBatch { groups })
+    }
+
+    /// Executes the job. Pure and deterministic: no protocol state, no
+    /// randomness (batch coefficients are Fiat–Shamir-derived from the
+    /// claims), so every executor produces the identical verdict.
+    ///
+    /// Batched kinds verify the RLC fold first; only when the fold rejects
+    /// (some claim is bad) do they fall back to per-claim verification to
+    /// attribute blame — the expected cost stays on the fast path because
+    /// failures only occur under active misbehaviour.
+    pub fn run(&self) -> CryptoVerdict {
+        match self {
+            CryptoJob::VerifyPoly { matrix, index, row } => CryptoVerdict {
+                valid: vec![matrix.verify_poly(*index, row)],
+            },
+            CryptoJob::PointBatch { groups } => {
+                let claims: usize = groups.iter().map(|(_, c)| c.len()).sum();
+                // One fold across every group (cross-session batching).
+                let mut batch = BatchVerifier::new();
+                for (matrix, group_claims) in groups {
+                    for &claim in group_claims {
+                        batch.push(matrix.as_ref(), claim);
+                    }
+                }
+                if batch.verify() {
+                    return CryptoVerdict::accept_all(claims);
+                }
+                // Attribute blame per claim.
+                let valid = groups
+                    .iter()
+                    .flat_map(|(matrix, group_claims)| {
+                        group_claims
+                            .iter()
+                            .map(|c| matrix.verify_point(c.verifier, c.sender, c.value))
+                    })
+                    .collect();
+                CryptoVerdict { valid }
+            }
+            CryptoJob::ShareBatch { matrix, shares } => {
+                if crate::batch::verify_shares_batch(matrix, shares) {
+                    return CryptoVerdict::accept_all(shares.len());
+                }
+                CryptoVerdict {
+                    valid: shares
+                        .iter()
+                        .map(|&(m, s)| {
+                            matrix.share_commitment(m) == dkg_arith::GroupElement::commit(&s)
+                        })
+                        .collect(),
+                }
+            }
+            CryptoJob::VectorShareBatch { vector, shares } => {
+                if crate::batch::verify_vector_shares_batch(vector, shares) {
+                    return CryptoVerdict::accept_all(shares.len());
+                }
+                CryptoVerdict {
+                    valid: shares
+                        .iter()
+                        .map(|&(i, s)| vector.verify_share(i, s))
+                        .collect(),
+                }
+            }
+            CryptoJob::Signatures { directory, checks } => CryptoVerdict {
+                valid: checks
+                    .iter()
+                    .map(|c| directory.verify(c.signer, &c.payload, &c.signature).is_ok())
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// The queue discipline shared by every state machine on the pipeline:
+/// inline-or-deferred submission, monotonically increasing job ids, and the
+/// prepare-stage context held until the verdict returns.
+///
+/// `Ctx` is whatever the owner's apply stage needs (the owner keeps the
+/// apply logic; the queue keeps the bookkeeping), so `VssNode`, `DkgNode`
+/// and future protocol machines share one implementation instead of three
+/// copies of the same plumbing. [`JobQueue::complete`] validates the
+/// verdict's claim count against the job it answers — a wrong-length
+/// verdict (a buggy or hostile embedding) is dropped, never a panic.
+#[derive(Debug, Default)]
+pub struct JobQueue<Ctx> {
+    deferred: bool,
+    next: u64,
+    queued: std::collections::VecDeque<(u64, CryptoJob)>,
+    in_flight: std::collections::BTreeMap<u64, (usize, Ctx)>,
+}
+
+/// What [`JobQueue::submit`] did with a job.
+pub enum Submission<Ctx> {
+    /// Deferred mode: the job is queued for [`JobQueue::poll`]; the verdict
+    /// arrives later through [`JobQueue::complete`].
+    Queued(u64),
+    /// Inline mode: the job already ran — apply this verdict now.
+    Ready(Ctx, CryptoVerdict),
+}
+
+impl<Ctx> JobQueue<Ctx> {
+    /// An inline-mode queue.
+    pub fn new() -> Self {
+        JobQueue {
+            deferred: false,
+            next: 0,
+            queued: std::collections::VecDeque::new(),
+            in_flight: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Switches between inline (default) and deferred submission.
+    pub fn set_deferred(&mut self, deferred: bool) {
+        self.deferred = deferred;
+    }
+
+    /// Jobs submitted but not yet completed.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Jobs queued and not yet polled.
+    pub fn queued(&self) -> usize {
+        self.queued.len()
+    }
+
+    /// Runs `job` now (inline mode) or queues it (deferred mode).
+    pub fn submit(&mut self, job: CryptoJob, ctx: Ctx) -> Submission<Ctx> {
+        if self.deferred {
+            Submission::Queued(self.enqueue(job, ctx))
+        } else {
+            let verdict = job.run();
+            Submission::Ready(ctx, verdict)
+        }
+    }
+
+    /// Queues a job unconditionally, regardless of mode — for surfacing a
+    /// sub-machine's already-deferred jobs through an outer queue.
+    pub fn enqueue(&mut self, job: CryptoJob, ctx: Ctx) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        self.in_flight.insert(id, (job.claim_count(), ctx));
+        self.queued.push_back((id, job));
+        id
+    }
+
+    /// Takes the next queued job, if any.
+    pub fn poll(&mut self) -> Option<(u64, CryptoJob)> {
+        self.queued.pop_front()
+    }
+
+    /// Accepts a verdict for a previously polled job, returning its
+    /// context. `None` for unknown (or double-completed) ids and for
+    /// verdicts whose claim count does not match the job's. A mismatched
+    /// verdict *discards* the job — the embedding violated the contract,
+    /// and the message the job answered is treated as lost (which these
+    /// asynchronous protocols tolerate) rather than left to strand
+    /// routing state in layers above.
+    pub fn complete(&mut self, id: u64, verdict: &CryptoVerdict) -> Option<Ctx> {
+        let (expected, ctx) = self.in_flight.remove(&id)?;
+        if verdict.len() != expected {
+            return None;
+        }
+        Some(ctx)
+    }
+}
+
+/// The pool-then-batch share collection discipline shared by HybridVSS
+/// `Rec` and the DKG's group-secret reconstruction: incoming shares pool
+/// unverified; once verified-plus-pooled shares could form a quorum the
+/// pool is handed out as one batch (a single folded multiexp via
+/// [`CryptoJob::ShareBatch`]); verdicts promote the valid shares; and
+/// shares that arrived while a batch was in flight immediately form the
+/// next batch, so an invalid share can delay but never stall a quorum.
+#[derive(Clone, Debug, Default)]
+pub struct ShareCollector {
+    pending: std::collections::BTreeMap<u64, Scalar>,
+    verified: std::collections::BTreeMap<u64, Scalar>,
+}
+
+/// What a share-batch verdict led to (see [`ShareCollector::absorb`]).
+pub enum ShareProgress {
+    /// A quorum of verified shares, in index order — interpolate these.
+    Quorum(Vec<(u64, Scalar)>),
+    /// No quorum yet, but pooled shares allow another batch: verify these.
+    Submit(Vec<(u64, Scalar)>),
+    /// Keep waiting for more shares.
+    Pending,
+}
+
+impl ShareCollector {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a share from `from` has already been verified (first-time
+    /// guard; pooled-but-unverified shares may be overwritten).
+    pub fn seen(&self, from: u64) -> bool {
+        self.verified.contains_key(&from)
+    }
+
+    /// Pools a share. Returns the entries of the next batch to verify when
+    /// verified-plus-pooled shares could reach `needed`.
+    pub fn pool(&mut self, from: u64, share: Scalar, needed: usize) -> Option<Vec<(u64, Scalar)>> {
+        self.pending.insert(from, share);
+        self.take_batch(needed)
+    }
+
+    /// Applies a batch verdict (`entries` aligned with `valid`) and
+    /// reports the resulting progress.
+    pub fn absorb(
+        &mut self,
+        entries: Vec<(u64, Scalar)>,
+        valid: &[bool],
+        needed: usize,
+    ) -> ShareProgress {
+        self.verified.extend(
+            entries
+                .into_iter()
+                .zip(valid)
+                .filter(|(_, &ok)| ok)
+                .map(|(entry, _)| entry),
+        );
+        if self.verified.len() >= needed {
+            return ShareProgress::Quorum(
+                self.verified
+                    .iter()
+                    .take(needed)
+                    .map(|(&m, &s)| (m, s))
+                    .collect(),
+            );
+        }
+        match self.take_batch(needed) {
+            Some(entries) => ShareProgress::Submit(entries),
+            None => ShareProgress::Pending,
+        }
+    }
+
+    fn take_batch(&mut self, needed: usize) -> Option<Vec<(u64, Scalar)>> {
+        if self.pending.is_empty() || self.verified.len() + self.pending.len() < needed {
+            return None;
+        }
+        Some(std::mem::take(&mut self.pending).into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bivariate::SymmetricBivariate;
+    use dkg_arith::PrimeField;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(t: usize, seed: u64) -> (SymmetricBivariate, CommitmentMatrix) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let secret = Scalar::random(&mut rng);
+        let poly = SymmetricBivariate::random_with_secret(&mut rng, t, secret);
+        let commitment = CommitmentMatrix::commit(&poly);
+        (poly, commitment)
+    }
+
+    fn claims(poly: &SymmetricBivariate, verifier: u64, senders: u64) -> Vec<PointClaim> {
+        (1..=senders)
+            .map(|m| {
+                PointClaim::new(
+                    verifier,
+                    m,
+                    poly.evaluate(Scalar::from_u64(m), Scalar::from_u64(verifier)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn verify_poly_job_matches_direct_check() {
+        let (poly, commitment) = setup(3, 1);
+        let good = CryptoJob::VerifyPoly {
+            matrix: Arc::new(commitment.clone()),
+            index: 2,
+            row: poly.row(2),
+        };
+        assert_eq!(good.claim_count(), 1);
+        assert!(good.run().all_valid());
+        let bad = CryptoJob::VerifyPoly {
+            matrix: Arc::new(commitment),
+            index: 2,
+            row: poly.row(3),
+        };
+        assert!(!bad.run().all_valid());
+    }
+
+    #[test]
+    fn point_batch_attributes_blame_per_claim() {
+        let (poly, commitment) = setup(2, 2);
+        let mut cs = claims(&poly, 3, 5);
+        cs[1].value += Scalar::one();
+        cs[4].value += Scalar::from_u64(9);
+        let job = CryptoJob::point_batch(commitment, cs);
+        let verdict = job.run();
+        assert_eq!(verdict.valid, vec![true, false, true, true, false]);
+    }
+
+    #[test]
+    fn folded_point_batches_match_individual_runs() {
+        let (poly_a, commitment_a) = setup(2, 3);
+        let (poly_b, commitment_b) = setup(3, 4);
+        let mut claims_b = claims(&poly_b, 2, 4);
+        claims_b[0].value += Scalar::one();
+        let job_a = CryptoJob::point_batch(commitment_a, claims(&poly_a, 1, 3));
+        let job_b = CryptoJob::point_batch(commitment_b, claims_b);
+        let counts = [job_a.claim_count(), job_b.claim_count()];
+        let individual = [job_a.run(), job_b.run()];
+
+        let folded = CryptoJob::fold(vec![job_a, job_b]).expect("point batches fold");
+        assert_eq!(folded.claim_count(), counts.iter().sum::<usize>());
+        let verdicts = folded.run().split(&counts).expect("counts match");
+        assert_eq!(verdicts[0], individual[0]);
+        assert_eq!(verdicts[1], individual[1]);
+    }
+
+    #[test]
+    fn fold_refuses_non_point_jobs() {
+        let (_, commitment) = setup(2, 5);
+        let share_job = CryptoJob::ShareBatch {
+            matrix: Arc::new(commitment.clone()),
+            shares: vec![],
+        };
+        assert!(
+            CryptoJob::fold(vec![CryptoJob::point_batch(commitment, vec![]), share_job]).is_none()
+        );
+    }
+
+    #[test]
+    fn share_batch_flags_bad_shares() {
+        let (poly, commitment) = setup(3, 6);
+        let mut shares: Vec<(u64, Scalar)> = (1..=5u64)
+            .map(|m| (m, poly.row(m).constant_term()))
+            .collect();
+        let job = CryptoJob::ShareBatch {
+            matrix: Arc::new(commitment.clone()),
+            shares: shares.clone(),
+        };
+        assert!(job.run().all_valid());
+        shares[2].1 += Scalar::one();
+        let verdict = CryptoJob::ShareBatch {
+            matrix: Arc::new(commitment),
+            shares,
+        }
+        .run();
+        assert_eq!(verdict.valid, vec![true, true, false, true, true]);
+    }
+
+    #[test]
+    fn vector_share_batch_flags_bad_shares() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let poly = Univariate::random(&mut rng, 3);
+        let vector = CommitmentVector::commit(&poly);
+        let mut shares: Vec<(u64, Scalar)> =
+            (1..=4u64).map(|i| (i, poly.evaluate_at_index(i))).collect();
+        shares[3].1 += Scalar::one();
+        let verdict = CryptoJob::VectorShareBatch { vector, shares }.run();
+        assert_eq!(verdict.valid, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn signature_job_judges_each_check() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (keys, directory) = dkg_crypto::generate_keyring(&mut rng, 3);
+        let good = SignatureCheck {
+            signer: 1,
+            payload: Arc::from(&b"hello"[..]),
+            signature: keys[&1].sign(&mut rng, b"hello"),
+        };
+        let wrong_payload = SignatureCheck {
+            payload: Arc::from(&b"other"[..]),
+            ..good.clone()
+        };
+        let wrong_signer = SignatureCheck {
+            signer: 2,
+            ..good.clone()
+        };
+        let verdict = CryptoJob::Signatures {
+            directory: Arc::new(directory),
+            checks: vec![good, wrong_payload, wrong_signer],
+        }
+        .run();
+        assert_eq!(verdict.valid, vec![true, false, false]);
+    }
+
+    #[test]
+    fn verdict_split_validates_counts() {
+        let verdict = CryptoVerdict {
+            valid: vec![true, false, true],
+        };
+        assert!(verdict.split(&[2, 2]).is_none());
+        let parts = verdict.split(&[1, 2]).unwrap();
+        assert_eq!(parts[0].valid, vec![true]);
+        assert_eq!(parts[1].valid, vec![false, true]);
+        assert!(!verdict.all_valid());
+        assert_eq!(verdict.len(), 3);
+        assert!(!verdict.is_empty());
+    }
+
+    #[test]
+    fn job_queue_inline_runs_immediately_and_deferred_queues() {
+        let (poly, commitment) = setup(2, 10);
+        let job = || CryptoJob::point_batch(commitment.clone(), claims(&poly, 2, 3));
+        let mut queue: JobQueue<&'static str> = JobQueue::new();
+        match queue.submit(job(), "ctx") {
+            Submission::Ready(ctx, verdict) => {
+                assert_eq!(ctx, "ctx");
+                assert!(verdict.all_valid());
+            }
+            Submission::Queued(_) => panic!("inline mode must run immediately"),
+        }
+        queue.set_deferred(true);
+        let Submission::Queued(id) = queue.submit(job(), "deferred") else {
+            panic!("deferred mode must queue");
+        };
+        assert_eq!(queue.in_flight(), 1);
+        let (polled, polled_job) = queue.poll().expect("queued job");
+        assert_eq!(polled, id);
+        let verdict = polled_job.run();
+        assert_eq!(queue.complete(id, &verdict), Some("deferred"));
+        assert_eq!(queue.in_flight(), 0);
+        // Double completion and unknown ids are ignored.
+        assert_eq!(queue.complete(id, &verdict), None);
+    }
+
+    #[test]
+    fn job_queue_rejects_wrong_length_verdicts() {
+        let (poly, commitment) = setup(2, 11);
+        let mut queue: JobQueue<u8> = JobQueue::new();
+        queue.set_deferred(true);
+        let Submission::Queued(id) =
+            queue.submit(CryptoJob::point_batch(commitment, claims(&poly, 1, 4)), 7)
+        else {
+            panic!("deferred mode must queue");
+        };
+        let _ = queue.poll();
+        // A verdict with the wrong claim count is dropped along with the
+        // job: nothing is applied and no in-flight state is stranded (the
+        // answered message counts as lost).
+        assert_eq!(queue.complete(id, &CryptoVerdict::accept_all(2)), None);
+        assert_eq!(queue.in_flight(), 0);
+        assert_eq!(queue.complete(id, &CryptoVerdict::accept_all(4)), None);
+    }
+
+    #[test]
+    fn running_a_job_twice_is_deterministic() {
+        let (poly, commitment) = setup(2, 9);
+        let job = CryptoJob::point_batch(commitment, claims(&poly, 2, 6));
+        assert_eq!(job.run(), job.run());
+    }
+}

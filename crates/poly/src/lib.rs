@@ -13,7 +13,11 @@
 //!   addition,
 //! * [`batch`] — the batched verification engine: random-linear-combination
 //!   folding of many `verify-point` / share checks into a single Pippenger
-//!   multi-exponentiation.
+//!   multi-exponentiation,
+//! * [`job`] — [`CryptoJob`] / [`CryptoVerdict`]: the same checks packaged
+//!   as owned, schedulable units of pure computation, so protocol state
+//!   machines can hand verification work to an executor (inline, worker
+//!   pool, …) and apply the deterministic verdict later.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,12 +25,15 @@
 pub mod batch;
 pub mod bivariate;
 pub mod commitment;
+pub mod job;
 pub mod univariate;
 
 pub use batch::{
-    partition_valid_shares, verify_points_batch, verify_shares_batch, verify_vector_shares_batch,
-    BatchVerifier, PointClaim,
+    verify_points_batch, verify_shares_batch, verify_vector_shares_batch, BatchVerifier, PointClaim,
 };
 pub use bivariate::SymmetricBivariate;
 pub use commitment::{CommitmentError, CommitmentMatrix, CommitmentVector};
+pub use job::{
+    CryptoJob, CryptoVerdict, JobQueue, ShareCollector, ShareProgress, SignatureCheck, Submission,
+};
 pub use univariate::{interpolate_at, interpolate_polynomial, interpolate_secret, Univariate};

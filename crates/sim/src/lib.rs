@@ -39,4 +39,4 @@ pub use metrics::{Metrics, Tally};
 pub use network::{DelayFunction, DelayModel, LinkOutage, NetworkConfig};
 pub use protocol::{Action, ActionSink, Protocol, SimTime, TimerId};
 pub use simulation::{OutputRecord, Simulation};
-pub use wire::{field_size, WireSize};
+pub use wire::WireSize;

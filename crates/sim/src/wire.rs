@@ -6,6 +6,13 @@
 //! implements [`WireSize`], reporting the exact number of bytes its
 //! serialization would occupy on a real link, plus a short label used to
 //! break the totals down by message kind (`send`, `echo`, `ready`, …).
+//!
+//! There is exactly one source of truth for sizes: the canonical `dkg-wire`
+//! codec. Every implementation defines `wire_size()` as the encoded length
+//! of the real encoding (`WireEncode::encoded_len`, asserted equal to
+//! `encode().len()` by round-trip property tests). The estimate-based
+//! `field_size` constants earlier revisions hand-assembled sizes from are
+//! gone — they drifted from reality on every variable-length field.
 
 /// Byte-size and labelling information for a protocol message.
 pub trait WireSize {
@@ -15,25 +22,6 @@ pub trait WireSize {
     /// A short static label identifying the message kind, used to break down
     /// metrics per message type (e.g. `"echo"`, `"ready"`, `"lead-ch"`).
     fn kind(&self) -> &'static str;
-}
-
-/// Standard sizes (in bytes) of primitive protocol fields, shared by all
-/// protocol crates so that wire sizes stay consistent across layers.
-pub mod field_size {
-    /// A node identifier.
-    pub const NODE_ID: usize = 8;
-    /// A session / phase counter.
-    pub const COUNTER: usize = 8;
-    /// A message-kind tag.
-    pub const TAG: usize = 1;
-    /// A scalar field element (a share, a polynomial coefficient).
-    pub const SCALAR: usize = 32;
-    /// A compressed group element (a commitment entry).
-    pub const GROUP_ELEMENT: usize = 33;
-    /// A Schnorr signature.
-    pub const SIGNATURE: usize = 65;
-    /// A SHA-256 digest.
-    pub const DIGEST: usize = 32;
 }
 
 #[cfg(test)]
@@ -55,12 +43,5 @@ mod tests {
         let boxed: Box<dyn WireSize> = Box::new(Fake(10));
         assert_eq!(boxed.wire_size(), 10);
         assert_eq!(boxed.kind(), "fake");
-    }
-
-    #[test]
-    fn field_sizes_are_sane() {
-        assert_eq!(field_size::SCALAR, 32);
-        assert_eq!(field_size::GROUP_ELEMENT, 33);
-        assert_eq!(field_size::SIGNATURE, 65);
     }
 }

@@ -54,5 +54,5 @@ pub mod wire;
 
 pub use config::{CommitmentMode, ConfigError, VssConfig};
 pub use messages::{CommitmentRef, ReadyWitness, SessionId, VssInput, VssMessage, VssOutput};
-pub use node::{SigningContext, VssAction, VssNode};
+pub use node::{SigningContext, VssAction, VssJobId, VssNode};
 pub use standalone::StandaloneVss;

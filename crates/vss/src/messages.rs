@@ -3,7 +3,7 @@
 use dkg_arith::Scalar;
 use dkg_crypto::{Digest, NodeId, Signature};
 use dkg_poly::{CommitmentMatrix, Univariate};
-use dkg_sim::{field_size, WireSize};
+use dkg_sim::WireSize;
 
 /// A session identifier `(P_d, τ)`: the dealer's identity plus a counter.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -79,8 +79,8 @@ pub struct ReadyWitness {
 }
 
 impl ReadyWitness {
-    /// Wire size of a witness.
-    pub const ENCODED_LEN: usize = field_size::NODE_ID + field_size::SIGNATURE;
+    /// Wire size of a witness: the signer's id plus its Schnorr signature.
+    pub const ENCODED_LEN: usize = 8 + dkg_crypto::Signature::ENCODED_LEN;
 
     /// The byte string a ready witness signs.
     pub fn payload(session: &SessionId, commitment_digest: &Digest) -> Vec<u8> {

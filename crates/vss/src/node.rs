@@ -8,14 +8,31 @@
 //!   (one VSS instance per run, as in experiments E1–E3), or
 //! * embedded `n` times inside a DKG node (`dkg-core`), which multiplexes
 //!   the messages of the `n` parallel sharings of §4.
+//!
+//! ## The crypto-job pipeline
+//!
+//! Every expensive check — `verify-poly` on the dealer's send, the
+//! `verify-point` batches behind echo/ready points, the reconstruction
+//! share batch — is split into a cheap **prepare** stage (bookkeeping plus
+//! an owned [`CryptoJob`]) and an **apply** stage consuming the job's
+//! [`CryptoVerdict`]. By default the node runs its own jobs inline at the
+//! prepare site, which reproduces the fully synchronous behaviour
+//! byte-for-byte. With [`VssNode::set_deferred_crypto`] the jobs are queued
+//! instead: the embedding layer drains them with [`VssNode::poll_job`],
+//! executes them wherever it likes (worker pool, another process) and feeds
+//! results back through [`VssNode::complete_job`]. Job results are pure
+//! functions of the job, so the two modes produce identical protocol
+//! transcripts as long as verdicts are applied in job-id order.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use dkg_arith::{PrimeField, Scalar};
 use dkg_crypto::{Digest, KeyDirectory, NodeId, SigningKey};
 use dkg_poly::{
-    interpolate_polynomial, interpolate_secret, partition_valid_shares, verify_points_batch,
-    CommitmentMatrix, PointClaim, SymmetricBivariate, Univariate,
+    interpolate_polynomial, interpolate_secret, CommitmentMatrix, CryptoJob, CryptoVerdict,
+    JobQueue, PointClaim, ShareCollector, ShareProgress, Submission, SymmetricBivariate,
+    Univariate,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,7 +60,9 @@ pub struct SigningContext {
     /// This node's signing key.
     pub key: SigningKey,
     /// The public directory used to verify other nodes' ready signatures.
-    pub directory: KeyDirectory,
+    /// Shared: the `n` embedded instances of a DKG node clone this context
+    /// `n` times, which must not copy the directory `n` times.
+    pub directory: Arc<KeyDirectory>,
 }
 
 /// Per-commitment tallies: the sets `A_C` and counters `e_C`, `r_C` of
@@ -70,13 +89,38 @@ struct Tally {
 }
 
 /// A point received before the commitment it refers to was known
-/// (digest mode only).
+/// (digest mode only), and the per-point context carried from a point
+/// job's prepare stage to its apply stage.
 #[derive(Clone, Debug)]
 struct PendingPoint {
     from: NodeId,
     point: Scalar,
     is_ready: bool,
     signature: Option<dkg_crypto::Signature>,
+}
+
+/// Identifies a [`CryptoJob`] handed out by [`VssNode::poll_job`].
+pub type VssJobId = u64;
+
+/// The protocol context a job's verdict re-enters through: everything the
+/// apply stage needs that is not part of the pure crypto work itself.
+#[derive(Clone, Debug)]
+enum JobCtx {
+    /// `verify-poly` on the dealer's send; on success the commitment and
+    /// row are adopted and echoes go out.
+    Dealing {
+        digest: Digest,
+        commitment: Arc<CommitmentMatrix>,
+        row: Univariate,
+    },
+    /// A batch of echo/ready points under one known commitment; entries
+    /// align with the job's claims.
+    Points {
+        digest: Digest,
+        entries: Vec<PendingPoint>,
+    },
+    /// A batch of reconstruction shares; entries align with the claims.
+    ReconstructShares { entries: Vec<(NodeId, Scalar)> },
 }
 
 /// The HybridVSS state machine for one node and one session `(P_d, τ)`.
@@ -90,24 +134,22 @@ pub struct VssNode {
 
     /// Tallies per commitment digest.
     tallies: BTreeMap<Digest, Tally>,
-    /// Fully known commitment matrices per digest.
-    commitments: BTreeMap<Digest, CommitmentMatrix>,
+    /// Fully known commitment matrices per digest (shared with the jobs
+    /// prepared against them — cloning one is a refcount bump).
+    commitments: BTreeMap<Digest, Arc<CommitmentMatrix>>,
     /// Points buffered until their commitment is known (digest mode).
     pending: BTreeMap<Digest, Vec<PendingPoint>>,
     /// Whether the dealer's `send` has been processed already.
     send_handled: bool,
 
     /// Sharing result.
-    completed: Option<(CommitmentMatrix, Scalar)>,
+    completed: Option<(Arc<CommitmentMatrix>, Scalar)>,
     completed_witnesses: Vec<ReadyWitness>,
 
-    /// Reconstruction state. Incoming shares are pooled unverified in
-    /// `reconstruct_pending`; once a potential quorum exists they are
-    /// batch-verified in one folded multiexp and promoted to
-    /// `reconstruct_shares` (see [`dkg_poly::batch`]).
+    /// Reconstruction state: the shared pool-then-batch discipline
+    /// ([`ShareCollector`]) plus the result.
     reconstruct_started: bool,
-    reconstruct_pending: BTreeMap<NodeId, Scalar>,
-    reconstruct_shares: BTreeMap<NodeId, Scalar>,
+    reconstruct: ShareCollector,
     reconstructed: Option<Scalar>,
 
     /// `B`: all outgoing messages, by intended recipient (for recovery).
@@ -116,6 +158,10 @@ pub struct VssNode {
     help_granted_total: u64,
     /// `c_ℓ`: help responses granted per requester.
     help_granted_per: BTreeMap<NodeId, u64>,
+
+    /// Prepared jobs: run inline at the prepare site by default, queued
+    /// for [`VssNode::poll_job`] in deferred mode.
+    jobs: JobQueue<JobCtx>,
 }
 
 impl VssNode {
@@ -144,12 +190,77 @@ impl VssNode {
             completed: None,
             completed_witnesses: Vec::new(),
             reconstruct_started: false,
-            reconstruct_pending: BTreeMap::new(),
-            reconstruct_shares: BTreeMap::new(),
+            reconstruct: ShareCollector::new(),
             reconstructed: None,
             outbox: BTreeMap::new(),
             help_granted_total: 0,
             help_granted_per: BTreeMap::new(),
+            jobs: JobQueue::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Crypto-job pipeline
+    // ------------------------------------------------------------------
+
+    /// Switches between inline crypto (default; every prepared job runs
+    /// immediately at its prepare site) and deferred crypto (jobs queue for
+    /// [`VssNode::poll_job`] / [`VssNode::complete_job`]).
+    pub fn set_deferred_crypto(&mut self, deferred: bool) {
+        self.jobs.set_deferred(deferred);
+    }
+
+    /// Takes the next prepared [`CryptoJob`], if any (deferred mode only;
+    /// inline mode never queues).
+    pub fn poll_job(&mut self) -> Option<(VssJobId, CryptoJob)> {
+        self.jobs.poll()
+    }
+
+    /// Jobs prepared but not yet completed (queued plus polled).
+    pub fn jobs_in_flight(&self) -> usize {
+        self.jobs.in_flight()
+    }
+
+    /// Whether any prepared job is waiting to be polled.
+    pub fn has_queued_jobs(&self) -> bool {
+        self.jobs.queued() > 0
+    }
+
+    /// Feeds back the verdict of a previously polled job, returning the
+    /// protocol actions its apply stage produced. Unknown ids (e.g. a job
+    /// completed twice) and wrong-length verdicts are ignored.
+    pub fn complete_job(&mut self, id: VssJobId, verdict: CryptoVerdict) -> Vec<VssAction> {
+        let mut actions = Vec::new();
+        if let Some(ctx) = self.jobs.complete(id, &verdict) {
+            self.apply_verdict(ctx, verdict, &mut actions);
+        }
+        actions
+    }
+
+    /// Runs `job` inline or queues it, depending on the configured mode.
+    fn submit(&mut self, job: CryptoJob, ctx: JobCtx, actions: &mut Vec<VssAction>) {
+        if let Submission::Ready(ctx, verdict) = self.jobs.submit(job, ctx) {
+            self.apply_verdict(ctx, verdict, actions);
+        }
+    }
+
+    /// The apply stage: consumes a verdict under the context captured at
+    /// prepare time.
+    fn apply_verdict(&mut self, ctx: JobCtx, verdict: CryptoVerdict, actions: &mut Vec<VssAction>) {
+        match ctx {
+            JobCtx::Dealing {
+                digest,
+                commitment,
+                row,
+            } => self.apply_dealing(digest, commitment, row, verdict.all_valid(), actions),
+            JobCtx::Points { digest, entries } => {
+                for (entry, valid) in entries.into_iter().zip(verdict.valid) {
+                    self.process_point(digest, entry, valid, actions);
+                }
+            }
+            JobCtx::ReconstructShares { entries } => {
+                self.apply_reconstruct_shares(entries, &verdict.valid, actions)
+            }
         }
     }
 
@@ -180,7 +291,7 @@ impl VssNode {
 
     /// The agreed commitment, once the sharing completed.
     pub fn commitment(&self) -> Option<&CommitmentMatrix> {
-        self.completed.as_ref().map(|(c, _)| c)
+        self.completed.as_ref().map(|(c, _)| c.as_ref())
     }
 
     /// The signed ready witnesses collected by the extended variant.
@@ -273,7 +384,9 @@ impl VssNode {
         }
     }
 
-    /// Handler for the dealer's `send` message.
+    /// Handler for the dealer's `send` message: the prepare stage. Cheap
+    /// admission checks happen here; the `verify-poly` work becomes a
+    /// [`CryptoJob`] whose verdict re-enters through [`Self::apply_dealing`].
     fn on_send(
         &mut self,
         from: NodeId,
@@ -285,11 +398,41 @@ impl VssNode {
             return;
         }
         self.send_handled = true;
-        if commitment.threshold() != self.config.t || !commitment.verify_poly(self.id, &row) {
+        if commitment.threshold() != self.config.t {
             return;
         }
         let digest = dkg_crypto::sha256(&commitment.to_bytes());
-        self.commitments.insert(digest, commitment.clone());
+        let commitment = Arc::new(commitment);
+        let job = CryptoJob::VerifyPoly {
+            matrix: Arc::clone(&commitment),
+            index: self.id,
+            row: row.clone(),
+        };
+        self.submit(
+            job,
+            JobCtx::Dealing {
+                digest,
+                commitment,
+                row,
+            },
+            actions,
+        );
+    }
+
+    /// Apply stage of the dealer's `send`: adopt the verified commitment,
+    /// echo its points to everyone and release any buffered points.
+    fn apply_dealing(
+        &mut self,
+        digest: Digest,
+        commitment: Arc<CommitmentMatrix>,
+        row: Univariate,
+        valid: bool,
+        actions: &mut Vec<VssAction>,
+    ) {
+        if !valid {
+            return;
+        }
+        self.commitments.insert(digest, Arc::clone(&commitment));
         {
             let tally = self.tallies.entry(digest).or_default();
             if tally.row.is_none() {
@@ -331,7 +474,7 @@ impl VssNode {
             if matrix.threshold() == self.config.t {
                 self.commitments
                     .entry(digest)
-                    .or_insert_with(|| matrix.clone());
+                    .or_insert_with(|| Arc::new(matrix.clone()));
             }
         }
         if !self.commitments.contains_key(&digest) {
@@ -344,56 +487,85 @@ impl VssNode {
             });
             return;
         }
-        self.process_point(digest, from, point, is_ready, signature, false, actions);
+        // Cheap, non-mutating pre-filters so already-settled traffic does
+        // not generate crypto work; the authoritative (mutating) guards run
+        // again in the apply stage.
+        if self.completed.is_some() {
+            return;
+        }
+        if let Some(tally) = self.tallies.get(&digest) {
+            let seen = if is_ready {
+                &tally.ready_from
+            } else {
+                &tally.echo_from
+            };
+            if seen.contains(&from) {
+                return;
+            }
+        }
+        self.submit_points(
+            digest,
+            vec![PendingPoint {
+                from,
+                point,
+                is_ready,
+                signature,
+            }],
+            actions,
+        );
     }
 
     fn flush_pending(&mut self, digest: Digest, actions: &mut Vec<VssAction>) {
         let Some(pending) = self.pending.remove(&digest) else {
             return;
         };
-        // Verify the whole buffered batch with one folded multiexp instead
-        // of one `verify-point` multiexp per message. If the fold rejects,
-        // some buffered point is bad: fall back to per-point verification so
-        // only the bad tuples are discarded (RLC accepts ⇒ every tuple
-        // verifies, so the fast path never admits a point the slow path
-        // would reject).
-        let batch_ok = pending.len() > 1 && {
-            let claims: Vec<PointClaim> = pending
-                .iter()
-                .map(|p| PointClaim::new(self.id, p.from, p.point))
-                .collect();
-            verify_points_batch(&self.commitments[&digest], &claims)
-        };
-        for p in pending {
-            self.process_point(
-                digest,
-                p.from,
-                p.point,
-                p.is_ready,
-                p.signature,
-                batch_ok,
-                actions,
-            );
-        }
+        self.submit_points(digest, pending, actions);
     }
 
-    #[allow(clippy::too_many_arguments)] // Fig. 1's point-handler state plus the batch pre-verification flag
+    /// Prepare stage for echo/ready points: the whole batch becomes one
+    /// [`CryptoJob`], folded into a single multiexp by the executor. The
+    /// job attributes blame per point when the fold rejects, so only bad
+    /// tuples are discarded (RLC accepts ⇒ every tuple verifies; the fast
+    /// path never admits a point the slow path would reject).
+    fn submit_points(
+        &mut self,
+        digest: Digest,
+        entries: Vec<PendingPoint>,
+        actions: &mut Vec<VssAction>,
+    ) {
+        if entries.is_empty() {
+            return;
+        }
+        let claims: Vec<PointClaim> = entries
+            .iter()
+            .map(|p| PointClaim::new(self.id, p.from, p.point))
+            .collect();
+        let job = CryptoJob::point_batch(Arc::clone(&self.commitments[&digest]), claims);
+        self.submit(job, JobCtx::Points { digest, entries }, actions);
+    }
+
+    /// Apply stage for one echo/ready point: Fig. 1's first-time guard,
+    /// tally update and threshold reactions, with the `verify-point` result
+    /// already decided by the point's job.
     fn process_point(
         &mut self,
         digest: Digest,
-        from: NodeId,
-        point: Scalar,
-        is_ready: bool,
-        signature: Option<dkg_crypto::Signature>,
-        pre_verified: bool,
+        entry: PendingPoint,
+        verified: bool,
         actions: &mut Vec<VssAction>,
     ) {
+        let PendingPoint {
+            from,
+            point,
+            is_ready,
+            signature,
+        } = entry;
         if self.completed.is_some() {
             return;
         }
         let commitment = self.commitments[&digest].clone();
-        // "First time" guard per sender and message type, then
-        // verify-point(C, i, m, α) and tally update.
+        // "First time" guard per sender and message type, then the tally
+        // update for verified points.
         {
             let tally = self.tallies.entry(digest).or_default();
             let seen = if is_ready {
@@ -405,7 +577,7 @@ impl VssNode {
                 return;
             }
         }
-        if !pre_verified && !commitment.verify_point(self.id, from, point) {
+        if !verified {
             return;
         }
         {
@@ -488,11 +660,13 @@ impl VssNode {
                 (row, tally.witnesses.clone())
             };
             let share = row.constant_term();
-            self.completed = Some((commitment.clone(), share));
+            self.completed = Some((Arc::clone(&commitment), share));
             self.completed_witnesses = witnesses.clone();
             actions.push(VssAction::Output(VssOutput::Shared {
                 session: self.session,
-                commitment,
+                // The one place the matrix leaves the shared handle: the
+                // operator output owns a plain copy.
+                commitment: (*commitment).clone(),
                 share,
                 ready_proof: witnesses,
             }));
@@ -542,37 +716,50 @@ impl VssNode {
         if self.reconstructed.is_some() {
             return;
         }
-        if self.completed.is_none() || self.reconstruct_shares.contains_key(&from) {
+        if self.completed.is_none() || self.reconstruct.seen(from) {
             return;
         }
         // Pool the share unverified; each share must satisfy
         // g^{s_m} = Π_j (C_{j0})^{m^j}, but validating lazily lets a whole
         // quorum be checked with one folded multiexp instead of t + 1
         // separate ones.
-        self.reconstruct_pending.insert(from, share);
-        let needed = self.config.t + 1;
-        if self.reconstruct_shares.len() + self.reconstruct_pending.len() < needed {
+        if let Some(entries) = self.reconstruct.pool(from, share, self.config.t + 1) {
+            self.submit_share_batch(entries, actions);
+        }
+    }
+
+    fn submit_share_batch(&mut self, entries: Vec<(u64, Scalar)>, actions: &mut Vec<VssAction>) {
+        let (commitment, _) = self.completed.as_ref().expect("caller checked completion");
+        let job = CryptoJob::ShareBatch {
+            matrix: Arc::clone(commitment),
+            shares: entries.clone(),
+        };
+        self.submit(job, JobCtx::ReconstructShares { entries }, actions);
+    }
+
+    /// Apply stage for a reconstruction share batch: keep exactly the
+    /// shares the job validated, interpolate once a quorum is in, and
+    /// re-batch any shares that pooled while this batch was in flight.
+    fn apply_reconstruct_shares(
+        &mut self,
+        entries: Vec<(NodeId, Scalar)>,
+        valid: &[bool],
+        actions: &mut Vec<VssAction>,
+    ) {
+        if self.reconstructed.is_some() || self.completed.is_none() {
             return;
         }
-        let pending: Vec<(u64, Scalar)> = std::mem::take(&mut self.reconstruct_pending)
-            .into_iter()
-            .collect();
-        let (commitment, _) = self.completed.as_ref().expect("checked above");
-        self.reconstruct_shares
-            .extend(partition_valid_shares(commitment, pending));
-        if self.reconstruct_shares.len() >= needed {
-            let shares: Vec<(u64, Scalar)> = self
-                .reconstruct_shares
-                .iter()
-                .take(needed)
-                .map(|(&m, &s)| (m, s))
-                .collect();
-            let value = interpolate_secret(&shares).expect("distinct indices");
-            self.reconstructed = Some(value);
-            actions.push(VssAction::Output(VssOutput::Reconstructed {
-                session: self.session,
-                value,
-            }));
+        match self.reconstruct.absorb(entries, valid, self.config.t + 1) {
+            ShareProgress::Quorum(shares) => {
+                let value = interpolate_secret(&shares).expect("distinct indices");
+                self.reconstructed = Some(value);
+                actions.push(VssAction::Output(VssOutput::Reconstructed {
+                    session: self.session,
+                    value,
+                }));
+            }
+            ShareProgress::Submit(entries) => self.submit_share_batch(entries, actions),
+            ShareProgress::Pending => {}
         }
     }
 
@@ -650,7 +837,13 @@ mod tests {
             let Some(node) = nodes.get_mut(&to) else {
                 continue;
             };
-            for action in node.handle_message(from, message) {
+            let mut actions = node.handle_message(from, message);
+            // Deferred nodes queue crypto jobs instead of acting; run them
+            // here and feed the verdicts back (inline nodes queue nothing).
+            while let Some((id, job)) = node.poll_job() {
+                actions.extend(node.complete_job(id, job.run()));
+            }
+            for action in actions {
                 match action {
                     VssAction::Send {
                         to: next_to,
@@ -900,6 +1093,170 @@ mod tests {
             }
         }
         assert_eq!(outputs, vec![secret]);
+        assert_eq!(observer.reconstructed(), Some(secret));
+    }
+
+    /// The same sharing run in deferred-crypto mode (jobs polled and
+    /// completed explicitly) produces the same commitments and shares as
+    /// the inline default.
+    #[test]
+    fn deferred_crypto_matches_inline() {
+        let n = 7;
+        let run = |deferred: bool| {
+            let cfg = config(n, 0, CommitmentMode::Digest);
+            let session = SessionId::new(2, 4);
+            let mut nodes: BTreeMap<NodeId, VssNode> = (1..=n as u64)
+                .map(|i| {
+                    let mut node = VssNode::new(i, cfg.clone(), session, 500 + i, None);
+                    node.set_deferred_crypto(deferred);
+                    (i, node)
+                })
+                .collect();
+            let secret = Scalar::from_u64(0xDEAD);
+            let mut initial_actions = nodes
+                .get_mut(&2)
+                .unwrap()
+                .handle_input(VssInput::Share { secret });
+            let dealer = nodes.get_mut(&2).unwrap();
+            while let Some((id, job)) = dealer.poll_job() {
+                initial_actions.extend(dealer.complete_job(id, job.run()));
+            }
+            run_synchronously(&mut nodes, vec![(2u64, initial_actions)]);
+            assert!(nodes.values().all(|n| n.is_complete()));
+            nodes
+                .iter()
+                .map(|(&i, node)| {
+                    (
+                        i,
+                        node.share().unwrap(),
+                        node.commitment().unwrap().to_bytes(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    /// In deferred mode a corrupted point is still rejected: the verdict's
+    /// per-claim bits drive the same tally outcome as inline verification.
+    #[test]
+    fn deferred_mode_rejects_corrupted_points() {
+        let cfg = config(4, 0, CommitmentMode::Full);
+        let session = SessionId::new(1, 0);
+        let mut rng = StdRng::seed_from_u64(77);
+        let poly = SymmetricBivariate::random_with_secret(&mut rng, cfg.t, Scalar::from_u64(5));
+        let commitment = CommitmentMatrix::commit(&poly);
+        let mut node = VssNode::new(2, cfg, session, 1, None);
+        node.set_deferred_crypto(true);
+        // Adopt the dealing.
+        let mut actions = node.handle_message(
+            1,
+            VssMessage::Send {
+                session,
+                commitment: commitment.clone(),
+                row: poly.row(2),
+            },
+        );
+        while let Some((id, job)) = node.poll_job() {
+            actions.extend(node.complete_job(id, job.run()));
+        }
+        assert!(actions.iter().any(|a| matches!(a, VssAction::Send { .. })));
+        // A corrupted echo point from node 3: job runs, verdict rejects.
+        let bad = poly.evaluate(Scalar::from_u64(3), Scalar::from_u64(2)) + Scalar::one();
+        let _ = node.handle_message(
+            3,
+            VssMessage::Echo {
+                session,
+                commitment: CommitmentRef::Full(commitment),
+                point: bad,
+            },
+        );
+        let (id, job) = node.poll_job().expect("point job prepared");
+        let verdict = job.run();
+        assert!(!verdict.all_valid());
+        assert!(node.complete_job(id, verdict).is_empty());
+        // A duplicate from the same sender is dropped at the prepare stage:
+        // no new crypto job is created for it.
+        let _ = node.handle_message(
+            3,
+            VssMessage::Echo {
+                session,
+                commitment: CommitmentRef::Digest(dkg_crypto::sha256(
+                    &node.commitments.values().next().unwrap().to_bytes(),
+                )),
+                point: bad,
+            },
+        );
+        assert!(node.poll_job().is_none());
+    }
+
+    /// Deferred mode: a share arriving while a reconstruction batch is in
+    /// flight is not lost — after a batch with an invalid share resolves,
+    /// the pooled share is submitted as the next batch and reconstruction
+    /// still completes.
+    #[test]
+    fn deferred_reconstruction_recovers_shares_pooled_during_flight() {
+        let n = 4;
+        let cfg = config(n, 0, CommitmentMode::Full);
+        let session = SessionId::new(1, 0);
+        let mut nodes: BTreeMap<NodeId, VssNode> = (1..=n as u64)
+            .map(|i| (i, VssNode::new(i, cfg.clone(), session, 600 + i, None)))
+            .collect();
+        let secret = Scalar::from_u64(0xBEEF);
+        let initial = vec![(
+            1u64,
+            nodes
+                .get_mut(&1)
+                .unwrap()
+                .handle_input(VssInput::Share { secret }),
+        )];
+        run_synchronously(&mut nodes, initial);
+        let good: BTreeMap<NodeId, Scalar> = nodes
+            .iter()
+            .map(|(&i, node)| (i, node.share().unwrap()))
+            .collect();
+        // Observer 1 goes deferred after completing the sharing.
+        let observer = nodes.get_mut(&1).unwrap();
+        observer.set_deferred_crypto(true);
+        // t + 1 = 2: a corrupt share from 2 plus an honest share from 3
+        // trigger a batch job…
+        let _ = observer.handle_message(
+            2,
+            VssMessage::ReconstructShare {
+                session,
+                share: good[&2] + Scalar::one(),
+            },
+        );
+        let _ = observer.handle_message(
+            3,
+            VssMessage::ReconstructShare {
+                session,
+                share: good[&3],
+            },
+        );
+        let (first_id, first_job) = observer.poll_job().expect("quorum-sized batch");
+        // …and an honest share from 4 arrives while that job is in flight.
+        let _ = observer.handle_message(
+            4,
+            VssMessage::ReconstructShare {
+                session,
+                share: good[&4],
+            },
+        );
+        assert!(
+            observer.poll_job().is_none(),
+            "below quorum while in flight"
+        );
+        // The verdict keeps only node 3, below quorum — the share pooled
+        // during the flight must immediately form the next batch.
+        let actions = observer.complete_job(first_id, first_job.run());
+        assert!(actions.is_empty());
+        let (second_id, second_job) = observer.poll_job().expect("pooled share resubmitted");
+        let actions = observer.complete_job(second_id, second_job.run());
+        assert!(matches!(
+            actions.as_slice(),
+            [VssAction::Output(VssOutput::Reconstructed { value, .. })] if *value == secret
+        ));
         assert_eq!(observer.reconstructed(), Some(secret));
     }
 

@@ -11,7 +11,7 @@ use dkg_core::group::{
     GroupModNode, GroupModOutput, ParameterAdjustment,
 };
 use dkg_core::proactive::RenewalOptions;
-use dkg_core::runner::SystemSetup;
+use dkg_engine::runner::SystemSetup;
 use dkg_engine::runner::{run_initial_phase, run_renewal_phase};
 use dkg_sim::{DelayModel, NetworkConfig, Simulation};
 

@@ -18,8 +18,8 @@
 
 use std::collections::BTreeMap;
 
-use dkg_core::runner::SystemSetup;
 use dkg_core::{DkgInput, DkgOutput};
+use dkg_engine::runner::SystemSetup;
 use dkg_engine::{Endpoint, EndpointConfig, Event};
 
 /// A datagram "on the wire" of our toy in-memory transport.

@@ -7,7 +7,7 @@
 
 use dkg_arith::GroupElement;
 use dkg_core::proactive::RenewalOptions;
-use dkg_core::runner::SystemSetup;
+use dkg_engine::runner::SystemSetup;
 use dkg_engine::runner::{run_initial_phase, run_renewal_phase};
 use dkg_poly::interpolate_secret;
 use dkg_sim::DelayModel;

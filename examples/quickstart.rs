@@ -7,8 +7,8 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use dkg_arith::GroupElement;
-use dkg_core::runner::SystemSetup;
 use dkg_engine::runner::run_key_generation;
+use dkg_engine::runner::SystemSetup;
 use dkg_poly::interpolate_secret;
 use dkg_sim::DelayModel;
 

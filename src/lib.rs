@@ -36,6 +36,10 @@ pub use dkg_bench as bench;
 pub use dkg_core as core;
 pub use dkg_crypto as crypto;
 pub use dkg_engine as engine;
+/// The canonical harness: system construction plus byte-level protocol
+/// drivers (`SystemSetup`, `run_key_generation`, `run_vss`,
+/// `run_initial_phase`, `run_renewal_phase`, executor variants).
+pub use dkg_engine::runner;
 pub use dkg_poly as poly;
 pub use dkg_sim as sim;
 pub use dkg_vss as vss;

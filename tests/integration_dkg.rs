@@ -5,8 +5,8 @@
 //! `Endpoint` API as real encoded datagrams.
 
 use dkg_arith::{GroupElement, Scalar};
-use dkg_core::runner::SystemSetup;
 use dkg_core::{DkgInput, DkgOutput};
+use dkg_engine::runner::SystemSetup;
 use dkg_engine::runner::{run_dkg, run_key_generation, run_vss};
 use dkg_engine::Event;
 use dkg_poly::interpolate_secret;

@@ -1,0 +1,154 @@
+//! Persistence-layer throughput: what does durable session state cost,
+//! and how fast does a node come back from a crash?
+//!
+//! For a completed n-node DKG session (n ∈ {4, 8, 16}) with every input
+//! on the write-ahead log, this bench measures:
+//!
+//! * `snapshot_encode` — capturing the endpoint's full state image and
+//!   encoding it to canonical bytes (what every compaction pays),
+//! * `snapshot_decode` — validating decode of that image (every restore's
+//!   first step),
+//! * `restore_snapshot` — a full [`Endpoint::restore`] from a compacted
+//!   store (snapshot only, empty WAL): decode + state re-injection,
+//! * `restore_replay` — a full [`Endpoint::restore`] from a
+//!   never-compacted store (initial snapshot + the entire session as WAL
+//!   frames): the worst-case reboot, dominated by replaying every
+//!   datagram through `handle_datagram`.
+//!
+//! Bytes and frame counts are printed per size; wall-clock baselines land
+//! in `target/criterion/recovery/baseline.json` like the other benches.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dkg_core::DkgInput;
+use dkg_engine::runner::SystemSetup;
+use dkg_engine::{Endpoint, EndpointConfig, EndpointNet, EndpointSnapshot};
+use dkg_sim::DelayModel;
+use dkg_store::StoreHandle;
+
+const SIZES: [usize; 3] = [4, 8, 16];
+/// The node whose store the restore benches rebuild from.
+const SUBJECT: u64 = 1;
+
+struct SessionArtifacts {
+    n: usize,
+    /// Store holding the initial snapshot plus the whole run as WAL.
+    replay_store: StoreHandle,
+    /// Store holding one compacted end-of-run snapshot, empty WAL.
+    compact_store: StoreHandle,
+    /// The end-of-run snapshot image bytes.
+    snapshot_bytes: Vec<u8>,
+    wal_frames: u64,
+}
+
+/// Runs an n-node DKG with the subject node persisting every input, and
+/// prepares the two store shapes the restore benches rebuild from.
+fn build_session(n: usize) -> SessionArtifacts {
+    let setup = SystemSetup::generate(n, 0, 42 + n as u64);
+    let mut net = EndpointNet::new(DelayModel::Uniform { min: 10, max: 60 }, setup.seed);
+    let replay_store = StoreHandle::in_memory();
+    for &node in &setup.config.vss.nodes {
+        let config = if node == SUBJECT {
+            EndpointConfig {
+                store: Some(replay_store.clone()),
+                // Never compact: the whole session stays on the WAL.
+                wal_compact_bytes: u64::MAX,
+                ..EndpointConfig::default()
+            }
+        } else {
+            EndpointConfig::default()
+        };
+        let mut endpoint = Endpoint::new(node, config);
+        endpoint
+            .add_dkg_session(setup.build_node(node, 0))
+            .expect("fresh endpoint");
+        net.add_endpoint(endpoint);
+    }
+    for &node in &setup.config.vss.nodes {
+        net.schedule_dkg_input(node, 0, DkgInput::Start, 0);
+    }
+    net.run();
+
+    let endpoint = net.endpoint_mut(SUBJECT).expect("subject endpoint");
+    assert!(endpoint.dkg_result(0).is_some(), "session completed");
+    let image = endpoint.snapshot().expect("quiescent at end of run");
+    let snapshot_bytes = image.to_bytes();
+    let compact_store = StoreHandle::in_memory();
+    compact_store
+        .install_snapshot(&snapshot_bytes)
+        .expect("mem store");
+    let stats = endpoint.persist_stats();
+    SessionArtifacts {
+        n,
+        replay_store,
+        compact_store,
+        snapshot_bytes,
+        wal_frames: stats.wal_appended,
+    }
+}
+
+fn restore_config(store: &StoreHandle) -> EndpointConfig {
+    EndpointConfig {
+        store: Some(store.clone()),
+        ..EndpointConfig::default()
+    }
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let sessions: Vec<SessionArtifacts> = SIZES.iter().map(|&n| build_session(n)).collect();
+    for s in &sessions {
+        println!(
+            "n = {:2}: snapshot {} bytes, wal {} frames / {} bytes",
+            s.n,
+            s.snapshot_bytes.len(),
+            s.wal_frames,
+            s.replay_store.wal_bytes(),
+        );
+    }
+
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+    for s in &sessions {
+        let n = s.n;
+        group.bench_with_input(BenchmarkId::new("snapshot_encode", n), s, |b, s| {
+            let endpoint = Endpoint::restore(restore_config(&s.compact_store))
+                .expect("restore for encode bench");
+            b.iter(|| {
+                let image = endpoint.snapshot().expect("quiescent");
+                image.to_bytes().len()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("snapshot_decode", n), s, |b, s| {
+            b.iter(|| EndpointSnapshot::from_bytes(&s.snapshot_bytes).expect("valid snapshot"));
+        });
+        group.bench_with_input(BenchmarkId::new("restore_snapshot", n), s, |b, s| {
+            b.iter(|| Endpoint::restore(restore_config(&s.compact_store)).expect("restores"));
+        });
+        group.bench_with_input(BenchmarkId::new("restore_replay", n), s, |b, s| {
+            b.iter(|| Endpoint::restore(restore_config(&s.replay_store)).expect("restores"));
+        });
+    }
+    group.finish();
+
+    // Headline throughput numbers, measured directly.
+    for s in &sessions {
+        let start = Instant::now();
+        let endpoint =
+            Endpoint::restore(restore_config(&s.replay_store)).expect("restore succeeds");
+        let elapsed = start.elapsed();
+        assert!(endpoint.dkg_result(0).is_some());
+        let frames_per_sec = s.wal_frames as f64 / elapsed.as_secs_f64();
+        let bytes_per_sec = s.replay_store.wal_bytes() as f64 / elapsed.as_secs_f64();
+        println!(
+            "n = {:2}: full wal replay in {:?} — {:.0} frames/s, {:.1} MiB/s",
+            s.n,
+            elapsed,
+            frames_per_sec,
+            bytes_per_sec / (1024.0 * 1024.0),
+        );
+    }
+}
+
+criterion_group!(benches, bench_recovery);
+criterion_main!(benches);

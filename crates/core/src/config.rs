@@ -5,7 +5,7 @@ use dkg_sim::DelayFunction;
 use dkg_vss::{CommitmentMode, ConfigError, VssConfig};
 
 /// Static parameters of a DKG session, shared by all nodes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DkgConfig {
     /// The underlying VSS configuration (nodes, `t`, `f`, `d(κ)`, commitment
     /// mode). The DKG runs one HybridVSS instance per node on top of it.

@@ -47,6 +47,7 @@ pub mod messages;
 pub mod node;
 pub mod proactive;
 pub mod runner;
+pub mod snapshot;
 pub mod wire;
 
 pub use config::{DkgConfig, NodeKeys};
@@ -57,3 +58,4 @@ pub use messages::{
 pub use node::{DkgJobId, DkgNode, DkgResult};
 pub use proactive::{plan_renewal, PhaseState, RenewalError, RenewalOptions, RenewalPlan};
 pub use runner::SystemSetup;
+pub use snapshot::{CompletedSharingSnapshot, DkgSnapshot};

@@ -217,7 +217,7 @@ impl WireSize for DkgMessage {
 }
 
 /// Operator `in` messages for a DKG node.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DkgInput {
     /// Start the protocol, contributing a fresh random secret (key
     /// generation, §4).

@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use dkg_arith::{GroupElement, PrimeField, Scalar};
-use dkg_crypto::{Digest, NodeId, Signature};
+use dkg_crypto::{Digest, NodeId, Signature, SigningKey};
 use dkg_poly::{
     interpolate_secret, CommitmentMatrix, CryptoJob, CryptoVerdict, JobQueue, ShareCollector,
     ShareProgress, SignatureCheck, Submission,
@@ -34,6 +34,7 @@ use crate::messages::{
     payload, CombineRule, DealerProof, DkgInput, DkgMessage, DkgOutput, Justification, Proposal,
     SignedVote,
 };
+use crate::snapshot::{CompletedSharingSnapshot, DkgSnapshot};
 
 /// Timer id used for the leader timeout.
 const LEADER_TIMER: TimerId = 1;
@@ -99,7 +100,7 @@ enum JobCtx {
 }
 
 /// The final result of the DKG at this node.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DkgResult {
     /// The agreed dealer set `Q`.
     pub dealers: Vec<NodeId>,
@@ -174,6 +175,10 @@ pub struct DkgNode {
 
     /// Outgoing agreement messages, for recovery retransmission.
     outbox: BTreeMap<NodeId, Vec<DkgMessage>>,
+    /// `c`: DKG-level help responses granted in total (§5.3 bounds).
+    help_granted_total: u64,
+    /// `c_ℓ`: DKG-level help responses granted per requester.
+    help_granted_per: BTreeMap<NodeId, u64>,
 
     /// Prepared jobs (own and embedded-VSS): run inline by default, queued
     /// for [`DkgNode::poll_job`] in deferred mode.
@@ -236,8 +241,212 @@ impl DkgNode {
             reconstruct: ShareCollector::new(),
             reconstructed: None,
             outbox: BTreeMap::new(),
+            help_granted_total: 0,
+            help_granted_per: BTreeMap::new(),
             jobs: JobQueue::new(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot extraction / re-injection (crash-recovery, §5.3)
+    // ------------------------------------------------------------------
+
+    /// Extracts the node's complete stable state as a [`DkgSnapshot`],
+    /// including the `n` embedded VSS instances and the node's key
+    /// material (the crash-recovery model persists keys on stable
+    /// storage; the directory is stored once for all instances).
+    ///
+    /// Returns `None` while crypto jobs are queued or in flight anywhere
+    /// (own queue or any embedded instance): persistence layers snapshot
+    /// only at job-quiescent points and re-create in-flight work by
+    /// replaying the logged inputs.
+    pub fn snapshot(&self) -> Option<DkgSnapshot> {
+        if !self.jobs.is_idle() {
+            return None;
+        }
+        let mut vss = Vec::with_capacity(self.vss.len());
+        for (&dealer, instance) in &self.vss {
+            vss.push((dealer, instance.snapshot()?));
+        }
+        let (reconstruct_pending, reconstruct_verified) = self.reconstruct.to_parts();
+        Some(DkgSnapshot {
+            id: self.id,
+            tau: self.tau,
+            config: self.config.clone(),
+            signing_key: self.keys.signing_key.secret(),
+            directory: self
+                .directory
+                .nodes()
+                .into_iter()
+                .map(|node| {
+                    let key = self
+                        .directory
+                        .public_key(node)
+                        .expect("listed node has a key");
+                    (node, key.point())
+                })
+                .collect(),
+            combine: self.combine,
+            rng: self.rng.state(),
+            vss,
+            completed_vss: self
+                .completed_vss
+                .iter()
+                .map(|(&dealer, sharing)| {
+                    (
+                        dealer,
+                        CompletedSharingSnapshot {
+                            commitment: sharing.commitment.clone(),
+                            share: sharing.share,
+                            digest: sharing.digest,
+                            witnesses: sharing.witnesses.clone(),
+                        },
+                    )
+                })
+                .collect(),
+            finished_set: self.finished_set.clone(),
+            expected_dealer_keys: self
+                .expected_dealer_keys
+                .iter()
+                .map(|(&d, &k)| (d, k))
+                .collect(),
+            started: self.started,
+            leader_rank: self.leader_rank,
+            locked: self.locked.clone(),
+            echoed: self.echoed.iter().cloned().collect(),
+            ready_sent: self.ready_sent,
+            echo_votes: Self::votes_to_snapshot(&self.echo_votes),
+            ready_votes: Self::votes_to_snapshot(&self.ready_votes),
+            proposals: self
+                .proposals
+                .iter()
+                .map(|(key, proposal)| (key.clone(), proposal.clone()))
+                .collect(),
+            lead_ch_votes: self
+                .lead_ch_votes
+                .iter()
+                .map(|(&rank, votes)| (rank, votes.iter().map(|(&n, &s)| (n, s)).collect()))
+                .collect(),
+            lc_flag: self.lc_flag,
+            lead_ch_certificate: self.lead_ch_certificate.clone(),
+            retries: self.retries,
+            agreed: self.agreed.clone(),
+            completed: self.completed.clone(),
+            reconstruct_started: self.reconstruct_started,
+            reconstruct_pending,
+            reconstruct_verified,
+            reconstructed: self.reconstructed,
+            outbox: self
+                .outbox
+                .iter()
+                .map(|(&to, messages)| (to, messages.clone()))
+                .collect(),
+            help_granted_total: self.help_granted_total,
+            help_granted_per: self
+                .help_granted_per
+                .iter()
+                .map(|(&n, &c)| (n, c))
+                .collect(),
+        })
+    }
+
+    fn votes_to_snapshot(
+        votes: &BTreeMap<Vec<u8>, BTreeMap<NodeId, Signature>>,
+    ) -> crate::snapshot::VoteSetSnapshot {
+        votes
+            .iter()
+            .map(|(key, by_node)| (key.clone(), by_node.iter().map(|(&n, &s)| (n, s)).collect()))
+            .collect()
+    }
+
+    /// Rebuilds a node from a [`DkgSnapshot`]. The restored machine is
+    /// state-identical to the one the snapshot was taken from: same RNG
+    /// stream, same tallies and votes, same recovery outbox — so it
+    /// continues the protocol exactly where the persisted state left off.
+    pub fn restore(snapshot: DkgSnapshot) -> Result<Self, dkg_vss::SnapshotError> {
+        let signing_key = SigningKey::from_scalar(snapshot.signing_key)
+            .ok_or(dkg_vss::SnapshotError::InvalidSigningKey)?;
+        let mut directory = dkg_crypto::KeyDirectory::new();
+        for (node, point) in snapshot.directory {
+            let key = dkg_crypto::PublicKey::from_bytes(&point.to_bytes())
+                .ok_or(dkg_vss::SnapshotError::InvalidDirectoryKey { node })?;
+            directory.register(node, key);
+        }
+        let directory = Arc::new(directory);
+        let mut vss = BTreeMap::new();
+        for (dealer, instance) in snapshot.vss {
+            vss.insert(
+                dealer,
+                VssNode::restore(instance, Some(Arc::clone(&directory)))?,
+            );
+        }
+        Ok(DkgNode {
+            id: snapshot.id,
+            config: snapshot.config,
+            keys: NodeKeys {
+                signing_key,
+                directory: Arc::clone(&directory),
+            },
+            directory,
+            tau: snapshot.tau,
+            combine: snapshot.combine,
+            rng: StdRng::from_state(snapshot.rng),
+            vss,
+            completed_vss: snapshot
+                .completed_vss
+                .into_iter()
+                .map(|(dealer, sharing)| {
+                    (
+                        dealer,
+                        CompletedSharing {
+                            commitment: sharing.commitment,
+                            share: sharing.share,
+                            digest: sharing.digest,
+                            witnesses: sharing.witnesses,
+                        },
+                    )
+                })
+                .collect(),
+            finished_set: snapshot.finished_set,
+            expected_dealer_keys: snapshot.expected_dealer_keys.into_iter().collect(),
+            started: snapshot.started,
+            leader_rank: snapshot.leader_rank,
+            locked: snapshot.locked,
+            echoed: snapshot.echoed.into_iter().collect(),
+            ready_sent: snapshot.ready_sent,
+            echo_votes: Self::votes_from_snapshot(snapshot.echo_votes),
+            ready_votes: Self::votes_from_snapshot(snapshot.ready_votes),
+            proposals: snapshot.proposals.into_iter().collect(),
+            lead_ch_votes: snapshot
+                .lead_ch_votes
+                .into_iter()
+                .map(|(rank, votes)| (rank, votes.into_iter().collect()))
+                .collect(),
+            lc_flag: snapshot.lc_flag,
+            lead_ch_certificate: snapshot.lead_ch_certificate,
+            retries: snapshot.retries,
+            agreed: snapshot.agreed,
+            completed: snapshot.completed,
+            reconstruct_started: snapshot.reconstruct_started,
+            reconstruct: ShareCollector::from_parts(
+                snapshot.reconstruct_pending,
+                snapshot.reconstruct_verified,
+            ),
+            reconstructed: snapshot.reconstructed,
+            outbox: snapshot.outbox.into_iter().collect(),
+            help_granted_total: snapshot.help_granted_total,
+            help_granted_per: snapshot.help_granted_per.into_iter().collect(),
+            jobs: JobQueue::new(),
+        })
+    }
+
+    fn votes_from_snapshot(
+        votes: crate::snapshot::VoteSetSnapshot,
+    ) -> BTreeMap<Vec<u8>, BTreeMap<NodeId, Signature>> {
+        votes
+            .into_iter()
+            .map(|(key, by_node)| (key, by_node.into_iter().collect()))
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -1271,6 +1480,25 @@ impl DkgNode {
         }
     }
 
+    /// Responds to a DKG-level help request: retransmit every agreement
+    /// message previously sent to the requester, within the §5.3 bounds
+    /// (`d(κ)` per requester, `(t+1)·d(κ)` total).
+    fn on_dkg_help(&mut self, from: NodeId, sink: &mut ActionSink<DkgMessage, DkgOutput>) {
+        let per = self.help_granted_per.entry(from).or_insert(0);
+        if *per > self.config.vss.per_node_help_limit()
+            || self.help_granted_total > self.config.vss.total_help_limit()
+        {
+            return;
+        }
+        *per += 1;
+        self.help_granted_total += 1;
+        if let Some(messages) = self.outbox.get(&from).cloned() {
+            for message in messages {
+                sink.send(from, message);
+            }
+        }
+    }
+
     fn adopt_leader(&mut self, new_rank: u64, sink: &mut ActionSink<DkgMessage, DkgOutput>) {
         self.leader_rank = new_rank;
         self.retries = self.retries.saturating_add(1);
@@ -1459,6 +1687,16 @@ impl Protocol for DkgNode {
                         self.on_group_share(from, share, sink);
                     }
                     return;
+                }
+                // §5.3: a recovering node asks for help in every embedded
+                // session; the help carried in the requester's *own* dealer
+                // session doubles as the DKG-level retransmission request
+                // (one per recovery wave), so peers also resend the
+                // agreement messages — send/echo/ready/lead-ch — the node
+                // missed while down. Bounded by the same `d(κ)` counters
+                // as the VSS help protocol.
+                if matches!(vss_message, VssMessage::Help { .. }) && session.dealer == from {
+                    self.on_dkg_help(from, sink);
                 }
                 let dealer = session.dealer;
                 let Some(vss) = self.vss.get_mut(&dealer) else {

@@ -25,7 +25,7 @@ use dkg_crypto::Signature;
 use dkg_wire::{Reader, WireDecode, WireEncode, WireError, WireWrite};
 
 use crate::group::{GroupChange, GroupModMessage, ParameterAdjustment};
-use crate::messages::{DealerProof, DkgMessage, Justification, Proposal, SignedVote};
+use crate::messages::{DealerProof, DkgInput, DkgMessage, Justification, Proposal, SignedVote};
 use dkg_vss::{ReadyWitness, VssMessage};
 
 impl WireEncode for Proposal {
@@ -125,6 +125,42 @@ impl WireDecode for Justification {
             2 => Ok(Justification::ReadyCertificate(Vec::decode_from(r)?)),
             tag => Err(WireError::UnknownTag {
                 context: "justification",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Operator inputs are codec'd for the persistence layer's write-ahead log
+/// (a crash-recovering node replays its own past decisions from stable
+/// storage), not for the network.
+impl WireEncode for DkgInput {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        match self {
+            DkgInput::Start => w.put_u8(0),
+            DkgInput::StartReshare { value } => {
+                w.put_u8(1);
+                value.encode_to(w);
+            }
+            DkgInput::Reconstruct => w.put_u8(2),
+            DkgInput::Recover => w.put_u8(3),
+        }
+    }
+}
+
+impl WireDecode for DkgInput {
+    const MIN_WIRE_LEN: usize = 1;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(DkgInput::Start),
+            1 => Ok(DkgInput::StartReshare {
+                value: dkg_arith::Scalar::decode_from(r)?,
+            }),
+            2 => Ok(DkgInput::Reconstruct),
+            3 => Ok(DkgInput::Recover),
+            tag => Err(WireError::UnknownTag {
+                context: "dkg input",
                 tag,
             }),
         }

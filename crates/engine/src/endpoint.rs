@@ -20,13 +20,19 @@
 //! to the protocol instead of growing memory without limit.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use dkg_core::{DkgInput, DkgMessage, DkgNode, DkgOutput, DkgResult};
 use dkg_crypto::NodeId;
 use dkg_poly::{CryptoJob, CryptoVerdict};
 use dkg_sim::{Action, ActionSink, Protocol, TimerId, WireSize};
+use dkg_store::{StoreError, StoreHandle, WalRecord};
 use dkg_vss::{SessionId, VssInput, VssMessage, VssNode, VssOutput};
 use dkg_wire::{decode_datagram, encode_datagram, Header, ProtocolId, WireDecode, WireError};
+
+use crate::persist::{
+    EndpointSnapshot, PersistStats, RestoreError, SessionSnapshot, SessionStateSnapshot,
+};
 
 /// Milliseconds on the caller's clock. The endpoint only compares and adds
 /// these values; the epoch is the caller's business.
@@ -48,6 +54,18 @@ pub struct EndpointConfig {
     /// (default), every check runs inline inside `handle_*`, preserving the
     /// fully synchronous behaviour.
     pub defer_crypto: bool,
+    /// Stable storage for this endpoint's session state (the paper's
+    /// crash-recovery model, §2.2/§5.3). When set, every accepted input is
+    /// appended to the store's write-ahead log before it mutates state,
+    /// session additions and compactions write full snapshots, and
+    /// [`Endpoint::restore`] rebuilds the endpoint after a crash. `None`
+    /// (default) keeps the endpoint purely in-memory: a crash loses
+    /// everything.
+    pub store: Option<StoreHandle>,
+    /// WAL size (bytes) past which [`Endpoint::maybe_compact`] folds the
+    /// log into a fresh snapshot. Compaction only happens at quiescent
+    /// points (empty outbox/event queue, no crypto jobs in flight).
+    pub wal_compact_bytes: u64,
 }
 
 impl Default for EndpointConfig {
@@ -56,6 +74,8 @@ impl Default for EndpointConfig {
             outbox_capacity: 4096,
             max_datagram_len: 1 << 22,
             defer_crypto: false,
+            store: None,
+            wal_compact_bytes: 1 << 20,
         }
     }
 }
@@ -160,6 +180,12 @@ pub enum Reject {
     /// [`Endpoint::complete_job`] was called with an id this endpoint never
     /// handed out (or already completed).
     UnknownJob(u64),
+    /// The input could not be appended to the configured store's
+    /// write-ahead log, so it was refused *before* mutating state — the
+    /// protocol treats it as a lost message (which these asynchronous
+    /// protocols tolerate), keeping the persisted log a faithful prefix of
+    /// the in-memory state.
+    PersistFailed(StoreError),
 }
 
 impl std::fmt::Display for Reject {
@@ -187,6 +213,7 @@ impl std::fmt::Display for Reject {
                 )
             }
             Reject::UnknownJob(id) => write!(f, "no pending crypto job with id {id}"),
+            Reject::PersistFailed(err) => write!(f, "input refused, wal append failed: {err}"),
         }
     }
 }
@@ -243,6 +270,10 @@ pub struct SessionStats {
     pub events: u64,
     /// Crypto jobs handed out for this session (deferred mode only).
     pub jobs: u64,
+    /// Write-ahead-log frames recorded for this session's inputs (appended
+    /// live, or re-counted during a restore's replay — so the counter is
+    /// identical whether or not the endpoint ever crashed).
+    pub wal_frames: u64,
     /// When the session's protocol first reported completion.
     pub completed_at: Option<WallClock>,
 }
@@ -320,6 +351,12 @@ pub struct Endpoint {
     /// Sessions that queued jobs since the last [`Endpoint::poll_jobs`], so
     /// polling costs O(sessions with work), not O(hosted sessions).
     jobs_ready: std::collections::BTreeSet<SessionKey>,
+    /// Persistence counters.
+    persist: PersistStats,
+    /// `true` while [`Endpoint::restore`] replays the write-ahead log:
+    /// replayed inputs must not be appended again, and compaction is
+    /// deferred until the replay finishes.
+    replaying: bool,
 }
 
 impl Endpoint {
@@ -335,6 +372,8 @@ impl Endpoint {
             next_job: 0,
             job_routes: BTreeMap::new(),
             jobs_ready: std::collections::BTreeSet::new(),
+            persist: PersistStats::default(),
+            replaying: false,
         }
     }
 
@@ -343,9 +382,29 @@ impl Endpoint {
         self.id
     }
 
+    /// The endpoint's configuration (incl. its store handle, which a
+    /// network driver needs to rebuild the endpoint after a crash).
+    pub fn config(&self) -> &EndpointConfig {
+        &self.config
+    }
+
     /// Aggregate endpoint counters.
     pub fn stats(&self) -> EndpointStats {
         self.stats
+    }
+
+    /// Persistence counters.
+    pub fn persist_stats(&self) -> PersistStats {
+        self.persist
+    }
+
+    /// Bytes currently held by the configured store (snapshot + WAL), or 0
+    /// without a store.
+    pub fn stored_bytes(&self) -> u64 {
+        self.config
+            .store
+            .as_ref()
+            .map_or(0, StoreHandle::stored_bytes)
     }
 
     /// Keys of all hosted sessions, in order.
@@ -385,6 +444,13 @@ impl Endpoint {
     }
 
     /// Adds a DKG session (keyed by its `τ`).
+    ///
+    /// With a configured store this writes a fresh snapshot (membership
+    /// must be durable before the session can log anything), which
+    /// requires a job-quiescent endpoint: adding while crypto jobs are in
+    /// flight is refused with
+    /// [`Reject::PersistFailed`]`(`[`StoreError::SnapshotUnavailable`]`)` —
+    /// drain jobs and retry.
     pub fn add_dkg_session(&mut self, node: DkgNode) -> Result<SessionKey, Reject> {
         if node.id() != self.id {
             return Err(Reject::WrongNode {
@@ -397,6 +463,8 @@ impl Endpoint {
     }
 
     /// Adds a standalone VSS session (keyed by its `(dealer, τ)`).
+    ///
+    /// Same store-quiescence requirement as [`Endpoint::add_dkg_session`].
     pub fn add_vss_session(&mut self, node: VssNode) -> Result<SessionKey, Reject> {
         if node.id() != self.id {
             return Err(Reject::WrongNode {
@@ -432,6 +500,20 @@ impl Endpoint {
                 stats: SessionStats::default(),
             },
         );
+        // Session membership must be durable before the session can log
+        // anything: a WAL record for a session the snapshot does not know
+        // would be unreplayable. Adding a session therefore writes a fresh
+        // snapshot (which also compacts the log); if that fails, the
+        // addition is rolled back and refused.
+        if !self.replaying {
+            if let Some(store) = self.config.store.clone() {
+                if let Err(err) = self.install_snapshot_now(&store) {
+                    self.sessions.remove(&key);
+                    self.persist.persist_errors += 1;
+                    return Err(Reject::PersistFailed(err));
+                }
+            }
+        }
         Ok(key)
     }
 
@@ -472,6 +554,234 @@ impl Endpoint {
         Ok(())
     }
 
+    // ------------------------------------------------------------------
+    // Persistence (write-ahead log + snapshots)
+    // ------------------------------------------------------------------
+
+    /// Records an accepted input in the WAL (write-ahead: the caller only
+    /// mutates state on `Ok`). During a restore's replay the same call
+    /// re-counts the frame instead of re-appending it, so the statistics
+    /// of a restored endpoint match an uninterrupted one exactly.
+    fn persist_input(
+        &mut self,
+        session: Option<SessionKey>,
+        record: &WalRecord,
+    ) -> Result<(), Reject> {
+        if self.replaying {
+            self.persist.wal_replayed += 1;
+        } else {
+            let Some(store) = self.config.store.clone() else {
+                return Ok(());
+            };
+            if let Err(err) = store.append(record) {
+                self.persist.persist_errors += 1;
+                return Err(Reject::PersistFailed(err));
+            }
+            self.persist.wal_appended += 1;
+        }
+        if let Some(key) = session {
+            if let Some(session) = self.sessions.get_mut(&key) {
+                session.stats.wal_frames += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether inputs need a [`WalRecord`] at all — callers skip even
+    /// *building* the record (a datagram copy) on the hot path of a
+    /// store-less endpoint.
+    fn persistence_active(&self) -> bool {
+        self.replaying || self.config.store.is_some()
+    }
+
+    /// Captures the endpoint's complete state as a versioned
+    /// [`EndpointSnapshot`], or `None` while crypto jobs are queued or in
+    /// flight anywhere (snapshots are only taken at job-quiescent points;
+    /// in-flight work is re-created by replaying the WAL).
+    pub fn snapshot(&self) -> Option<EndpointSnapshot> {
+        if !self.job_routes.is_empty() {
+            return None;
+        }
+        let mut sessions = Vec::with_capacity(self.sessions.len());
+        for (&key, session) in &self.sessions {
+            let state = match &session.state {
+                SessionState::Dkg(node) => SessionStateSnapshot::Dkg(Box::new(node.snapshot()?)),
+                SessionState::Vss(node) => SessionStateSnapshot::Vss {
+                    snapshot: Box::new(node.snapshot()?),
+                    directory: node.signing_directory().map(|directory| {
+                        directory
+                            .nodes()
+                            .into_iter()
+                            .map(|id| {
+                                let key = directory.public_key(id).expect("listed node has a key");
+                                (id, key.point())
+                            })
+                            .collect()
+                    }),
+                },
+            };
+            sessions.push(SessionSnapshot {
+                key,
+                stats: session.stats,
+                timers: session.timers.iter().map(|(&t, &d)| (t, d)).collect(),
+                state,
+            });
+        }
+        Some(EndpointSnapshot {
+            id: self.id,
+            stats: self.stats,
+            persist: self.persist,
+            sessions,
+        })
+    }
+
+    /// Encodes and installs a snapshot into `store`, truncating its WAL.
+    fn install_snapshot_now(&mut self, store: &StoreHandle) -> Result<(), StoreError> {
+        let snapshot = self.snapshot().ok_or(StoreError::SnapshotUnavailable)?;
+        store.install_snapshot(&snapshot.to_bytes())?;
+        self.persist.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Compacts the write-ahead log into a fresh snapshot when it grew past
+    /// [`EndpointConfig::wal_compact_bytes`] — but only at a quiescent
+    /// point (empty outbox and event queue, no crypto jobs pending), so
+    /// the snapshot is self-contained. Drivers call this after draining;
+    /// returns whether a snapshot was written. Failures are counted in
+    /// [`PersistStats::persist_errors`] and retried at the next call.
+    pub fn maybe_compact(&mut self) -> bool {
+        let Some(store) = self.config.store.clone() else {
+            return false;
+        };
+        if self.replaying
+            || store.wal_bytes() < self.config.wal_compact_bytes
+            || !self.outbox.is_empty()
+            || !self.events.is_empty()
+        {
+            return false;
+        }
+        match self.install_snapshot_now(&store) {
+            Ok(()) => true,
+            Err(StoreError::SnapshotUnavailable) => false,
+            Err(_) => {
+                self.persist.persist_errors += 1;
+                false
+            }
+        }
+    }
+
+    /// Rebuilds an endpoint from its configured store: loads the latest
+    /// snapshot, re-injects every session's state machine, then **replays**
+    /// the write-ahead log through the normal `handle_datagram` /
+    /// `handle_*_input` / `handle_timeout` paths (discarding the transmits
+    /// and events this re-emits — they already left the node before the
+    /// crash; true losses are what the §5.3 help protocol recovers). The
+    /// result is state-identical to the endpoint at its last accepted
+    /// input.
+    pub fn restore(config: EndpointConfig) -> Result<Endpoint, RestoreError> {
+        let store = config.store.clone().ok_or(StoreError::NoStore)?;
+        let stored = store.load()?;
+        let bytes = stored.snapshot.ok_or(StoreError::SnapshotMissing)?;
+        let image = EndpointSnapshot::from_bytes(&bytes)?;
+
+        let mut endpoint = Endpoint::new(image.id, config);
+        endpoint.replaying = true;
+        endpoint.stats = image.stats;
+        endpoint.persist = image.persist;
+        for session in image.sessions {
+            let state = match session.state {
+                SessionStateSnapshot::Dkg(snapshot) => {
+                    let node = DkgNode::restore(*snapshot)?;
+                    if node.id() != image.id {
+                        return Err(dkg_vss::SnapshotError::ForeignNode { node: node.id() }.into());
+                    }
+                    SessionState::Dkg(Box::new(node))
+                }
+                SessionStateSnapshot::Vss {
+                    snapshot,
+                    directory,
+                } => {
+                    let directory = directory.map(|entries| {
+                        let mut dir = dkg_crypto::KeyDirectory::new();
+                        for (id, point) in entries {
+                            let key = dkg_crypto::PublicKey::from_bytes(&point.to_bytes())
+                                .ok_or(dkg_vss::SnapshotError::InvalidDirectoryKey { node: id })?;
+                            dir.register(id, key);
+                        }
+                        Ok::<_, RestoreError>(Arc::new(dir))
+                    });
+                    let directory = match directory {
+                        Some(result) => Some(result?),
+                        None => None,
+                    };
+                    let node = VssNode::restore(*snapshot, directory)?;
+                    if node.id() != image.id {
+                        return Err(dkg_vss::SnapshotError::ForeignNode { node: node.id() }.into());
+                    }
+                    SessionState::Vss(Box::new(node))
+                }
+            };
+            endpoint.insert_session(session.key, state).map_err(|_| {
+                StoreError::Corrupt(WireError::InvalidValue {
+                    context: "duplicate session in snapshot",
+                })
+            })?;
+            let hosted = endpoint
+                .sessions
+                .get_mut(&session.key)
+                .expect("just inserted");
+            hosted.stats = session.stats;
+            hosted.timers = session.timers.into_iter().collect();
+        }
+
+        for record in &stored.wal {
+            let at = record.at();
+            match record {
+                WalRecord::Datagram { at, from, bytes } => {
+                    let _ = endpoint.handle_datagram(*from, bytes, *at);
+                }
+                WalRecord::DkgOperator { at, tau, input } => {
+                    let _ = endpoint.handle_dkg_input(*tau, input.clone(), *at);
+                }
+                WalRecord::VssOperator { at, session, input } => {
+                    let _ = endpoint.handle_vss_input(*session, input.clone(), *at);
+                }
+                WalRecord::Timeout { at } => endpoint.handle_timeout(*at),
+            }
+            endpoint.quiesce_discard(at);
+        }
+        endpoint.outbox.clear();
+        endpoint.events.clear();
+        endpoint.replaying = false;
+        endpoint.persist.recoveries += 1;
+        Ok(endpoint)
+    }
+
+    /// Replay helper: runs every pending crypto job inline (verdicts are
+    /// pure functions of the jobs, so this matches whatever executor the
+    /// live run used) and discards the transmits/events the replay
+    /// re-emits.
+    fn quiesce_discard(&mut self, now: WallClock) {
+        loop {
+            self.outbox.clear();
+            self.events.clear();
+            let tickets = self.poll_jobs();
+            if tickets.is_empty() {
+                break;
+            }
+            for ticket in tickets {
+                let verdict = ticket.job.run();
+                // A full outbox mid-replay: the replayed transmits are
+                // discards anyway, so clear and retry the verdict.
+                while let Err(Reject::Backpressure { .. }) =
+                    self.complete_job(ticket.id, verdict.clone(), now)
+                {
+                    self.outbox.clear();
+                }
+            }
+        }
+    }
+
     /// Feeds an operator input to a DKG session (start, reshare,
     /// reconstruct, recover).
     pub fn handle_dkg_input(
@@ -486,6 +796,14 @@ impl Endpoint {
             self.stats.rejected += 1;
             return Err(Reject::UnknownSession(key));
         }
+        self.persist_input(
+            Some(key),
+            &WalRecord::DkgOperator {
+                at: now,
+                tau,
+                input: input.clone(),
+            },
+        )?;
         self.run_dkg(key, now, |node, sink| node.on_operator(input, sink));
         Ok(())
     }
@@ -504,6 +822,14 @@ impl Endpoint {
             self.stats.rejected += 1;
             return Err(Reject::UnknownSession(key));
         }
+        self.persist_input(
+            Some(key),
+            &WalRecord::VssOperator {
+                at: now,
+                session,
+                input: input.clone(),
+            },
+        )?;
         self.run_vss(key, now, |node| node.handle_input(input));
         Ok(())
     }
@@ -575,6 +901,17 @@ impl Endpoint {
                     session.stats.rejected += 1;
                     return Err(Reject::SessionMismatch { header: key });
                 }
+                if self.persistence_active() {
+                    self.persist_input(
+                        Some(key),
+                        &WalRecord::Datagram {
+                            at: now,
+                            from,
+                            bytes: datagram.to_vec(),
+                        },
+                    )?;
+                }
+                let session = self.sessions.get_mut(&key).expect("checked above");
                 session.stats.datagrams_in += 1;
                 session.stats.bytes_in += datagram.len() as u64;
                 self.run_dkg(key, now, |node, sink| node.on_message(from, message, sink));
@@ -591,6 +928,17 @@ impl Endpoint {
                     session.stats.rejected += 1;
                     return Err(Reject::SessionMismatch { header: key });
                 }
+                if self.persistence_active() {
+                    self.persist_input(
+                        Some(key),
+                        &WalRecord::Datagram {
+                            at: now,
+                            from,
+                            bytes: datagram.to_vec(),
+                        },
+                    )?;
+                }
+                let session = self.sessions.get_mut(&key).expect("checked above");
                 session.stats.datagrams_in += 1;
                 session.stats.bytes_in += datagram.len() as u64;
                 self.run_vss(key, now, |node| node.handle_message(from, message));
@@ -604,6 +952,12 @@ impl Endpoint {
     }
 
     /// Fires every timer with a deadline `≤ now`, across all sessions.
+    ///
+    /// Timer firings mutate protocol state, so they are WAL-logged like
+    /// any other input (one `timeout` record per call that fires at least
+    /// one timer). If the append fails the timers stay armed — they fire
+    /// on a later call — keeping the persisted log a faithful prefix of
+    /// the in-memory state.
     pub fn handle_timeout(&mut self, now: WallClock) {
         let due: Vec<(SessionKey, TimerId)> = self
             .sessions
@@ -616,6 +970,15 @@ impl Endpoint {
                     .map(move |(&timer, _)| (key, timer))
             })
             .collect();
+        if due.is_empty() {
+            return;
+        }
+        if self
+            .persist_input(None, &WalRecord::Timeout { at: now })
+            .is_err()
+        {
+            return;
+        }
         for (key, timer) in due {
             if let Some(session) = self.sessions.get_mut(&key) {
                 // An earlier firing in this same batch may have cancelled the

@@ -61,6 +61,7 @@
 pub mod endpoint;
 pub mod executor;
 pub mod net;
+pub mod persist;
 pub mod runner;
 
 pub use endpoint::{
@@ -69,3 +70,7 @@ pub use endpoint::{
 };
 pub use executor::{Executor, InlineExecutor, JobOutcome, ThreadPoolExecutor};
 pub use net::{EndpointNet, EventRecord, RejectRecord};
+pub use persist::{
+    EndpointSnapshot, PersistStats, RestoreError, SessionSnapshot, SessionStateSnapshot,
+    SNAPSHOT_VERSION,
+};

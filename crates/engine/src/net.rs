@@ -19,8 +19,9 @@ use dkg_vss::{SessionId, VssInput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::endpoint::{Endpoint, Event, Reject, WallClock};
+use crate::endpoint::{Endpoint, EndpointConfig, Event, Reject, WallClock};
 use crate::executor::{Executor, InlineExecutor};
+use crate::persist::{PersistStats, RestoreError};
 
 /// Default cap on processed events, protecting against runaway protocols.
 const DEFAULT_EVENT_LIMIT: u64 = 50_000_000;
@@ -107,7 +108,11 @@ pub struct RejectRecord {
 /// across executors and worker counts (`transcript_digest` proves it).
 pub struct EndpointNet {
     endpoints: BTreeMap<NodeId, Endpoint>,
-    crashed: BTreeSet<NodeId>,
+    /// Nodes currently down, with the endpoint configuration kept from the
+    /// moment of the crash — the in-memory [`Endpoint`] itself is
+    /// **dropped** (crash semantics are real): recovery rebuilds it from
+    /// its configured store, or from nothing.
+    crashed: BTreeMap<NodeId, EndpointConfig>,
     muted: BTreeSet<NodeId>,
     queue: BinaryHeap<Scheduled>,
     scheduled_wake: BTreeMap<NodeId, WallClock>,
@@ -121,6 +126,12 @@ pub struct EndpointNet {
     /// `None` until [`EndpointNet::record_transcript`] opts in, so the
     /// per-datagram hashing costs nothing by default.
     transcript: Option<[u8; 32]>,
+    /// Successful crash recoveries (endpoints rebuilt from their store or
+    /// re-created fresh).
+    recoveries: u64,
+    /// Recoveries that failed to rebuild from the store `(node, error)`;
+    /// the node stays down.
+    recovery_failures: Vec<(NodeId, RestoreError)>,
     now: WallClock,
     seq: u64,
     processed: u64,
@@ -141,7 +152,7 @@ impl EndpointNet {
     pub fn with_executor(delay: DelayModel, seed: u64, executor: Box<dyn Executor>) -> Self {
         EndpointNet {
             endpoints: BTreeMap::new(),
-            crashed: BTreeSet::new(),
+            crashed: BTreeMap::new(),
             muted: BTreeSet::new(),
             queue: BinaryHeap::new(),
             scheduled_wake: BTreeMap::new(),
@@ -152,6 +163,8 @@ impl EndpointNet {
             rejections: Vec::new(),
             executor,
             transcript: None,
+            recoveries: 0,
+            recovery_failures: Vec::new(),
             now: 0,
             seq: 0,
             processed: 0,
@@ -227,7 +240,39 @@ impl EndpointNet {
 
     /// Whether `node` is currently crashed.
     pub fn is_crashed(&self, node: NodeId) -> bool {
-        self.crashed.contains(&node)
+        self.crashed.contains_key(&node)
+    }
+
+    /// Successful crash recoveries so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Recoveries that failed to rebuild an endpoint from its store (the
+    /// node stays down).
+    pub fn recovery_failures(&self) -> &[(NodeId, RestoreError)] {
+        &self.recovery_failures
+    }
+
+    /// Persistence counters summed over all live endpoints, plus this
+    /// network's recovery count — the numbers the runner summary and the
+    /// crash-recovery example report.
+    pub fn persist_totals(&self) -> PersistStats {
+        let mut total = PersistStats::default();
+        for endpoint in self.endpoints.values() {
+            let stats = endpoint.persist_stats();
+            total.wal_appended += stats.wal_appended;
+            total.wal_replayed += stats.wal_replayed;
+            total.snapshots_written += stats.snapshots_written;
+            total.recoveries += stats.recoveries;
+            total.persist_errors += stats.persist_errors;
+        }
+        total
+    }
+
+    /// Bytes currently held by all endpoints' stores (snapshots + WALs).
+    pub fn stored_bytes(&self) -> u64 {
+        self.endpoints.values().map(Endpoint::stored_bytes).sum()
     }
 
     /// Lowers or raises the safety cap on processed events.
@@ -265,14 +310,21 @@ impl EndpointNet {
         );
     }
 
-    /// Schedules a crash: from `at`, the node receives nothing and fires no
-    /// timers until recovered.
+    /// Schedules a crash: at `at`, the node's in-memory endpoint is
+    /// **dropped** — its sessions, timers and queues are gone, exactly as
+    /// a real crash loses RAM. Until recovered, the node receives nothing.
+    /// What survives is whatever the endpoint persisted to its configured
+    /// [`EndpointConfig::store`]; without a store, recovery brings the
+    /// node back with fresh, empty state.
     pub fn schedule_crash(&mut self, node: NodeId, at: WallClock) {
         self.push(at, NetEvent::Crash(node));
     }
 
-    /// Schedules a recovery (the application-level §5.3 recovery procedure
-    /// is a separate [`DkgInput::Recover`] / [`VssInput::Recover`] input).
+    /// Schedules a recovery: with a configured store the endpoint is
+    /// rebuilt from its snapshot + WAL ([`Endpoint::restore`]); without
+    /// one a fresh, session-less endpoint takes its place. The
+    /// application-level §5.3 recovery procedure is a separate
+    /// [`DkgInput::Recover`] / [`VssInput::Recover`] input.
     pub fn schedule_recover(&mut self, node: NodeId, at: WallClock) {
         self.push(at, NetEvent::Recover(node));
     }
@@ -305,7 +357,9 @@ impl EndpointNet {
         self.now = scheduled.time;
         match scheduled.event {
             NetEvent::Deliver { from, to, bytes } => {
-                if self.crashed.contains(&to) || !self.endpoints.contains_key(&to) {
+                if !self.endpoints.contains_key(&to) {
+                    // Crashed (endpoint dropped) or never existed: a real
+                    // datagram to a down node is lost.
                     self.metrics.record_drop_to_crashed();
                 } else {
                     let now = self.now;
@@ -324,28 +378,24 @@ impl EndpointNet {
             }
             NetEvent::Wake { node } => {
                 self.scheduled_wake.remove(&node);
-                if !self.crashed.contains(&node) {
-                    let now = self.now;
-                    if let Some(endpoint) = self.endpoints.get_mut(&node) {
-                        endpoint.handle_timeout(now);
-                        self.drain(node);
-                    }
+                let now = self.now;
+                if let Some(endpoint) = self.endpoints.get_mut(&node) {
+                    endpoint.handle_timeout(now);
+                    self.drain(node);
                 }
             }
             NetEvent::DkgInput { node, tau, input } => {
-                if !self.crashed.contains(&node) {
-                    let now = self.now;
-                    if let Some(endpoint) = self.endpoints.get_mut(&node) {
-                        if let Err(reject) = endpoint.handle_dkg_input(tau, input, now) {
-                            self.rejections.push(RejectRecord {
-                                time: now,
-                                node,
-                                from: node,
-                                reject,
-                            });
-                        }
-                        self.drain(node);
+                let now = self.now;
+                if let Some(endpoint) = self.endpoints.get_mut(&node) {
+                    if let Err(reject) = endpoint.handle_dkg_input(tau, input, now) {
+                        self.rejections.push(RejectRecord {
+                            time: now,
+                            node,
+                            from: node,
+                            reject,
+                        });
                     }
+                    self.drain(node);
                 }
             }
             NetEvent::VssInput {
@@ -353,36 +403,62 @@ impl EndpointNet {
                 session,
                 input,
             } => {
-                if !self.crashed.contains(&node) {
-                    let now = self.now;
-                    if let Some(endpoint) = self.endpoints.get_mut(&node) {
-                        if let Err(reject) = endpoint.handle_vss_input(session, input, now) {
-                            self.rejections.push(RejectRecord {
-                                time: now,
-                                node,
-                                from: node,
-                                reject,
-                            });
-                        }
-                        self.drain(node);
+                let now = self.now;
+                if let Some(endpoint) = self.endpoints.get_mut(&node) {
+                    if let Err(reject) = endpoint.handle_vss_input(session, input, now) {
+                        self.rejections.push(RejectRecord {
+                            time: now,
+                            node,
+                            from: node,
+                            reject,
+                        });
                     }
+                    self.drain(node);
                 }
             }
             NetEvent::Crash(node) => {
-                if self.endpoints.contains_key(&node) {
-                    self.crashed.insert(node);
+                // A crash is a real crash: the in-memory endpoint is
+                // dropped. Only its configuration (with the store handle,
+                // if any) survives to drive the later recovery.
+                if let Some(endpoint) = self.endpoints.remove(&node) {
+                    self.crashed.insert(node, endpoint.config().clone());
+                    self.scheduled_wake.remove(&node);
                 }
             }
             NetEvent::Recover(node) => {
-                if self.crashed.remove(&node) {
+                if let Some(config) = self.crashed.remove(&node) {
+                    let now = self.now;
+                    let endpoint = if config.store.is_some() {
+                        // Rebuild from stable storage: snapshot + WAL
+                        // replay reconstructs the pre-crash state exactly.
+                        match Endpoint::restore(config.clone()) {
+                            Ok(endpoint) => endpoint,
+                            Err(err) => {
+                                // The store is unreadable: the node stays
+                                // down — and stays *crashed*, so
+                                // `is_crashed` keeps telling the truth and
+                                // a later `schedule_recover` can retry
+                                // (e.g. after a transient store error).
+                                self.recovery_failures.push((node, err));
+                                self.crashed.insert(node, config);
+                                return true;
+                            }
+                        }
+                    } else {
+                        // No stable storage: the node rejoins with fresh,
+                        // empty state — nothing "magically survives" the
+                        // crash any more.
+                        Endpoint::new(node, config)
+                    };
+                    self.endpoints.insert(node, endpoint);
+                    self.recoveries += 1;
                     // Timers that expired during the outage fire now; the
                     // protocol-level recovery procedure is the caller's
                     // scheduled `Recover` input.
-                    let now = self.now;
                     if let Some(endpoint) = self.endpoints.get_mut(&node) {
                         endpoint.handle_timeout(now);
-                        self.drain(node);
                     }
+                    self.drain(node);
                 }
             }
         }
@@ -456,6 +532,11 @@ impl EndpointNet {
                     }
                 }
             }
+        }
+        // Quiescent point: outbox and events drained, jobs settled — the
+        // moment the endpoint may fold its WAL into a fresh snapshot.
+        if let Some(endpoint) = self.endpoints.get_mut(&node) {
+            endpoint.maybe_compact();
         }
         if let Some(deadline) = self.endpoints[&node].poll_timeout() {
             let wake_at = deadline.max(now);

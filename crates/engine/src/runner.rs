@@ -195,6 +195,25 @@ pub fn outcomes_by_node(outcomes: &[NodeOutcome]) -> BTreeMap<NodeId, &NodeOutco
     outcomes.iter().map(|o| (o.node, o)).collect()
 }
 
+/// A printable summary of the persistence layer's activity across the
+/// network, companion to [`dkg_sim::Metrics::report`]: WAL frames
+/// appended/replayed, snapshots written, recoveries and live stored bytes.
+pub fn persistence_summary(net: &EndpointNet) -> String {
+    let totals = net.persist_totals();
+    format!(
+        "persistence: {} wal frames appended ({} replayed on recovery), \
+         {} snapshots written\nrecoveries: {} completed, {} failed; \
+         {} persist errors; {} bytes on stable storage",
+        totals.wal_appended,
+        totals.wal_replayed,
+        totals.snapshots_written,
+        net.recoveries(),
+        net.recovery_failures().len(),
+        totals.persist_errors,
+        net.stored_bytes(),
+    )
+}
+
 /// Summary of a DKG run with faults, mirroring the experiment harness's
 /// `DkgRun` but measured on real datagrams.
 pub struct DkgNetRun {

@@ -321,6 +321,15 @@ impl<Ctx> JobQueue<Ctx> {
         self.queued.len()
     }
 
+    /// Whether the queue holds no work at all — nothing queued and nothing
+    /// in flight. Snapshot extraction requires an idle queue: a pending
+    /// job's context cannot be serialised, so persistence layers snapshot
+    /// only at job-quiescent points and re-create in-flight work by
+    /// replaying the inputs that prepared it.
+    pub fn is_idle(&self) -> bool {
+        self.queued.is_empty() && self.in_flight.is_empty()
+    }
+
     /// Runs `job` now (inline mode) or queues it (deferred mode).
     pub fn submit(&mut self, job: CryptoJob, ctx: Ctx) -> Submission<Ctx> {
         if self.deferred {
@@ -374,6 +383,10 @@ pub struct ShareCollector {
     pending: std::collections::BTreeMap<u64, Scalar>,
     verified: std::collections::BTreeMap<u64, Scalar>,
 }
+
+/// Index-ordered `(node, share)` entries, as pooled, batched and
+/// snapshotted by a [`ShareCollector`].
+pub type ShareEntries = Vec<(u64, Scalar)>;
 
 /// What a share-batch verdict led to (see [`ShareCollector::absorb`]).
 pub enum ShareProgress {
@@ -431,6 +444,23 @@ impl ShareCollector {
         match self.take_batch(needed) {
             Some(entries) => ShareProgress::Submit(entries),
             None => ShareProgress::Pending,
+        }
+    }
+
+    /// Decomposes the collector into `(pending, verified)` share lists in
+    /// index order — the snapshot form for persistence.
+    pub fn to_parts(&self) -> (ShareEntries, ShareEntries) {
+        (
+            self.pending.iter().map(|(&m, &s)| (m, s)).collect(),
+            self.verified.iter().map(|(&m, &s)| (m, s)).collect(),
+        )
+    }
+
+    /// Rebuilds a collector from [`ShareCollector::to_parts`] output.
+    pub fn from_parts(pending: ShareEntries, verified: ShareEntries) -> Self {
+        ShareCollector {
+            pending: pending.into_iter().collect(),
+            verified: verified.into_iter().collect(),
         }
     }
 

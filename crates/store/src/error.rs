@@ -1,0 +1,95 @@
+//! Typed persistence errors.
+
+use dkg_wire::WireError;
+
+/// Why a store operation failed. Every failure path through the
+//  persistence subsystem is a value of this type — never a panic.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StoreError {
+    /// An I/O operation on the backing medium failed.
+    Io {
+        /// What the store was doing (`"open"`, `"append"`, `"rename"`, …).
+        op: &'static str,
+        /// The underlying error, stringified ( `std::io::Error` is neither
+        /// `Clone` nor `PartialEq`).
+        message: String,
+    },
+    /// A WAL frame or snapshot failed its codec-level validation.
+    Corrupt(WireError),
+    /// A WAL frame's checksum did not match its payload — bit rot or an
+    /// out-of-band modification, as opposed to the torn tail a crash
+    /// mid-append leaves (which is tolerated and trimmed).
+    CrcMismatch {
+        /// Byte offset of the offending frame in the log.
+        offset: u64,
+    },
+    /// A WAL frame declared an implausibly large payload.
+    OversizedRecord {
+        /// The declared payload length.
+        len: u64,
+        /// The enforced maximum.
+        max: u64,
+    },
+    /// The record or snapshot was written by an unknown format version.
+    UnsupportedVersion {
+        /// The version byte found.
+        version: u8,
+    },
+    /// The store's lock was poisoned by a panicking writer.
+    Poisoned,
+    /// A restore was requested but the endpoint has no configured store.
+    NoStore,
+    /// A restore was requested but the store holds no snapshot yet.
+    SnapshotMissing,
+    /// A snapshot was requested at a moment the state cannot be captured
+    /// (crypto jobs in flight); retry at a quiescent point.
+    SnapshotUnavailable,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, message } => write!(f, "store i/o failed during {op}: {message}"),
+            StoreError::Corrupt(err) => write!(f, "corrupt stored record: {err}"),
+            StoreError::CrcMismatch { offset } => {
+                write!(f, "wal frame checksum mismatch at offset {offset}")
+            }
+            StoreError::OversizedRecord { len, max } => {
+                write!(
+                    f,
+                    "wal frame declares {len} bytes, exceeding the {max}-byte limit"
+                )
+            }
+            StoreError::UnsupportedVersion { version } => {
+                write!(f, "unsupported store format version {version}")
+            }
+            StoreError::Poisoned => write!(f, "store lock poisoned by a panicking writer"),
+            StoreError::NoStore => write!(f, "no store configured"),
+            StoreError::SnapshotMissing => write!(f, "store holds no snapshot"),
+            StoreError::SnapshotUnavailable => {
+                write!(
+                    f,
+                    "state not snapshottable right now (crypto jobs in flight)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<WireError> for StoreError {
+    fn from(err: WireError) -> Self {
+        StoreError::Corrupt(err)
+    }
+}
+
+impl StoreError {
+    /// Wraps an I/O error with the operation it interrupted.
+    pub fn io(op: &'static str, err: std::io::Error) -> Self {
+        StoreError::Io {
+            op,
+            message: err.to_string(),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # dkg-store
+//!
+//! Durable session state for the hybrid DKG reproduction of *Distributed
+//! Key Generation for the Internet* (Kate & Goldberg, ICDCS 2009).
+//!
+//! The paper's fault model (§2.2) is **crash-recovery**: nodes keep their
+//! protocol state on stable storage, may crash at arbitrary points, and
+//! rejoin the same DKG/VSS session after a reboot (§5.3). This crate is
+//! that stable storage:
+//!
+//! * [`WalRecord`] — the CRC-framed append-only **write-ahead log**: every
+//!   accepted datagram, operator decision and timer firing an endpoint
+//!   processes, in order. Replaying the log through the normal input paths
+//!   of the deterministic state machines reproduces the pre-crash state
+//!   exactly (their randomness lives in persisted RNG state).
+//! * **Snapshots** — opaque versioned byte images (the codecs live next to
+//!   the state machines: `VssSnapshot` in `dkg-vss`, `DkgSnapshot` in
+//!   `dkg-core`, the per-endpoint envelope in `dkg-engine`). Installing a
+//!   snapshot truncates the log — the compaction step that keeps storage
+//!   bounded for long-lived sessions.
+//! * [`Store`] — the storage abstraction, with [`MemStore`] (tests,
+//!   simulations) and [`FileStore`] (one directory per endpoint:
+//!   `snapshot.bin` + `wal.log`, atomic snapshot install via
+//!   write-tmp-then-rename, torn log tails trimmed on load).
+//! * [`StoreHandle`] — the cloneable handle `dkg-engine` embeds in
+//!   `EndpointConfig`; every failure is a typed [`StoreError`], never a
+//!   panic, and stored bytes are validated on read exactly like untrusted
+//!   network input.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod store;
+pub mod wal;
+
+pub use error::StoreError;
+pub use store::{FileStore, MemStore, Store, StoreHandle, StoredState};
+pub use wal::{
+    crc32, decode_wal, encode_frame, WalRecord, WalScan, MAX_WAL_RECORD_LEN, WAL_VERSION,
+};

@@ -1,0 +1,357 @@
+//! The [`Store`] trait and its two implementations: [`MemStore`] for
+//! tests and simulations, [`FileStore`] for real runs.
+//!
+//! A store holds, per endpoint, **one snapshot slot** (the latest full
+//! state image, opaque bytes to this crate) and an **append-only WAL** of
+//! [`WalRecord`] frames covering everything since that snapshot.
+//! [`Store::install_snapshot`] is the compaction step: atomically replace
+//! the snapshot and truncate the log.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::error::StoreError;
+use crate::wal::{decode_wal, encode_frame, WalRecord};
+
+/// Everything a store holds, in decoded form — what a restore starts from.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StoredState {
+    /// The latest snapshot, if one was installed.
+    pub snapshot: Option<Vec<u8>>,
+    /// WAL records appended since that snapshot, in order.
+    pub wal: Vec<WalRecord>,
+    /// Whether the log ended in a torn frame (crash mid-append) that was
+    /// trimmed.
+    pub torn_tail: bool,
+}
+
+/// Stable storage for one endpoint's session state.
+///
+/// Implementations must make `install_snapshot` atomic with respect to
+/// crashes: after a crash, `load` sees either the old snapshot with the
+/// old log or the new snapshot with an empty log, never a mix.
+pub trait Store: Send {
+    /// Reads the current snapshot and log.
+    fn load(&mut self) -> Result<StoredState, StoreError>;
+
+    /// Appends one record to the WAL.
+    fn append(&mut self, record: &WalRecord) -> Result<(), StoreError>;
+
+    /// Atomically installs a new snapshot and truncates the WAL
+    /// (compaction).
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> Result<(), StoreError>;
+
+    /// Current WAL size in bytes (drives the compaction threshold).
+    fn wal_bytes(&self) -> u64;
+
+    /// Current snapshot size in bytes.
+    fn snapshot_bytes(&self) -> u64;
+
+    /// Total bytes held (snapshot + WAL).
+    fn stored_bytes(&self) -> u64 {
+        self.wal_bytes() + self.snapshot_bytes()
+    }
+}
+
+/// An in-memory store. Keeps the WAL in its *encoded* frame form so tests
+/// can exercise the same torn-tail and corruption paths as the file store.
+#[derive(Clone, Debug, Default)]
+pub struct MemStore {
+    snapshot: Option<Vec<u8>>,
+    wal: Vec<u8>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Test hook: the raw encoded WAL, for truncation/bit-flip injection.
+    pub fn raw_wal_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.wal
+    }
+
+    /// Test hook: overwrites the raw snapshot bytes.
+    pub fn set_raw_snapshot(&mut self, snapshot: Option<Vec<u8>>) {
+        self.snapshot = snapshot;
+    }
+}
+
+impl Store for MemStore {
+    fn load(&mut self) -> Result<StoredState, StoreError> {
+        let scan = decode_wal(&self.wal)?;
+        let torn = scan.clean_len < self.wal.len() as u64;
+        if torn {
+            self.wal.truncate(scan.clean_len as usize);
+        }
+        Ok(StoredState {
+            snapshot: self.snapshot.clone(),
+            wal: scan.records,
+            torn_tail: torn,
+        })
+    }
+
+    fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        self.wal.extend_from_slice(&encode_frame(record));
+        Ok(())
+    }
+
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> Result<(), StoreError> {
+        self.snapshot = Some(snapshot.to_vec());
+        self.wal.clear();
+        Ok(())
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.wal.len() as u64
+    }
+
+    fn snapshot_bytes(&self) -> u64 {
+        self.snapshot.as_ref().map_or(0, |s| s.len() as u64)
+    }
+}
+
+/// An on-disk store: `snapshot.bin` plus a **per-generation** append-only
+/// log `wal-<g>.log` inside one directory per endpoint.
+///
+/// Compaction is crash-atomic through the generation number embedded in
+/// the snapshot's 8-byte header: installing snapshot generation `g + 1`
+/// first creates the fresh empty `wal-<g+1>.log`, then writes
+/// `snapshot.tmp` (header + payload), syncs it and renames it over
+/// `snapshot.bin` (atomic on POSIX filesystems). The snapshot *names* its
+/// log, so whichever side of the rename a crash lands on, `load` pairs a
+/// snapshot with exactly the log written for it — a new snapshot can
+/// never be combined with the old (already-folded-in) log. Stale logs
+/// are deleted best-effort after the rename.
+///
+/// Appends are `sync_data`'d so an acknowledged write-ahead record
+/// survives an OS crash; a torn final frame (crash mid-append) is
+/// trimmed on `load`.
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+    generation: u64,
+    wal: File,
+    wal_len: u64,
+    snapshot_len: u64,
+}
+
+/// Bytes of generation header at the front of `snapshot.bin`.
+const SNAPSHOT_HEADER: usize = 8;
+
+impl FileStore {
+    fn snapshot_path(dir: &Path) -> PathBuf {
+        dir.join("snapshot.bin")
+    }
+
+    fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+        dir.join(format!("wal-{generation}.log"))
+    }
+
+    /// Reads `snapshot.bin`: `(generation, payload)`, or generation 0 and
+    /// no payload when none was installed yet.
+    fn read_snapshot(dir: &Path) -> Result<(u64, Option<Vec<u8>>), StoreError> {
+        match std::fs::read(Self::snapshot_path(dir)) {
+            Ok(bytes) if bytes.len() >= SNAPSHOT_HEADER => {
+                let generation =
+                    u64::from_be_bytes(bytes[..SNAPSHOT_HEADER].try_into().expect("8 bytes"));
+                Ok((generation, Some(bytes[SNAPSHOT_HEADER..].to_vec())))
+            }
+            Ok(_) => Err(StoreError::Corrupt(dkg_wire::WireError::UnexpectedEof {
+                needed: SNAPSHOT_HEADER,
+                remaining: 0,
+            })),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok((0, None)),
+            Err(e) => Err(StoreError::io("read snapshot", e)),
+        }
+    }
+
+    fn open_wal(dir: &Path, generation: u64) -> Result<(File, u64), StoreError> {
+        let wal = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(Self::wal_path(dir, generation))
+            .map_err(|e| StoreError::io("open wal", e))?;
+        let len = wal
+            .metadata()
+            .map_err(|e| StoreError::io("stat wal", e))?
+            .len();
+        Ok((wal, len))
+    }
+
+    /// Opens (creating if necessary) the store rooted at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| StoreError::io("create dir", e))?;
+        let (generation, snapshot) = Self::read_snapshot(&dir)?;
+        let (wal, wal_len) = Self::open_wal(&dir, generation)?;
+        Ok(FileStore {
+            dir,
+            generation,
+            wal,
+            wal_len,
+            snapshot_len: snapshot.map_or(0, |s| s.len() as u64),
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Store for FileStore {
+    fn load(&mut self) -> Result<StoredState, StoreError> {
+        let (generation, snapshot) = Self::read_snapshot(&self.dir)?;
+        if generation != self.generation {
+            // Another handle (or a pre-crash process) compacted since we
+            // opened: follow the snapshot to its log.
+            let (wal, wal_len) = Self::open_wal(&self.dir, generation)?;
+            self.generation = generation;
+            self.wal = wal;
+            self.wal_len = wal_len;
+        }
+        self.snapshot_len = snapshot.as_ref().map_or(0, |s| s.len() as u64);
+        let mut bytes = Vec::new();
+        let mut reader = std::fs::File::open(Self::wal_path(&self.dir, self.generation))
+            .map_err(|e| StoreError::io("open wal", e))?;
+        reader
+            .read_to_end(&mut bytes)
+            .map_err(|e| StoreError::io("read wal", e))?;
+        let scan = decode_wal(&bytes)?;
+        let torn = scan.clean_len < bytes.len() as u64;
+        if torn {
+            // Trim the torn tail so future appends start on a frame
+            // boundary.
+            self.wal
+                .set_len(scan.clean_len)
+                .map_err(|e| StoreError::io("truncate wal", e))?;
+        }
+        self.wal_len = scan.clean_len;
+        Ok(StoredState {
+            snapshot,
+            wal: scan.records,
+            torn_tail: torn,
+        })
+    }
+
+    fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        let frame = encode_frame(record);
+        self.wal
+            .write_all(&frame)
+            .map_err(|e| StoreError::io("append", e))?;
+        // Write-ahead means *durable* before the state mutates: push the
+        // frame past the page cache (data only; the file never shrinks
+        // except under compaction/trim, so metadata syncing can wait).
+        self.wal
+            .sync_data()
+            .map_err(|e| StoreError::io("sync append", e))?;
+        self.wal_len += frame.len() as u64;
+        Ok(())
+    }
+
+    fn install_snapshot(&mut self, snapshot: &[u8]) -> Result<(), StoreError> {
+        let next = self.generation + 1;
+        // 1. The new generation's log exists (empty) before the snapshot
+        //    that names it can appear.
+        let new_wal = File::create(Self::wal_path(&self.dir, next))
+            .map_err(|e| StoreError::io("create wal", e))?;
+        drop(new_wal);
+        // 2. Stage header + payload, sync, atomically rename into place.
+        //    A crash before the rename leaves generation `g` (old snapshot
+        //    + old log); after it, generation `g + 1` (new snapshot + the
+        //    fresh empty log). Never a mix.
+        let tmp = self.dir.join("snapshot.tmp");
+        {
+            let mut file = File::create(&tmp).map_err(|e| StoreError::io("create tmp", e))?;
+            file.write_all(&next.to_be_bytes())
+                .map_err(|e| StoreError::io("write tmp", e))?;
+            file.write_all(snapshot)
+                .map_err(|e| StoreError::io("write tmp", e))?;
+            file.sync_all().map_err(|e| StoreError::io("sync tmp", e))?;
+        }
+        std::fs::rename(&tmp, Self::snapshot_path(&self.dir))
+            .map_err(|e| StoreError::io("rename", e))?;
+        // 3. The old log is dead weight now; removal is best-effort (a
+        //    crash here just leaves a stale file that load() ignores).
+        let _ = std::fs::remove_file(Self::wal_path(&self.dir, self.generation));
+        let (wal, wal_len) = Self::open_wal(&self.dir, next)?;
+        self.generation = next;
+        self.wal = wal;
+        self.wal_len = wal_len;
+        self.snapshot_len = snapshot.len() as u64;
+        Ok(())
+    }
+
+    fn wal_bytes(&self) -> u64 {
+        self.wal_len
+    }
+
+    fn snapshot_bytes(&self) -> u64 {
+        self.snapshot_len
+    }
+}
+
+/// A cloneable, thread-safe handle to a [`Store`], suitable for embedding
+/// in configuration structs. All methods lock internally; a poisoned lock
+/// surfaces as [`StoreError::Poisoned`], never a panic.
+#[derive(Clone)]
+pub struct StoreHandle(Arc<Mutex<dyn Store>>);
+
+impl std::fmt::Debug for StoreHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreHandle")
+            .field("wal_bytes", &self.wal_bytes())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StoreHandle {
+    /// Wraps a store.
+    pub fn new(store: impl Store + 'static) -> Self {
+        StoreHandle(Arc::new(Mutex::new(store)))
+    }
+
+    /// A fresh in-memory store.
+    pub fn in_memory() -> Self {
+        Self::new(MemStore::new())
+    }
+
+    /// A file store rooted at `dir`.
+    pub fn open_dir(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        Ok(Self::new(FileStore::open(dir)?))
+    }
+
+    fn lock(&self) -> Result<std::sync::MutexGuard<'_, dyn Store + 'static>, StoreError> {
+        self.0.lock().map_err(|_| StoreError::Poisoned)
+    }
+
+    /// See [`Store::load`].
+    pub fn load(&self) -> Result<StoredState, StoreError> {
+        self.lock()?.load()
+    }
+
+    /// See [`Store::append`].
+    pub fn append(&self, record: &WalRecord) -> Result<(), StoreError> {
+        self.lock()?.append(record)
+    }
+
+    /// See [`Store::install_snapshot`].
+    pub fn install_snapshot(&self, snapshot: &[u8]) -> Result<(), StoreError> {
+        self.lock()?.install_snapshot(snapshot)
+    }
+
+    /// See [`Store::wal_bytes`] (0 if the lock is poisoned).
+    pub fn wal_bytes(&self) -> u64 {
+        self.lock().map_or(0, |s| s.wal_bytes())
+    }
+
+    /// See [`Store::stored_bytes`] (0 if the lock is poisoned).
+    pub fn stored_bytes(&self) -> u64 {
+        self.lock().map_or(0, |s| s.stored_bytes())
+    }
+}

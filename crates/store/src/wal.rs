@@ -1,0 +1,351 @@
+//! The write-ahead log: record types, CRC framing, and the tolerant
+//! reader.
+//!
+//! A crash-recovering node reconstructs its endpoint by loading the latest
+//! snapshot and **replaying** everything that drove the state machines
+//! since: received datagrams, its own operator decisions, and timer
+//! firings. Those are exactly the [`WalRecord`] variants. Because the
+//! state machines are deterministic (their randomness lives in persisted
+//! RNG state), replaying the log through the normal `handle_datagram` /
+//! `handle_*_input` / `handle_timeout` paths reproduces the pre-crash
+//! state bit for bit.
+//!
+//! ## Frame format
+//!
+//! ```text
+//! frame   := len:u32 crc:u32 payload            (big-endian integers)
+//! payload := version:u8 record                  (version currently 1)
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE) over the payload. The reader distinguishes two
+//! failure shapes: a **torn tail** — the file ends mid-frame, which is
+//! what a crash during `append` leaves and is silently trimmed — and
+//! everything else (checksum mismatch, unknown version or tag, codec
+//! errors), which is surfaced as a typed [`StoreError`] because it means
+//! the medium, not the crash model, lied.
+
+use dkg_core::DkgInput;
+use dkg_crypto::NodeId;
+use dkg_vss::{SessionId, VssInput};
+use dkg_wire::{Reader, WireDecode, WireEncode, WireError, WireWrite};
+
+use crate::error::StoreError;
+
+/// Version byte every WAL payload starts with.
+pub const WAL_VERSION: u8 = 1;
+
+/// Upper bound on a single WAL payload. Generous (a datagram is already
+/// capped far lower by the endpoint), but keeps a corrupt length prefix
+/// from driving a huge allocation.
+pub const MAX_WAL_RECORD_LEN: u64 = 1 << 24;
+
+/// One durable input to an endpoint: what must be replayed, in order, to
+/// reconstruct the post-snapshot state after a crash.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalRecord {
+    /// A datagram the endpoint accepted (rejected datagrams change no
+    /// state and are not logged).
+    Datagram {
+        /// Receipt time on the endpoint's clock.
+        at: u64,
+        /// The claimed sender.
+        from: NodeId,
+        /// The complete framed datagram bytes.
+        bytes: Vec<u8>,
+    },
+    /// An operator input fed to a DKG session.
+    DkgOperator {
+        /// Input time.
+        at: u64,
+        /// The session's phase counter.
+        tau: u64,
+        /// The input.
+        input: DkgInput,
+    },
+    /// An operator input fed to a standalone VSS session.
+    VssOperator {
+        /// Input time.
+        at: u64,
+        /// The session id.
+        session: SessionId,
+        /// The input.
+        input: VssInput,
+    },
+    /// A `handle_timeout` call that fired at least one timer.
+    Timeout {
+        /// The clock value passed to `handle_timeout`.
+        at: u64,
+    },
+}
+
+impl WalRecord {
+    /// The record's input time.
+    pub fn at(&self) -> u64 {
+        match self {
+            WalRecord::Datagram { at, .. }
+            | WalRecord::DkgOperator { at, .. }
+            | WalRecord::VssOperator { at, .. }
+            | WalRecord::Timeout { at } => *at,
+        }
+    }
+}
+
+impl WireEncode for WalRecord {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        match self {
+            WalRecord::Datagram { at, from, bytes } => {
+                w.put_u8(0);
+                w.put_u64(*at);
+                w.put_u64(*from);
+                bytes.encode_to(w);
+            }
+            WalRecord::DkgOperator { at, tau, input } => {
+                w.put_u8(1);
+                w.put_u64(*at);
+                w.put_u64(*tau);
+                input.encode_to(w);
+            }
+            WalRecord::VssOperator { at, session, input } => {
+                w.put_u8(2);
+                w.put_u64(*at);
+                session.encode_to(w);
+                input.encode_to(w);
+            }
+            WalRecord::Timeout { at } => {
+                w.put_u8(3);
+                w.put_u64(*at);
+            }
+        }
+    }
+}
+
+impl WireDecode for WalRecord {
+    const MIN_WIRE_LEN: usize = 1 + 8;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(WalRecord::Datagram {
+                at: r.u64()?,
+                from: r.u64()?,
+                bytes: Vec::decode_from(r)?,
+            }),
+            1 => Ok(WalRecord::DkgOperator {
+                at: r.u64()?,
+                tau: r.u64()?,
+                input: DkgInput::decode_from(r)?,
+            }),
+            2 => Ok(WalRecord::VssOperator {
+                at: r.u64()?,
+                session: SessionId::decode_from(r)?,
+                input: VssInput::decode_from(r)?,
+            }),
+            3 => Ok(WalRecord::Timeout { at: r.u64()? }),
+            tag => Err(WireError::UnknownTag {
+                context: "wal record",
+                tag,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320)
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xff) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Encodes one record as a complete CRC frame ready for appending.
+pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
+    let payload_len = 1 + record.encoded_len();
+    let mut out = Vec::with_capacity(8 + payload_len);
+    out.put_u32(payload_len as u32);
+    out.put_u32(0); // crc placeholder
+    out.put_u8(WAL_VERSION);
+    record.encode_to(&mut out);
+    debug_assert_eq!(out.len(), 8 + payload_len);
+    let crc = crc32(&out[8..]);
+    out[4..8].copy_from_slice(&crc.to_be_bytes());
+    out
+}
+
+/// The result of scanning a log: the decoded records plus how many bytes
+/// of the input formed complete, valid frames. `clean_len < bytes.len()`
+/// means the tail was torn by a crash mid-append; the store trims it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalScan {
+    /// The decoded records, in append order.
+    pub records: Vec<WalRecord>,
+    /// Prefix length (bytes) covered by complete frames.
+    pub clean_len: u64,
+}
+
+/// Decodes a log's frames. Torn tails are tolerated (see [`WalScan`]);
+/// checksum mismatches, unknown versions and codec failures are typed
+/// errors.
+pub fn decode_wal(bytes: &[u8]) -> Result<WalScan, StoreError> {
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while bytes.len() - offset >= 8 {
+        let declared = u32::from_be_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
+        let declared = declared as u64;
+        if declared > MAX_WAL_RECORD_LEN {
+            return Err(StoreError::OversizedRecord {
+                len: declared,
+                max: MAX_WAL_RECORD_LEN,
+            });
+        }
+        let declared = declared as usize;
+        if bytes.len() - offset - 8 < declared {
+            // Torn tail: the crash hit mid-append.
+            break;
+        }
+        let crc = u32::from_be_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let payload = &bytes[offset + 8..offset + 8 + declared];
+        if crc32(payload) != crc {
+            return Err(StoreError::CrcMismatch {
+                offset: offset as u64,
+            });
+        }
+        let mut reader = Reader::new(payload);
+        let version = reader.u8().map_err(StoreError::Corrupt)?;
+        if version != WAL_VERSION {
+            return Err(StoreError::UnsupportedVersion { version });
+        }
+        let record = WalRecord::decode_from(&mut reader).map_err(StoreError::Corrupt)?;
+        if reader.remaining() != 0 {
+            return Err(StoreError::Corrupt(WireError::TrailingBytes {
+                remaining: reader.remaining(),
+            }));
+        }
+        records.push(record);
+        offset += 8 + declared;
+    }
+    Ok(WalScan {
+        records,
+        clean_len: offset as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Datagram {
+                at: 10,
+                from: 3,
+                bytes: vec![1, 2, 3, 4],
+            },
+            WalRecord::DkgOperator {
+                at: 11,
+                tau: 0,
+                input: DkgInput::Start,
+            },
+            WalRecord::VssOperator {
+                at: 12,
+                session: SessionId::new(1, 0),
+                input: VssInput::Reconstruct,
+            },
+            WalRecord::Timeout { at: 13 },
+        ]
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut log = Vec::new();
+        for record in sample_records() {
+            log.extend_from_slice(&encode_frame(&record));
+        }
+        let scan = decode_wal(&log).unwrap();
+        assert_eq!(scan.records, sample_records());
+        assert_eq!(scan.clean_len, log.len() as u64);
+    }
+
+    #[test]
+    fn torn_tail_is_trimmed_not_fatal() {
+        let mut log = encode_frame(&WalRecord::Timeout { at: 1 });
+        let clean = log.len() as u64;
+        let torn = encode_frame(&WalRecord::Timeout { at: 2 });
+        log.extend_from_slice(&torn[..torn.len() - 3]);
+        let scan = decode_wal(&log).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.clean_len, clean);
+    }
+
+    #[test]
+    fn checksum_mismatch_is_a_typed_error() {
+        let mut log = encode_frame(&WalRecord::Timeout { at: 1 });
+        let last = log.len() - 1;
+        log[last] ^= 0x40;
+        assert_eq!(decode_wal(&log), Err(StoreError::CrcMismatch { offset: 0 }));
+    }
+
+    #[test]
+    fn wrong_version_is_a_typed_error() {
+        let record = WalRecord::Timeout { at: 1 };
+        let payload_len = 1 + WireEncode::encoded_len(&record);
+        let mut log = Vec::new();
+        log.put_u32(payload_len as u32);
+        log.put_u32(0);
+        log.put_u8(9); // bad version
+        record.encode_to(&mut log);
+        let crc = crc32(&log[8..]);
+        log[4..8].copy_from_slice(&crc.to_be_bytes());
+        assert_eq!(
+            decode_wal(&log),
+            Err(StoreError::UnsupportedVersion { version: 9 })
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_a_typed_error() {
+        let mut log = Vec::new();
+        log.put_u32(u32::MAX);
+        log.put_u32(0);
+        assert!(matches!(
+            decode_wal(&log),
+            Err(StoreError::OversizedRecord { .. })
+        ));
+    }
+}

@@ -1,0 +1,258 @@
+//! Store-level robustness: FileStore durability across reopen, atomic
+//! compaction, and decode fuzzing of WAL frames and state-machine
+//! snapshots (truncations, bit flips, wrong versions, oversized lengths —
+//! typed errors, never panics). `WIRE_FUZZ_CASES` raises the fuzz budget,
+//! as in the decode-fuzz CI job.
+
+use dkg_arith::{PrimeField, Scalar};
+use dkg_core::{DkgConfig, DkgInput, DkgSnapshot, NodeKeys};
+use dkg_store::{FileStore, MemStore, Store, StoreError, WalRecord};
+use dkg_vss::{SessionId, VssConfig, VssInput, VssNode, VssSnapshot};
+use dkg_wire::{WireDecode, WireEncode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fuzz_cases() -> usize {
+    std::env::var("WIRE_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+fn sample_records() -> Vec<WalRecord> {
+    vec![
+        WalRecord::Datagram {
+            at: 5,
+            from: 2,
+            bytes: vec![0xAB; 48],
+        },
+        WalRecord::DkgOperator {
+            at: 6,
+            tau: 3,
+            input: DkgInput::StartReshare {
+                value: Scalar::from_u64(42),
+            },
+        },
+        WalRecord::VssOperator {
+            at: 7,
+            session: SessionId::new(4, 1),
+            input: VssInput::Share {
+                secret: Scalar::from_u64(9),
+            },
+        },
+        WalRecord::Timeout { at: 8 },
+    ]
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dkg-store-{}-{}", std::process::id(), tag))
+}
+
+#[test]
+fn file_store_survives_reopen_and_compaction() {
+    let dir = temp_dir("reopen");
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut store = FileStore::open(&dir).unwrap();
+        assert_eq!(store.load().unwrap().snapshot, None);
+        for record in sample_records() {
+            store.append(&record).unwrap();
+        }
+        assert!(store.wal_bytes() > 0);
+    }
+    // Reopen: the log is intact.
+    {
+        let mut store = FileStore::open(&dir).unwrap();
+        let state = store.load().unwrap();
+        assert_eq!(state.wal, sample_records());
+        assert!(!state.torn_tail);
+        // Compaction: snapshot installed, log truncated — atomically.
+        store.install_snapshot(b"snapshot-bytes").unwrap();
+        assert_eq!(store.wal_bytes(), 0);
+        store.append(&WalRecord::Timeout { at: 99 }).unwrap();
+    }
+    // Reopen again: snapshot plus the post-compaction suffix.
+    {
+        let mut store = FileStore::open(&dir).unwrap();
+        let state = store.load().unwrap();
+        assert_eq!(state.snapshot.as_deref(), Some(&b"snapshot-bytes"[..]));
+        assert_eq!(state.wal, vec![WalRecord::Timeout { at: 99 }]);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn file_store_trims_torn_tail_on_reopen() {
+    let dir = temp_dir("torn");
+    let _ = std::fs::remove_dir_all(&dir);
+    {
+        let mut store = FileStore::open(&dir).unwrap();
+        for record in sample_records() {
+            store.append(&record).unwrap();
+        }
+    }
+    // Simulate a crash mid-append: chop bytes off the log file (still
+    // generation 0 — no snapshot was installed yet).
+    let wal_path = dir.join("wal-0.log");
+    let bytes = std::fs::read(&wal_path).unwrap();
+    std::fs::write(&wal_path, &bytes[..bytes.len() - 5]).unwrap();
+    {
+        let mut store = FileStore::open(&dir).unwrap();
+        let state = store.load().unwrap();
+        assert!(state.torn_tail);
+        assert_eq!(state.wal.len(), sample_records().len() - 1);
+        // The trim is durable: appends continue on a frame boundary.
+        store.append(&WalRecord::Timeout { at: 1 }).unwrap();
+        let state = store.load().unwrap();
+        assert!(!state.torn_tail);
+        assert_eq!(state.wal.len(), sample_records().len());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Compaction is crash-atomic: the snapshot's generation header names the
+/// log written *for it*, so a crash that leaves the previous generation's
+/// (already folded-in) log lying around cannot get it replayed on top of
+/// the new snapshot.
+#[test]
+fn stale_log_from_before_compaction_is_never_replayed() {
+    let dir = temp_dir("stale");
+    let _ = std::fs::remove_dir_all(&dir);
+    let old_log = {
+        let mut store = FileStore::open(&dir).unwrap();
+        for record in sample_records() {
+            store.append(&record).unwrap();
+        }
+        let bytes = std::fs::read(dir.join("wal-0.log")).unwrap();
+        store.install_snapshot(b"generation-1").unwrap();
+        bytes
+    };
+    // Simulate the crash window after the snapshot rename but before the
+    // old log's removal: resurrect wal-0.log with its full contents.
+    std::fs::write(dir.join("wal-0.log"), &old_log).unwrap();
+    let mut store = FileStore::open(&dir).unwrap();
+    let state = store.load().unwrap();
+    assert_eq!(state.snapshot.as_deref(), Some(&b"generation-1"[..]));
+    assert_eq!(state.wal, vec![], "stale pre-compaction log is ignored");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// WAL fuzz: random truncations and bit flips of a valid log either decode
+/// (flips can hide in datagram payload bytes) or fail with a typed
+/// [`StoreError`] — never a panic, never an oversized allocation.
+#[test]
+fn wal_decode_fuzz_never_panics() {
+    let mut store = MemStore::new();
+    for record in sample_records() {
+        store.append(&record).unwrap();
+    }
+    let pristine = store.raw_wal_mut().clone();
+    let mut rng = StdRng::seed_from_u64(0xFA77);
+    for case in 0..fuzz_cases() {
+        let mut mutated = pristine.clone();
+        match case % 3 {
+            0 => {
+                let cut = rng.gen_range(0..mutated.len());
+                mutated.truncate(cut);
+            }
+            1 => {
+                let at = rng.gen_range(0..mutated.len());
+                mutated[at] ^= 1 << rng.gen_range(0..8u32);
+            }
+            _ => {
+                let garbage_len = rng.gen_range(1..64usize);
+                for _ in 0..garbage_len {
+                    mutated.push(rng.gen_range(0..=255u8));
+                }
+            }
+        }
+        let mut fuzzed = MemStore::new();
+        *fuzzed.raw_wal_mut() = mutated;
+        let _ = fuzzed.load(); // Ok(trimmed) or Err(typed): both fine.
+    }
+    // Pure garbage of every small length.
+    for len in 0..64usize {
+        let mut garbage = MemStore::new();
+        *garbage.raw_wal_mut() = (0..len).map(|i| (i * 37) as u8).collect();
+        let _ = garbage.load();
+    }
+}
+
+fn sample_vss_snapshot() -> VssSnapshot {
+    let cfg = VssConfig::standard(4, 0).unwrap();
+    let node = VssNode::new(2, cfg, SessionId::new(1, 0), 7, None);
+    node.snapshot().expect("fresh node is quiescent")
+}
+
+fn sample_dkg_snapshot() -> DkgSnapshot {
+    let mut rng = StdRng::seed_from_u64(11);
+    let (secrets, directory) = dkg_crypto::generate_keyring(&mut rng, 4);
+    let config = DkgConfig::standard(4, 0).unwrap();
+    let keys = NodeKeys {
+        signing_key: secrets[&1],
+        directory: std::sync::Arc::new(directory),
+    };
+    let node = dkg_core::DkgNode::new(1, config, keys, 0, 77);
+    node.snapshot().expect("fresh node is quiescent")
+}
+
+/// Snapshot codec fuzz for the state-machine snapshots themselves:
+/// truncations and bit flips yield typed `WireError`s or valid values,
+/// never panics; round trips are exact.
+#[test]
+fn snapshot_decode_fuzz_never_panics() {
+    let vss = sample_vss_snapshot();
+    let vss_bytes = vss.encode();
+    assert_eq!(VssSnapshot::decode(&vss_bytes), Ok(vss));
+    let dkg = sample_dkg_snapshot();
+    let dkg_bytes = dkg.encode();
+    assert_eq!(DkgSnapshot::decode(&dkg_bytes), Ok(dkg));
+
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let cases = fuzz_cases();
+    for bytes in [&vss_bytes, &dkg_bytes] {
+        for i in 0..cases {
+            // Truncations at spread boundaries always fail typed.
+            let cut = bytes.len() * i / cases.max(1);
+            if cut < bytes.len() {
+                assert!(<DkgSnapshot as WireDecode>::decode(&bytes[..cut]).is_err());
+            }
+            // Bit flips: decode or typed error, never a panic.
+            let mut mutated = bytes.to_vec();
+            let at = rng.gen_range(0..mutated.len());
+            mutated[at] ^= 1 << rng.gen_range(0..8u32);
+            let _ = VssSnapshot::decode(&mutated);
+            let _ = DkgSnapshot::decode(&mutated);
+        }
+    }
+}
+
+/// The WAL rejects implausible length prefixes outright (no allocation),
+/// and mid-log corruption is a checksum error, not a trim.
+#[test]
+fn corruption_classes_are_distinguished() {
+    let mut store = MemStore::new();
+    for record in sample_records() {
+        store.append(&record).unwrap();
+    }
+    // Oversized declared length.
+    let mut oversized = MemStore::new();
+    {
+        let wal = oversized.raw_wal_mut();
+        wal.extend_from_slice(&u32::MAX.to_be_bytes());
+        wal.extend_from_slice(&[0u8; 4]);
+    }
+    assert!(matches!(
+        oversized.load(),
+        Err(StoreError::OversizedRecord { .. })
+    ));
+    // Flip a byte inside the FIRST frame's payload: CRC mismatch (bit
+    // rot), not a torn tail.
+    let mut corrupted = MemStore::new();
+    *corrupted.raw_wal_mut() = store.raw_wal_mut().clone();
+    corrupted.raw_wal_mut()[10] ^= 0x01;
+    assert!(matches!(
+        corrupted.load(),
+        Err(StoreError::CrcMismatch { offset: 0 })
+    ));
+}

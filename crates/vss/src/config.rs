@@ -24,7 +24,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ResilienceBound { n, t, f: fc } => write!(
                 f,
                 "resilience bound violated: n = {n} < 3t + 2f + 1 = {}",
-                3 * t + 2 * fc + 1
+                3 * (*t as u128) + 2 * (*fc as u128) + 1
             ),
             ConfigError::BadNodeList => write!(f, "node list must be non-empty and duplicate-free"),
         }
@@ -54,7 +54,7 @@ pub enum CommitmentMode {
 }
 
 /// Static parameters of one HybridVSS session, shared by all nodes.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VssConfig {
     /// All node indices in the system (the paper's `P_1 … P_n`).
     pub nodes: Vec<NodeId>,
@@ -85,7 +85,9 @@ impl VssConfig {
         if n == 0 || unique.len() != n {
             return Err(ConfigError::BadNodeList);
         }
-        if n < 3 * t + 2 * f + 1 {
+        // Wide arithmetic: `t` and `f` may come from a decoded (hostile)
+        // snapshot, where `3t + 2f + 1` can overflow usize.
+        if (n as u128) < 3 * (t as u128) + 2 * (f as u128) + 1 {
             return Err(ConfigError::ResilienceBound { n, t, f });
         }
         Ok(VssConfig {

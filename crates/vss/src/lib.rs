@@ -49,10 +49,12 @@ pub mod config;
 pub mod faulty;
 pub mod messages;
 pub mod node;
+pub mod snapshot;
 pub mod standalone;
 pub mod wire;
 
 pub use config::{CommitmentMode, ConfigError, VssConfig};
 pub use messages::{CommitmentRef, ReadyWitness, SessionId, VssInput, VssMessage, VssOutput};
 pub use node::{SigningContext, VssAction, VssJobId, VssNode};
+pub use snapshot::{PendingPointSnapshot, SnapshotError, TallySnapshot, VssSnapshot};
 pub use standalone::StandaloneVss;

@@ -177,7 +177,7 @@ impl WireSize for VssMessage {
 }
 
 /// Operator `in` messages (Fig. 1 and the `Rec` protocol).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum VssInput {
     /// `(P_d, τ, in, share, s)` — only meaningful at the dealer.
     Share {

@@ -39,6 +39,7 @@ use rand::SeedableRng;
 
 use crate::config::{CommitmentMode, VssConfig};
 use crate::messages::{CommitmentRef, ReadyWitness, SessionId, VssInput, VssMessage, VssOutput};
+use crate::snapshot::{PendingPointSnapshot, SnapshotError, TallySnapshot, VssSnapshot};
 
 /// An effect produced by the VSS state machine.
 #[derive(Clone, Debug, PartialEq)]
@@ -197,6 +198,189 @@ impl VssNode {
             help_granted_per: BTreeMap::new(),
             jobs: JobQueue::new(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot extraction / re-injection (crash-recovery, §5.3)
+    // ------------------------------------------------------------------
+
+    /// Extracts the node's complete stable state as a [`VssSnapshot`].
+    ///
+    /// Returns `None` while crypto jobs are queued or in flight: a pending
+    /// job's context is transient, so persistence layers snapshot only at
+    /// job-quiescent points and re-create in-flight work by replaying the
+    /// logged inputs.
+    pub fn snapshot(&self) -> Option<VssSnapshot> {
+        if !self.jobs.is_idle() {
+            return None;
+        }
+        let (reconstruct_pending, reconstruct_verified) = self.reconstruct.to_parts();
+        Some(VssSnapshot {
+            id: self.id,
+            session: self.session,
+            config: self.config.clone(),
+            rng: self.rng.state(),
+            signing_key: self.signing.as_ref().map(|s| s.key.secret()),
+            send_handled: self.send_handled,
+            tallies: self
+                .tallies
+                .iter()
+                .map(|(&digest, tally)| {
+                    (
+                        digest,
+                        TallySnapshot {
+                            points: tally.points.iter().map(|(&m, &s)| (m, s)).collect(),
+                            echo_from: tally.echo_from.iter().copied().collect(),
+                            ready_from: tally.ready_from.iter().copied().collect(),
+                            echo_verified: tally.echo_verified.iter().copied().collect(),
+                            ready_verified: tally.ready_verified.iter().copied().collect(),
+                            witnesses: tally.witnesses.clone(),
+                            row: tally.row.clone(),
+                            echo_sent: tally.echo_sent,
+                            ready_sent: tally.ready_sent,
+                        },
+                    )
+                })
+                .collect(),
+            commitments: self
+                .commitments
+                .iter()
+                .map(|(&digest, matrix)| (digest, (**matrix).clone()))
+                .collect(),
+            pending: self
+                .pending
+                .iter()
+                .map(|(&digest, points)| {
+                    (
+                        digest,
+                        points
+                            .iter()
+                            .map(|p| PendingPointSnapshot {
+                                from: p.from,
+                                point: p.point,
+                                is_ready: p.is_ready,
+                                signature: p.signature,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+            completed: self
+                .completed
+                .as_ref()
+                .map(|(matrix, share)| ((**matrix).clone(), *share)),
+            completed_witnesses: self.completed_witnesses.clone(),
+            reconstruct_started: self.reconstruct_started,
+            reconstruct_pending,
+            reconstruct_verified,
+            reconstructed: self.reconstructed,
+            outbox: self
+                .outbox
+                .iter()
+                .map(|(&to, messages)| (to, messages.clone()))
+                .collect(),
+            help_granted_total: self.help_granted_total,
+            help_granted_per: self
+                .help_granted_per
+                .iter()
+                .map(|(&n, &c)| (n, c))
+                .collect(),
+        })
+    }
+
+    /// Rebuilds a node from a [`VssSnapshot`], re-injecting the shared key
+    /// `directory` (required exactly when the snapshot carries a signing
+    /// key — the directory is persisted once by the embedding layer, not
+    /// per instance). The restored machine is state-identical to the one
+    /// the snapshot was taken from.
+    pub fn restore(
+        snapshot: VssSnapshot,
+        directory: Option<Arc<KeyDirectory>>,
+    ) -> Result<Self, SnapshotError> {
+        if !snapshot.config.nodes.contains(&snapshot.id) {
+            return Err(SnapshotError::ForeignNode { node: snapshot.id });
+        }
+        let signing = match snapshot.signing_key {
+            None => None,
+            Some(secret) => {
+                let key =
+                    SigningKey::from_scalar(secret).ok_or(SnapshotError::InvalidSigningKey)?;
+                let directory = directory.ok_or(SnapshotError::MissingDirectory)?;
+                Some(SigningContext { key, directory })
+            }
+        };
+        Ok(VssNode {
+            id: snapshot.id,
+            config: snapshot.config,
+            session: snapshot.session,
+            signing,
+            rng: StdRng::from_state(snapshot.rng),
+            tallies: snapshot
+                .tallies
+                .into_iter()
+                .map(|(digest, tally)| {
+                    (
+                        digest,
+                        Tally {
+                            points: tally.points.into_iter().collect(),
+                            echo_from: tally.echo_from.into_iter().collect(),
+                            ready_from: tally.ready_from.into_iter().collect(),
+                            echo_verified: tally.echo_verified.into_iter().collect(),
+                            ready_verified: tally.ready_verified.into_iter().collect(),
+                            witnesses: tally.witnesses,
+                            row: tally.row,
+                            echo_sent: tally.echo_sent,
+                            ready_sent: tally.ready_sent,
+                        },
+                    )
+                })
+                .collect(),
+            commitments: snapshot
+                .commitments
+                .into_iter()
+                .map(|(digest, matrix)| (digest, Arc::new(matrix)))
+                .collect(),
+            pending: snapshot
+                .pending
+                .into_iter()
+                .map(|(digest, points)| {
+                    (
+                        digest,
+                        points
+                            .into_iter()
+                            .map(|p| PendingPoint {
+                                from: p.from,
+                                point: p.point,
+                                is_ready: p.is_ready,
+                                signature: p.signature,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+            send_handled: snapshot.send_handled,
+            completed: snapshot
+                .completed
+                .map(|(matrix, share)| (Arc::new(matrix), share)),
+            completed_witnesses: snapshot.completed_witnesses,
+            reconstruct_started: snapshot.reconstruct_started,
+            reconstruct: ShareCollector::from_parts(
+                snapshot.reconstruct_pending,
+                snapshot.reconstruct_verified,
+            ),
+            reconstructed: snapshot.reconstructed,
+            outbox: snapshot.outbox.into_iter().collect(),
+            help_granted_total: snapshot.help_granted_total,
+            help_granted_per: snapshot.help_granted_per.into_iter().collect(),
+            jobs: JobQueue::new(),
+        })
+    }
+
+    /// The shared key directory of the extended (signed-ready) variant, if
+    /// any — what an embedding layer persists *once* alongside snapshots
+    /// whose [`VssSnapshot::signing_key`] is set.
+    pub fn signing_directory(&self) -> Option<&Arc<KeyDirectory>> {
+        self.signing.as_ref().map(|s| &s.directory)
     }
 
     // ------------------------------------------------------------------

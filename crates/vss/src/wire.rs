@@ -23,7 +23,7 @@ use dkg_crypto::Signature;
 use dkg_poly::{CommitmentMatrix, Univariate};
 use dkg_wire::{Reader, WireDecode, WireEncode, WireError, WireWrite};
 
-use crate::messages::{CommitmentRef, ReadyWitness, SessionId, VssMessage};
+use crate::messages::{CommitmentRef, ReadyWitness, SessionId, VssInput, VssMessage};
 
 impl WireEncode for SessionId {
     fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
@@ -87,6 +87,40 @@ impl WireDecode for ReadyWitness {
             node: r.u64()?,
             signature: Signature::decode_from(r)?,
         })
+    }
+}
+
+/// Operator inputs are codec'd for the persistence layer's write-ahead log
+/// (a crash-recovering node replays its own past decisions from stable
+/// storage), not for the network.
+impl WireEncode for VssInput {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        match self {
+            VssInput::Share { secret } => {
+                w.put_u8(0);
+                secret.encode_to(w);
+            }
+            VssInput::Reconstruct => w.put_u8(1),
+            VssInput::Recover => w.put_u8(2),
+        }
+    }
+}
+
+impl WireDecode for VssInput {
+    const MIN_WIRE_LEN: usize = 1;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(VssInput::Share {
+                secret: Scalar::decode_from(r)?,
+            }),
+            1 => Ok(VssInput::Reconstruct),
+            2 => Ok(VssInput::Recover),
+            tag => Err(WireError::UnknownTag {
+                context: "vss input",
+                tag,
+            }),
+        }
     }
 }
 

@@ -22,6 +22,29 @@ impl WireDecode for u8 {
     }
 }
 
+/// Booleans are a strict `0`/`1` byte; anything else is rejected so every
+/// value has exactly one encoding.
+impl WireEncode for bool {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_u8(u8::from(*self));
+    }
+}
+
+impl WireDecode for bool {
+    const MIN_WIRE_LEN: usize = 1;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::UnknownTag {
+                context: "bool",
+                tag,
+            }),
+        }
+    }
+}
+
 impl WireEncode for u32 {
     fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
         w.put_u32(*self);
@@ -162,6 +185,24 @@ impl<T: WireDecode> WireDecode for Vec<T> {
             out.push(T::decode_from(r)?);
         }
         Ok(out)
+    }
+}
+
+/// Pairs encode their elements back to back — the building block for the
+/// association lists (`Vec<(K, V)>`) that snapshot codecs serialise
+/// ordered maps as.
+impl<A: WireEncode, B: WireEncode> WireEncode for (A, B) {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        self.0.encode_to(w);
+        self.1.encode_to(w);
+    }
+}
+
+impl<A: WireDecode, B: WireDecode> WireDecode for (A, B) {
+    const MIN_WIRE_LEN: usize = A::MIN_WIRE_LEN + B::MIN_WIRE_LEN;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((A::decode_from(r)?, B::decode_from(r)?))
     }
 }
 

@@ -146,6 +146,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Exposes the generator's internal state (xoshiro256** words), so
+        /// deterministic state machines can persist their randomness across
+        /// a crash and resume the exact same stream after a restore.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured [`StdRng::state`].
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

@@ -20,12 +20,16 @@
 //! 6. [`vss`] — HybridVSS (§3, Fig. 1).
 //! 7. [`core`] — the hybrid DKG (§4, Figs. 2–3), proactive refresh (§5) and
 //!    group modification (§6).
-//! 8. [`engine`] — the sans-I/O poll-based `Endpoint` multiplexing many
-//!    DKG/VSS sessions over encoded byte datagrams, plus the byte-level
-//!    deterministic network driver.
-//! 9. [`baselines`] — Feldman VSS / Joint-Feldman DKG comparators and
-//!    closed-form complexity models.
-//! 10. [`bench`] — the experiment harness reproducing the paper's tables.
+//! 8. [`store`] — durable session state for the paper's crash-recovery
+//!    model: a CRC-framed append-only write-ahead log plus versioned
+//!    snapshots, with in-memory and on-disk stores.
+//! 9. [`engine`] — the sans-I/O poll-based `Endpoint` multiplexing many
+//!    DKG/VSS sessions over encoded byte datagrams (persisting to a
+//!    [`store`] when configured), plus the byte-level deterministic
+//!    network driver with real crash/restore semantics.
+//! 10. [`baselines`] — Feldman VSS / Joint-Feldman DKG comparators and
+//!     closed-form complexity models.
+//! 11. [`bench`] — the experiment harness reproducing the paper's tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,5 +46,6 @@ pub use dkg_engine as engine;
 pub use dkg_engine::runner;
 pub use dkg_poly as poly;
 pub use dkg_sim as sim;
+pub use dkg_store as store;
 pub use dkg_vss as vss;
 pub use dkg_wire as wire;

@@ -145,8 +145,22 @@ fn crash_recovery_mid_sharing_still_completes_everywhere() {
         DelayModel::Uniform { min: 10, max: 60 },
         8,
     );
-    // Node 5 is down from t = 20 to t = 1500 and runs the §5.3 recovery
+    // Node 5 persists to stable storage (a crash really drops the
+    // in-memory endpoint now — recovery reconstructs it from the store),
+    // is down from t = 20 to t = 1500, and runs the §5.3 recovery
     // procedure right after rebooting.
+    let store = dkg_store::StoreHandle::in_memory();
+    let mut with_store = Endpoint::new(
+        5,
+        EndpointConfig {
+            store: Some(store),
+            ..EndpointConfig::default()
+        },
+    );
+    with_store
+        .add_vss_session(VssNode::new(5, cfg.clone(), session, 400 + 5, None))
+        .unwrap();
+    *net.endpoint_mut(5).unwrap() = with_store;
     net.schedule_crash(5, 20);
     net.schedule_recover(5, 1_500);
     net.schedule_vss_input(5, session, VssInput::Recover, 1_501);

@@ -1,0 +1,195 @@
+//! [`MaliciousNode`]: a corrupted node as the network sees it.
+//!
+//! The wrapper hosts a **real, honest** [`dkg_engine::Endpoint`] (with the
+//! node's genuine keys and a genuine [`dkg_core::DkgNode`] session) and
+//! lets a [`Strategy`] sit on the wire between that internal state machine
+//! and the world:
+//!
+//! ```text
+//!   network bytes ──▶ strategy.observe ──▶ internal honest Endpoint
+//!                                              │ poll_transmit
+//!                                              ▼
+//!                     strategy.rewrite ◀── decoded DkgMessage
+//!                          │ Directed (typed, possibly spoofed)
+//!                          ▼
+//!                     dkg_wire::encode_datagram ──▶ network bytes
+//! ```
+//!
+//! Because every emission is re-encoded from a typed message through the
+//! canonical codec, a malicious node *cannot* emit a frame the codec
+//! rejects — rejections observed in scenarios are protocol-level, which is
+//! the point of the exercise.
+
+use dkg_core::{DkgConfig, DkgInput, DkgMessage, NodeKeys, SystemSetup};
+use dkg_crypto::NodeId;
+use dkg_engine::{CorruptEndpoint, CorruptSend, Endpoint, EndpointConfig, SessionKey, WallClock};
+use dkg_poly::SymmetricBivariate;
+use dkg_wire::{decode_datagram, encode_datagram, Header, WireDecode};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::{Directed, Strategy, StrategyCtx};
+
+/// A corrupted node: an internal honest endpoint plus a [`Strategy`]
+/// rewriting its wire traffic. Plug into a network with
+/// [`dkg_engine::EndpointNet::add_corrupt_endpoint`] and start with
+/// [`dkg_engine::EndpointNet::schedule_corrupt_start`].
+pub struct MaliciousNode {
+    id: NodeId,
+    tau: u64,
+    config: DkgConfig,
+    keys: NodeKeys,
+    inner: Endpoint,
+    strategy: Box<dyn Strategy>,
+    rng: StdRng,
+    /// Cached copy of the internal machine's own dealing (the `malice`
+    /// extraction hook), once available.
+    dealt: Option<SymmetricBivariate>,
+    /// Datagrams the internal endpoint refused (diagnostics: the adversary
+    /// position receives hostile traffic too).
+    inner_rejections: u64,
+}
+
+impl MaliciousNode {
+    /// Builds the corrupted node `node` for DKG session `tau` out of
+    /// `setup` (real keys, real session state machine), attacking with
+    /// `strategy`. `seed` drives all of the strategy's randomness.
+    pub fn new(
+        setup: &SystemSetup,
+        node: NodeId,
+        tau: u64,
+        strategy: Box<dyn Strategy>,
+        seed: u64,
+    ) -> Self {
+        let mut inner = Endpoint::new(node, EndpointConfig::default());
+        inner
+            .add_dkg_session(setup.build_node(node, tau))
+            .expect("fresh endpoint hosts no session");
+        MaliciousNode {
+            id: node,
+            tau,
+            config: setup.config.clone(),
+            keys: setup.node_keys(node),
+            inner,
+            strategy,
+            rng: StdRng::seed_from_u64(seed),
+            dealt: None,
+            inner_rejections: 0,
+        }
+    }
+
+    /// The strategy's stable name.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// Datagrams the internal honest endpoint refused.
+    pub fn inner_rejections(&self) -> u64 {
+        self.inner_rejections
+    }
+
+    /// Encodes one typed emission through the canonical codec under the
+    /// session's real routing header.
+    fn encode(&self, directed: Directed) -> CorruptSend {
+        let key = SessionKey::Dkg { tau: self.tau };
+        let bytes = encode_datagram(
+            Header {
+                protocol: key.protocol(),
+                channel: key.channel(),
+            },
+            &directed.message,
+        );
+        CorruptSend {
+            from: directed.claim_from.unwrap_or(self.id),
+            to: directed.to,
+            bytes,
+        }
+    }
+
+    /// Runs `hook` with a freshly assembled [`StrategyCtx`] over this
+    /// node's fields.
+    fn with_ctx(
+        &mut self,
+        now: WallClock,
+        hook: impl FnOnce(&mut dyn Strategy, &mut StrategyCtx<'_>) -> Vec<Directed>,
+    ) -> Vec<Directed> {
+        let mut ctx = StrategyCtx {
+            node: self.id,
+            tau: self.tau,
+            config: &self.config,
+            keys: &self.keys,
+            rng: &mut self.rng,
+            now,
+            dealt: self.dealt.as_ref(),
+        };
+        hook(self.strategy.as_mut(), &mut ctx)
+    }
+
+    /// Drains the internal endpoint's transmits through the strategy's
+    /// rewrite hook and discards its application events.
+    fn pump(&mut self, now: WallClock) -> Vec<CorruptSend> {
+        if self.dealt.is_none() {
+            self.dealt = self
+                .inner
+                .dkg_session(self.tau)
+                .and_then(|node| node.dealt_polynomial())
+                .cloned();
+        }
+        let mut out = Vec::new();
+        while let Some(transmit) = self.inner.poll_transmit() {
+            let (_, payload) =
+                decode_datagram(&transmit.payload).expect("own endpoint emits canonical frames");
+            let message =
+                DkgMessage::decode(payload).expect("own endpoint emits canonical payloads");
+            let to = transmit.to;
+            let directed = self.with_ctx(now, |strategy, ctx| strategy.rewrite(ctx, to, message));
+            out.extend(directed.into_iter().map(|d| self.encode(d)));
+        }
+        while self.inner.poll_event().is_some() {}
+        out
+    }
+}
+
+impl CorruptEndpoint for MaliciousNode {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn on_start(&mut self, now: WallClock) -> Vec<CorruptSend> {
+        let _ = self.inner.handle_dkg_input(self.tau, DkgInput::Start, now);
+        let mut out = self.pump(now);
+        let extra = self.with_ctx(now, |strategy, ctx| strategy.on_start(ctx));
+        out.extend(extra.into_iter().map(|d| self.encode(d)));
+        out
+    }
+
+    fn on_datagram(&mut self, from: NodeId, bytes: &[u8], now: WallClock) -> Vec<CorruptSend> {
+        // Observe first (typed view of the traffic), then let the internal
+        // machine process it; fabrications go out after the honest
+        // (rewritten) reaction.
+        let fabricated = match decode_datagram(bytes)
+            .ok()
+            .and_then(|(_, payload)| DkgMessage::decode(payload).ok())
+        {
+            Some(message) => {
+                self.with_ctx(now, |strategy, ctx| strategy.observe(ctx, from, &message))
+            }
+            None => Vec::new(),
+        };
+        if self.inner.handle_datagram(from, bytes, now).is_err() {
+            self.inner_rejections += 1;
+        }
+        let mut out = self.pump(now);
+        out.extend(fabricated.into_iter().map(|d| self.encode(d)));
+        out
+    }
+
+    fn on_wake(&mut self, now: WallClock) -> Vec<CorruptSend> {
+        self.inner.handle_timeout(now);
+        self.pump(now)
+    }
+
+    fn poll_wake(&self) -> Option<WallClock> {
+        self.inner.poll_timeout()
+    }
+}

@@ -1,0 +1,473 @@
+//! Concrete attack strategies from the paper's threat model (§2.2): an
+//! adversary controlling up to `t` nodes that knows the protocol, holds the
+//! corrupted nodes' real keys, and deviates only where it helps.
+//!
+//! Every strategy here is exercised by the scenario matrix in
+//! `tests/scenario_matrix.rs` at `f ∈ {1, t, t+1}` corrupted nodes: at
+//! `f ≤ t` the honest nodes must still terminate with one consistent group
+//! key; at `f = t + 1` (beyond the proven bound) safety must still never
+//! split — two honest nodes never finish with different keys.
+
+use dkg_arith::{PrimeField, Scalar};
+use dkg_core::messages::payload;
+use dkg_core::{DkgMessage, Justification, Proposal, SignedVote};
+use dkg_crypto::NodeId;
+use dkg_poly::{CommitmentMatrix, SymmetricBivariate, Univariate};
+use dkg_vss::VssMessage;
+use rand::Rng;
+
+use crate::strategy::{Directed, Strategy, StrategyCtx};
+
+/// Position of `node` in the configured node list (used for deterministic
+/// victim selection).
+fn index_of(ctx: &StrategyCtx<'_>, node: NodeId) -> usize {
+    ctx.nodes().iter().position(|&n| n == node).unwrap_or(0)
+}
+
+/// The classic split-brain dealer (Definition 3.1's consistency property is
+/// exactly about this): the corrupted dealer sends the commitment matrix
+/// and row of its *honest* internal dealing to one half of the system, and
+/// a second dealing — a **different polynomial sharing the same secret**,
+/// built from the dealing extracted through the `malice` hook
+/// ([`StrategyCtx::dealt`]) — to the other half. Both halves see perfectly
+/// well-formed `send` messages, and because both commitments open to the
+/// same `C₀₀`, any cross-check of the dealt secret's public commitment
+/// passes for either; only the echo/ready quorums — which cannot reach
+/// `⌈(n+t+1)/2⌉` for *two* commitments at once — keep honest nodes from
+/// completing an inconsistent sharing.
+#[derive(Debug, Default)]
+pub struct EquivocatingDealer {
+    twin: Option<(SymmetricBivariate, CommitmentMatrix)>,
+}
+
+impl EquivocatingDealer {
+    fn twin(&mut self, ctx: &mut StrategyCtx<'_>) -> &(SymmetricBivariate, CommitmentMatrix) {
+        if self.twin.is_none() {
+            // Re-share the *extracted* honest secret under fresh
+            // randomness; without the `malice` hook (no dealing yet) fall
+            // back to an unrelated secret.
+            let secret = match ctx.dealt {
+                Some(dealing) => dealing.secret(),
+                None => Scalar::random(ctx.rng),
+            };
+            let poly = SymmetricBivariate::random_with_secret(ctx.rng, ctx.t(), secret);
+            let commitment = CommitmentMatrix::commit(&poly);
+            self.twin = Some((poly, commitment));
+        }
+        self.twin.as_ref().expect("just initialised")
+    }
+}
+
+impl Strategy for EquivocatingDealer {
+    fn name(&self) -> &'static str {
+        "equivocating-dealer"
+    }
+
+    fn rewrite(
+        &mut self,
+        ctx: &mut StrategyCtx<'_>,
+        to: NodeId,
+        message: DkgMessage,
+    ) -> Vec<Directed> {
+        if let DkgMessage::Vss(VssMessage::Send { session, .. }) = &message {
+            if session.dealer == ctx.node && index_of(ctx, to) % 2 == 1 {
+                let session = *session;
+                let (poly, commitment) = self.twin(ctx);
+                let replacement = VssMessage::Send {
+                    session,
+                    commitment: commitment.clone(),
+                    row: poly.row(to),
+                };
+                return vec![Directed::send(to, DkgMessage::Vss(replacement))];
+            }
+        }
+        vec![Directed::send(to, message)]
+    }
+}
+
+/// A dealer that commits to one polynomial but hands odd-indexed receivers
+/// a perturbed row (`a_j(y) + 1`). The commitment is genuine, so the
+/// victims' `verify-poly` check fails for a *protocol* reason and they must
+/// recover their row from the other nodes' echo points instead — the
+/// self-healing path of Fig. 1.
+#[derive(Debug, Default)]
+pub struct WrongShareDealer;
+
+impl Strategy for WrongShareDealer {
+    fn name(&self) -> &'static str {
+        "wrong-share-dealer"
+    }
+
+    fn rewrite(
+        &mut self,
+        ctx: &mut StrategyCtx<'_>,
+        to: NodeId,
+        message: DkgMessage,
+    ) -> Vec<Directed> {
+        if let DkgMessage::Vss(VssMessage::Send {
+            session,
+            commitment,
+            row,
+        }) = &message
+        {
+            if session.dealer == ctx.node && index_of(ctx, to) % 2 == 1 {
+                let poisoned = VssMessage::Send {
+                    session: *session,
+                    commitment: commitment.clone(),
+                    row: row.add(&Univariate::from_coefficients(vec![Scalar::one()])),
+                };
+                return vec![Directed::send(to, DkgMessage::Vss(poisoned))];
+            }
+        }
+        vec![Directed::send(to, message)]
+    }
+}
+
+/// A corrupted *participant* (not dealer) that sends inconsistent
+/// echo/ready points in every VSS session: odd-indexed receivers get
+/// `f(i, j) + 1` instead of the true evaluation. Signatures on ready
+/// messages stay genuine (they bind the commitment digest, not the point),
+/// so victims only notice when the batched point verification runs.
+#[derive(Debug, Default)]
+pub struct InconsistentPoints;
+
+impl Strategy for InconsistentPoints {
+    fn name(&self) -> &'static str {
+        "inconsistent-points"
+    }
+
+    fn rewrite(
+        &mut self,
+        ctx: &mut StrategyCtx<'_>,
+        to: NodeId,
+        message: DkgMessage,
+    ) -> Vec<Directed> {
+        if index_of(ctx, to) % 2 == 1 {
+            let poisoned = match message {
+                DkgMessage::Vss(VssMessage::Echo {
+                    session,
+                    commitment,
+                    point,
+                }) => Some(DkgMessage::Vss(VssMessage::Echo {
+                    session,
+                    commitment,
+                    point: point + Scalar::one(),
+                })),
+                DkgMessage::Vss(VssMessage::Ready {
+                    session,
+                    commitment,
+                    point,
+                    signature,
+                }) => Some(DkgMessage::Vss(VssMessage::Ready {
+                    session,
+                    commitment,
+                    point: point + Scalar::one(),
+                    signature,
+                })),
+                other => return vec![Directed::send(to, other)],
+            };
+            return poisoned
+                .map(|m| Directed::send(to, m))
+                .into_iter()
+                .collect();
+        }
+        vec![Directed::send(to, message)]
+    }
+}
+
+/// A corrupted node that participates fully in the `n` VSS sharings but
+/// withholds every agreement vote (DKG `echo`, `ready`, `lead-ch`) — the
+/// quorum-starvation position. At `f ≤ t` the remaining `n − f` voters
+/// still clear the `⌈(n+t+1)/2⌉` echo threshold; at `f = t + 1` the run
+/// may stall forever, but must never split.
+#[derive(Debug, Default)]
+pub struct VoteWithholder;
+
+impl Strategy for VoteWithholder {
+    fn name(&self) -> &'static str {
+        "vote-withholder"
+    }
+
+    fn rewrite(
+        &mut self,
+        _ctx: &mut StrategyCtx<'_>,
+        to: NodeId,
+        message: DkgMessage,
+    ) -> Vec<Directed> {
+        match message {
+            DkgMessage::Echo { .. } | DkgMessage::Ready { .. } | DkgMessage::LeadCh { .. } => {
+                Vec::new()
+            }
+            other => vec![Directed::send(to, other)],
+        }
+    }
+}
+
+/// A corrupted node that simulates a one-sided partition: it sends nothing
+/// at all to the first `⌈n/3⌉` nodes and behaves honestly toward everyone
+/// else. The victims experience the §2.2 "broken link" model from `f`
+/// senders at once and must complete from the remaining traffic.
+#[derive(Debug, Default)]
+pub struct SelectiveSender;
+
+impl Strategy for SelectiveSender {
+    fn name(&self) -> &'static str {
+        "selective-sender"
+    }
+
+    fn rewrite(
+        &mut self,
+        ctx: &mut StrategyCtx<'_>,
+        to: NodeId,
+        message: DkgMessage,
+    ) -> Vec<Directed> {
+        if index_of(ctx, to) < ctx.nodes().len().div_ceil(3) {
+            return Vec::new();
+        }
+        vec![Directed::send(to, message)]
+    }
+}
+
+/// A corrupted node that records everything it receives and replays cached
+/// messages — under its *own* identity, since the paper's channels are
+/// authenticated (§2.3) and the adversary cannot forge an honest node's
+/// channel — to rotating other destinations. Every replayed frame is a
+/// previously valid protocol message, so the defence is not the codec:
+/// receivers must catch the replay through first-time guards, point
+/// consistency (an echo point is pair-specific) and signature binding
+/// (the cached signatures name the original signer, not the replayer).
+#[derive(Debug, Default)]
+pub struct Replayer {
+    seen: Vec<DkgMessage>,
+    observed: u64,
+    replayed: u64,
+}
+
+/// Cap on cached messages (ring buffer) and on total replays, keeping the
+/// event queue bounded even in long runs.
+const REPLAY_CACHE: usize = 128;
+const REPLAY_BUDGET: u64 = 512;
+
+impl Strategy for Replayer {
+    fn name(&self) -> &'static str {
+        "replayer"
+    }
+
+    fn observe(
+        &mut self,
+        ctx: &mut StrategyCtx<'_>,
+        _from: NodeId,
+        message: &DkgMessage,
+    ) -> Vec<Directed> {
+        if self.seen.len() == REPLAY_CACHE {
+            self.seen.remove(0);
+        }
+        self.seen.push(message.clone());
+        self.observed += 1;
+        if self.observed % 4 != 0 || self.replayed >= REPLAY_BUDGET {
+            return Vec::new();
+        }
+        self.replayed += 1;
+        let pick = ctx.rng.gen_range(0..self.seen.len());
+        let cached = self.seen[pick].clone();
+        let nodes = ctx.nodes();
+        let to = nodes[(self.replayed as usize) % nodes.len()];
+        vec![Directed::send(to, cached)]
+    }
+}
+
+/// A corrupted node that tries to *buy* leadership and agreement with
+/// forged certificates: on first sight of the real leader's proposal it
+/// broadcasts its own `send` at a rank that makes it leader, carrying a
+/// ready certificate and a lead-ch certificate whose `t + 1` /
+/// `n − t − f` votes name other nodes but are all signed with the
+/// corrupted node's own key. Wire-valid, protocol-invalid: honest nodes
+/// must reject the certificates at signature verification and stay with
+/// the legitimate leader.
+#[derive(Debug, Default)]
+pub struct CertificateForger {
+    fired: bool,
+}
+
+impl Strategy for CertificateForger {
+    fn name(&self) -> &'static str {
+        "certificate-forger"
+    }
+
+    fn observe(
+        &mut self,
+        ctx: &mut StrategyCtx<'_>,
+        _from: NodeId,
+        message: &DkgMessage,
+    ) -> Vec<Directed> {
+        if self.fired || !matches!(message, DkgMessage::Send { .. }) {
+            return Vec::new();
+        }
+        self.fired = true;
+        let n = ctx.nodes().len() as u64;
+        // The smallest non-zero rank at which the rotation makes us leader.
+        let rank = (1..=n)
+            .find(|&r| ctx.config.leader_at_rank(r) == ctx.node)
+            .expect("rotation visits every node");
+        let proposal = Proposal::new(vec![ctx.node]);
+        let ready_payload = payload::ready(ctx.tau, &proposal);
+        let forged_votes = |ctx: &mut StrategyCtx<'_>, count: usize, bytes: &[u8]| {
+            ctx.nodes()
+                .to_vec()
+                .into_iter()
+                .take(count)
+                .map(|node| SignedVote {
+                    node,
+                    signature: ctx.keys.signing_key.sign(ctx.rng, bytes),
+                })
+                .collect::<Vec<_>>()
+        };
+        let justification =
+            Justification::ReadyCertificate(forged_votes(ctx, ctx.t() + 1, &ready_payload));
+        let lead_ch_payload = payload::lead_ch(ctx.tau, rank);
+        let lead_ch_certificate =
+            forged_votes(ctx, ctx.config.completion_threshold(), &lead_ch_payload);
+        let forged = DkgMessage::Send {
+            tau: ctx.tau,
+            rank,
+            proposal,
+            justification,
+            lead_ch_certificate,
+        };
+        ctx.nodes()
+            .iter()
+            .map(|&to| Directed::send(to, forged.clone()))
+            .collect()
+    }
+}
+
+/// A corrupted node that equivocates in the *agreement* layer: its DKG
+/// `echo`/`ready` votes go out for the leader's proposal to half the
+/// system and for a pruned proposal — genuinely re-signed with the node's
+/// real key — to the other half. Both votes verify; the double-voting only
+/// shows in the quorum arithmetic, which must refuse to certify two
+/// proposals in the same view.
+#[derive(Debug, Default)]
+pub struct AgreementEquivocator;
+
+impl Strategy for AgreementEquivocator {
+    fn name(&self) -> &'static str {
+        "agreement-equivocator"
+    }
+
+    fn rewrite(
+        &mut self,
+        ctx: &mut StrategyCtx<'_>,
+        to: NodeId,
+        message: DkgMessage,
+    ) -> Vec<Directed> {
+        if index_of(ctx, to) % 2 == 0 {
+            return vec![Directed::send(to, message)];
+        }
+        let twisted = match &message {
+            DkgMessage::Echo {
+                tau,
+                rank,
+                proposal,
+                ..
+            } if proposal.len() >= 2 => {
+                let pruned = Proposal::new(proposal.dealers()[..proposal.len() - 1].to_vec());
+                let signature = ctx
+                    .keys
+                    .signing_key
+                    .sign(ctx.rng, &payload::echo(*tau, &pruned));
+                Some(DkgMessage::Echo {
+                    tau: *tau,
+                    rank: *rank,
+                    proposal: pruned,
+                    signature,
+                })
+            }
+            DkgMessage::Ready {
+                tau,
+                rank,
+                proposal,
+                ..
+            } if proposal.len() >= 2 => {
+                let pruned = Proposal::new(proposal.dealers()[..proposal.len() - 1].to_vec());
+                let signature = ctx
+                    .keys
+                    .signing_key
+                    .sign(ctx.rng, &payload::ready(*tau, &pruned));
+                Some(DkgMessage::Ready {
+                    tau: *tau,
+                    rank: *rank,
+                    proposal: pruned,
+                    signature,
+                })
+            }
+            _ => None,
+        };
+        vec![Directed::send(to, twisted.unwrap_or(message))]
+    }
+}
+
+/// The named catalogue the scenario matrix iterates over. Every entry is a
+/// fresh, stateless-to-construct strategy; `make` builds one per corrupted
+/// node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// [`EquivocatingDealer`].
+    EquivocatingDealer,
+    /// [`WrongShareDealer`].
+    WrongShareDealer,
+    /// [`InconsistentPoints`].
+    InconsistentPoints,
+    /// [`VoteWithholder`].
+    VoteWithholder,
+    /// [`SelectiveSender`].
+    SelectiveSender,
+    /// [`Replayer`].
+    Replayer,
+    /// [`CertificateForger`].
+    CertificateForger,
+    /// [`AgreementEquivocator`].
+    AgreementEquivocator,
+}
+
+impl StrategyKind {
+    /// Every shipped strategy, in matrix order.
+    pub const ALL: [StrategyKind; 8] = [
+        StrategyKind::EquivocatingDealer,
+        StrategyKind::WrongShareDealer,
+        StrategyKind::InconsistentPoints,
+        StrategyKind::VoteWithholder,
+        StrategyKind::SelectiveSender,
+        StrategyKind::Replayer,
+        StrategyKind::CertificateForger,
+        StrategyKind::AgreementEquivocator,
+    ];
+
+    /// The strategy's stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::EquivocatingDealer => "equivocating-dealer",
+            StrategyKind::WrongShareDealer => "wrong-share-dealer",
+            StrategyKind::InconsistentPoints => "inconsistent-points",
+            StrategyKind::VoteWithholder => "vote-withholder",
+            StrategyKind::SelectiveSender => "selective-sender",
+            StrategyKind::Replayer => "replayer",
+            StrategyKind::CertificateForger => "certificate-forger",
+            StrategyKind::AgreementEquivocator => "agreement-equivocator",
+        }
+    }
+
+    /// Builds a fresh instance.
+    pub fn make(self) -> Box<dyn crate::Strategy> {
+        match self {
+            StrategyKind::EquivocatingDealer => Box::new(EquivocatingDealer::default()),
+            StrategyKind::WrongShareDealer => Box::new(WrongShareDealer),
+            StrategyKind::InconsistentPoints => Box::new(InconsistentPoints),
+            StrategyKind::VoteWithholder => Box::new(VoteWithholder),
+            StrategyKind::SelectiveSender => Box::new(SelectiveSender),
+            StrategyKind::Replayer => Box::new(Replayer::default()),
+            StrategyKind::CertificateForger => Box::new(CertificateForger::default()),
+            StrategyKind::AgreementEquivocator => Box::new(AgreementEquivocator),
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The [`Strategy`] trait: what a corrupted node does with its traffic.
+//!
+//! A strategy never touches raw bytes. It observes and emits **typed**
+//! [`DkgMessage`]s; the [`crate::MaliciousNode`] wrapper encodes every
+//! emission through the canonical [`dkg_wire`] codec with the session's
+//! real routing header. Adversary frames are therefore *wire-valid by
+//! construction* — when an honest node refuses one, it refuses it for a
+//! protocol reason (bad signature, inconsistent point, implausible
+//! certificate), never a parse error. The wire-validity property test
+//! pins this for every shipped strategy.
+//!
+//! Strategies are seeded and deterministic: all randomness comes from the
+//! [`StrategyCtx::rng`] handed in by the wrapper, so a scenario replays
+//! byte-identically from its seed.
+
+use dkg_core::{DkgConfig, DkgMessage, NodeKeys};
+use dkg_crypto::NodeId;
+use dkg_engine::WallClock;
+use dkg_poly::SymmetricBivariate;
+use rand::rngs::StdRng;
+
+/// One message a strategy wants delivered.
+#[derive(Clone, Debug)]
+pub struct Directed {
+    /// Destination node.
+    pub to: NodeId,
+    /// The sender identity to claim on the wire; `None` = the corrupted
+    /// node's own identity. Spoofing is cheap for the adversary — whether
+    /// the receiver catches it (signatures, point consistency) is what the
+    /// scenarios probe.
+    pub claim_from: Option<NodeId>,
+    /// The message, encoded canonically by the wrapper.
+    pub message: DkgMessage,
+}
+
+impl Directed {
+    /// A message sent under the corrupted node's own identity.
+    pub fn send(to: NodeId, message: DkgMessage) -> Self {
+        Directed {
+            to,
+            claim_from: None,
+            message,
+        }
+    }
+
+    /// A message claiming to come from `claim_from`.
+    pub fn spoofed(claim_from: NodeId, to: NodeId, message: DkgMessage) -> Self {
+        Directed {
+            to,
+            claim_from: Some(claim_from),
+            message,
+        }
+    }
+}
+
+/// Everything a strategy may consult (and the RNG it must draw from) when
+/// deciding what to put on the wire.
+pub struct StrategyCtx<'a> {
+    /// The corrupted node's identity.
+    pub node: NodeId,
+    /// The DKG session counter `τ` under attack.
+    pub tau: u64,
+    /// The shared protocol configuration (`n`, `t`, `f`, node list,
+    /// leader rotation).
+    pub config: &'a DkgConfig,
+    /// The corrupted node's *real* long-term keys — corruption hands the
+    /// adversary the node's signing capability, so its signatures over
+    /// whatever it chooses to say are genuine.
+    pub keys: &'a NodeKeys,
+    /// The strategy's deterministic randomness.
+    pub rng: &'a mut StdRng,
+    /// The current time on the network's clock.
+    pub now: WallClock,
+    /// The honest dealing of the corrupted node's own embedded VSS
+    /// session, once dealt (the `malice` extraction hook): strategies use
+    /// it to craft sharings that are strategically *related* to what the
+    /// internal state machine believes it dealt.
+    pub dealt: Option<&'a SymmetricBivariate>,
+}
+
+impl StrategyCtx<'_> {
+    /// The Byzantine threshold `t`.
+    pub fn t(&self) -> usize {
+        self.config.t()
+    }
+
+    /// All node ids in the system.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.config.vss.nodes
+    }
+}
+
+/// A corrupted node's behaviour, as a pure function of what it sees.
+///
+/// The default implementations are fully honest: outgoing messages pass
+/// through untouched, nothing extra is fabricated. A strategy overrides
+/// exactly the hooks its attack needs — everything it does not touch keeps
+/// the internal honest state machine's behaviour, which is what makes the
+/// attacks *strategic* (a corrupted node that garbles everything is caught
+/// instantly; one that deviates only where it helps is the paper's threat
+/// model).
+pub trait Strategy {
+    /// A short stable name for reports and test matrices.
+    fn name(&self) -> &'static str;
+
+    /// Rewrites one outgoing message produced by the corrupted node's
+    /// internal honest state machine. Return the message unchanged to act
+    /// honestly, an empty vector to withhold it, or any number of
+    /// replacement messages (equivocation sends *different* replacements
+    /// to different destinations).
+    fn rewrite(
+        &mut self,
+        ctx: &mut StrategyCtx<'_>,
+        to: NodeId,
+        message: DkgMessage,
+    ) -> Vec<Directed> {
+        let _ = ctx;
+        vec![Directed::send(to, message)]
+    }
+
+    /// Observes one datagram delivered to the corrupted node (already
+    /// decoded; the internal state machine receives it regardless).
+    /// Returning messages fabricates extra traffic — replays, forged
+    /// certificates — triggered by what the adversary just learned.
+    fn observe(
+        &mut self,
+        ctx: &mut StrategyCtx<'_>,
+        from: NodeId,
+        message: &DkgMessage,
+    ) -> Vec<Directed> {
+        let _ = (ctx, from, message);
+        Vec::new()
+    }
+
+    /// Extra traffic at session start, beyond the (rewritten) honest
+    /// start-up messages.
+    fn on_start(&mut self, ctx: &mut StrategyCtx<'_>) -> Vec<Directed> {
+        let _ = ctx;
+        Vec::new()
+    }
+}
+
+/// The identity strategy: a corrupted node that behaves exactly honestly.
+/// The honest-only regression test pins that a network full of these is
+/// byte-identical to a network with no adversary layer at all.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullStrategy;
+
+impl Strategy for NullStrategy {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+}

@@ -1,0 +1,27 @@
+//! Fast sanity runs at small `n` — the full acceptance matrix lives in
+//! `scenario_matrix.rs`.
+
+use dkg_adversary::{run_scenario, ScenarioSpec, StrategyKind};
+
+#[test]
+fn small_system_completes_under_every_strategy_with_one_corruption() {
+    // n = 7 → t = 2: a single corrupted node must never prevent
+    // termination or consistency.
+    for kind in StrategyKind::ALL {
+        let outcome = run_scenario(kind, &ScenarioSpec::new(7, 1, 11));
+        assert!(
+            outcome.all_honest_completed(),
+            "strategy {} at n=7, f=1: {} of {} honest completed, {} keys",
+            kind.name(),
+            outcome.keys.len(),
+            outcome.honest.len(),
+            outcome.distinct_keys,
+        );
+        assert_eq!(
+            outcome.honest_rejections,
+            0,
+            "strategy {} corrupted honest traffic",
+            kind.name()
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Two structural guarantees of the adversary layer:
+//!
+//! 1. **Wire validity by construction** — whatever a strategy does, every
+//!    frame a corrupted node emits decodes through the canonical codec
+//!    (framing *and* payload). Honest nodes therefore refuse adversary
+//!    traffic only for protocol reasons; a parse error in these runs would
+//!    mean the harness, not the protocol, was being tested.
+//! 2. **The empty adversary is invisible** — running a DKG through the
+//!    scenario machinery with zero corrupted nodes is byte-identical
+//!    (same transcript digest, same keys) to the plain honest runner.
+//!    The adversary layer being compiled in costs nothing.
+
+use dkg_adversary::{run_scenario, ScenarioSpec, StrategyKind};
+use dkg_core::{DkgInput, DkgMessage};
+use dkg_engine::runner::{build_dkg_net, SystemSetup};
+use dkg_sim::DelayModel;
+use dkg_wire::{decode_datagram, WireDecode};
+use proptest::prelude::*;
+
+fn cases(default: u32) -> u32 {
+    std::env::var("ADVERSARY_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(4)))]
+
+    /// Every strategy, random seeds, two corrupted nodes at n = 7: every
+    /// recorded adversary frame must decode — header and payload — through
+    /// the canonical codec.
+    #[test]
+    fn every_strategy_emits_only_decodable_frames(seed in any::<u64>()) {
+        for kind in StrategyKind::ALL {
+            let mut spec = ScenarioSpec::new(7, 2, seed);
+            spec.record_frames = true;
+            let outcome = run_scenario(kind, &spec);
+            prop_assert!(
+                !outcome.adversary_frames.is_empty(),
+                "strategy {} emitted nothing — the run exercised no adversary",
+                kind.name()
+            );
+            for (from, to, bytes) in &outcome.adversary_frames {
+                let decoded = decode_datagram(bytes);
+                prop_assert!(
+                    decoded.is_ok(),
+                    "strategy {} emitted an unparseable frame {from}→{to}: {:?}",
+                    kind.name(),
+                    decoded.err()
+                );
+                let (_, payload) = decoded.expect("checked above");
+                let message = DkgMessage::decode(payload);
+                prop_assert!(
+                    message.is_ok(),
+                    "strategy {} emitted an undecodable payload {from}→{to}: {:?}",
+                    kind.name(),
+                    message.err()
+                );
+            }
+        }
+    }
+}
+
+/// The honest-only regression: the scenario runner with zero corrupted
+/// nodes produces the byte-for-byte transcript of the plain honest runner.
+#[test]
+fn empty_adversary_layer_is_byte_identical_to_the_honest_runner() {
+    let n = 8;
+    let seed = 0x5EED;
+    // Reference: the plain engine runner, transcript recorded.
+    let setup = SystemSetup::generate(n, 0, seed);
+    let mut reference = build_dkg_net(&setup, 0, DelayModel::Uniform { min: 10, max: 80 });
+    reference.record_transcript();
+    for &node in &setup.config.vss.nodes {
+        reference.schedule_dkg_input(node, 0, DkgInput::Start, 0);
+    }
+    reference.run();
+    let reference_digest = reference.transcript_digest().expect("enabled");
+
+    // Same run through the adversary machinery, zero corrupted nodes.
+    let outcome = run_scenario(
+        StrategyKind::EquivocatingDealer,
+        &ScenarioSpec::new(n, 0, seed),
+    );
+    assert_eq!(
+        outcome.transcript, reference_digest,
+        "an empty adversary layer changed the byte transcript"
+    );
+    assert!(outcome.all_honest_completed());
+    assert_eq!(outcome.keys.len(), n);
+    assert_eq!(outcome.severed, 0);
+    assert_eq!(outcome.adversary_rejections, 0);
+}

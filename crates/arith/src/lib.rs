@@ -14,7 +14,7 @@
 //!   Montgomery form (the scalar field is the paper's `Z_q`),
 //! * [`GroupElement`] — the secp256k1 group written as the paper's `G`,
 //!   with [`GroupElement::commit`] playing the role of `g^s`,
-//! * [`multiexp`] — Pippenger multi-exponentiation used by commitment
+//! * [`mod@multiexp`] — Pippenger multi-exponentiation used by commitment
 //!   verification.
 //!
 //! ## Example

@@ -1,6 +1,6 @@
 //! Fixed-width 512-bit unsigned integers.
 //!
-//! [`U512`] only exists to hold full products of two [`U256`](crate::U256)
+//! [`U512`] only exists to hold full products of two [`U256`]
 //! values before modular reduction, so its API is limited to what the field
 //! reduction algorithms need.
 

@@ -1,6 +1,6 @@
 //! A synchronous Joint-Feldman DKG (Pedersen '91 style), the classic
-//! synchronous baseline the paper's related work (Gennaro et al. [9])
-//! departs from.
+//! synchronous baseline the paper's related work (Gennaro et al., the
+//! paper's reference \[9\]) departs from.
 //!
 //! Every node acts as a Feldman dealer in the same synchronous round; with a
 //! broadcast channel and synchrony there is no need for the leader-based

@@ -1,0 +1,70 @@
+//! What do chaos and an active adversary cost on the wire?
+//!
+//! Three full n = 16 DKG runs over [`EndpointNet`] per iteration shape:
+//!
+//! * `honest_baseline` — plain uniform delays, no adversary,
+//! * `chaos` — the same system under a reordering window, one slow
+//!   asymmetric link and a healing (held) partition,
+//! * `adversary` — `t` equivocating dealers on top of the chaos.
+//!
+//! Each configuration's wall-clock and processed-event throughput land in
+//! `target/criterion/chaos_net/baseline.json`, so later optimisation PRs
+//! can see what the adversary layer costs the event loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dkg_adversary::{run_scenario, ScenarioSpec, StrategyKind};
+use dkg_sim::{ChaosModel, DelayModel};
+
+const N: usize = 16;
+const T: usize = 5;
+
+fn chaos() -> ChaosModel {
+    ChaosModel::from(DelayModel::Uniform { min: 10, max: 80 })
+        .with_link(2, 3, DelayModel::Uniform { min: 250, max: 400 })
+        .with_reorder_window(60)
+        .with_partition(vec![4, 5, 6], 400, 3_000)
+        .holding_severed()
+}
+
+fn bench_chaos_net(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chaos_net");
+    group.sample_size(10);
+
+    group.bench_function("honest_baseline", |b| {
+        b.iter(|| {
+            let outcome = run_scenario(
+                StrategyKind::EquivocatingDealer, // irrelevant: zero corrupted
+                &ScenarioSpec::new(N, 0, 7),
+            );
+            assert!(outcome.all_honest_completed());
+            outcome
+        })
+    });
+
+    group.bench_function("chaos", |b| {
+        b.iter(|| {
+            let outcome = run_scenario(
+                StrategyKind::EquivocatingDealer,
+                &ScenarioSpec::new(N, 0, 7).with_chaos(chaos()),
+            );
+            assert!(outcome.all_honest_completed());
+            outcome
+        })
+    });
+
+    group.bench_function("adversary", |b| {
+        b.iter(|| {
+            let outcome = run_scenario(
+                StrategyKind::EquivocatingDealer,
+                &ScenarioSpec::new(N, T, 7).with_chaos(chaos()),
+            );
+            assert!(outcome.all_honest_completed());
+            outcome
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos_net);
+criterion_main!(benches);

@@ -652,6 +652,17 @@ impl DkgNode {
         )
     }
 
+    /// The bivariate polynomial this node dealt in its own embedded VSS
+    /// session, once it has started. Only exists under the `malice`
+    /// test-configuration feature (forwarded from `dkg-vss`): the
+    /// active-adversary harness extracts the honest dealing so corrupted
+    /// dealers can re-share it strategically — equivocating to a subset
+    /// while staying consistent for the rest.
+    #[cfg(feature = "malice")]
+    pub fn dealt_polynomial(&self) -> Option<&dkg_poly::SymmetricBivariate> {
+        self.vss.get(&self.id)?.dealt_polynomial()
+    }
+
     /// Switches the share-combination rule (the share-renewal protocol of
     /// §5.2 uses Lagrange interpolation at index 0 rather than a sum).
     pub fn set_combine_rule(&mut self, rule: CombineRule) {

@@ -100,7 +100,7 @@ impl std::error::Error for RenewalError {}
 pub struct RenewalPlan {
     /// Expected resharing commitments `g^{s_d}` per dealer: a dealer
     /// resharing anything other than its current share is ignored
-    /// ([`DkgNode::set_expected_dealer_commitments`]).
+    /// ([`crate::DkgNode::set_expected_dealer_commitments`]).
     pub expected_commitments: BTreeMap<NodeId, GroupElement>,
     /// `(node, tick time)` for each participating node: the local clock
     /// ticks at which nodes reshare, with the deterministic pseudo-random

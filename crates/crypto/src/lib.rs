@@ -4,7 +4,8 @@
 //! *Distributed Key Generation for the Internet* (Kate & Goldberg,
 //! ICDCS 2009), implemented from scratch on top of [`dkg_arith`]:
 //!
-//! * [`sha256`] — FIPS 180-4 SHA-256 (digests, challenges, Merkle nodes),
+//! * [`mod@sha256`] — FIPS 180-4 SHA-256 (digests, challenges, Merkle
+//!   nodes),
 //! * [`schnorr`] — Schnorr signatures used for the signed `echo` / `ready` /
 //!   `lead-ch` messages of the DKG's leader-based agreement (§4),
 //! * [`merkle`] — Merkle commitment digests implementing the O(κn³)

@@ -32,8 +32,11 @@
 //! * [`executor`] — [`executor::Executor`], [`executor::InlineExecutor`],
 //!   [`executor::ThreadPoolExecutor`] (`DKG_WORKERS`, bounded queue).
 //! * [`net`] — [`EndpointNet`], a deterministic datagram network for tests
-//!   and experiments: real bytes, pseudo-random delays, crashes, muted
-//!   nodes, raw-datagram injection, byte-accurate [`dkg_sim::Metrics`],
+//!   and experiments: real bytes, chaos links ([`dkg_sim::ChaosModel`]:
+//!   asymmetric per-link delays, reordering, healing partitions), crashes,
+//!   muted nodes, raw-datagram injection, adversary-controlled nodes
+//!   ([`CorruptEndpoint`]) with origin-tagged rejections
+//!   ([`DatagramOrigin`]), byte-accurate [`dkg_sim::Metrics`], and
 //!   executor-driven job completion with a byte transcript digest.
 //! * [`runner`] — endpoint-based harness helpers (the single import path
 //!   for examples/tests: [`runner::SystemSetup`],
@@ -69,7 +72,9 @@ pub use endpoint::{
     Transmit, WallClock,
 };
 pub use executor::{Executor, InlineExecutor, JobOutcome, ThreadPoolExecutor};
-pub use net::{EndpointNet, EventRecord, RejectRecord};
+pub use net::{
+    CorruptEndpoint, CorruptSend, DatagramOrigin, EndpointNet, EventRecord, RejectRecord,
+};
 pub use persist::{
     EndpointSnapshot, PersistStats, RestoreError, SessionSnapshot, SessionStateSnapshot,
     SNAPSHOT_VERSION,

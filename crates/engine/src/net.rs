@@ -3,18 +3,23 @@
 //! [`EndpointNet`] is the transport the [`crate::Endpoint`] poll API plugs
 //! into for tests, examples and experiments: a discrete-event simulation
 //! that carries **real encoded datagrams** (`Vec<u8>`) between endpoints
-//! with pseudo-random link delays, crash/recovery of nodes, muted
-//! (Byzantine-silent) nodes and raw datagram injection for adversarial
-//! tests. Because every delivered frame is the canonical [`dkg_wire`]
-//! encoding, the [`dkg_sim::Metrics`] it collects measure the paper's
-//! communication complexity on actual bytes — nothing is estimated.
+//! with pseudo-random link delays — or a full [`ChaosModel`] (asymmetric
+//! per-link latency, reordering windows, timed partitions that heal) —
+//! plus crash/recovery of nodes, muted (Byzantine-silent) nodes, raw
+//! datagram injection, and **adversary-controlled nodes**: a
+//! [`CorruptEndpoint`] receives its traffic like any endpoint and emits
+//! whatever its attack strategy crafts, tagged [`DatagramOrigin::Adversary`]
+//! so rejections stay attributable. Because every delivered frame is the
+//! canonical [`dkg_wire`] encoding, the [`dkg_sim::Metrics`] it collects
+//! measure the paper's communication complexity on actual bytes — nothing
+//! is estimated.
 
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use dkg_core::DkgInput;
 use dkg_crypto::{sha256, NodeId};
-use dkg_sim::{DelayModel, Metrics};
+use dkg_sim::{ChaosModel, DelayModel, LinkFate, Metrics};
 use dkg_vss::{SessionId, VssInput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,8 +36,12 @@ enum NetEvent {
         from: NodeId,
         to: NodeId,
         bytes: Vec<u8>,
+        origin: DatagramOrigin,
     },
     Wake {
+        node: NodeId,
+    },
+    CorruptStart {
         node: NodeId,
     },
     DkgInput {
@@ -84,6 +93,21 @@ pub struct EventRecord {
     pub event: Event,
 }
 
+/// Where a datagram handed to the network came from — kept alongside every
+/// [`RejectRecord`] so chaos tests can assert *why* a frame was refused:
+/// a protocol-level refusal of an adversary-crafted frame is evidence of a
+/// detected attack, a refusal of an honest frame is a bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatagramOrigin {
+    /// Emitted by a hosted (honest) [`Endpoint`]'s `poll_transmit`.
+    Honest,
+    /// Raw bytes injected through [`EndpointNet::inject_datagram`]
+    /// (malformed-input and fault-injection tests).
+    Injected,
+    /// Crafted by a [`CorruptEndpoint`] — an adversary-controlled node.
+    Adversary,
+}
+
 /// A datagram rejection observed during the run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RejectRecord {
@@ -93,8 +117,50 @@ pub struct RejectRecord {
     pub node: NodeId,
     /// The claimed sender.
     pub from: NodeId,
+    /// Where the refused datagram came from. Operator-input and job
+    /// rejections (no datagram involved) are recorded as
+    /// [`DatagramOrigin::Honest`].
+    pub origin: DatagramOrigin,
     /// Why it was refused.
     pub reject: Reject,
+}
+
+/// A datagram an adversary-controlled node wants sent. `from` is the
+/// *claimed* sender: a corrupted node may spoof another node's identity —
+/// whether the receiver detects that (signature checks, point consistency)
+/// is exactly what the adversary tests probe.
+#[derive(Clone, Debug)]
+pub struct CorruptSend {
+    /// The claimed sender carried to the receiver.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// The complete framed datagram.
+    pub bytes: Vec<u8>,
+}
+
+/// A node under adversary control, driven by the network at the byte level
+/// exactly like an honest [`Endpoint`]: datagrams addressed to the node are
+/// fed in, emitted datagrams are carried (with link delays and chaos
+/// applied) and tagged [`DatagramOrigin::Adversary`], and wake-ups fire at
+/// the node's requested deadlines. Implementations live in the
+/// `dkg-adversary` crate; the engine only defines the byte-level contract.
+pub trait CorruptEndpoint {
+    /// The node this adversary position controls.
+    fn id(&self) -> NodeId;
+
+    /// Called at the node's scheduled start
+    /// ([`EndpointNet::schedule_corrupt_start`]).
+    fn on_start(&mut self, now: WallClock) -> Vec<CorruptSend>;
+
+    /// Called for every datagram delivered to the node.
+    fn on_datagram(&mut self, from: NodeId, bytes: &[u8], now: WallClock) -> Vec<CorruptSend>;
+
+    /// Called when the deadline from [`CorruptEndpoint::poll_wake`] is due.
+    fn on_wake(&mut self, now: WallClock) -> Vec<CorruptSend>;
+
+    /// The next wake-up the node wants, if any.
+    fn poll_wake(&self) -> Option<WallClock>;
 }
 
 /// A deterministic datagram network connecting [`Endpoint`]s.
@@ -114,14 +180,23 @@ pub struct EndpointNet {
     /// its configured store, or from nothing.
     crashed: BTreeMap<NodeId, EndpointConfig>,
     muted: BTreeSet<NodeId>,
+    /// Adversary-controlled nodes, driven at the byte level alongside the
+    /// honest endpoints.
+    corrupt: BTreeMap<NodeId, Box<dyn CorruptEndpoint>>,
     queue: BinaryHeap<Scheduled>,
     scheduled_wake: BTreeMap<NodeId, WallClock>,
-    delay: DelayModel,
+    chaos: ChaosModel,
     rng: StdRng,
     metrics: Metrics,
     events: Vec<EventRecord>,
     rejections: Vec<RejectRecord>,
     executor: Box<dyn Executor>,
+    /// Datagrams dropped by an active [`dkg_sim::TimedPartition`].
+    severed: u64,
+    /// Copies of every adversary-emitted frame `(claimed_from, to, bytes)`,
+    /// kept only when [`EndpointNet::record_adversary_frames`] opted in
+    /// (the wire-validity property tests inspect them).
+    adversary_frames: Option<Vec<(NodeId, NodeId, Vec<u8>)>>,
     /// Running hash over every datagram handed to the network, in order.
     /// `None` until [`EndpointNet::record_transcript`] opts in, so the
     /// per-datagram hashing costs nothing by default.
@@ -154,14 +229,17 @@ impl EndpointNet {
             endpoints: BTreeMap::new(),
             crashed: BTreeMap::new(),
             muted: BTreeSet::new(),
+            corrupt: BTreeMap::new(),
             queue: BinaryHeap::new(),
             scheduled_wake: BTreeMap::new(),
-            delay,
+            chaos: ChaosModel::from(delay),
             rng: StdRng::seed_from_u64(seed),
             metrics: Metrics::new(),
             events: Vec::new(),
             rejections: Vec::new(),
             executor,
+            severed: 0,
+            adversary_frames: None,
             transcript: None,
             recoveries: 0,
             recovery_failures: Vec::new(),
@@ -170,6 +248,19 @@ impl EndpointNet {
             processed: 0,
             event_limit: DEFAULT_EVENT_LIMIT,
         }
+    }
+
+    /// Replaces the link model with a full [`ChaosModel`] (asymmetric
+    /// per-link delays, reordering jitter, timed partitions that heal).
+    /// Call before scheduling any input; changing the model mid-run would
+    /// change the RNG stream of every later sample.
+    pub fn set_chaos(&mut self, chaos: ChaosModel) {
+        self.chaos = chaos;
+    }
+
+    /// Datagrams dropped by an active partition so far.
+    pub fn severed(&self) -> u64 {
+        self.severed
     }
 
     /// Starts folding every subsequently sent datagram `(from, to, bytes)`
@@ -192,9 +283,66 @@ impl EndpointNet {
     pub fn add_endpoint(&mut self, endpoint: Endpoint) {
         let id = endpoint.id();
         assert!(
+            !self.corrupt.contains_key(&id),
+            "node {id} is adversary-controlled"
+        );
+        assert!(
             self.endpoints.insert(id, endpoint).is_none(),
             "duplicate endpoint id {id}"
         );
+    }
+
+    /// Hands a node to the adversary: datagrams addressed to it are fed to
+    /// the [`CorruptEndpoint`], and everything it emits enters the network
+    /// tagged [`DatagramOrigin::Adversary`]. Panics if the id collides with
+    /// an honest endpoint or another corrupted node.
+    pub fn add_corrupt_endpoint(&mut self, node: Box<dyn CorruptEndpoint>) {
+        let id = node.id();
+        assert!(
+            !self.endpoints.contains_key(&id),
+            "node {id} already hosts an honest endpoint"
+        );
+        // A crashed honest node still owns its id: recovery would silently
+        // shadow it behind the corrupt entry otherwise.
+        assert!(
+            !self.crashed.contains_key(&id),
+            "node {id} is a crashed honest endpoint"
+        );
+        assert!(
+            self.corrupt.insert(id, node).is_none(),
+            "duplicate corrupt node id {id}"
+        );
+    }
+
+    /// Whether `node` is adversary-controlled.
+    pub fn is_corrupt(&self, node: NodeId) -> bool {
+        self.corrupt.contains_key(&node)
+    }
+
+    /// Ids of all adversary-controlled nodes.
+    pub fn corrupt_ids(&self) -> Vec<NodeId> {
+        self.corrupt.keys().copied().collect()
+    }
+
+    /// Schedules the adversary-controlled node's start
+    /// ([`CorruptEndpoint::on_start`]) — the corrupted counterpart of
+    /// [`EndpointNet::schedule_dkg_input`].
+    pub fn schedule_corrupt_start(&mut self, node: NodeId, at: WallClock) {
+        self.push(at, NetEvent::CorruptStart { node });
+    }
+
+    /// Starts keeping a copy of every adversary-emitted frame (claimed
+    /// sender, destination, bytes). Off by default; the wire-validity
+    /// property tests use the copies to prove that every strategy emits
+    /// only frames the codec accepts.
+    pub fn record_adversary_frames(&mut self) {
+        self.adversary_frames.get_or_insert_with(Vec::new);
+    }
+
+    /// The recorded adversary frames, if
+    /// [`EndpointNet::record_adversary_frames`] opted in.
+    pub fn adversary_frames(&self) -> &[(NodeId, NodeId, Vec<u8>)] {
+        self.adversary_frames.as_deref().unwrap_or(&[])
     }
 
     /// Read access to an endpoint.
@@ -334,7 +482,15 @@ impl EndpointNet {
     /// malformed-bytes tests.
     pub fn inject_datagram(&mut self, from: NodeId, to: NodeId, bytes: Vec<u8>, at: WallClock) {
         self.metrics.record_send(from, "injected", bytes.len());
-        self.push(at, NetEvent::Deliver { from, to, bytes });
+        self.push(
+            at,
+            NetEvent::Deliver {
+                from,
+                to,
+                bytes,
+                origin: DatagramOrigin::Injected,
+            },
+        );
     }
 
     fn push(&mut self, time: WallClock, event: NetEvent) {
@@ -356,32 +512,58 @@ impl EndpointNet {
         debug_assert!(scheduled.time >= self.now, "time must be monotone");
         self.now = scheduled.time;
         match scheduled.event {
-            NetEvent::Deliver { from, to, bytes } => {
-                if !self.endpoints.contains_key(&to) {
-                    // Crashed (endpoint dropped) or never existed: a real
-                    // datagram to a down node is lost.
-                    self.metrics.record_drop_to_crashed();
-                } else {
-                    let now = self.now;
-                    let endpoint = self.endpoints.get_mut(&to).expect("checked above");
+            NetEvent::Deliver {
+                from,
+                to,
+                bytes,
+                origin,
+            } => {
+                let now = self.now;
+                if let Some(corrupt) = self.corrupt.get_mut(&to) {
+                    // An adversary-controlled node receives its traffic
+                    // like any other node; what it does with it is the
+                    // strategy's business.
+                    self.metrics.record_delivery();
+                    let sends = corrupt.on_datagram(from, &bytes, now);
+                    self.emit_corrupt(to, sends);
+                } else if let Some(endpoint) = self.endpoints.get_mut(&to) {
                     match endpoint.handle_datagram(from, &bytes, now) {
                         Ok(_) => self.metrics.record_delivery(),
                         Err(reject) => self.rejections.push(RejectRecord {
                             time: now,
                             node: to,
                             from,
+                            origin,
                             reject,
                         }),
                     }
                     self.drain(to);
+                } else {
+                    // Crashed (endpoint dropped) or never existed: a real
+                    // datagram to a down node is lost.
+                    self.metrics.record_drop_to_crashed();
                 }
             }
             NetEvent::Wake { node } => {
                 self.scheduled_wake.remove(&node);
                 let now = self.now;
-                if let Some(endpoint) = self.endpoints.get_mut(&node) {
+                if self.corrupt.contains_key(&node) {
+                    let sends = self
+                        .corrupt
+                        .get_mut(&node)
+                        .expect("checked above")
+                        .on_wake(now);
+                    self.emit_corrupt(node, sends);
+                } else if let Some(endpoint) = self.endpoints.get_mut(&node) {
                     endpoint.handle_timeout(now);
                     self.drain(node);
+                }
+            }
+            NetEvent::CorruptStart { node } => {
+                let now = self.now;
+                if let Some(corrupt) = self.corrupt.get_mut(&node) {
+                    let sends = corrupt.on_start(now);
+                    self.emit_corrupt(node, sends);
                 }
             }
             NetEvent::DkgInput { node, tau, input } => {
@@ -392,6 +574,7 @@ impl EndpointNet {
                             time: now,
                             node,
                             from: node,
+                            origin: DatagramOrigin::Honest,
                             reject,
                         });
                     }
@@ -410,6 +593,7 @@ impl EndpointNet {
                             time: now,
                             node,
                             from: node,
+                            origin: DatagramOrigin::Honest,
                             reject,
                         });
                     }
@@ -524,6 +708,7 @@ impl EndpointNet {
                                 time: now,
                                 node,
                                 from: node,
+                                origin: DatagramOrigin::Honest,
                                 reject,
                             });
                             break;
@@ -575,7 +760,13 @@ impl EndpointNet {
             let delay = if transmit.to == node {
                 0
             } else {
-                self.delay.sample(&mut self.rng)
+                match self.chaos.fate(node, transmit.to, now, &mut self.rng) {
+                    LinkFate::Deliver(delay) => delay,
+                    LinkFate::Severed => {
+                        self.severed += 1;
+                        continue;
+                    }
+                }
             };
             self.push(
                 now.saturating_add(delay),
@@ -583,6 +774,7 @@ impl EndpointNet {
                     from: node,
                     to: transmit.to,
                     bytes: transmit.payload,
+                    origin: DatagramOrigin::Honest,
                 },
             );
         }
@@ -593,6 +785,67 @@ impl EndpointNet {
                 node,
                 event,
             });
+        }
+    }
+
+    /// Carries an adversary-controlled node's emissions into the network —
+    /// the corrupted counterpart of [`EndpointNet::pump_io`] (metrics,
+    /// transcript folding, muting, chaos link fates all apply; `node` is
+    /// the controlling node, [`CorruptSend::from`] the claimed sender) —
+    /// and keeps the node's wake-up scheduled.
+    fn emit_corrupt(&mut self, node: NodeId, sends: Vec<CorruptSend>) {
+        let now = self.now;
+        for send in sends {
+            // Traffic accounting charges the *controlling* node, not the
+            // claimed sender — a spoofing adversary must not inflate an
+            // honest node's byte tally in the complexity metrics.
+            self.metrics
+                .record_send(node, "adversary", send.bytes.len());
+            if let Some(transcript) = &mut self.transcript {
+                let mut chained = Vec::with_capacity(32 + 16 + send.bytes.len());
+                chained.extend_from_slice(&transcript[..]);
+                chained.extend_from_slice(&send.from.to_be_bytes());
+                chained.extend_from_slice(&send.to.to_be_bytes());
+                chained.extend_from_slice(&send.bytes);
+                *transcript = sha256(&chained);
+            }
+            if let Some(frames) = &mut self.adversary_frames {
+                frames.push((send.from, send.to, send.bytes.clone()));
+            }
+            if self.muted.contains(&node) {
+                continue;
+            }
+            // Link characteristics (delay, partitions) follow the wire the
+            // frame physically leaves on — the corrupted node's — not the
+            // spoofed identity.
+            let delay = if send.to == node {
+                0
+            } else {
+                match self.chaos.fate(node, send.to, now, &mut self.rng) {
+                    LinkFate::Deliver(delay) => delay,
+                    LinkFate::Severed => {
+                        self.severed += 1;
+                        continue;
+                    }
+                }
+            };
+            self.push(
+                now.saturating_add(delay),
+                NetEvent::Deliver {
+                    from: send.from,
+                    to: send.to,
+                    bytes: send.bytes,
+                    origin: DatagramOrigin::Adversary,
+                },
+            );
+        }
+        if let Some(deadline) = self.corrupt.get(&node).and_then(|c| c.poll_wake()) {
+            let wake_at = deadline.max(now);
+            let already = self.scheduled_wake.get(&node).copied();
+            if already.is_none_or(|t| wake_at < t) {
+                self.scheduled_wake.insert(node, wake_at);
+                self.push(wake_at, NetEvent::Wake { node });
+            }
         }
     }
 }

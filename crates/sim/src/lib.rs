@@ -10,6 +10,10 @@
 //! * the hybrid failure model (§2.2): crash/recovery schedules, link
 //!   outages folded into crashes, and a pluggable [`Adversary`] controlling
 //!   delays on corrupted links while honest↔honest delivery is guaranteed,
+//! * chaos link models ([`ChaosModel`]): asymmetric per-link latency
+//!   overrides, reordering windows and timed partitions that heal — either
+//!   dropping severed traffic or holding it until the heal (eventual
+//!   delivery, §2.1) — consumed by `dkg-engine`'s byte-level network,
 //! * weak synchrony for liveness (§2.1): timers and the Castro–Liskov style
 //!   [`DelayFunction`],
 //! * byte-accurate message accounting ([`Metrics`], [`WireSize`]) used by
@@ -36,7 +40,10 @@ pub use adversary::{
 };
 pub use dkg_crypto::NodeId;
 pub use metrics::{Metrics, Tally};
-pub use network::{DelayFunction, DelayModel, LinkOutage, NetworkConfig};
+pub use network::{
+    ChaosModel, DelayFunction, DelayModel, LinkDelay, LinkFate, LinkOutage, NetworkConfig,
+    TimedPartition,
+};
 pub use protocol::{Action, ActionSink, Protocol, SimTime, TimerId};
 pub use simulation::{OutputRecord, Simulation};
 pub use wire::WireSize;

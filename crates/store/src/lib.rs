@@ -28,7 +28,7 @@
 //!   network input.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod error;
 pub mod store;

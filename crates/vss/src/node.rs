@@ -163,6 +163,13 @@ pub struct VssNode {
     /// Prepared jobs: run inline at the prepare site by default, queued
     /// for [`VssNode::poll_job`] in deferred mode.
     jobs: JobQueue<JobCtx>,
+
+    /// The dealer's own dealt polynomial — kept only under the `malice`
+    /// test-configuration feature so the adversary harness can extract the
+    /// dealing and re-share it maliciously. Deliberately **not** part of
+    /// snapshots: honest protocol state never depends on it.
+    #[cfg(feature = "malice")]
+    dealt: Option<SymmetricBivariate>,
 }
 
 impl VssNode {
@@ -197,7 +204,20 @@ impl VssNode {
             help_granted_total: 0,
             help_granted_per: BTreeMap::new(),
             jobs: JobQueue::new(),
+            #[cfg(feature = "malice")]
+            dealt: None,
         }
+    }
+
+    /// The bivariate polynomial this node dealt in this session, if it was
+    /// the dealer and `deal` has run. Only exists under the `malice`
+    /// feature — the hook the active-adversary harness uses to craft
+    /// sharings that are strategically related to the honest dealing
+    /// (equivocating twins, perturbed rows). A node restored from a
+    /// snapshot returns `None`: the dealing is not stable state.
+    #[cfg(feature = "malice")]
+    pub fn dealt_polynomial(&self) -> Option<&SymmetricBivariate> {
+        self.dealt.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -373,6 +393,8 @@ impl VssNode {
             help_granted_total: snapshot.help_granted_total,
             help_granted_per: snapshot.help_granted_per.into_iter().collect(),
             jobs: JobQueue::new(),
+            #[cfg(feature = "malice")]
+            dealt: None,
         })
     }
 
@@ -565,6 +587,10 @@ impl VssNode {
                 row: poly.row(node),
             };
             self.send_recorded(node, message, actions);
+        }
+        #[cfg(feature = "malice")]
+        {
+            self.dealt = Some(poly);
         }
     }
 

@@ -25,7 +25,7 @@
 //!   channel | length | payload`) used by `dkg-engine`'s endpoints.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod codec;
 pub mod error;

@@ -27,9 +27,17 @@
 //!    DKG/VSS sessions over encoded byte datagrams (persisting to a
 //!    [`store`] when configured), plus the byte-level deterministic
 //!    network driver with real crash/restore semantics.
-//! 10. [`baselines`] — Feldman VSS / Joint-Feldman DKG comparators and
+//! 10. `dkg-adversary` — the active Byzantine adversary: seeded attack
+//!     strategies (equivocation, wrong shares, vote withholding, replay,
+//!     certificate forgery) driving corrupted nodes over the byte-level
+//!     network, plus the scenario matrix asserting the paper's `t < n/3`
+//!     bound from both sides. A dev-dependency on purpose: it enables the
+//!     `malice` secret-extraction hooks, which must not reach downstream
+//!     consumers of this library.
+//! 11. [`baselines`] — Feldman VSS / Joint-Feldman DKG comparators and
 //!     closed-form complexity models.
-//! 11. [`bench`] — the experiment harness reproducing the paper's tables.
+//! 12. [`mod@bench`] — the experiment harness reproducing the paper's
+//!     tables.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,3 +57,9 @@ pub use dkg_sim as sim;
 pub use dkg_store as store;
 pub use dkg_vss as vss;
 pub use dkg_wire as wire;
+
+/// The byte-level wire-format specification (`docs/WIRE.md`), included
+/// here so its worked hex example runs as a doctest and cannot drift
+/// from the real codec.
+#[doc = include_str!("../docs/WIRE.md")]
+pub mod wire_spec {}

@@ -1090,6 +1090,14 @@ impl Endpoint {
         self.outbox.pop_front()
     }
 
+    /// Takes up to `max` queued transmits at once. Real-socket drivers
+    /// prefer this over repeated [`Endpoint::poll_transmit`] calls: one
+    /// drain per service pass instead of one `VecDeque` pop per datagram.
+    pub fn poll_transmit_batch(&mut self, max: usize) -> Vec<Transmit> {
+        let take = max.min(self.outbox.len());
+        self.outbox.drain(..take).collect()
+    }
+
     /// Takes the next application event, if any.
     pub fn poll_event(&mut self) -> Option<Event> {
         self.events.pop_front()

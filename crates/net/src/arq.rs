@@ -1,0 +1,335 @@
+//! Per-datagram reliability over a lossy transport.
+//!
+//! The paper's protocols assume the §2.1 asynchronous model: messages
+//! between honest nodes are **eventually** delivered. The in-process
+//! [`EndpointNet`](dkg_engine::EndpointNet) satisfies that by
+//! construction; a real UDP socket does not — datagrams are dropped,
+//! duplicated and reordered. [`ArqState`] restores eventual delivery with
+//! the classic positive-acknowledgement scheme:
+//!
+//! * every outgoing DATA frame carries a per-boot sequence number and is
+//!   kept until acknowledged, retransmitted on a capped exponential
+//!   backoff and abandoned (counted, never silent) after a retry budget —
+//!   a peer that is gone forever must not pin memory;
+//! * every received DATA frame is acknowledged (duplicates too — their
+//!   first ACK may have been the loss) and deduplicated per `(peer,
+//!   boot)` so the endpoint sees each accepted datagram once;
+//! * a peer that reboots announces a fresh boot id, which resets its
+//!   receive window — its new sequence space is not mistaken for replays
+//!   of the old one.
+//!
+//! The protocol layer above is already replay-tolerant (authenticated
+//! messages, idempotent handlers — the adversary suite's replayer
+//! strategy proves it), so deduplication here is an efficiency measure,
+//! not a safety requirement: a duplicate that slipped through would only
+//! waste a signature check.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dkg_crypto::NodeId;
+use dkg_engine::WallClock;
+
+/// Retransmission tuning.
+#[derive(Clone, Debug)]
+pub struct ArqConfig {
+    /// First retransmission delay (ms) after the initial send.
+    pub rto_initial: u64,
+    /// Backoff cap (ms): retries double the timeout up to this.
+    pub rto_max: u64,
+    /// Retransmission attempts before a frame is abandoned (counted in
+    /// [`ArqStats::abandoned`]). True losses past this budget are what
+    /// the protocol's §5.3 recovery help exists for.
+    pub max_retries: u32,
+    /// Maximum sequence numbers packed into one ACK frame.
+    pub ack_batch: usize,
+}
+
+impl Default for ArqConfig {
+    fn default() -> Self {
+        ArqConfig {
+            rto_initial: 60,
+            rto_max: 2_000,
+            max_retries: 30,
+            ack_batch: 64,
+        }
+    }
+}
+
+/// Reliability counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArqStats {
+    /// DATA frames retransmitted.
+    pub retransmits: u64,
+    /// DATA frames abandoned after the retry budget.
+    pub abandoned: u64,
+    /// Received DATA frames suppressed as duplicates.
+    pub duplicates: u64,
+    /// ACK frames received that acknowledged something still pending.
+    pub acked: u64,
+}
+
+struct PendingFrame {
+    to: NodeId,
+    bytes: Vec<u8>,
+    next_retry: WallClock,
+    rto: u64,
+    attempt: u32,
+}
+
+/// Receive-side dedup state for one `(peer, boot)`.
+struct PeerRecv {
+    boot: u64,
+    /// Every sequence number below this has been seen.
+    contiguous: u64,
+    /// Seen sequence numbers at or above `contiguous` (reordering gaps).
+    seen: BTreeSet<u64>,
+}
+
+impl PeerRecv {
+    fn new(boot: u64) -> Self {
+        PeerRecv {
+            boot,
+            contiguous: 0,
+            seen: BTreeSet::new(),
+        }
+    }
+}
+
+/// Send-side retransmission queue plus receive-side deduplication.
+pub struct ArqState {
+    config: ArqConfig,
+    next_seq: u64,
+    pending: BTreeMap<u64, PendingFrame>,
+    pending_acks: BTreeMap<NodeId, Vec<u64>>,
+    recv: BTreeMap<NodeId, PeerRecv>,
+    stats: ArqStats,
+}
+
+impl ArqState {
+    /// Creates an empty state with the given tuning.
+    pub fn new(config: ArqConfig) -> Self {
+        ArqState {
+            config,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            pending_acks: BTreeMap::new(),
+            recv: BTreeMap::new(),
+            stats: ArqStats::default(),
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ArqStats {
+        self.stats
+    }
+
+    /// Unacknowledged DATA frames currently tracked.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Allocates the next sequence number.
+    pub fn next_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Tracks a just-sent DATA frame for retransmission.
+    pub fn track(&mut self, seq: u64, to: NodeId, bytes: Vec<u8>, now: WallClock) {
+        let rto = self.config.rto_initial;
+        self.pending.insert(
+            seq,
+            PendingFrame {
+                to,
+                bytes,
+                next_retry: now.saturating_add(rto),
+                rto,
+                attempt: 0,
+            },
+        );
+    }
+
+    /// Processes an acknowledgement. Returns whether the sequence number
+    /// was still pending.
+    pub fn on_ack(&mut self, seq: u64) -> bool {
+        let hit = self.pending.remove(&seq).is_some();
+        if hit {
+            self.stats.acked += 1;
+        }
+        hit
+    }
+
+    /// Whether a received DATA frame is a duplicate. Resets the peer's
+    /// window first when its boot id changed (a rebooted peer starts a
+    /// fresh sequence space).
+    pub fn is_duplicate(&mut self, from: NodeId, boot: u64, seq: u64) -> bool {
+        let entry = self
+            .recv
+            .entry(from)
+            .and_modify(|e| {
+                if e.boot != boot {
+                    *e = PeerRecv::new(boot);
+                }
+            })
+            .or_insert_with(|| PeerRecv::new(boot));
+        let dup = seq < entry.contiguous || entry.seen.contains(&seq);
+        if dup {
+            self.stats.duplicates += 1;
+        }
+        dup
+    }
+
+    /// Marks a received DATA frame as seen (call once the endpoint
+    /// accepted it, or refused it for a non-retryable reason).
+    pub fn mark_seen(&mut self, from: NodeId, boot: u64, seq: u64) {
+        let entry = self
+            .recv
+            .entry(from)
+            .and_modify(|e| {
+                if e.boot != boot {
+                    *e = PeerRecv::new(boot);
+                }
+            })
+            .or_insert_with(|| PeerRecv::new(boot));
+        entry.seen.insert(seq);
+        while entry.seen.remove(&entry.contiguous) {
+            entry.contiguous += 1;
+        }
+    }
+
+    /// Queues an acknowledgement for a received DATA frame.
+    pub fn queue_ack(&mut self, to: NodeId, seq: u64) {
+        self.pending_acks.entry(to).or_default().push(seq);
+    }
+
+    /// Drains queued acknowledgements, batched per peer at most
+    /// [`ArqConfig::ack_batch`] per frame.
+    pub fn take_acks(&mut self) -> Vec<(NodeId, Vec<u64>)> {
+        let mut out = Vec::new();
+        for (to, seqs) in std::mem::take(&mut self.pending_acks) {
+            for chunk in seqs.chunks(self.config.ack_batch.max(1)) {
+                out.push((to, chunk.to_vec()));
+            }
+        }
+        out
+    }
+
+    /// The earliest retransmission deadline, if any frame is pending.
+    pub fn next_deadline(&self) -> Option<WallClock> {
+        self.pending.values().map(|p| p.next_retry).min()
+    }
+
+    /// Collects every frame due for retransmission at `now`, advancing
+    /// its backoff. Frames past the retry budget are abandoned (counted)
+    /// instead of returned.
+    pub fn due(&mut self, now: WallClock) -> Vec<(NodeId, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut abandoned = Vec::new();
+        for (&seq, frame) in self.pending.iter_mut() {
+            if frame.next_retry > now {
+                continue;
+            }
+            frame.attempt += 1;
+            if frame.attempt > self.config.max_retries {
+                abandoned.push(seq);
+                continue;
+            }
+            frame.rto = (frame.rto * 2).min(self.config.rto_max);
+            frame.next_retry = now.saturating_add(frame.rto);
+            self.stats.retransmits += 1;
+            out.push((frame.to, frame.bytes.clone()));
+        }
+        for seq in abandoned {
+            self.pending.remove(&seq);
+            self.stats.abandoned += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retransmits_until_acked_with_backoff() {
+        let mut arq = ArqState::new(ArqConfig {
+            rto_initial: 10,
+            rto_max: 40,
+            max_retries: 10,
+            ack_batch: 8,
+        });
+        let seq = arq.next_seq();
+        arq.track(seq, 2, vec![1, 2, 3], 0);
+        assert_eq!(arq.next_deadline(), Some(10));
+        assert!(arq.due(9).is_empty());
+        assert_eq!(arq.due(10).len(), 1);
+        // Backoff doubled to 20, capped at 40 afterwards.
+        assert_eq!(arq.next_deadline(), Some(30));
+        assert_eq!(arq.due(30).len(), 1);
+        assert_eq!(arq.next_deadline(), Some(70));
+        assert!(arq.on_ack(seq));
+        assert!(!arq.on_ack(seq));
+        assert!(arq.due(1_000).is_empty());
+        assert_eq!(arq.stats().retransmits, 2);
+        assert_eq!(arq.stats().acked, 1);
+    }
+
+    #[test]
+    fn abandons_after_retry_budget() {
+        let mut arq = ArqState::new(ArqConfig {
+            rto_initial: 1,
+            rto_max: 1,
+            max_retries: 3,
+            ack_batch: 8,
+        });
+        let seq = arq.next_seq();
+        arq.track(seq, 2, vec![0], 0);
+        let mut sent = 0;
+        let mut now = 0;
+        while arq.pending_len() > 0 {
+            now += 1;
+            sent += arq.due(now).len();
+        }
+        assert_eq!(sent, 3);
+        assert_eq!(arq.stats().abandoned, 1);
+    }
+
+    #[test]
+    fn dedup_tracks_reordering_gaps_and_boot_changes() {
+        let mut arq = ArqState::new(ArqConfig::default());
+        for seq in [0, 2, 1] {
+            assert!(!arq.is_duplicate(7, 100, seq), "seq {seq} fresh");
+            arq.mark_seen(7, 100, seq);
+        }
+        assert!(arq.is_duplicate(7, 100, 1));
+        assert!(arq.is_duplicate(7, 100, 2));
+        assert!(!arq.is_duplicate(7, 100, 3));
+        // Unmarked (refused-retryable) frames stay fresh.
+        assert!(!arq.is_duplicate(7, 100, 3));
+        // A rebooted peer restarts its sequence space.
+        assert!(!arq.is_duplicate(7, 101, 0));
+        arq.mark_seen(7, 101, 0);
+        assert!(arq.is_duplicate(7, 101, 0));
+        assert_eq!(arq.stats().duplicates, 3);
+    }
+
+    #[test]
+    fn acks_batch_per_peer() {
+        let mut arq = ArqState::new(ArqConfig {
+            ack_batch: 2,
+            ..ArqConfig::default()
+        });
+        for seq in 0..5 {
+            arq.queue_ack(3, seq);
+        }
+        arq.queue_ack(4, 9);
+        let batches = arq.take_acks();
+        assert_eq!(
+            batches,
+            vec![(3, vec![0, 1]), (3, vec![2, 3]), (3, vec![4]), (4, vec![9])]
+        );
+        assert!(arq.take_acks().is_empty());
+    }
+}

@@ -1,0 +1,557 @@
+//! The per-node event loop: one OS process (or thread), one
+//! [`Endpoint`], one UDP socket.
+//!
+//! [`NodeDriver`] is the real-transport counterpart of the deterministic
+//! [`EndpointNet`](dkg_engine::EndpointNet): it services the endpoint's
+//! poll API against a [`UdpSocket`] — draining `poll_transmit` into
+//! ARQ-framed datagrams, running `poll_jobs` on a pluggable
+//! [`Executor`], firing `handle_timeout` off `poll_timeout` deadlines,
+//! and feeding every received frame through [`crate::frame`] decoding and
+//! [`crate::arq`] deduplication into `handle_datagram`. Retransmission
+//! deadlines and protocol timers share one wait computation, so the loop
+//! blocks in `recv_from` exactly until the next thing is due.
+//!
+//! Untrusted input never panics: alien traffic on the port, oversized or
+//! truncated frames and endpoint-level refusals are all recorded as typed
+//! [`NetReject`]s and counted in [`NetStats`].
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::time::Duration;
+
+use dkg_core::DkgInput;
+use dkg_crypto::NodeId;
+use dkg_engine::{
+    Endpoint, Event, Executor, InlineExecutor, Reject, SessionKey, Transmit, WallClock,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arq::{ArqConfig, ArqState, ArqStats};
+use crate::frame::{self, FrameBody, FrameError, MAX_FRAME_LEN};
+
+/// How many transmits the driver takes from the endpoint per batch while
+/// pumping (the endpoint-side batching knob is
+/// [`Endpoint::poll_transmit_batch`]).
+const TRANSMIT_BATCH: usize = 64;
+
+/// Deterministic, seeded loss/duplication injected at the socket boundary
+/// — the soak tests' stand-in for a genuinely lossy path (localhost
+/// rarely drops), applied to every outgoing frame including ACKs and
+/// retransmissions so reordering emerges naturally from the retry timers.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultModel {
+    /// RNG seed; two drivers with the same seed drop the same pattern.
+    pub seed: u64,
+    /// Per-mille probability of dropping an outgoing frame.
+    pub drop_permille: u16,
+    /// Per-mille probability of sending an outgoing frame twice.
+    pub duplicate_permille: u16,
+}
+
+struct FaultInjector {
+    rng: StdRng,
+    drop_permille: u16,
+    duplicate_permille: u16,
+    dropped: u64,
+    duplicated: u64,
+}
+
+enum FaultFate {
+    Deliver,
+    Drop,
+    Duplicate,
+}
+
+impl FaultInjector {
+    fn new(model: FaultModel) -> Self {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(model.seed),
+            drop_permille: model.drop_permille,
+            duplicate_permille: model.duplicate_permille,
+            dropped: 0,
+            duplicated: 0,
+        }
+    }
+
+    fn fate(&mut self) -> FaultFate {
+        let roll: u16 = self.rng.gen_range(0..1000u16);
+        if roll < self.drop_permille {
+            self.dropped += 1;
+            FaultFate::Drop
+        } else if roll < self.drop_permille.saturating_add(self.duplicate_permille) {
+            self.duplicated += 1;
+            FaultFate::Duplicate
+        } else {
+            FaultFate::Deliver
+        }
+    }
+}
+
+/// Driver tuning.
+#[derive(Clone, Debug)]
+pub struct NetConfig {
+    /// Retransmission tuning.
+    pub arq: ArqConfig,
+    /// When `true` (default), a valid frame from node `X` updates the
+    /// peer table with its source address — how peers re-find a node
+    /// that rebooted onto a different port.
+    pub learn_peers: bool,
+    /// Injected loss/duplication (tests only; `None` in deployments).
+    pub faults: Option<FaultModel>,
+    /// Longest single `recv_from` wait (ms): the loop wakes at least
+    /// this often to re-check deadlines even when nothing is due.
+    pub idle_slice: u64,
+    /// Artificial per-step delay (ms). Zero in deployments; the
+    /// kill-and-rejoin tests use it to keep a victim mid-protocol long
+    /// enough to be killed there.
+    pub throttle: u64,
+    /// How many recent [`NetReject`]s to keep for inspection.
+    pub reject_log: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            arq: ArqConfig::default(),
+            learn_peers: true,
+            faults: None,
+            idle_slice: 25,
+            throttle: 0,
+            reject_log: 64,
+        }
+    }
+}
+
+/// Transport counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// DATA frames sent (first transmissions; retransmits are counted in
+    /// [`ArqStats::retransmits`]).
+    pub data_sent: u64,
+    /// DATA frames received (duplicates included).
+    pub data_received: u64,
+    /// Bytes handed to the socket (all frame kinds, retransmits
+    /// included, frames dropped by fault injection excluded).
+    pub bytes_sent: u64,
+    /// Bytes received from the socket.
+    pub bytes_received: u64,
+    /// ACK frames sent.
+    pub acks_sent: u64,
+    /// Transmits delivered to our own endpoint without touching the
+    /// socket (protocol self-sends).
+    pub loopback: u64,
+    /// Frames or datagrams refused (see [`NodeDriver::rejects`]).
+    pub rejected: u64,
+    /// Socket send/receive errors tolerated as losses (a lossy transport
+    /// is the model; ICMP-driven errors on localhost land here).
+    pub io_errors: u64,
+    /// Outgoing frames dropped by the injected [`FaultModel`].
+    pub faults_dropped: u64,
+    /// Outgoing frames duplicated by the injected [`FaultModel`].
+    pub faults_duplicated: u64,
+}
+
+/// A typed refusal recorded by the driver.
+#[derive(Clone, Debug)]
+pub enum NetReject {
+    /// The frame failed net-layer decoding (alien traffic included).
+    Frame(FrameError),
+    /// A transmit addressed a node the peer table does not know.
+    UnknownPeer(NodeId),
+    /// The endpoint refused a received datagram.
+    Endpoint(Reject),
+}
+
+/// An application event surfaced by the local endpoint, stamped with the
+/// driver clock.
+#[derive(Clone, Debug)]
+pub struct DriverEvent {
+    /// Driver time (epoch ms) when the event surfaced.
+    pub time: WallClock,
+    /// The event.
+    pub event: Event,
+}
+
+/// A sans-I/O [`Endpoint`] bound to a real [`UdpSocket`].
+pub struct NodeDriver {
+    endpoint: Endpoint,
+    socket: UdpSocket,
+    peers: BTreeMap<NodeId, SocketAddr>,
+    arq: ArqState,
+    executor: Box<dyn Executor>,
+    config: NetConfig,
+    /// Fresh per process start; lets peers distinguish this incarnation's
+    /// sequence space from a pre-crash one.
+    boot: u64,
+    events: Vec<DriverEvent>,
+    rejects: std::collections::VecDeque<NetReject>,
+    stats: NetStats,
+    faults: Option<FaultInjector>,
+    clock_last: WallClock,
+    buf: Box<[u8; MAX_FRAME_LEN + 1]>,
+}
+
+impl NodeDriver {
+    /// Wraps `endpoint` around `socket` with inline crypto execution.
+    pub fn new(endpoint: Endpoint, socket: UdpSocket, config: NetConfig) -> io::Result<Self> {
+        Self::with_executor(endpoint, socket, config, Box::new(InlineExecutor::new()))
+    }
+
+    /// [`NodeDriver::new`] with an explicit [`Executor`] (pair with an
+    /// endpoint configured for deferred crypto, as in
+    /// [`dkg_engine::EndpointNet`]).
+    pub fn with_executor(
+        endpoint: Endpoint,
+        socket: UdpSocket,
+        config: NetConfig,
+        executor: Box<dyn Executor>,
+    ) -> io::Result<Self> {
+        // Monotone-ish boot id: epoch nanos mixed with the process id.
+        // Uniqueness across this node's incarnations is all that matters.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        let boot = nanos ^ (u64::from(std::process::id()) << 32);
+        socket.set_nonblocking(false)?;
+        let faults = config.faults.map(FaultInjector::new);
+        Ok(NodeDriver {
+            endpoint,
+            socket,
+            peers: BTreeMap::new(),
+            arq: ArqState::new(config.arq.clone()),
+            executor,
+            config,
+            boot,
+            events: Vec::new(),
+            rejects: std::collections::VecDeque::new(),
+            stats: NetStats::default(),
+            faults,
+            clock_last: 0,
+            buf: Box::new([0u8; MAX_FRAME_LEN + 1]),
+        })
+    }
+
+    /// The node this driver speaks for.
+    pub fn id(&self) -> NodeId {
+        self.endpoint.id()
+    }
+
+    /// This incarnation's boot id.
+    pub fn boot(&self) -> u64 {
+        self.boot
+    }
+
+    /// The socket's local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Read access to the hosted endpoint.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Mutable access to the hosted endpoint.
+    pub fn endpoint_mut(&mut self) -> &mut Endpoint {
+        &mut self.endpoint
+    }
+
+    /// Registers (or moves) a peer's socket address.
+    pub fn set_peer(&mut self, node: NodeId, addr: SocketAddr) {
+        self.peers.insert(node, addr);
+    }
+
+    /// The known address of a peer.
+    pub fn peer(&self, node: NodeId) -> Option<SocketAddr> {
+        self.peers.get(&node).copied()
+    }
+
+    /// Transport counters.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Reliability counters.
+    pub fn arq_stats(&self) -> ArqStats {
+        self.arq.stats()
+    }
+
+    /// The most recent refusals (bounded by [`NetConfig::reject_log`]).
+    pub fn rejects(&self) -> impl Iterator<Item = &NetReject> {
+        self.rejects.iter()
+    }
+
+    /// Events surfaced so far (application events of the local endpoint).
+    pub fn events(&self) -> &[DriverEvent] {
+        &self.events
+    }
+
+    /// The driver clock: milliseconds since the Unix epoch, forced
+    /// monotone within this driver. Using real wall time (rather than a
+    /// process-local zero) means timers persisted before a crash still
+    /// mean the same instants after the reboot.
+    pub fn now(&mut self) -> WallClock {
+        let epoch_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(self.clock_last);
+        self.clock_last = epoch_ms.max(self.clock_last);
+        self.clock_last
+    }
+
+    /// Feeds a DKG operator input to the hosted endpoint and services the
+    /// traffic it produces.
+    pub fn handle_dkg_input(&mut self, tau: u64, input: DkgInput) -> Result<(), Reject> {
+        let now = self.now();
+        self.endpoint.handle_dkg_input(tau, input, now)?;
+        self.service(now);
+        Ok(())
+    }
+
+    /// Whether the given session has completed on the local endpoint.
+    pub fn is_complete(&self, key: SessionKey) -> bool {
+        self.endpoint.is_complete(key)
+    }
+
+    fn record_reject(&mut self, reject: NetReject) {
+        self.stats.rejected += 1;
+        if self.rejects.len() >= self.config.reject_log.max(1) {
+            self.rejects.pop_front();
+        }
+        self.rejects.push_back(reject);
+    }
+
+    /// Sends raw frame bytes to a peer, applying fault injection and
+    /// tolerating socket errors as losses.
+    fn send_raw(&mut self, to: NodeId, bytes: &[u8]) {
+        let Some(addr) = self.peers.get(&to).copied() else {
+            self.record_reject(NetReject::UnknownPeer(to));
+            return;
+        };
+        let copies = match self.faults.as_mut().map(FaultInjector::fate) {
+            Some(FaultFate::Drop) => {
+                self.stats.faults_dropped += 1;
+                0
+            }
+            Some(FaultFate::Duplicate) => {
+                self.stats.faults_duplicated += 1;
+                2
+            }
+            _ => 1,
+        };
+        for _ in 0..copies {
+            match self.socket.send_to(bytes, addr) {
+                Ok(sent) => self.stats.bytes_sent += sent as u64,
+                // UDP is lossy by contract; a send error (e.g. an
+                // ICMP-reported unreachable peer) is just a loss the ARQ
+                // layer will retry.
+                Err(_) => self.stats.io_errors += 1,
+            }
+        }
+    }
+
+    /// Frames, tracks and sends one endpoint transmit.
+    fn send_transmit(&mut self, transmit: Transmit, now: WallClock) {
+        if transmit.to == self.endpoint.id() {
+            // Protocol self-sends never touch the socket.
+            self.stats.loopback += 1;
+            if let Err(reject) = self
+                .endpoint
+                .handle_datagram(transmit.to, &transmit.payload, now)
+            {
+                self.record_reject(NetReject::Endpoint(reject));
+            }
+            return;
+        }
+        let seq = self.arq.next_seq();
+        let frame = match frame::encode_data(self.endpoint.id(), self.boot, seq, &transmit.payload)
+        {
+            Ok(frame) => frame,
+            Err(err) => {
+                self.record_reject(NetReject::Frame(err));
+                return;
+            }
+        };
+        self.stats.data_sent += 1;
+        self.arq.track(seq, transmit.to, frame.clone(), now);
+        self.send_raw(transmit.to, &frame);
+    }
+
+    /// Pumps the endpoint to quiescence: transmits out, events surfaced,
+    /// crypto jobs executed and completed, ACKs flushed, WAL compacted.
+    fn service(&mut self, now: WallClock) {
+        loop {
+            for transmit in self.endpoint.poll_transmit_batch(TRANSMIT_BATCH) {
+                self.send_transmit(transmit, now);
+            }
+            while let Some(event) = self.endpoint.poll_event() {
+                self.events.push(DriverEvent { time: now, event });
+            }
+            let tickets = self.endpoint.poll_jobs();
+            if tickets.is_empty() && self.endpoint.outbox_len() == 0 {
+                break;
+            }
+            for ticket in tickets {
+                self.executor.submit(ticket.id, ticket.job);
+            }
+            for outcome in self.executor.drain() {
+                loop {
+                    match self
+                        .endpoint
+                        .complete_job(outcome.id, outcome.verdict.clone(), now)
+                    {
+                        // A full outbox mid-drain: push the queued frames
+                        // onto the wire, then retry the verdict.
+                        Err(Reject::Backpressure { .. }) => {
+                            for transmit in self.endpoint.poll_transmit_batch(TRANSMIT_BATCH) {
+                                self.send_transmit(transmit, now);
+                            }
+                        }
+                        Err(reject) => {
+                            self.record_reject(NetReject::Endpoint(reject));
+                            break;
+                        }
+                        Ok(_) => break,
+                    }
+                }
+            }
+        }
+        for (to, seqs) in self.arq.take_acks() {
+            let frame = frame::encode_ack(self.endpoint.id(), self.boot, &seqs);
+            self.stats.acks_sent += 1;
+            self.send_raw(to, &frame);
+        }
+        self.endpoint.maybe_compact();
+    }
+
+    /// Processes one received UDP payload.
+    fn on_frame(&mut self, len: usize, src: SocketAddr, now: WallClock) {
+        self.stats.bytes_received += len as u64;
+        let frame = match frame::decode_frame(&self.buf[..len]) {
+            Ok(frame) => frame,
+            Err(err) => {
+                self.record_reject(NetReject::Frame(err));
+                return;
+            }
+        };
+        if self.config.learn_peers && self.peers.get(&frame.from) != Some(&src) {
+            // A structurally valid frame teaches us where the peer lives
+            // now (reboots move ports). The protocol layer authenticates
+            // content; the worst an address forger achieves is diverting
+            // its own victim's retransmissions.
+            self.peers.insert(frame.from, src);
+        }
+        match frame.body {
+            FrameBody::Ack { seqs } => {
+                for seq in seqs {
+                    self.arq.on_ack(seq);
+                }
+            }
+            FrameBody::Data { seq, datagram } => {
+                self.stats.data_received += 1;
+                if self.arq.is_duplicate(frame.from, frame.boot, seq) {
+                    // Re-acknowledge duplicates: the first ACK may have
+                    // been the loss that caused this retransmission.
+                    self.arq.queue_ack(frame.from, seq);
+                    return;
+                }
+                match self.endpoint.handle_datagram(frame.from, &datagram, now) {
+                    Ok(_) => {
+                        self.arq.mark_seen(frame.from, frame.boot, seq);
+                        self.arq.queue_ack(frame.from, seq);
+                    }
+                    Err(reject) => {
+                        // Retryable refusals (backpressure, a failed WAL
+                        // append) leave the frame unseen *and* unacked so
+                        // the peer retransmits it into a healthier moment;
+                        // anything else is a terminal refusal of this
+                        // frame, acknowledged so the peer stops resending.
+                        let retryable = matches!(
+                            reject,
+                            Reject::Backpressure { .. } | Reject::PersistFailed(_)
+                        );
+                        if !retryable {
+                            self.arq.mark_seen(frame.from, frame.boot, seq);
+                            self.arq.queue_ack(frame.from, seq);
+                        }
+                        self.record_reject(NetReject::Endpoint(reject));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs one iteration of the event loop: service the endpoint, wait
+    /// for a frame until the next deadline (protocol timer or
+    /// retransmission), fire what is due. Returns whether a frame was
+    /// received.
+    pub fn step(&mut self) -> io::Result<bool> {
+        let now = self.now();
+        self.service(now);
+
+        let deadline = match (self.endpoint.poll_timeout(), self.arq.next_deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let wait_ms = deadline
+            .map(|d| d.saturating_sub(now))
+            .unwrap_or(self.config.idle_slice)
+            .clamp(1, self.config.idle_slice.max(1));
+        self.socket
+            .set_read_timeout(Some(Duration::from_millis(wait_ms)))?;
+
+        let mut received = false;
+        match self.socket.recv_from(&mut self.buf[..]) {
+            Ok((len, src)) => {
+                let now = self.now();
+                self.on_frame(len, src, now);
+                received = true;
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            // Anything else a UDP socket reports (ICMP unreachable from a
+            // crashed peer, transient resource errors) is treated as the
+            // loss it is — the retry timers cover it.
+            Err(_) => self.stats.io_errors += 1,
+        }
+
+        let now = self.now();
+        self.endpoint.handle_timeout(now);
+        for (to, bytes) in self.arq.due(now) {
+            self.send_raw(to, &bytes);
+        }
+        self.service(now);
+
+        if self.config.throttle > 0 {
+            std::thread::sleep(Duration::from_millis(self.config.throttle));
+        }
+        Ok(received)
+    }
+
+    /// Steps the loop until `predicate` returns `true` or `deadline`
+    /// (driver clock, epoch ms) passes. Returns whether the predicate was
+    /// met.
+    pub fn run_until(
+        &mut self,
+        mut predicate: impl FnMut(&NodeDriver) -> bool,
+        deadline: WallClock,
+    ) -> io::Result<bool> {
+        loop {
+            if predicate(self) {
+                return Ok(true);
+            }
+            if self.now() > deadline {
+                return Ok(false);
+            }
+            self.step()?;
+        }
+    }
+}

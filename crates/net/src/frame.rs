@@ -1,0 +1,330 @@
+//! Net-layer framing of [`dkg_wire`] datagrams over UDP.
+//!
+//! The sans-I/O [`Endpoint`](dkg_engine::Endpoint) consumes complete
+//! dkg-wire datagrams tagged with the sending *node id* — but a UDP socket
+//! only yields raw bytes and a source address. The net frame closes that
+//! gap and carries the two facts the transport itself needs: who sent the
+//! frame (so the receiver can attribute it before any payload decoding)
+//! and the sender's *boot id* (so retransmission state survives a peer's
+//! crash-and-reboot without mistaking its fresh sequence space for
+//! replays).
+//!
+//! Every UDP payload is one frame:
+//!
+//! ```text
+//! bytes 0..4    magic              b"DKGN"
+//! byte  4       net version        (currently 1)
+//! byte  5       kind               (0 = DATA, 1 = ACK)
+//! bytes 6..14   sender node id     u64, big-endian
+//! bytes 14..22  sender boot id     u64, big-endian
+//!
+//! DATA:
+//! bytes 22..30  sequence number    u64, big-endian
+//! bytes 30..34  datagram length    u32, big-endian
+//! bytes 34..    the complete dkg-wire datagram (header + payload)
+//!
+//! ACK:
+//! bytes 22..26  count              u32, big-endian
+//! bytes 26..    count × u64        acknowledged sequence numbers
+//! ```
+//!
+//! Decoding is **total**: alien traffic on the port (wrong magic), wrong
+//! versions, unknown kinds, truncated frames and length mismatches are all
+//! typed [`FrameError`]s — never panics — mirroring the dkg-wire decode
+//! discipline so the same fuzz suites apply.
+
+use dkg_crypto::NodeId;
+use dkg_wire::{Reader, WireError, WireWrite};
+
+/// The four magic bytes opening every net frame. Anything else on the
+/// port is alien traffic and refused as [`FrameError::NotOurs`].
+pub const MAGIC: [u8; 4] = *b"DKGN";
+
+/// The current net-layer version. Decoders reject any other value.
+pub const NET_VERSION: u8 = 1;
+
+/// Bytes of net framing before a DATA frame's dkg-wire datagram.
+pub const DATA_OVERHEAD: usize = 4 + 1 + 1 + 8 + 8 + 8 + 4;
+
+/// The largest UDP payload this transport will send or accept: the
+/// classical 65,535-byte IPv4 datagram limit minus IP and UDP headers.
+/// Endpoint datagrams that would not fit (plus [`DATA_OVERHEAD`]) are
+/// refused at send time with [`FrameError::Oversized`] — fragmentation is
+/// a future concern; every workload in this repo stays far below it.
+pub const MAX_FRAME_LEN: usize = 65_507;
+
+/// A net frame refusal. Total decoding means every malformed input maps
+/// here; nothing panics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FrameError {
+    /// The bytes do not start with [`MAGIC`] (or are shorter than it):
+    /// some other program's traffic arrived on our port.
+    NotOurs,
+    /// The frame speaks a net-layer version this build does not.
+    UnsupportedVersion {
+        /// The version byte received.
+        version: u8,
+    },
+    /// The kind byte is neither DATA nor ACK.
+    UnknownKind {
+        /// The kind byte received.
+        tag: u8,
+    },
+    /// The frame is structurally malformed (truncated fields, length
+    /// mismatches, trailing bytes).
+    Malformed(WireError),
+    /// The frame (or the datagram a caller asked to send) exceeds
+    /// [`MAX_FRAME_LEN`].
+    Oversized {
+        /// Actual length.
+        len: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::NotOurs => write!(f, "not a dkg-net frame (alien traffic)"),
+            FrameError::UnsupportedVersion { version } => {
+                write!(f, "unsupported net-frame version {version}")
+            }
+            FrameError::UnknownKind { tag } => write!(f, "unknown net-frame kind {tag}"),
+            FrameError::Malformed(err) => write!(f, "malformed net frame: {err}"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<WireError> for FrameError {
+    fn from(err: WireError) -> Self {
+        FrameError::Malformed(err)
+    }
+}
+
+/// The transport-level content of a frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FrameBody {
+    /// One complete dkg-wire datagram under a retransmission sequence
+    /// number.
+    Data {
+        /// The sender's per-boot sequence number for this datagram.
+        seq: u64,
+        /// The complete dkg-wire datagram (header + canonical payload).
+        datagram: Vec<u8>,
+    },
+    /// Acknowledges received DATA sequence numbers back to their sender.
+    Ack {
+        /// The acknowledged sequence numbers.
+        seqs: Vec<u64>,
+    },
+}
+
+/// A decoded net frame.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NetFrame {
+    /// The sending node.
+    pub from: NodeId,
+    /// The sender's boot id: fresh on every process start, so receivers
+    /// can tell a rebooted peer's new sequence space from replays of the
+    /// old one.
+    pub boot: u64,
+    /// The transport content.
+    pub body: FrameBody,
+}
+
+fn encode_prefix(out: &mut Vec<u8>, kind: u8, from: NodeId, boot: u64) {
+    out.put(&MAGIC);
+    out.put_u8(NET_VERSION);
+    out.put_u8(kind);
+    out.put_u64(from);
+    out.put_u64(boot);
+}
+
+/// Encodes a DATA frame. Fails (typed, no panic) if the datagram would
+/// push the frame past [`MAX_FRAME_LEN`].
+pub fn encode_data(
+    from: NodeId,
+    boot: u64,
+    seq: u64,
+    datagram: &[u8],
+) -> Result<Vec<u8>, FrameError> {
+    let len = DATA_OVERHEAD + datagram.len();
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut out = Vec::with_capacity(len);
+    encode_prefix(&mut out, 0, from, boot);
+    out.put_u64(seq);
+    out.put_u32(datagram.len() as u32);
+    out.put(datagram);
+    Ok(out)
+}
+
+/// Encodes an ACK frame covering the given sequence numbers.
+pub fn encode_ack(from: NodeId, boot: u64, seqs: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 1 + 8 + 8 + 4 + 8 * seqs.len());
+    encode_prefix(&mut out, 1, from, boot);
+    out.put_u32(seqs.len() as u32);
+    for &seq in seqs {
+        out.put_u64(seq);
+    }
+    out
+}
+
+/// Decodes one net frame. Total: every malformed input is a typed
+/// [`FrameError`].
+pub fn decode_frame(bytes: &[u8]) -> Result<NetFrame, FrameError> {
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized {
+            len: bytes.len(),
+            max: MAX_FRAME_LEN,
+        });
+    }
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return Err(FrameError::NotOurs);
+    }
+    let mut r = Reader::new(&bytes[MAGIC.len()..]);
+    let version = r.u8()?;
+    if version != NET_VERSION {
+        return Err(FrameError::UnsupportedVersion { version });
+    }
+    let kind = r.u8()?;
+    let from = r.u64()?;
+    let boot = r.u64()?;
+    let body = match kind {
+        0 => {
+            let seq = r.u64()?;
+            let declared = r.u32()? as usize;
+            let datagram = r.take(declared)?.to_vec();
+            FrameBody::Data { seq, datagram }
+        }
+        1 => {
+            let count = r.u32()? as usize;
+            // An honest count never exceeds what the frame actually
+            // carries; a hostile one must not drive allocation.
+            if count > r.remaining() / 8 {
+                return Err(FrameError::Malformed(WireError::UnexpectedEof {
+                    needed: count * 8,
+                    remaining: r.remaining(),
+                }));
+            }
+            let mut seqs = Vec::with_capacity(count);
+            for _ in 0..count {
+                seqs.push(r.u64()?);
+            }
+            FrameBody::Ack { seqs }
+        }
+        tag => return Err(FrameError::UnknownKind { tag }),
+    };
+    r.finish()?;
+    Ok(NetFrame { from, boot, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_roundtrip() {
+        let datagram = vec![7u8; 129];
+        let bytes = encode_data(3, 0xB007, 42, &datagram).unwrap();
+        assert_eq!(bytes.len(), DATA_OVERHEAD + datagram.len());
+        let frame = decode_frame(&bytes).unwrap();
+        assert_eq!(frame.from, 3);
+        assert_eq!(frame.boot, 0xB007);
+        assert_eq!(frame.body, FrameBody::Data { seq: 42, datagram });
+    }
+
+    #[test]
+    fn ack_roundtrip() {
+        let bytes = encode_ack(9, 1, &[1, 5, 1 << 40]);
+        let frame = decode_frame(&bytes).unwrap();
+        assert_eq!(frame.from, 9);
+        assert_eq!(
+            frame.body,
+            FrameBody::Ack {
+                seqs: vec![1, 5, 1 << 40]
+            }
+        );
+    }
+
+    #[test]
+    fn alien_traffic_is_not_ours() {
+        assert_eq!(decode_frame(b""), Err(FrameError::NotOurs));
+        assert_eq!(
+            decode_frame(b"GET / HTTP/1.1\r\n"),
+            Err(FrameError::NotOurs)
+        );
+        assert_eq!(decode_frame(b"DKG"), Err(FrameError::NotOurs));
+    }
+
+    #[test]
+    fn wrong_version_and_kind_are_typed() {
+        let mut bytes = encode_data(1, 2, 3, &[0xAA]).unwrap();
+        bytes[4] = 9;
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(FrameError::UnsupportedVersion { version: 9 })
+        );
+        let mut bytes = encode_data(1, 2, 3, &[0xAA]).unwrap();
+        bytes[5] = 7;
+        assert_eq!(
+            decode_frame(&bytes),
+            Err(FrameError::UnknownKind { tag: 7 })
+        );
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_typed() {
+        let bytes = encode_data(1, 2, 3, &[0xAA; 16]).unwrap();
+        for cut in MAGIC.len()..bytes.len() {
+            assert!(
+                matches!(decode_frame(&bytes[..cut]), Err(FrameError::Malformed(_))),
+                "cut at {cut}"
+            );
+        }
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(matches!(
+            decode_frame(&extended),
+            Err(FrameError::Malformed(WireError::TrailingBytes { .. }))
+        ));
+    }
+
+    #[test]
+    fn oversized_send_and_receive_are_refused() {
+        let datagram = vec![0u8; MAX_FRAME_LEN];
+        assert!(matches!(
+            encode_data(1, 2, 3, &datagram),
+            Err(FrameError::Oversized { .. })
+        ));
+        let mut huge = Vec::with_capacity(MAX_FRAME_LEN + 1);
+        huge.extend_from_slice(&MAGIC);
+        huge.resize(MAX_FRAME_LEN + 1, 0);
+        assert!(matches!(
+            decode_frame(&huge),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_ack_count_cannot_drive_allocation() {
+        let mut bytes = encode_ack(1, 2, &[3]);
+        // Claim u32::MAX seqs while carrying one.
+        let at = 4 + 1 + 1 + 8 + 8;
+        bytes[at..at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            decode_frame(&bytes),
+            Err(FrameError::Malformed(WireError::UnexpectedEof { .. }))
+        ));
+    }
+}

@@ -1,0 +1,44 @@
+//! Real-socket deployment of the sans-I/O DKG endpoint.
+//!
+//! Everything below the [`dkg_engine::Endpoint`] poll API is simulation
+//! until something puts actual datagrams on an actual wire. This crate is
+//! that something, in three layers (std::net only — no external I/O
+//! dependencies):
+//!
+//! * [`frame`] — the UDP wire format: every payload is one net frame
+//!   (magic, version, kind, sender id, sender boot id) carrying either a
+//!   complete [`dkg_wire`] datagram under a retransmission sequence
+//!   number, or a batch of acknowledgements. Decoding is total: alien
+//!   traffic, truncations and hostile lengths are typed refusals, never
+//!   panics.
+//! * [`arq`] — reliability over the lossy socket: positive
+//!   acknowledgement, capped-exponential-backoff retransmission with a
+//!   retry budget, and per-`(peer, boot)` receive deduplication. This
+//!   restores the paper's §2.1 asynchronous-channel assumption (messages
+//!   between honest nodes eventually arrive) that UDP alone does not give.
+//! * [`driver`] — [`NodeDriver`]: one OS process (or thread), one
+//!   endpoint, one `UdpSocket`. Services `poll_transmit` /
+//!   `poll_timeout` / `poll_jobs` against the socket, runs crypto on a
+//!   pluggable [`dkg_engine::Executor`], and turns received frames back
+//!   into `handle_datagram` calls.
+//!
+//! On top, [`deploy`] is the coordinator-free process-per-node harness:
+//! filesystem rendezvous (atomic addr files under a shared base
+//! directory), per-node [`dkg_store`] FileStores, result publication, and
+//! crash-resume — a SIGKILLed node relaunched with
+//! [`NodeSpec::resume`](deploy::NodeSpec) restores from its store and
+//! finishes through the §5.3 recovery procedure. The `socket_dkg` example
+//! and the `socket_e2e` integration tests drive exactly that path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arq;
+pub mod deploy;
+pub mod driver;
+pub mod frame;
+
+pub use arq::{ArqConfig, ArqState, ArqStats};
+pub use deploy::{run_node, DeployError, NodeReport, NodeSpec};
+pub use driver::{DriverEvent, FaultModel, NetConfig, NetReject, NetStats, NodeDriver};
+pub use frame::{decode_frame, encode_ack, encode_data, FrameBody, FrameError, NetFrame};

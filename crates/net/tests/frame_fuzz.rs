@@ -1,0 +1,167 @@
+//! Hardening for the net-layer framing: a UDP port is open to the world,
+//! so `decode_frame` must be total — arbitrary bytes, truncations,
+//! bit-flips and hostile length fields all map to typed [`FrameError`]s,
+//! never panics — and a live [`NodeDriver`] fed alien traffic must record
+//! refusals and keep running.
+//!
+//! The per-test case count can be raised via the `NET_FUZZ_CASES`
+//! environment variable (CI runs these with a much larger budget), the
+//! same knob discipline as the dkg-wire decode-fuzz suite.
+
+use std::net::UdpSocket;
+
+use dkg_engine::runner::SystemSetup;
+use dkg_engine::{Endpoint, EndpointConfig};
+use dkg_net::frame::MAX_FRAME_LEN;
+use dkg_net::{
+    decode_frame, encode_ack, encode_data, FrameBody, FrameError, NetConfig, NodeDriver,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Case count, overridable from the environment so CI can fuzz harder.
+fn cases(default: u32) -> u32 {
+    std::env::var("NET_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(256)))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..600)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    #[test]
+    fn data_frames_roundtrip(
+        from in any::<u64>(),
+        boot in any::<u64>(),
+        seq in any::<u64>(),
+        datagram in vec(any::<u8>(), 0..400),
+    ) {
+        let bytes = encode_data(from, boot, seq, &datagram).unwrap();
+        let frame = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(frame.from, from);
+        prop_assert_eq!(frame.boot, boot);
+        prop_assert_eq!(frame.body, FrameBody::Data { seq, datagram });
+    }
+
+    #[test]
+    fn ack_frames_roundtrip(
+        from in any::<u64>(),
+        boot in any::<u64>(),
+        seqs in vec(any::<u64>(), 0..50),
+    ) {
+        let bytes = encode_ack(from, boot, &seqs);
+        let frame = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(frame.from, from);
+        prop_assert_eq!(frame.body, FrameBody::Ack { seqs });
+    }
+
+    #[test]
+    fn truncations_of_valid_frames_error_cleanly(
+        seq in any::<u64>(),
+        len in 0usize..200,
+        cut in 0usize..usize::MAX,
+    ) {
+        let bytes = encode_data(7, 9, seq, &vec![0xA5; len]).unwrap();
+        let cut = cut % bytes.len();
+        prop_assert!(decode_frame(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn bit_flips_never_panic(
+        seqs in vec(any::<u64>(), 1..20),
+        flip_byte in 0usize..usize::MAX,
+        flip_bit in 0u8..8,
+    ) {
+        let mut bytes = encode_ack(3, 4, &seqs);
+        let at = flip_byte % bytes.len();
+        bytes[at] ^= 1 << flip_bit;
+        // Must return — flipping the count or a length field must not
+        // drive allocation or panic.
+        let _ = decode_frame(&bytes);
+    }
+}
+
+/// A driver whose socket receives alien and malformed traffic keeps
+/// running: every bad payload is a recorded refusal, and the endpoint
+/// behind it stays intact.
+#[test]
+fn live_driver_survives_alien_traffic() {
+    let setup = SystemSetup::generate(4, 1, 99);
+    let mut endpoint = Endpoint::new(1, EndpointConfig::default());
+    endpoint
+        .add_dkg_session(setup.build_node(1, 0))
+        .expect("fresh endpoint");
+    let socket = UdpSocket::bind("127.0.0.1:0").expect("bind");
+    let config = NetConfig {
+        idle_slice: 5,
+        ..NetConfig::default()
+    };
+    let mut driver = NodeDriver::new(endpoint, socket, config).expect("driver");
+    let target = driver.local_addr().expect("addr");
+
+    let attacker = UdpSocket::bind("127.0.0.1:0").expect("attacker bind");
+    let payloads: Vec<Vec<u8>> = vec![
+        b"GET / HTTP/1.1\r\n\r\n".to_vec(),
+        Vec::new(),
+        vec![0xFF; 1200],
+        b"DKGN".to_vec(), // magic alone, truncated
+        encode_data(2, 0, 0, b"not a dkg-wire datagram").unwrap(),
+        {
+            let mut bad_version = encode_ack(2, 0, &[1]);
+            bad_version[4] = 99;
+            bad_version
+        },
+        {
+            let mut hostile_count = encode_ack(2, 0, &[1]);
+            let at = 4 + 1 + 1 + 8 + 8;
+            hostile_count[at..at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+            hostile_count
+        },
+    ];
+    for payload in &payloads {
+        if payload.is_empty() {
+            continue; // zero-length UDP sends are flaky across platforms
+        }
+        attacker.send_to(payload, target).expect("send");
+    }
+
+    // Service long enough to drain everything the attacker sent.
+    for _ in 0..50 {
+        driver.step().expect("step survives");
+    }
+
+    let stats = driver.stats();
+    assert!(
+        stats.rejected >= 4,
+        "alien payloads recorded as refusals: {stats:?}"
+    );
+    assert!(
+        driver
+            .rejects()
+            .any(|r| matches!(r, dkg_net::NetReject::Frame(FrameError::NotOurs))),
+        "HTTP traffic classified as alien"
+    );
+    // The endpoint is still alive and its session intact.
+    assert_eq!(driver.endpoint().session_keys().len(), 1);
+}
+
+/// Oversized input is refused symmetrically at both ends of the socket.
+#[test]
+fn oversized_is_refused_both_ways() {
+    assert!(matches!(
+        encode_data(1, 2, 3, &vec![0; MAX_FRAME_LEN]),
+        Err(FrameError::Oversized { .. })
+    ));
+    let mut huge = vec![0u8; MAX_FRAME_LEN + 1];
+    huge[..4].copy_from_slice(b"DKGN");
+    assert!(matches!(
+        decode_frame(&huge),
+        Err(FrameError::Oversized { .. })
+    ));
+}

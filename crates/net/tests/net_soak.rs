@@ -1,0 +1,150 @@
+//! Loss/reorder soak for the socket transport: a full DKG where every
+//! node is a thread with its own UDP socket and a seeded [`FaultModel`]
+//! dropping and duplicating frames at the socket boundary. The ARQ layer
+//! must absorb all of it — the run completes with one group key anyway.
+//!
+//! Each case derives its faults from a deterministic per-case seed that is
+//! printed in every failure message, so a red run is reproducible by
+//! seed alone. The case count defaults low (this suite runs on 1-core dev
+//! boxes) and is raised in CI via the `NET_SOAK_CASES` environment
+//! variable.
+
+use std::net::UdpSocket;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use dkg_core::DkgInput;
+use dkg_engine::runner::SystemSetup;
+use dkg_engine::{Endpoint, EndpointConfig, SessionKey};
+use dkg_net::{ArqConfig, FaultModel, NetConfig, NodeDriver};
+
+fn cases(default: u32) -> u32 {
+    std::env::var("NET_SOAK_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs one full DKG over localhost UDP with the given fault rates.
+/// Returns the group key all nodes agreed on.
+fn soak_one(case: u32, seed: u64, drop_permille: u16, duplicate_permille: u16) -> String {
+    let n = 4;
+    let f = 1;
+    let tau = 0;
+    let setup = SystemSetup::generate(n, f, seed);
+    let nodes = setup.config.vss.nodes.clone();
+
+    // Bind every socket up front so all addresses are known before any
+    // thread starts.
+    let sockets: Vec<UdpSocket> = nodes
+        .iter()
+        .map(|_| UdpSocket::bind("127.0.0.1:0").expect("bind"))
+        .collect();
+    let addrs: Vec<_> = sockets
+        .iter()
+        .map(|s| s.local_addr().expect("addr"))
+        .collect();
+
+    let completed = Arc::new(AtomicUsize::new(0));
+    let deadline_ms: u64 = 120_000;
+    let started = std::time::Instant::now();
+
+    let handles: Vec<_> = nodes
+        .iter()
+        .zip(sockets)
+        .map(|(&node, socket)| {
+            let setup = setup.clone();
+            let nodes = nodes.clone();
+            let addrs = addrs.clone();
+            let completed = Arc::clone(&completed);
+            std::thread::spawn(move || -> Result<String, String> {
+                let mut endpoint = Endpoint::new(node, EndpointConfig::default());
+                endpoint
+                    .add_dkg_session(setup.build_node(node, tau))
+                    .map_err(|e| format!("case {case} seed {seed}: add session: {e:?}"))?;
+                let config = NetConfig {
+                    arq: ArqConfig {
+                        rto_initial: 40,
+                        ..ArqConfig::default()
+                    },
+                    faults: Some(FaultModel {
+                        // Distinct per node, reproducible per case.
+                        seed: seed ^ (node << 17) ^ u64::from(case),
+                        drop_permille,
+                        duplicate_permille,
+                    }),
+                    idle_slice: 10,
+                    ..NetConfig::default()
+                };
+                let mut driver = NodeDriver::new(endpoint, socket, config)
+                    .map_err(|e| format!("case {case} seed {seed}: driver: {e}"))?;
+                for (&peer, &addr) in nodes.iter().zip(addrs.iter()) {
+                    driver.set_peer(peer, addr);
+                }
+                driver
+                    .handle_dkg_input(tau, DkgInput::Start)
+                    .map_err(|e| format!("case {case} seed {seed}: start: {e:?}"))?;
+
+                // Run until *everyone* completed — a node that stopped at
+                // its own completion would strand peers still waiting for
+                // its retransmissions.
+                let key = SessionKey::Dkg { tau };
+                let mut counted = false;
+                let total = nodes.len();
+                loop {
+                    if !counted && driver.endpoint().is_complete(key) {
+                        completed.fetch_add(1, Ordering::SeqCst);
+                        counted = true;
+                    }
+                    if completed.load(Ordering::SeqCst) == total {
+                        break;
+                    }
+                    if started.elapsed().as_millis() as u64 > deadline_ms {
+                        return Err(format!(
+                            "case {case} seed {seed}: node {node} timed out \
+                             (complete: {counted}, stats {:?}, arq {:?})",
+                            driver.stats(),
+                            driver.arq_stats()
+                        ));
+                    }
+                    driver
+                        .step()
+                        .map_err(|e| format!("case {case} seed {seed}: step: {e}"))?;
+                }
+                let result = driver
+                    .endpoint()
+                    .dkg_result(tau)
+                    .ok_or_else(|| format!("case {case} seed {seed}: node {node} has no result"))?;
+                Ok(result.public_key.to_string())
+            })
+        })
+        .collect();
+
+    let keys: Vec<String> = handles
+        .into_iter()
+        .map(|h| h.join().expect("thread").unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    let first = keys[0].clone();
+    assert!(
+        keys.iter().all(|k| k == &first),
+        "case {case} seed {seed}: nodes disagree on the group key: {keys:?}"
+    );
+    first
+}
+
+/// Lossless sanity: the threaded transport completes with faults off.
+#[test]
+fn soak_lossless() {
+    soak_one(0, 0xD16_0001, 0, 0);
+}
+
+/// The headline soak: 10% loss plus 5% duplication per frame, per node —
+/// far beyond anything localhost does on its own — absorbed by the ARQ
+/// layer. Case count scales via `NET_SOAK_CASES`.
+#[test]
+fn soak_lossy_and_duplicating() {
+    for case in 0..cases(2) {
+        let seed = 0xD16_1000 + u64::from(case) * 7919;
+        soak_one(case, seed, 100, 50);
+    }
+}

@@ -1,0 +1,192 @@
+//! End-to-end socket deployment tests: every node is a real **child
+//! process** with its own UDP socket, spawned by re-executing this test
+//! binary (`current_exe()` + `--exact child_node`). The exact runs the CI
+//! `socket-e2e` lane demands:
+//!
+//! 1. a process-per-node DKG over localhost UDP completing with one group
+//!    key, and
+//! 2. the same with one node SIGKILLed mid-run, rebooted from its on-disk
+//!    `FileStore`, rejoining via the paper's §5.3 recovery procedure — and
+//!    still one group key everywhere.
+//!
+//! On failure, each child's log and the shared base directory are left on
+//! disk (`target/socket-e2e/…`) for CI to upload as artifacts.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use dkg_engine::runner::SystemSetup;
+use dkg_net::deploy::{
+    self, await_results, epoch_ms, log_file, signal_done, spec_from_env, spec_to_env,
+    wal_bytes_on_disk, NodeSpec,
+};
+use dkg_net::NetConfig;
+
+const RUN_TIMEOUT_MS: u64 = 120_000;
+
+/// Child entry point: a no-op under the normal test run, a full node when
+/// the parent re-executed this binary with a `DKG_NET_*` spec in the
+/// environment. A failure panics, which the parent sees as a non-zero
+/// child exit status.
+#[test]
+fn child_node() {
+    let Some(spec) = spec_from_env() else {
+        return; // normal test run, nothing to do
+    };
+    let report = deploy::run_node(&spec, NetConfig::default(), RUN_TIMEOUT_MS)
+        .unwrap_or_else(|e| panic!("node {} failed: {e}", spec.node));
+    println!(
+        "node {}: key {}, resumed {}, net {:?}, arq {:?}",
+        report.node, report.public_key, report.resumed, report.net, report.arq
+    );
+}
+
+/// Re-executes this test binary as one node's process.
+fn spawn_node(spec: &NodeSpec) -> Child {
+    let log = std::fs::File::create(log_file(&spec.base, spec.node)).expect("log file");
+    let err = log.try_clone().expect("log handle");
+    let mut command = Command::new(std::env::current_exe().expect("own path"));
+    command
+        .args(["--exact", "child_node", "--nocapture"])
+        .stdout(Stdio::from(log))
+        .stderr(Stdio::from(err));
+    for (key, value) in spec_to_env(spec) {
+        command.env(key, value);
+    }
+    command.spawn().expect("spawn node process")
+}
+
+fn fresh_base(name: &str) -> PathBuf {
+    let base = Path::new("target/socket-e2e").join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("base directory");
+    base
+}
+
+fn dump_logs(base: &Path, nodes: &[u64]) {
+    for &node in nodes {
+        eprintln!("--- node {node} log:");
+        if let Ok(contents) = std::fs::read_to_string(log_file(base, node)) {
+            eprintln!("{contents}");
+        }
+    }
+}
+
+/// Asserts the run converged on exactly one group key and cleans up.
+/// Artifacts stay on disk when any assertion fails first.
+fn finish(base: &Path, nodes: &[u64], mut children: Vec<(u64, Child)>) -> String {
+    let results = await_results(base, nodes, epoch_ms() + RUN_TIMEOUT_MS).unwrap_or_else(|e| {
+        for (_, child) in &mut children {
+            let _ = child.kill();
+        }
+        dump_logs(base, nodes);
+        panic!("deployment failed ({}): {e}", base.display());
+    });
+    let public_key = results[0].1.clone();
+    assert!(
+        results.iter().all(|(_, key)| key == &public_key),
+        "one group key everywhere: {results:?}"
+    );
+    signal_done(base).expect("done file");
+    for (node, mut child) in children {
+        let status = child.wait().expect("reap child");
+        assert!(status.success(), "node {node} exited with {status}");
+    }
+    let _ = std::fs::remove_dir_all(base);
+    public_key
+}
+
+/// A process-per-node DKG over localhost UDP completes with one key.
+#[test]
+fn four_processes_complete_over_udp() {
+    let (n, f, seed) = (4, 1, 0xE2E_0001u64);
+    let base = fresh_base("normal");
+    let setup = SystemSetup::generate(n, f, seed);
+    let nodes = setup.config.vss.nodes.clone();
+
+    let children: Vec<(u64, Child)> = nodes
+        .iter()
+        .map(|&node| {
+            let spec = NodeSpec {
+                node,
+                n,
+                f,
+                seed,
+                tau: 0,
+                base: base.clone(),
+                resume: false,
+                throttle_ms: 0,
+            };
+            (node, spawn_node(&spec))
+        })
+        .collect();
+
+    finish(&base, &nodes, children);
+}
+
+/// One node is SIGKILLed mid-protocol, relaunched against its own store,
+/// and the whole group — rebooted node included — still lands on one key.
+#[test]
+fn sigkill_mid_run_restores_from_disk_and_completes() {
+    let (n, f, seed) = (6, 1, 0xE2E_0002u64);
+    let base = fresh_base("sigkill");
+    let setup = SystemSetup::generate(n, f, seed);
+    let nodes = setup.config.vss.nodes.clone();
+    let victim: u64 = 2;
+
+    let mut children: Vec<(u64, Child)> = nodes
+        .iter()
+        .map(|&node| {
+            let spec = NodeSpec {
+                node,
+                n,
+                f,
+                seed,
+                tau: 0,
+                base: base.clone(),
+                resume: false,
+                // Throttle the victim so it is reliably mid-protocol when
+                // killed.
+                throttle_ms: if node == victim { 40 } else { 0 },
+            };
+            (node, spawn_node(&spec))
+        })
+        .collect();
+
+    // Kill once the victim's WAL grew past session creation — it has
+    // durably accepted protocol traffic, so the reboot genuinely resumes
+    // mid-run (SIGKILL: no destructor, no flush, no goodbye).
+    let deadline = epoch_ms() + RUN_TIMEOUT_MS;
+    while wal_bytes_on_disk(&base, victim) < 2048 {
+        assert!(
+            epoch_ms() < deadline,
+            "victim WAL never grew; is the run stuck?"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let slot = children
+        .iter_mut()
+        .find(|(node, _)| *node == victim)
+        .expect("victim spawned");
+    slot.1.kill().expect("SIGKILL victim");
+    slot.1.wait().expect("reap victim");
+    assert!(
+        !deploy::result_file(&base, victim).exists(),
+        "victim was killed before completing"
+    );
+
+    // Reboot from the store: restore + DkgInput::Recover (§5.3).
+    let spec = NodeSpec {
+        node: victim,
+        n,
+        f,
+        seed,
+        tau: 0,
+        base: base.clone(),
+        resume: true,
+        throttle_ms: 0,
+    };
+    slot.1 = spawn_node(&spec);
+
+    finish(&base, &nodes, children);
+}

@@ -35,7 +35,7 @@ pub mod store;
 pub mod wal;
 
 pub use error::StoreError;
-pub use store::{FileStore, MemStore, Store, StoreHandle, StoredState};
+pub use store::{node_dir, FileStore, MemStore, Store, StoreHandle, StoredState};
 pub use wal::{
     crc32, decode_wal, encode_frame, WalRecord, WalScan, MAX_WAL_RECORD_LEN, WAL_VERSION,
 };

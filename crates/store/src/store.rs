@@ -12,8 +12,18 @@ use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+use dkg_crypto::NodeId;
+
 use crate::error::StoreError;
 use crate::wal::{decode_wal, encode_frame, WalRecord};
+
+/// The conventional on-disk directory for one node's store under a shared
+/// base: `<base>/node-<id>`. Deployments that host many endpoints (one per
+/// process or per thread) agree on this layout so each incarnation of a
+/// node finds its own state by id alone.
+pub fn node_dir(base: impl AsRef<Path>, node: NodeId) -> PathBuf {
+    base.as_ref().join(format!("node-{node}"))
+}
 
 /// Everything a store holds, in decoded form — what a restore starts from.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -324,6 +334,14 @@ impl StoreHandle {
     /// A file store rooted at `dir`.
     pub fn open_dir(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
         Ok(Self::new(FileStore::open(dir)?))
+    }
+
+    /// A file store in `node`'s directory under `base` (see [`node_dir`]).
+    /// The per-node layout every multi-process deployment shares: one
+    /// `node-<id>` directory per endpoint, so a rebooted process finds its
+    /// own snapshot and WAL without coordination.
+    pub fn open_node_dir(base: impl AsRef<Path>, node: NodeId) -> Result<Self, StoreError> {
+        Self::open_dir(node_dir(base, node))
     }
 
     fn lock(&self) -> Result<std::sync::MutexGuard<'_, dyn Store + 'static>, StoreError> {

@@ -1,0 +1,178 @@
+//! Real-socket deployment walkthrough: a DKG where every node is its own
+//! **OS process** with its own UDP socket on localhost — no simulator, no
+//! shared memory, just datagrams.
+//!
+//! The parent re-executes this same binary once per node; each child finds
+//! its role in `DKG_NET_*` environment variables, binds an ephemeral port,
+//! publishes it in the shared base directory, and drives its endpoint to
+//! completion over the wire ([`dkg_net::deploy::run_node`]).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example socket_dkg            # n = 4 over localhost UDP
+//! cargo run --release --example socket_dkg -- --kill  # n = 6; one node is
+//!     # SIGKILLed mid-protocol, rebooted from its on-disk FileStore, and
+//!     # finishes through the paper's §5.3 recovery procedure
+//! ```
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use dkg_engine::runner::SystemSetup;
+use dkg_net::deploy::{
+    self, addr_file, await_results, epoch_ms, log_file, signal_done, spec_from_env, spec_to_env,
+    wal_bytes_on_disk, NodeSpec,
+};
+use dkg_net::NetConfig;
+
+/// How long any single wait (rendezvous, completion, results) may take.
+const RUN_TIMEOUT_MS: u64 = 120_000;
+
+fn main() {
+    // Child mode: the parent re-executed us with a node spec in the
+    // environment.
+    if let Some(spec) = spec_from_env() {
+        run_child(spec);
+        return;
+    }
+
+    let kill = std::env::args().any(|a| a == "--kill");
+    let (n, f) = if kill { (6, 1) } else { (4, 1) };
+    let seed = 20090622; // ICDCS'09 vintage.
+    let base = PathBuf::from(format!("target/socket-dkg/run-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("base directory");
+
+    let setup = SystemSetup::generate(n, f, seed);
+    let nodes = setup.config.vss.nodes.clone();
+    println!(
+        "system: n = {}, t = {}, f = {}; one process per node, UDP on localhost",
+        setup.config.n(),
+        setup.config.t(),
+        setup.config.f()
+    );
+    println!("rendezvous and stores under {}\n", base.display());
+
+    // The victim (kill mode only) runs throttled so it is reliably still
+    // mid-protocol when the parent pulls the trigger.
+    let victim: u64 = 2;
+    let mut children: Vec<(u64, Child)> = nodes
+        .iter()
+        .map(|&node| {
+            let spec = NodeSpec {
+                node,
+                n,
+                f,
+                seed,
+                tau: 0,
+                base: base.clone(),
+                resume: false,
+                throttle_ms: if kill && node == victim { 40 } else { 0 },
+            };
+            (node, spawn_node(&spec))
+        })
+        .collect();
+
+    if kill {
+        // Wait for the victim's WAL to grow past session creation — proof
+        // it accepted protocol traffic — then SIGKILL it mid-run.
+        let deadline = epoch_ms() + RUN_TIMEOUT_MS;
+        while wal_bytes_on_disk(&base, victim) < 2048 {
+            assert!(epoch_ms() < deadline, "victim WAL never grew");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let slot = children.iter_mut().find(|(id, _)| *id == victim).unwrap();
+        slot.1.kill().expect("SIGKILL victim");
+        slot.1.wait().expect("reap victim");
+        println!(
+            "node {victim}: SIGKILLed with {} WAL bytes on disk; rebooting from its store\n",
+            wal_bytes_on_disk(&base, victim)
+        );
+
+        // Reboot: same binary, same store, resume = restore + §5.3 recovery.
+        let spec = NodeSpec {
+            node: victim,
+            n,
+            f,
+            seed,
+            tau: 0,
+            base: base.clone(),
+            resume: true,
+            throttle_ms: 0,
+        };
+        slot.1 = spawn_node(&spec);
+    }
+
+    // Every node — including the rebooted one — publishes the same key.
+    let results = await_results(&base, &nodes, epoch_ms() + RUN_TIMEOUT_MS).unwrap_or_else(|e| {
+        dump_logs(&base, &nodes);
+        panic!("deployment failed: {e}");
+    });
+    let public_key = &results[0].1;
+    assert!(
+        results.iter().all(|(_, key)| key == public_key),
+        "all nodes agree on one group key: {results:?}"
+    );
+
+    signal_done(&base).expect("done file");
+    for (node, mut child) in children {
+        let status = child.wait().expect("reap child");
+        assert!(status.success(), "node {node} exited with {status}");
+    }
+
+    println!("distributed public key: {public_key}");
+    for (node, _) in &results {
+        let rebooted = if kill && *node == victim {
+            "  (SIGKILLed, rebooted from disk)"
+        } else {
+            ""
+        };
+        println!("  node {node} completed over UDP{rebooted}");
+    }
+
+    // Keep artifacts only on failure; a clean run cleans up.
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Re-executes this binary as one node's process, logging to the base dir.
+fn spawn_node(spec: &NodeSpec) -> Child {
+    let log = std::fs::File::create(log_file(&spec.base, spec.node)).expect("log file");
+    let err = log.try_clone().expect("log handle");
+    let mut command = Command::new(std::env::current_exe().expect("own path"));
+    command.stdout(Stdio::from(log)).stderr(Stdio::from(err));
+    for (key, value) in spec_to_env(spec) {
+        command.env(key, value);
+    }
+    command.spawn().expect("spawn node process")
+}
+
+/// One node, end to end, inside this (child) process.
+fn run_child(spec: NodeSpec) {
+    let report = deploy::run_node(&spec, NetConfig::default(), RUN_TIMEOUT_MS)
+        .unwrap_or_else(|e| panic!("node {} failed: {e}", spec.node));
+    println!(
+        "node {}: key {}, resumed {}, {} data frames sent, {} received, {} retransmits, {} dup-suppressed",
+        report.node,
+        report.public_key,
+        report.resumed,
+        report.net.data_sent,
+        report.net.data_received,
+        report.arq.retransmits,
+        report.arq.duplicates,
+    );
+}
+
+/// On failure, surface every child's log so CI artifacts tell the story.
+fn dump_logs(base: &std::path::Path, nodes: &[u64]) {
+    for &node in nodes {
+        eprintln!("--- node {node} log ({})", log_file(base, node).display());
+        if let Ok(contents) = std::fs::read_to_string(log_file(base, node)) {
+            eprintln!("{contents}");
+        }
+        eprintln!(
+            "--- node {node} addr file: {:?}",
+            std::fs::read_to_string(addr_file(base, node)).ok()
+        );
+    }
+}

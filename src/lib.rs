@@ -27,16 +27,21 @@
 //!    DKG/VSS sessions over encoded byte datagrams (persisting to a
 //!    [`store`] when configured), plus the byte-level deterministic
 //!    network driver with real crash/restore semantics.
-//! 10. `dkg-adversary` — the active Byzantine adversary: seeded attack
+//! 10. [`net`] — the real-socket deployment of that endpoint: UDP framing
+//!     with retransmission (restoring the §2.1 eventual-delivery
+//!     assumption over a lossy wire), a per-node event loop
+//!     (`NodeDriver`), and the coordinator-free process-per-node harness
+//!     behind `examples/socket_dkg.rs`.
+//! 11. `dkg-adversary` — the active Byzantine adversary: seeded attack
 //!     strategies (equivocation, wrong shares, vote withholding, replay,
 //!     certificate forgery) driving corrupted nodes over the byte-level
 //!     network, plus the scenario matrix asserting the paper's `t < n/3`
 //!     bound from both sides. A dev-dependency on purpose: it enables the
 //!     `malice` secret-extraction hooks, which must not reach downstream
 //!     consumers of this library.
-//! 11. [`baselines`] — Feldman VSS / Joint-Feldman DKG comparators and
+//! 12. [`baselines`] — Feldman VSS / Joint-Feldman DKG comparators and
 //!     closed-form complexity models.
-//! 12. [`mod@bench`] — the experiment harness reproducing the paper's
+//! 13. [`mod@bench`] — the experiment harness reproducing the paper's
 //!     tables.
 
 #![forbid(unsafe_code)]
@@ -52,6 +57,7 @@ pub use dkg_engine as engine;
 /// drivers (`SystemSetup`, `run_key_generation`, `run_vss`,
 /// `run_initial_phase`, `run_renewal_phase`, executor variants).
 pub use dkg_engine::runner;
+pub use dkg_net as net;
 pub use dkg_poly as poly;
 pub use dkg_sim as sim;
 pub use dkg_store as store;

@@ -37,7 +37,7 @@
 //! strategy.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod node;
 pub mod scenario;

@@ -8,6 +8,8 @@
 //! cargo run --release -p dkg-bench --bin experiments -- e4 e5   # selected experiments
 //! ```
 
+#![forbid(unsafe_code)]
+
 use dkg_bench::experiments as exp;
 
 fn main() {

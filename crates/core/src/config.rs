@@ -89,12 +89,24 @@ impl DkgConfig {
 /// of every node's verification key (the paper's PKI, §2.3). The directory
 /// is a shared handle: the node, its `n` embedded VSS instances and every
 /// signature job reference one copy.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct NodeKeys {
     /// This node's long-term signing key.
     pub signing_key: SigningKey,
     /// The directory of all nodes' public keys.
     pub directory: std::sync::Arc<KeyDirectory>,
+}
+
+// The signing key is long-term secret material: a derived Debug would let
+// any diagnostic print leak it, so the impl redacts everything but the
+// directory size (dkg-lint rule R2).
+impl std::fmt::Debug for NodeKeys {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeKeys")
+            .field("signing_key", &"<redacted>")
+            .field("directory_len", &self.directory.len())
+            .finish()
+    }
 }
 
 #[cfg(test)]

@@ -192,6 +192,96 @@ fn non_canonical_proposals_are_rejected() {
     assert!(Proposal::decode(&bytes).is_err());
 }
 
+/// The durable snapshot types share the canonical codec and must survive
+/// an encode → decode round-trip losslessly: `DkgConfig`, `CombineRule`,
+/// `CompletedSharingSnapshot`, `DkgResult` and the full `DkgSnapshot`.
+#[test]
+fn snapshot_types_roundtrip_losslessly() {
+    use dkg_arith::GroupElement;
+    use dkg_core::{CombineRule, CompletedSharingSnapshot, DkgConfig, DkgResult, DkgSnapshot};
+
+    let mut rng = StdRng::seed_from_u64(0xD16);
+    let key = SigningKey::generate(&mut rng);
+    let sig = key.sign(&mut rng, b"snapshot-roundtrip");
+    let secret = Scalar::random(&mut rng);
+    let f = SymmetricBivariate::random_with_secret(&mut rng, 2, secret);
+    let matrix = CommitmentMatrix::commit(&f);
+
+    let config = DkgConfig::standard(4, 1).unwrap();
+    assert_eq!(DkgConfig::decode(&config.encode()), Ok(config.clone()));
+
+    for rule in [CombineRule::Sum, CombineRule::InterpolateAtZero] {
+        assert_eq!(CombineRule::decode(&rule.encode()), Ok(rule));
+    }
+
+    let completed = CompletedSharingSnapshot {
+        commitment: matrix.clone(),
+        share: Scalar::random(&mut rng),
+        digest: dkg_crypto::sha256(&matrix.to_bytes()),
+        witnesses: vec![ReadyWitness {
+            node: 2,
+            signature: sig,
+        }],
+    };
+    assert_eq!(
+        CompletedSharingSnapshot::decode(&completed.encode()),
+        Ok(completed.clone())
+    );
+
+    let result = DkgResult {
+        dealers: vec![1, 3],
+        commitment: matrix,
+        public_key: GroupElement::generator(),
+        share: Scalar::random(&mut rng),
+        leader_rank: 7,
+    };
+    assert_eq!(DkgResult::decode(&result.encode()), Ok(result.clone()));
+
+    let snapshot = DkgSnapshot {
+        id: 2,
+        tau: 1,
+        config,
+        signing_key: Scalar::random(&mut rng),
+        directory: vec![
+            (1, GroupElement::generator()),
+            (2, GroupElement::generator()),
+        ],
+        combine: CombineRule::Sum,
+        rng: [11, 22, 33, 44],
+        vss: Vec::new(),
+        completed_vss: vec![(1, completed)],
+        finished_set: vec![1],
+        expected_dealer_keys: vec![(1, GroupElement::generator())],
+        started: true,
+        leader_rank: 3,
+        locked: None,
+        echoed: vec![(0, vec![1, 2, 3])],
+        ready_sent: false,
+        echo_votes: vec![(vec![9], vec![(4, sig)])],
+        ready_votes: Vec::new(),
+        proposals: Vec::new(),
+        lead_ch_votes: vec![(2, vec![(1, sig)])],
+        lc_flag: true,
+        lead_ch_certificate: vec![SignedVote {
+            node: 1,
+            signature: sig,
+        }],
+        retries: 2,
+        agreed: Some(Proposal::new(vec![1, 3])),
+        completed: Some(result),
+        reconstruct_started: true,
+        reconstruct_pending: vec![(3, Scalar::random(&mut rng))],
+        reconstruct_verified: Vec::new(),
+        reconstructed: Some(Scalar::random(&mut rng)),
+        outbox: Vec::new(),
+        help_granted_total: 5,
+        help_granted_per: vec![(2, 3)],
+    };
+    let bytes = snapshot.encode();
+    assert_eq!(bytes.len(), snapshot.encoded_len());
+    assert_eq!(DkgSnapshot::decode(&bytes), Ok(snapshot));
+}
+
 /// Group-modification agreement messages share the canonical codec: they
 /// round-trip losslessly, `wire_size()` is the exact encoded length, and
 /// unknown tags are refused rather than misparsed.

@@ -15,9 +15,17 @@ use rand::Rng;
 
 /// A Schnorr signing key (the discrete log of the corresponding
 /// [`PublicKey`]).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct SigningKey {
     secret: Scalar,
+}
+
+// The discrete log IS the secret: a derived Debug would print it into any
+// log or panic message that formats a key holder (dkg-lint rule R2).
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SigningKey(<redacted>)")
+    }
 }
 
 /// A Schnorr verification key `g^x`.

@@ -303,7 +303,32 @@ fn endpoint_snapshot_codec_roundtrip_and_fuzz() {
     let endpoint = net.endpoint_mut(3).expect("endpoint 3 exists");
     let snapshot = endpoint.snapshot().expect("quiescent endpoint snapshots");
     let bytes = snapshot.to_bytes();
-    assert_eq!(EndpointSnapshot::from_bytes(&bytes), Ok(snapshot));
+    assert_eq!(EndpointSnapshot::from_bytes(&bytes), Ok(snapshot.clone()));
+
+    // The component types round-trip on their own too: EndpointStats,
+    // PersistStats, and every live SessionSnapshot with its interior
+    // SessionStateSnapshot.
+    use dkg_engine::{EndpointStats, PersistStats, SessionSnapshot, SessionStateSnapshot};
+    use dkg_wire::{WireDecode, WireEncode};
+    assert_eq!(
+        EndpointStats::decode(&snapshot.stats.encode()),
+        Ok(snapshot.stats)
+    );
+    assert_eq!(
+        PersistStats::decode(&snapshot.persist.encode()),
+        Ok(snapshot.persist)
+    );
+    assert!(!snapshot.sessions.is_empty());
+    for session in &snapshot.sessions {
+        assert_eq!(
+            SessionSnapshot::decode(&session.encode()).as_ref(),
+            Ok(session)
+        );
+        assert_eq!(
+            SessionStateSnapshot::decode(&session.state.encode()).as_ref(),
+            Ok(&session.state)
+        );
+    }
 
     let cases: usize = std::env::var("WIRE_FUZZ_CASES")
         .ok()

@@ -135,6 +135,46 @@ fn typed_rejections_name_the_failure() {
             node: 2
         }
     );
+
+    // Completing a job this endpoint never handed out.
+    assert_eq!(
+        endpoint.complete_job(987, dkg_poly::CryptoVerdict::accept_all(1), 0),
+        Err(Reject::UnknownJob(987))
+    );
+
+    // A refused WAL append surfaces the store error, and its rendering
+    // names both the refusal and the cause (the variant is constructed
+    // directly here: forcing a live mid-input append failure would need
+    // fault injection below the store API).
+    let persist_failed = Reject::PersistFailed(dkg_store::StoreError::NoStore);
+    assert_eq!(
+        persist_failed.to_string(),
+        "input refused, wal append failed: no store configured"
+    );
+}
+
+/// The restore path refuses impossible requests with typed store errors:
+/// no configured store, and a configured-but-empty store.
+#[test]
+fn restore_without_snapshot_is_a_typed_error() {
+    use dkg_engine::RestoreError;
+    use dkg_store::{StoreError, StoreHandle};
+
+    // No store configured at all.
+    assert!(matches!(
+        Endpoint::restore(EndpointConfig::default()).map(|_| ()),
+        Err(RestoreError::Store(StoreError::NoStore))
+    ));
+
+    // A store with no installed snapshot.
+    let empty = EndpointConfig {
+        store: Some(StoreHandle::in_memory()),
+        ..EndpointConfig::default()
+    };
+    assert!(matches!(
+        Endpoint::restore(empty).map(|_| ()),
+        Err(RestoreError::Store(StoreError::SnapshotMissing))
+    ));
 }
 
 #[test]

@@ -1,0 +1,346 @@
+//! `lint.toml`: the checked-in lint configuration.
+//!
+//! The file is TOML, but the linter is dependency-free, so this module
+//! parses exactly the subset the configuration uses: `[section]` headers,
+//! `[[allow]]` array-of-tables headers, `key = "string"` and
+//! `key = ["array", "of", "strings"]` entries (arrays may span lines),
+//! and `#` comments. Anything outside that subset is a hard error — the
+//! config is part of the invariant surface, so silent misparses are not
+//! acceptable.
+
+use std::collections::BTreeMap;
+
+/// One scoped suppression. Every field is mandatory; in particular an
+/// allow without a non-empty justification is a configuration *error*,
+/// not a weaker allow.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule id this allow applies to (`"R1"` … `"R6"`).
+    pub rule: String,
+    /// Path suffix the allow is scoped to (workspace-relative).
+    pub path: String,
+    /// Substring that must appear on the flagged source line.
+    pub pattern: String,
+    /// Why this finding is acceptable. Mandatory and non-empty.
+    pub justification: String,
+    /// Where the allow was declared (line in lint.toml), for stale-allow
+    /// reporting.
+    pub declared_at: u32,
+}
+
+/// The parsed configuration.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    /// Workspace-relative path prefixes excluded from every rule (the
+    /// build directory, the linter's own violation fixtures).
+    pub exclude: Vec<String>,
+    /// R1: files/directories holding hostile-input decode paths.
+    pub r1_paths: Vec<String>,
+    /// R2: type names whose values are secret-bearing.
+    pub r2_secret_types: Vec<String>,
+    /// R4: documents in which every env knob must be named.
+    pub r4_docs: Vec<String>,
+    /// R5: error/reject enums whose every variant must be exercised by a
+    /// test.
+    pub r5_enums: Vec<String>,
+    /// Scoped suppressions.
+    pub allows: Vec<Allow>,
+}
+
+/// A configuration parse error: message plus 1-indexed line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-indexed line in lint.toml.
+    pub line: u32,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        message: message.into(),
+        line,
+    }
+}
+
+/// Parses one TOML string literal starting at `s` (which must begin with
+/// `"`); returns the contents and the rest of the line.
+fn parse_string(s: &str, line: u32) -> Result<(String, &str), ConfigError> {
+    let mut out = String::new();
+    let mut chars = s.char_indices();
+    match chars.next() {
+        Some((_, '"')) => {}
+        _ => return Err(err(line, "expected a double-quoted string")),
+    }
+    let mut escaped = false;
+    for (idx, c) in chars {
+        if escaped {
+            match c {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                other => {
+                    return Err(err(line, format!("unsupported escape \\{other}")));
+                }
+            }
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            let rest = s.get(idx + 1..).unwrap_or("");
+            return Ok((out, rest));
+        } else {
+            out.push(c);
+        }
+    }
+    Err(err(line, "unterminated string"))
+}
+
+/// The value side of a `key = …` entry.
+#[derive(Debug, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+}
+
+/// Parses lint.toml source into a [`Config`].
+pub fn parse(source: &str) -> Result<Config, ConfigError> {
+    let mut config = Config::default();
+    // (section name, entries); section "" is the top level.
+    let mut section = String::new();
+    let mut current_allow: Option<(BTreeMap<String, String>, u32)> = None;
+
+    let mut lines = source.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            if header.trim() != "allow" {
+                return Err(err(lineno, format!("unknown array table [[{header}]]")));
+            }
+            if let Some((fields, at)) = current_allow.take() {
+                config.allows.push(finish_allow(fields, at)?);
+            }
+            current_allow = Some((BTreeMap::new(), lineno));
+            section = "allow".into();
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            if let Some((fields, at)) = current_allow.take() {
+                config.allows.push(finish_allow(fields, at)?);
+            }
+            section = header.trim().to_string();
+            match section.as_str() {
+                "r1" | "r2" | "r4" | "r5" => {}
+                other => return Err(err(lineno, format!("unknown section [{other}]"))),
+            }
+            continue;
+        }
+        let Some((key, rest)) = line.split_once('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = key.trim();
+        let mut rest = rest.trim().to_string();
+        // Arrays may span lines: keep consuming until the bracket closes.
+        // (Strings in this subset never contain `]`, which keeps the scan
+        // simple; the parser below still validates every element.)
+        if rest.starts_with('[') {
+            while !rest.contains(']') {
+                match lines.next() {
+                    Some((_, more)) => {
+                        rest.push(' ');
+                        rest.push_str(more.trim());
+                    }
+                    None => return Err(err(lineno, "unterminated array")),
+                }
+            }
+        }
+        let value = parse_value(&rest, lineno)?;
+        match (section.as_str(), key) {
+            ("", "exclude") => config.exclude = expect_array(value, key, lineno)?,
+            ("r1", "paths") => config.r1_paths = expect_array(value, key, lineno)?,
+            ("r2", "secret_types") => config.r2_secret_types = expect_array(value, key, lineno)?,
+            ("r4", "docs") => config.r4_docs = expect_array(value, key, lineno)?,
+            ("r5", "enums") => config.r5_enums = expect_array(value, key, lineno)?,
+            ("allow", field) => {
+                let Value::Str(s) = value else {
+                    return Err(err(
+                        lineno,
+                        format!("allow field `{field}` must be a string"),
+                    ));
+                };
+                match &mut current_allow {
+                    Some((fields, _)) => {
+                        if fields.insert(field.to_string(), s).is_some() {
+                            return Err(err(lineno, format!("duplicate allow field `{field}`")));
+                        }
+                    }
+                    None => return Err(err(lineno, "allow field outside [[allow]]")),
+                }
+            }
+            (sec, key) => {
+                let place = if sec.is_empty() {
+                    "top level".to_string()
+                } else {
+                    format!("section [{sec}]")
+                };
+                return Err(err(lineno, format!("unknown key `{key}` at {place}")));
+            }
+        }
+    }
+    if let Some((fields, at)) = current_allow.take() {
+        config.allows.push(finish_allow(fields, at)?);
+    }
+    Ok(config)
+}
+
+fn parse_value(rest: &str, lineno: u32) -> Result<Value, ConfigError> {
+    let rest = rest.trim();
+    if let Some(body) = rest.strip_prefix('[') {
+        let Some(body) = body.trim_end().strip_suffix(']') else {
+            return Err(err(lineno, "unterminated array"));
+        };
+        let mut items = Vec::new();
+        let mut cursor = body.trim();
+        while !cursor.is_empty() {
+            if cursor.starts_with(',') {
+                cursor = cursor.get(1..).unwrap_or("").trim_start();
+                continue;
+            }
+            let (item, after) = parse_string(cursor, lineno)?;
+            items.push(item);
+            cursor = after.trim_start();
+        }
+        return Ok(Value::Array(items));
+    }
+    // Strip a trailing comment from a simple string value.
+    let (value, _rest) = parse_string(rest, lineno)?;
+    Ok(Value::Str(value))
+}
+
+fn expect_array(value: Value, key: &str, lineno: u32) -> Result<Vec<String>, ConfigError> {
+    match value {
+        Value::Array(items) => Ok(items),
+        Value::Str(_) => Err(err(lineno, format!("`{key}` must be an array of strings"))),
+    }
+}
+
+fn finish_allow(fields: BTreeMap<String, String>, at: u32) -> Result<Allow, ConfigError> {
+    let get = |name: &str| -> Result<String, ConfigError> {
+        match fields.get(name) {
+            Some(v) => Ok(v.clone()),
+            None => Err(err(at, format!("[[allow]] is missing field `{name}`"))),
+        }
+    };
+    for key in fields.keys() {
+        match key.as_str() {
+            "rule" | "path" | "pattern" | "justification" => {}
+            other => return Err(err(at, format!("unknown allow field `{other}`"))),
+        }
+    }
+    let allow = Allow {
+        rule: get("rule")?,
+        path: get("path")?,
+        pattern: get("pattern")?,
+        justification: get("justification")?,
+        declared_at: at,
+    };
+    if allow.justification.trim().is_empty() {
+        return Err(err(
+            at,
+            "[[allow]] justification must be non-empty: say *why* the finding is acceptable",
+        ));
+    }
+    if allow.pattern.is_empty() {
+        return Err(err(at, "[[allow]] pattern must be non-empty"));
+    }
+    if allow.path.is_empty() {
+        return Err(err(at, "[[allow]] path must be non-empty"));
+    }
+    match allow.rule.as_str() {
+        "R1" | "R2" | "R3" | "R4" | "R5" | "R6" => {}
+        other => return Err(err(at, format!("unknown rule id `{other}` in allow"))),
+    }
+    Ok(allow)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let src = r#"
+# comment
+exclude = ["target", "crates/lint/tests/fixtures"]
+
+[r1]
+paths = [
+    "crates/wire/src",
+    "crates/net/src/frame.rs",
+]
+
+[r2]
+secret_types = ["SigningKey"]
+
+[r4]
+docs = ["README.md"]
+
+[r5]
+enums = ["WireError"]
+
+[[allow]]
+rule = "R1"
+path = "crates/store/src/wal.rs"
+pattern = "CRC_TABLE"
+justification = "index is masked to 0xff; table has 256 entries"
+"#;
+        let config = parse(src).expect("parses");
+        assert_eq!(config.exclude.len(), 2);
+        assert_eq!(config.r1_paths.len(), 2);
+        assert_eq!(config.r2_secret_types, vec!["SigningKey"]);
+        assert_eq!(config.allows.len(), 1);
+        assert_eq!(config.allows[0].rule, "R1");
+    }
+
+    #[test]
+    fn empty_justification_is_an_error() {
+        let src = r#"
+[[allow]]
+rule = "R1"
+path = "a.rs"
+pattern = "x"
+justification = "   "
+"#;
+        let e = parse(src).expect_err("must fail");
+        assert!(e.message.contains("justification"), "{e}");
+    }
+
+    #[test]
+    fn missing_justification_is_an_error() {
+        let src = r#"
+[[allow]]
+rule = "R1"
+path = "a.rs"
+pattern = "x"
+"#;
+        let e = parse(src).expect_err("must fail");
+        assert!(e.message.contains("justification"), "{e}");
+    }
+
+    #[test]
+    fn unknown_keys_are_errors() {
+        assert!(parse("wat = \"x\"").is_err());
+        assert!(parse("[r9]\npaths = []").is_err());
+    }
+}

@@ -1,0 +1,358 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The rule engine does not need a parser — every invariant it checks is
+//! visible in the token stream — but it does need *correct* tokens:
+//! `unwrap` inside a string literal or a comment must not count, raw
+//! strings must not swallow the rest of the file, and `'a` must lex as a
+//! lifetime rather than an unterminated char literal. This module handles
+//! exactly that much of the language, in the same dependency-free spirit
+//! as the workspace's `shims/`.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`fn`, `unwrap`, `WireError`, …).
+    Ident(String),
+    /// A lifetime (`'a`, `'static`). Kept distinct so char literals and
+    /// lifetimes cannot be confused.
+    Lifetime(String),
+    /// A string literal (plain, raw, byte or C string); the payload is the
+    /// raw source text between the quotes, escapes untouched.
+    Str(String),
+    /// A character or byte literal.
+    Char,
+    /// A numeric literal (integer part only; `1.5` lexes as `1`, `.`, `5`,
+    /// which is precise enough for every rule here).
+    Num(String),
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct(char),
+}
+
+/// A token plus the 1-indexed source line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-indexed line number.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.tok == Tok::Punct(c)
+    }
+
+    /// Whether this token is the given identifier.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.tok, Tok::Ident(i) if i == s)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens, skipping whitespace and comments (line,
+/// nested block, and doc comments). Malformed input never panics: the
+/// lexer is itself held to the no-panic discipline it helps enforce, so a
+/// stray quote at end-of-file simply terminates the literal at EOF.
+pub fn lex(source: &str) -> Vec<Token> {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = bytes.len();
+
+    let at = |i: usize| -> char { bytes.get(i).copied().unwrap_or('\0') };
+
+    while i < n {
+        let c = at(i);
+        // Whitespace.
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && at(i + 1) == '/' {
+            while i < n && at(i) != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && at(i + 1) == '*' {
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if at(i) == '/' && at(i + 1) == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if at(i) == '*' && at(i + 1) == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if at(i) == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw strings: r"…", r#"…"#, br#"…"#, etc.
+        if c == 'r' || c == 'b' || c == 'c' {
+            let mut j = i;
+            if (c == 'b' || c == 'c') && at(j + 1) == 'r' {
+                j += 1;
+            }
+            if at(j) == 'r' || (j == i && c == 'r') {
+                // Count hashes after the (possibly prefixed) `r`.
+                let mut k = if at(j) == 'r' { j + 1 } else { j };
+                let mut hashes = 0usize;
+                while at(k) == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if at(k) == '"' && (at(j) == 'r') {
+                    // A raw string. Scan to `"` followed by `hashes` hashes.
+                    let start_line = line;
+                    let mut m = k + 1;
+                    let content_start = m;
+                    let mut content_end = n;
+                    while m < n {
+                        if at(m) == '\n' {
+                            line += 1;
+                        }
+                        if at(m) == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && at(m + 1 + h) == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                content_end = m;
+                                m += 1 + hashes;
+                                break;
+                            }
+                        }
+                        m += 1;
+                    }
+                    let text: String = bytes
+                        .get(content_start..content_end.min(n))
+                        .unwrap_or(&[])
+                        .iter()
+                        .collect();
+                    out.push(Token {
+                        tok: Tok::Str(text),
+                        line: start_line,
+                    });
+                    i = m;
+                    continue;
+                }
+            }
+        }
+        // Byte strings / byte chars: b"…", b'…'.
+        if c == 'b' && (at(i + 1) == '"' || at(i + 1) == '\'') {
+            i += 1;
+            // Fall through to the string/char arms below with `i` on the
+            // quote.
+        }
+        let c = at(i);
+        // Plain strings.
+        if c == '"' {
+            let start_line = line;
+            let mut m = i + 1;
+            let content_start = m;
+            while m < n {
+                match at(m) {
+                    '\\' => m += 2,
+                    '"' => break,
+                    ch => {
+                        if ch == '\n' {
+                            line += 1;
+                        }
+                        m += 1;
+                    }
+                }
+            }
+            let text: String = bytes
+                .get(content_start..m.min(n))
+                .unwrap_or(&[])
+                .iter()
+                .collect();
+            out.push(Token {
+                tok: Tok::Str(text),
+                line: start_line,
+            });
+            i = (m + 1).min(n + 1);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // A char literal is 'x' or an escape '\…'; anything where an
+            // identifier follows without a closing quote is a lifetime.
+            if at(i + 1) == '\\' {
+                // Escape: scan to the closing quote.
+                let mut m = i + 2;
+                while m < n && at(m) != '\'' {
+                    m += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Char,
+                    line,
+                });
+                i = m + 1;
+                continue;
+            }
+            if is_ident_start(at(i + 1)) && at(i + 2) != '\'' {
+                // Lifetime.
+                let mut m = i + 1;
+                let start = m;
+                while m < n && is_ident_continue(at(m)) {
+                    m += 1;
+                }
+                let name: String = bytes.get(start..m).unwrap_or(&[]).iter().collect();
+                out.push(Token {
+                    tok: Tok::Lifetime(name),
+                    line,
+                });
+                i = m;
+                continue;
+            }
+            // 'x' char literal (or degenerate quote).
+            if at(i + 2) == '\'' {
+                out.push(Token {
+                    tok: Tok::Char,
+                    line,
+                });
+                i += 3;
+                continue;
+            }
+            out.push(Token {
+                tok: Tok::Punct('\''),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        // Identifiers / keywords (including the r/b/c that turned out not
+        // to start a raw string).
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(at(i)) {
+                i += 1;
+            }
+            let name: String = bytes.get(start..i).unwrap_or(&[]).iter().collect();
+            out.push(Token {
+                tok: Tok::Ident(name),
+                line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && (is_ident_continue(at(i))) {
+                i += 1;
+            }
+            let text: String = bytes.get(start..i).unwrap_or(&[]).iter().collect();
+            out.push(Token {
+                tok: Tok::Num(text),
+                line,
+            });
+            continue;
+        }
+        // Everything else: single punctuation character.
+        out.push(Token {
+            tok: Tok::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // unwrap in a comment
+            /* unwrap /* nested */ still comment */
+            let s = "unwrap() inside a string";
+            let r = r#"raw "unwrap" string"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        assert!(toks
+            .iter()
+            .any(|t| matches!(&t.tok, Tok::Lifetime(l) if l == "a")));
+        assert_eq!(toks.iter().filter(|t| t.tok == Tok::Char).count(), 2);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"line\none\";\nmarker();";
+        let toks = lex(src);
+        let marker = toks.iter().find(|t| t.is_ident("marker")).expect("marker");
+        assert_eq!(marker.line, 3);
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings() {
+        let toks = lex(r##"let m = b"DKGN"; let r = br#"x"#; tail();"##);
+        assert_eq!(
+            toks.iter().filter(|t| matches!(t.tok, Tok::Str(_))).count(),
+            2
+        );
+        assert!(toks.iter().any(|t| t.is_ident("tail")));
+    }
+
+    #[test]
+    fn punctuation_is_single_chars() {
+        let toks = lex("a::b[0]");
+        let puncts: Vec<char> = toks
+            .iter()
+            .filter_map(|t| match t.tok {
+                Tok::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, vec![':', ':', '[', ']']);
+    }
+}

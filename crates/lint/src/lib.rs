@@ -1,0 +1,218 @@
+//! dkg-lint: a workspace static-analysis pass that proves this repo's
+//! invariants at the source level.
+//!
+//! The DKG implementation makes promises that the type system cannot see:
+//! decode paths never panic on hostile bytes, secret material never
+//! reaches a log line, every wire type round-trips, every environment
+//! knob is documented, every refusal path is tested. This crate checks
+//! those promises mechanically — a hand-rolled lexer plus a token-pattern
+//! rule engine, dependency-free in the same spirit as `shims/` — and CI
+//! runs it as `cargo run -p dkg-lint -- --check`.
+//!
+//! The rules (see `docs/LINTS.md` for the full rationale):
+//! - **R1 no-panic-decode** — no `unwrap`/`expect`/panicking macros/slice
+//!   indexing/unchecked length subtraction in hostile-input modules.
+//! - **R2 secret-hygiene** — registered secret-bearing types neither
+//!   derive `Debug` nor appear in format-macro arguments; manual impls
+//!   must redact.
+//! - **R3 codec-parity** — every `WireEncode` has a `WireDecode` and a
+//!   round-trip test naming the type.
+//! - **R4 env-knob registry** — every `std::env::var` knob is documented.
+//! - **R5 reject-coverage** — every registered error-enum variant is
+//!   exercised by a test.
+//! - **R6 forbid-unsafe** — every crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Suppressions live in the checked-in `lint.toml` as `[[allow]]` entries
+//! scoped by rule, path and line pattern, each with a mandatory
+//! non-empty justification; allows that no longer match anything are
+//! themselves findings.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+use std::path::Path;
+
+use config::{Allow, Config};
+use rules::Finding;
+use source::{collect_rs_files, rel_path, FileIndex};
+
+/// The outcome of a lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// All surviving findings (allows applied), sorted by path and line.
+    pub findings: Vec<Finding>,
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+}
+
+/// A fatal error: bad configuration or unreadable tree. Distinct from
+/// findings so the CLI can exit 2 rather than 1.
+#[derive(Debug)]
+pub struct RunError(pub String);
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Runs every rule over the workspace rooted at `root`, using the
+/// configuration text in `config_src` (normally the checked-in
+/// `lint.toml`).
+pub fn run(root: &Path, config_src: &str) -> Result<Report, RunError> {
+    let cfg = config::parse(config_src).map_err(|e| RunError(e.to_string()))?;
+    let paths = collect_rs_files(root, &cfg.exclude).map_err(RunError)?;
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| RunError(format!("read {}: {e}", path.display())))?;
+        files.push(FileIndex::new(rel_path(root, path), &src));
+    }
+    // R4 checks knob names against the concatenated documentation set.
+    let mut docs = String::new();
+    for doc in &cfg.r4_docs {
+        let path = root.join(doc);
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| RunError(format!("[r4] docs file {}: {e}", path.display())))?;
+        docs.push_str(&text);
+        docs.push('\n');
+    }
+
+    let mut findings = Vec::new();
+    findings.extend(rules::r1_no_panic_decode(&cfg, &files));
+    findings.extend(rules::r2_secret_hygiene(&cfg, &files));
+    findings.extend(rules::r3_codec_parity(&files));
+    findings.extend(rules::r4_env_knobs(&files, &docs));
+    findings.extend(rules::r5_reject_coverage(&cfg, &files));
+    findings.extend(rules::r6_forbid_unsafe(&files));
+
+    let findings = apply_allows(findings, &cfg, &files);
+    let mut findings = findings;
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(Report {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+/// Whether `allow` suppresses `finding`, given the flagged line's text.
+fn allow_matches(allow: &Allow, finding: &Finding, line_text: &str) -> bool {
+    allow.rule == finding.rule
+        && (finding.path == allow.path
+            || finding.path.ends_with(&format!("/{}", allow.path))
+            || finding.path.starts_with(&format!("{}/", allow.path)))
+        && line_text.contains(&allow.pattern)
+}
+
+/// Filters findings through the configured allows; every allow that
+/// suppressed nothing becomes a stale-allow finding, so suppressions
+/// cannot silently outlive the code they excused.
+fn apply_allows(findings: Vec<Finding>, cfg: &Config, files: &[FileIndex]) -> Vec<Finding> {
+    let mut used = vec![false; cfg.allows.len()];
+    let mut out = Vec::new();
+    for finding in findings {
+        let line_text = files
+            .iter()
+            .find(|f| f.rel_path == finding.path)
+            .map(|f| f.line_text(finding.line).to_string())
+            .unwrap_or_default();
+        let mut suppressed = false;
+        for (i, allow) in cfg.allows.iter().enumerate() {
+            if allow_matches(allow, &finding, &line_text) {
+                if let Some(flag) = used.get_mut(i) {
+                    *flag = true;
+                }
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(finding);
+        }
+    }
+    for (i, allow) in cfg.allows.iter().enumerate() {
+        if !used.get(i).copied().unwrap_or(true) {
+            out.push(Finding {
+                rule: "ALLOW",
+                path: "lint.toml".to_string(),
+                line: allow.declared_at,
+                message: format!(
+                    "stale allow ({} / {} / \"{}\") matched no finding — remove it",
+                    allow.rule, allow.path, allow.pattern
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rules::Finding;
+
+    fn finding(rule: &'static str, path: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            path: path.into(),
+            line,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn allows_suppress_and_go_stale() {
+        let cfg_src = r#"
+[[allow]]
+rule = "R1"
+path = "crates/x/src/lib.rs"
+pattern = "TABLE"
+justification = "bounded by construction"
+
+[[allow]]
+rule = "R2"
+path = "nowhere.rs"
+pattern = "zzz"
+justification = "never matches"
+"#;
+        let cfg = config::parse(cfg_src).expect("config");
+        let files = vec![FileIndex::new(
+            "crates/x/src/lib.rs".into(),
+            "fn f() { TABLE[0]; }\n",
+        )];
+        let out = apply_allows(vec![finding("R1", "crates/x/src/lib.rs", 1)], &cfg, &files);
+        // The R1 finding is suppressed; the unused R2 allow surfaces.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "ALLOW");
+        assert!(out[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn non_matching_pattern_does_not_suppress() {
+        let cfg_src = r#"
+[[allow]]
+rule = "R1"
+path = "crates/x/src/lib.rs"
+pattern = "OTHER"
+justification = "scoped tightly"
+"#;
+        let cfg = config::parse(cfg_src).expect("config");
+        let files = vec![FileIndex::new(
+            "crates/x/src/lib.rs".into(),
+            "fn f() { TABLE[0]; }\n",
+        )];
+        let out = apply_allows(vec![finding("R1", "crates/x/src/lib.rs", 1)], &cfg, &files);
+        // Both the finding and the stale allow survive.
+        assert_eq!(out.len(), 2);
+    }
+}

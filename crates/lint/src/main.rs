@@ -1,0 +1,105 @@
+//! The `dkg-lint` CLI.
+//!
+//! Usage: `cargo run -p dkg-lint -- --check [--root DIR] [--config FILE]`
+//!
+//! Exit codes: `0` clean, `1` findings, `2` configuration or I/O error —
+//! so CI can distinguish "the tree regressed" from "the lint setup broke".
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: dkg-lint --check [--root DIR] [--config FILE]\n\
+     \n\
+     Runs the workspace invariant rules (R1..R6, see docs/LINTS.md) over\n\
+     every .rs file under DIR (default: the current directory or the\n\
+     workspace root when run via cargo) using FILE (default: DIR/lint.toml).\n\
+     Exit codes: 0 clean, 1 findings, 2 config/usage error."
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut check = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("dkg-lint: --root needs a value\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--config" => match args.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("dkg-lint: --config needs a value\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dkg-lint: unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !check {
+        eprintln!("dkg-lint: pass --check to run the rules\n{}", usage());
+        return ExitCode::from(2);
+    }
+    // When cargo runs the binary, CARGO_MANIFEST_DIR points at
+    // crates/lint; the workspace root is two levels up. Outside cargo,
+    // default to the current directory.
+    let root = root.unwrap_or_else(|| match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => {
+            let p = PathBuf::from(dir);
+            p.parent()
+                .and_then(|p| p.parent())
+                .map(PathBuf::from)
+                .unwrap_or(p)
+        }
+        Err(_) => PathBuf::from("."),
+    });
+    let config_path = config.unwrap_or_else(|| root.join("lint.toml"));
+    let config_src = match std::fs::read_to_string(&config_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dkg-lint: read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match dkg_lint::run(&root, &config_src) {
+        Ok(report) => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            if report.findings.is_empty() {
+                println!(
+                    "dkg-lint: {} files scanned, all invariants hold",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "dkg-lint: {} finding(s) across {} files scanned",
+                    report.findings.len(),
+                    report.files_scanned
+                );
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("dkg-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

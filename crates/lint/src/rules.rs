@@ -1,0 +1,791 @@
+//! The rule implementations: R1–R6.
+//!
+//! Every rule works on the lexed token streams in [`FileIndex`] — no
+//! parsing, no type information — so each check is phrased as a token
+//! pattern precise enough to have no false negatives on the constructs it
+//! names, and a false-positive story handled by `lint.toml` allows with
+//! mandatory justifications. `docs/LINTS.md` documents what each rule
+//! proves and why the protocol needs it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::lexer::{Tok, Token};
+use crate::source::{matching_brace, skip_attr, FileIndex};
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id: `"R1"` … `"R6"`, or `"ALLOW"` for stale suppressions.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+fn finding(rule: &'static str, file: &FileIndex, line: u32, message: String) -> Finding {
+    Finding {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        message,
+    }
+}
+
+/// Rust keywords that may directly precede `[` without forming an index
+/// expression (`for [a, b] in …`, `&mut [T]`, `impl Decode for [u8; 32]`).
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Macros that abort the process (or can): forbidden in hostile-input
+/// modules. `debug_assert*` is allowed — it vanishes in release builds
+/// and documents encoder-side invariants.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Format-family macros whose arguments R2 inspects for secret types.
+const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "format_args",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "todo",
+    "unimplemented",
+];
+
+/// Whether the file is in scope for R1 (path equals a configured entry or
+/// sits under a configured directory).
+fn r1_in_scope(config: &Config, rel_path: &str) -> bool {
+    config
+        .r1_paths
+        .iter()
+        .any(|p| rel_path == p || rel_path.starts_with(&format!("{p}/")))
+}
+
+/// R1 — **no-panic-decode**: hostile-input modules must not contain
+/// `unwrap`/`expect`, panicking macros, slice-index expressions, or
+/// unchecked length subtraction (`….len() - …` / `….remaining() - …`).
+pub fn r1_no_panic_decode(config: &Config, files: &[FileIndex]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files.iter().filter(|f| r1_in_scope(config, &f.rel_path)) {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if file.is_test(i) {
+                continue;
+            }
+            let Some(t) = toks.get(i) else { continue };
+            // `.unwrap(` / `.expect(`
+            if t.is_punct('.') {
+                if let Some(name) = toks.get(i + 1).and_then(Token::ident) {
+                    if (name == "unwrap" || name == "expect")
+                        && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+                    {
+                        out.push(finding(
+                            "R1",
+                            file,
+                            t.line,
+                            format!(
+                                ".{name}() in a hostile-input module — return a typed error instead"
+                            ),
+                        ));
+                    }
+                }
+            }
+            // Panicking macros: `name!` followed by a delimiter (so `a != b`
+            // does not match).
+            if let Some(name) = t.ident() {
+                if PANIC_MACROS.contains(&name)
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|t| t.is_punct('(') || t.is_punct('[') || t.is_punct('{'))
+                {
+                    out.push(finding(
+                        "R1",
+                        file,
+                        t.line,
+                        format!("{name}! in a hostile-input module — decoding must be total"),
+                    ));
+                }
+            }
+            // Slice/array indexing: `expr[…]`.
+            if t.is_punct('[') && i > 0 {
+                let prev_is_indexable = match toks.get(i - 1).map(|t| &t.tok) {
+                    Some(Tok::Ident(s)) => !is_keyword(s),
+                    Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => true,
+                    _ => false,
+                };
+                if prev_is_indexable {
+                    out.push(finding(
+                        "R1",
+                        file,
+                        t.line,
+                        "slice/array index expression in a hostile-input module — use `get`, \
+                         `split_at_checked` or `split_first_chunk`"
+                            .to_string(),
+                    ));
+                }
+            }
+            // Unchecked length subtraction: `len() -` / `remaining() -`.
+            if let Some(name) = t.ident() {
+                if (name == "len" || name == "remaining")
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(')'))
+                    && toks.get(i + 3).is_some_and(|t| t.is_punct('-'))
+                {
+                    out.push(finding(
+                        "R1",
+                        file,
+                        t.line,
+                        format!(
+                            "unchecked `{name}() - …` in a hostile-input module — use \
+                             `checked_sub`/`saturating_sub` or restructure with slicing helpers"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// R2 — **secret-hygiene**: registered secret-bearing types must not
+/// derive `Debug`, must keep any manual `Debug`/`Display` impl redacted
+/// (the impl body must contain a `"redacted"` marker string), and must
+/// not be named in format-macro arguments outside test code.
+pub fn r2_secret_hygiene(config: &Config, files: &[FileIndex]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let secrets: BTreeSet<&str> = config.r2_secret_types.iter().map(String::as_str).collect();
+    if secrets.is_empty() {
+        return out;
+    }
+    for file in files {
+        let toks = &file.tokens;
+        let mut i = 0usize;
+        while i < toks.len() {
+            // derive attribute → the item it decorates.
+            if toks.get(i).is_some_and(|t| t.is_punct('#'))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident("derive"))
+            {
+                let attr_end = skip_attr(toks, i);
+                let derives: Vec<&str> = toks
+                    .get(i + 3..attr_end)
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(Token::ident)
+                    .collect();
+                // Skip any further attributes and visibility tokens to the
+                // item keyword.
+                let mut j = attr_end;
+                loop {
+                    if toks.get(j).is_some_and(|t| t.is_punct('#')) {
+                        j = skip_attr(toks, j);
+                        continue;
+                    }
+                    match toks.get(j).and_then(Token::ident) {
+                        Some("pub") => {
+                            j += 1;
+                            // `pub(crate)` etc.
+                            if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+                                while j < toks.len()
+                                    && !toks.get(j).is_some_and(|t| t.is_punct(')'))
+                                {
+                                    j += 1;
+                                }
+                                j += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                if toks
+                    .get(j)
+                    .and_then(Token::ident)
+                    .is_some_and(|k| k == "struct" || k == "enum" || k == "union")
+                {
+                    if let Some(name) = toks.get(j + 1).and_then(Token::ident) {
+                        if secrets.contains(name) && derives.iter().any(|d| *d == "Debug") {
+                            out.push(finding(
+                                "R2",
+                                file,
+                                toks.get(i).map_or(0, |t| t.line),
+                                format!(
+                                    "secret-bearing type `{name}` derives Debug — write a \
+                                     redacted manual impl instead"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                i = attr_end;
+                continue;
+            }
+            // Manual `impl Debug/Display for Secret` must be redacted.
+            if toks.get(i).is_some_and(|t| t.is_ident("impl")) {
+                // Collect the header up to `{`.
+                let mut j = i + 1;
+                let mut for_at = None;
+                while j < toks.len() {
+                    match toks.get(j) {
+                        Some(t) if t.is_punct('{') || t.is_punct(';') => break,
+                        Some(t) if t.is_ident("for") => {
+                            for_at = Some(j);
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                if let Some(f_at) = for_at {
+                    let trait_name = toks
+                        .get(i + 1..f_at)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(Token::ident)
+                        .last();
+                    let target_secret = toks
+                        .get(f_at + 1..j)
+                        .unwrap_or(&[])
+                        .iter()
+                        .filter_map(Token::ident)
+                        .find(|n| secrets.contains(*n));
+                    if let (Some(tr), Some(name)) = (trait_name, target_secret) {
+                        if (tr == "Debug" || tr == "Display")
+                            && toks.get(j).is_some_and(|t| t.is_punct('{'))
+                        {
+                            let end = matching_brace(toks, j);
+                            let redacted =
+                                toks.get(j..=end).unwrap_or(&[]).iter().any(
+                                    |t| matches!(&t.tok, Tok::Str(s) if s.contains("redacted")),
+                                );
+                            if !redacted {
+                                out.push(finding(
+                                    "R2",
+                                    file,
+                                    toks.get(i).map_or(0, |t| t.line),
+                                    format!(
+                                        "manual {tr} impl for secret-bearing type `{name}` does \
+                                         not redact (no \"redacted\" marker in the body)"
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            // Format-family macro arguments must not name secret types
+            // (product code only; tests may print fixtures).
+            if !file.is_test(i) {
+                if let Some(name) = toks.get(i).and_then(Token::ident) {
+                    if FORMAT_MACROS.contains(&name)
+                        && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                        && toks
+                            .get(i + 2)
+                            .is_some_and(|t| t.is_punct('(') || t.is_punct('['))
+                    {
+                        let (open, close) = match toks.get(i + 2) {
+                            Some(t) if t.is_punct('[') => ('[', ']'),
+                            _ => ('(', ')'),
+                        };
+                        let mut depth = 0usize;
+                        let mut j = i + 2;
+                        while j < toks.len() {
+                            match toks.get(j).map(|t| &t.tok) {
+                                Some(Tok::Punct(c)) if *c == open => depth += 1,
+                                Some(Tok::Punct(c)) if *c == close => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                Some(Tok::Ident(id)) if secrets.contains(id.as_str()) => {
+                                    out.push(finding(
+                                        "R2",
+                                        file,
+                                        toks.get(j).map_or(0, |t| t.line),
+                                        format!(
+                                            "secret-bearing type `{id}` appears in {name}! \
+                                             arguments — secrets must not reach logs or panics"
+                                        ),
+                                    ));
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// One `impl WireEncode/WireDecode for T` site.
+#[derive(Debug)]
+struct CodecImpl {
+    trait_name: String,
+    target: Option<String>,
+    path: String,
+    line: u32,
+}
+
+/// Extracts `impl … WireEncode/WireDecode … for Target` sites.
+fn codec_impls(files: &[FileIndex]) -> Vec<CodecImpl> {
+    let mut out = Vec::new();
+    for file in files {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !toks.get(i).is_some_and(|t| t.is_ident("impl")) {
+                continue;
+            }
+            // Generic parameter names, if a `<…>` group follows.
+            let mut j = i + 1;
+            let mut generics = BTreeSet::new();
+            if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+                let mut depth = 0i32;
+                let mut expect_param = true;
+                while j < toks.len() {
+                    match toks.get(j).map(|t| &t.tok) {
+                        Some(Tok::Punct('<')) => {
+                            depth += 1;
+                            j += 1;
+                        }
+                        Some(Tok::Punct('>')) => {
+                            depth -= 1;
+                            j += 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        Some(Tok::Ident(id)) => {
+                            if depth == 1 && expect_param {
+                                generics.insert(id.clone());
+                                expect_param = false;
+                            }
+                            j += 1;
+                        }
+                        Some(Tok::Punct(',')) => {
+                            if depth == 1 {
+                                expect_param = true;
+                            }
+                            j += 1;
+                        }
+                        _ => {
+                            if depth == 1 {
+                                expect_param = false;
+                            }
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            // Header up to `{` (or `where`): find `for`.
+            let mut k = j;
+            let mut for_at = None;
+            while k < toks.len() {
+                match toks.get(k) {
+                    Some(t) if t.is_punct('{') || t.is_punct(';') => break,
+                    Some(t) if t.is_ident("where") => break,
+                    Some(t) if t.is_ident("for") && for_at.is_none() => {
+                        for_at = Some(k);
+                        k += 1;
+                    }
+                    _ => k += 1,
+                }
+            }
+            let Some(f_at) = for_at else { continue };
+            let trait_name = toks
+                .get(j..f_at)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(Token::ident)
+                .last()
+                .unwrap_or("")
+                .to_string();
+            if trait_name != "WireEncode" && trait_name != "WireDecode" {
+                continue;
+            }
+            // Target: first identifier after `for` that is not a declared
+            // generic parameter (so `Vec<T>` → `Vec`, `(A, B)` → None).
+            let target = toks
+                .get(f_at + 1..k)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(Token::ident)
+                .find(|id| !generics.contains(*id) && !is_keyword(id))
+                .map(str::to_string);
+            out.push(CodecImpl {
+                trait_name,
+                target,
+                path: file.rel_path.clone(),
+                line: toks.get(i).map_or(0, |t| t.line),
+            });
+        }
+    }
+    out
+}
+
+/// The set of identifiers named inside round-trip test code: every ident
+/// appearing in a test region whose file also mentions a `roundtrip`
+/// identifier.
+fn roundtrip_idents(files: &[FileIndex]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    for file in files {
+        let has_roundtrip = file.tokens.iter().enumerate().any(|(i, t)| {
+            file.is_test(i)
+                && t.ident()
+                    .is_some_and(|s| s.to_ascii_lowercase().contains("roundtrip"))
+        });
+        if !has_roundtrip {
+            continue;
+        }
+        for (i, t) in file.tokens.iter().enumerate() {
+            if file.is_test(i) {
+                if let Some(id) = t.ident() {
+                    out.insert(id.to_string());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// R3 — **codec-parity**: every `WireEncode` impl has a matching
+/// `WireDecode` impl (and vice versa), and every codec type is named in a
+/// round-trip test.
+pub fn r3_codec_parity(files: &[FileIndex]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let impls = codec_impls(files);
+    let encode: BTreeMap<&str, &CodecImpl> = impls
+        .iter()
+        .filter(|c| c.trait_name == "WireEncode")
+        .filter_map(|c| c.target.as_deref().map(|t| (t, c)))
+        .collect();
+    let decode: BTreeMap<&str, &CodecImpl> = impls
+        .iter()
+        .filter(|c| c.trait_name == "WireDecode")
+        .filter_map(|c| c.target.as_deref().map(|t| (t, c)))
+        .collect();
+    let covered = roundtrip_idents(files);
+    for (name, site) in &encode {
+        if !decode.contains_key(name) {
+            out.push(Finding {
+                rule: "R3",
+                path: site.path.clone(),
+                line: site.line,
+                message: format!(
+                    "`{name}` implements WireEncode but has no WireDecode impl — every wire \
+                     type must decode"
+                ),
+            });
+        }
+        if !covered.contains(*name) {
+            out.push(Finding {
+                rule: "R3",
+                path: site.path.clone(),
+                line: site.line,
+                message: format!(
+                    "codec type `{name}` is not named in any round-trip test — add it to a \
+                     `roundtrip` proptest"
+                ),
+            });
+        }
+    }
+    for (name, site) in &decode {
+        if !encode.contains_key(name) {
+            out.push(Finding {
+                rule: "R3",
+                path: site.path.clone(),
+                line: site.line,
+                message: format!(
+                    "`{name}` implements WireDecode but has no WireEncode impl — decode-only \
+                     types cannot round-trip"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// R4 — **env-knob registry**: every `std::env::var("NAME")` (and
+/// `var_os`), plus every `const ENV_…: &str = "NAME"` convention constant,
+/// must be documented in the configured knob tables.
+pub fn r4_env_knobs(files: &[FileIndex], docs: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        let toks = &file.tokens;
+        // File-local string constants: `const NAME: &str = "…"`.
+        let mut consts: BTreeMap<String, (String, u32)> = BTreeMap::new();
+        for i in 0..toks.len() {
+            if toks.get(i).is_some_and(|t| t.is_ident("const")) {
+                if let (Some(name), Some(value)) = (
+                    toks.get(i + 1).and_then(Token::ident),
+                    toks.get(i + 2..(i + 10).min(toks.len()))
+                        .unwrap_or(&[])
+                        .iter()
+                        .find_map(|t| match &t.tok {
+                            Tok::Str(s) => Some(s.clone()),
+                            _ => None,
+                        }),
+                ) {
+                    let line = toks.get(i).map_or(0, |t| t.line);
+                    consts.insert(name.to_string(), (value, line));
+                }
+            }
+        }
+        // The `ENV_…` naming convention marks deployment env-var constants
+        // even when the `env::var` call reads them through a variable
+        // (dkg-net's spec plumbing). Each must be documented.
+        for (name, (value, line)) in &consts {
+            if name.starts_with("ENV_") && !docs.contains(value.as_str()) {
+                out.push(finding(
+                    "R4",
+                    file,
+                    *line,
+                    format!(
+                        "env knob \"{value}\" (const {name}) is not in the documented knob table"
+                    ),
+                ));
+            }
+        }
+        // Direct `env::var(…)` / `env::var_os(…)` call sites.
+        for i in 0..toks.len() {
+            let is_var_call = toks.get(i).is_some_and(|t| t.is_ident("env"))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && toks
+                    .get(i + 3)
+                    .and_then(Token::ident)
+                    .is_some_and(|n| n == "var" || n == "var_os")
+                && toks.get(i + 4).is_some_and(|t| t.is_punct('('));
+            if !is_var_call {
+                continue;
+            }
+            let line = toks.get(i).map_or(0, |t| t.line);
+            match toks.get(i + 5).map(|t| &t.tok) {
+                Some(Tok::Str(name)) => {
+                    if !docs.contains(name.as_str()) {
+                        out.push(finding(
+                            "R4",
+                            file,
+                            line,
+                            format!("env knob \"{name}\" is not in the documented knob table"),
+                        ));
+                    }
+                }
+                Some(Tok::Ident(arg)) => {
+                    let resolved =
+                        consts.contains_key(arg) || consts.keys().any(|k| k.starts_with("ENV_"));
+                    if !resolved {
+                        out.push(finding(
+                            "R4",
+                            file,
+                            line,
+                            format!(
+                                "env::var({arg}) reads a knob the linter cannot resolve — use a \
+                                 string literal or a file-local `const ENV_…` name"
+                            ),
+                        ));
+                    }
+                }
+                _ => {
+                    out.push(finding(
+                        "R4",
+                        file,
+                        line,
+                        "env::var(…) with a non-literal argument — use a string literal or a \
+                         file-local `const ENV_…` name"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// R5 — **reject-coverage**: every variant of the registered error/reject
+/// enums must be named (`Enum::Variant`) in test code somewhere in the
+/// workspace — each refusal path has a test that reaches it.
+pub fn r5_reject_coverage(config: &Config, files: &[FileIndex]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let registry: BTreeSet<&str> = config.r5_enums.iter().map(String::as_str).collect();
+    if registry.is_empty() {
+        return out;
+    }
+    // Pass 1: enum definitions.
+    struct EnumDef {
+        name: String,
+        path: String,
+        variants: Vec<(String, u32)>,
+    }
+    let mut defs: Vec<EnumDef> = Vec::new();
+    for file in files {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !toks.get(i).is_some_and(|t| t.is_ident("enum")) {
+                continue;
+            }
+            let Some(name) = toks.get(i + 1).and_then(Token::ident) else {
+                continue;
+            };
+            if !registry.contains(name) {
+                continue;
+            }
+            // Find the opening brace (skipping generics).
+            let mut j = i + 2;
+            while j < toks.len() && !toks.get(j).is_some_and(|t| t.is_punct('{')) {
+                j += 1;
+            }
+            let end = matching_brace(toks, j);
+            let mut variants = Vec::new();
+            let mut k = j + 1;
+            let mut depth = 0usize;
+            let mut expect_variant = true;
+            while k < end {
+                match toks.get(k).map(|t| &t.tok) {
+                    Some(Tok::Punct('#')) if depth == 0 => {
+                        k = skip_attr(toks, k);
+                        continue;
+                    }
+                    Some(Tok::Punct('{')) | Some(Tok::Punct('(')) | Some(Tok::Punct('[')) => {
+                        depth += 1;
+                    }
+                    Some(Tok::Punct('}')) | Some(Tok::Punct(')')) | Some(Tok::Punct(']')) => {
+                        depth = depth.saturating_sub(1);
+                    }
+                    Some(Tok::Punct(',')) if depth == 0 => {
+                        expect_variant = true;
+                    }
+                    Some(Tok::Ident(id)) if depth == 0 && expect_variant => {
+                        variants.push((id.clone(), toks.get(k).map_or(0, |t| t.line)));
+                        expect_variant = false;
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            defs.push(EnumDef {
+                name: name.to_string(),
+                path: file.rel_path.clone(),
+                variants,
+            });
+        }
+    }
+    // Pass 2: `Enum::Variant` mentions in test code.
+    let mut seen: BTreeSet<(String, String)> = BTreeSet::new();
+    for file in files {
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !file.is_test(i) {
+                continue;
+            }
+            if let Some(enum_name) = toks.get(i).and_then(Token::ident) {
+                if registry.contains(enum_name)
+                    && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                {
+                    if let Some(variant) = toks.get(i + 3).and_then(Token::ident) {
+                        seen.insert((enum_name.to_string(), variant.to_string()));
+                    }
+                }
+            }
+        }
+    }
+    for def in &defs {
+        for (variant, line) in &def.variants {
+            if !seen.contains(&(def.name.clone(), variant.clone())) {
+                out.push(Finding {
+                    rule: "R5",
+                    path: def.path.clone(),
+                    line: *line,
+                    message: format!(
+                        "`{}::{variant}` is never constructed or matched in any test — every \
+                         refusal path needs a test that reaches it",
+                        def.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// R6 — **forbid-unsafe audit**: every crate root (`src/lib.rs`,
+/// `src/main.rs`, `src/bin/*.rs`) and every root example must carry
+/// `#![forbid(unsafe_code)]`.
+pub fn r6_forbid_unsafe(files: &[FileIndex]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in files {
+        let p = &file.rel_path;
+        let is_crate_root = p.ends_with("src/lib.rs")
+            || p.ends_with("src/main.rs")
+            || p.contains("/src/bin/")
+            || p.starts_with("examples/");
+        if !is_crate_root {
+            continue;
+        }
+        let toks = &file.tokens;
+        let has_forbid = (0..toks.len()).any(|i| {
+            toks.get(i).is_some_and(|t| t.is_punct('#'))
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('['))
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("forbid"))
+                && toks
+                    .get(i + 4..skip_attr(toks, i))
+                    .unwrap_or(&[])
+                    .iter()
+                    .any(|t| t.is_ident("unsafe_code"))
+        });
+        if !has_forbid {
+            out.push(finding(
+                "R6",
+                file,
+                1,
+                "crate root lacks #![forbid(unsafe_code)]".to_string(),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,260 @@
+//! Workspace scanning: which files exist, their token streams, and which
+//! token ranges are test code.
+//!
+//! Rules need to distinguish *product* code from *test* code: a decode
+//! path must never panic, but the unit test that proves a truncated frame
+//! is refused will happily `unwrap()` its own fixture. Test code is
+//! - any file under a `tests/` directory (integration tests), and
+//! - the body of any `#[cfg(test)] mod …` (unit tests),
+//! both derived from the token stream itself, not from naming
+//! conventions.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Tok, Token};
+
+/// One lexed source file.
+#[derive(Debug)]
+pub struct FileIndex {
+    /// Workspace-relative path with `/` separators (stable across
+    /// platforms, and what `lint.toml` scopes name).
+    pub rel_path: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// `test_mask[i]` is true when token `i` is test code.
+    pub test_mask: Vec<bool>,
+    /// Whether the whole file is test code (lives under `tests/`).
+    pub is_test_file: bool,
+    /// The raw source lines (for allow-pattern matching and reporting).
+    pub lines: Vec<String>,
+}
+
+impl FileIndex {
+    /// Builds the index for one file's source text.
+    pub fn new(rel_path: String, source: &str) -> Self {
+        let tokens = lex(source);
+        let is_test_file = rel_path.split('/').any(|seg| seg == "tests");
+        let test_mask = if is_test_file {
+            vec![true; tokens.len()]
+        } else {
+            cfg_test_mask(&tokens)
+        };
+        FileIndex {
+            rel_path,
+            tokens,
+            test_mask,
+            is_test_file,
+            lines: source.lines().map(str::to_string).collect(),
+        }
+    }
+
+    /// Whether token `i` is inside test code.
+    pub fn is_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// The trimmed source text of a 1-indexed line.
+    pub fn line_text(&self, line: u32) -> &str {
+        let idx = (line as usize).saturating_sub(1);
+        self.lines.get(idx).map(|l| l.trim()).unwrap_or("")
+    }
+}
+
+/// Marks the token extents of every `#[cfg(test)] mod … { … }`.
+fn cfg_test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            // Skip this attribute and any further attributes, then expect
+            // `mod name {`.
+            let mut j = skip_attr(tokens, i);
+            while j < tokens.len() && tokens.get(j).is_some_and(|t| t.is_punct('#')) {
+                j = skip_attr(tokens, j);
+            }
+            if tokens.get(j).is_some_and(|t| t.is_ident("mod")) {
+                // Find the opening brace, then its match.
+                let mut k = j;
+                while k < tokens.len() && !tokens.get(k).is_some_and(|t| t.is_punct('{')) {
+                    if tokens.get(k).is_some_and(|t| t.is_punct(';')) {
+                        break; // `mod foo;` — out-of-line, nothing to mask
+                    }
+                    k += 1;
+                }
+                if tokens.get(k).is_some_and(|t| t.is_punct('{')) {
+                    let end = matching_brace(tokens, k);
+                    for flag in mask
+                        .get_mut(i..=end.min(tokens.len() - 1))
+                        .unwrap_or(&mut [])
+                    {
+                        *flag = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Whether tokens starting at `i` spell `#[cfg(test)]` (possibly with
+/// more clauses, e.g. `#[cfg(all(test, feature = "x"))]`).
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    if !tokens.get(i).is_some_and(|t| t.is_punct('#')) {
+        return false;
+    }
+    if !tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+        return false;
+    }
+    if !tokens.get(i + 2).is_some_and(|t| t.is_ident("cfg")) {
+        return false;
+    }
+    // Scan the attribute body for a bare `test` ident.
+    let end = skip_attr(tokens, i);
+    tokens
+        .get(i + 3..end)
+        .unwrap_or(&[])
+        .iter()
+        .any(|t| t.is_ident("test"))
+}
+
+/// Returns the index just past an attribute starting at `#` token `i`.
+pub fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    // Optional `!` for inner attributes.
+    if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        return i + 1;
+    }
+    let mut depth = 0usize;
+    while j < tokens.len() {
+        match tokens.get(j).map(|t| &t.tok) {
+            Some(Tok::Punct('[')) => depth += 1,
+            Some(Tok::Punct(']')) => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens.get(j).map(|t| &t.tok) {
+            Some(Tok::Punct('{')) => depth += 1,
+            Some(Tok::Punct('}')) => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Recursively collects every `.rs` file under `root`, skipping excluded
+/// prefixes. Returns workspace-relative `/`-separated paths.
+pub fn collect_rs_files(root: &Path, exclude: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir entry: {e}"))?;
+            let path = entry.path();
+            let rel = rel_path(root, &path);
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            if exclude
+                .iter()
+                .any(|ex| rel == *ex || rel.starts_with(&format!("{ex}/")))
+            {
+                continue;
+            }
+            let ty = entry.file_type().map_err(|e| format!("file_type: {e}"))?;
+            if ty.is_dir() {
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// `path` relative to `root`, `/`-separated.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src = r#"
+            fn product() { let x = v[0]; }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { panic!("fine here"); }
+            }
+            fn more_product() {}
+        "#;
+        let idx = FileIndex::new("crates/x/src/lib.rs".into(), src);
+        let panic_pos = idx
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("panic"))
+            .expect("panic token");
+        let product_pos = idx
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("more_product"))
+            .expect("product token");
+        assert!(idx.is_test(panic_pos));
+        assert!(!idx.is_test(product_pos));
+        assert!(!idx.is_test_file);
+    }
+
+    #[test]
+    fn tests_directory_files_are_fully_test() {
+        let idx = FileIndex::new("crates/x/tests/e2e.rs".into(), "fn a() {}");
+        assert!(idx.is_test_file);
+        assert!(idx.is_test(0));
+    }
+
+    #[test]
+    fn cfg_all_test_also_masks() {
+        let src = "#[cfg(all(test, feature = \"slow\"))] mod t { fn f() {} } fn g() {}";
+        let idx = FileIndex::new("crates/x/src/lib.rs".into(), src);
+        let f = idx.tokens.iter().position(|t| t.is_ident("f")).expect("f");
+        let g = idx.tokens.iter().position(|t| t.is_ident("g")).expect("g");
+        assert!(idx.is_test(f));
+        assert!(!idx.is_test(g));
+    }
+}

@@ -1,0 +1,173 @@
+//! End-to-end proof that every rule fires: `tests/fixtures/violating` is a
+//! mini-tree seeded with one violation of each kind, `tests/fixtures/clean`
+//! is the same tree written correctly. The linter must flag every seeded
+//! violation (with the right rule id) and stay silent on the clean tree —
+//! and the allow machinery must suppress, go stale, and reject empty
+//! justifications.
+
+use std::path::PathBuf;
+
+use dkg_lint::rules::Finding;
+
+/// The shared per-tree configuration (each tree carries its own README).
+const FIXTURE_CONFIG: &str = r#"
+[r1]
+paths = ["src/decode.rs"]
+
+[r2]
+secret_types = ["FixtureSecret"]
+
+[r4]
+docs = ["README.md"]
+
+[r5]
+enums = ["FixtureError"]
+"#;
+
+fn fixture_root(tree: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(tree)
+}
+
+fn run(tree: &str, config: &str) -> Vec<Finding> {
+    dkg_lint::run(&fixture_root(tree), config)
+        .expect("fixture run succeeds")
+        .findings
+}
+
+fn count(findings: &[Finding], rule: &str) -> usize {
+    findings.iter().filter(|f| f.rule == rule).count()
+}
+
+#[test]
+fn every_rule_fires_on_the_violating_tree() {
+    let findings = run("violating", FIXTURE_CONFIG);
+    let render: Vec<String> = findings.iter().map(ToString::to_string).collect();
+
+    // R1: unwrap, expect, panic!, slice index, unchecked len() -.
+    assert_eq!(count(&findings, "R1"), 5, "{render:#?}");
+    for needle in [
+        ".unwrap()",
+        ".expect()",
+        "panic!",
+        "index expression",
+        "len() -",
+    ] {
+        assert!(
+            render
+                .iter()
+                .any(|r| r.contains("[R1]") && r.contains(needle)),
+            "missing R1 finding for {needle}: {render:#?}"
+        );
+    }
+
+    // R2: derive(Debug), unredacted Display, secret in println! args.
+    assert_eq!(count(&findings, "R2"), 3, "{render:#?}");
+    assert!(render.iter().any(|r| r.contains("derives Debug")));
+    assert!(render.iter().any(|r| r.contains("does not redact")));
+    assert!(render.iter().any(|r| r.contains("println! arguments")));
+
+    // R3: Lonely lacks decode, Orphan lacks encode, Lonely and Untested
+    // are in no round-trip test.
+    assert_eq!(count(&findings, "R3"), 4, "{render:#?}");
+    assert!(render
+        .iter()
+        .any(|r| r.contains("`Lonely` implements WireEncode but has no WireDecode")));
+    assert!(render
+        .iter()
+        .any(|r| r.contains("`Orphan` implements WireDecode but has no WireEncode")));
+    assert!(render
+        .iter()
+        .any(|r| r.contains("`Untested` is not named in any round-trip test")));
+
+    // R4: the direct literal and the ENV_ constant, both undocumented.
+    assert_eq!(count(&findings, "R4"), 2, "{render:#?}");
+    assert!(render.iter().any(|r| r.contains("\"SECRET_TUNING\"")));
+    assert!(render.iter().any(|r| r.contains("\"UNLISTED_KNOB\"")));
+
+    // R5: only the untested variant, attributed to its definition site.
+    assert_eq!(count(&findings, "R5"), 1, "{render:#?}");
+    assert!(render
+        .iter()
+        .any(|r| r.contains("`FixtureError::Uncovered`") && r.contains("src/errors.rs")));
+
+    // R6: the crate root without forbid(unsafe_code).
+    assert_eq!(count(&findings, "R6"), 1, "{render:#?}");
+    assert!(render
+        .iter()
+        .any(|r| r.contains("[R6]") && r.contains("src/lib.rs:1")));
+}
+
+#[test]
+fn the_clean_tree_produces_zero_findings() {
+    let findings = run("clean", FIXTURE_CONFIG);
+    assert!(
+        findings.is_empty(),
+        "clean tree must lint clean: {:#?}",
+        findings.iter().map(ToString::to_string).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn a_scoped_allow_suppresses_exactly_its_finding() {
+    let config = format!(
+        "{FIXTURE_CONFIG}\n[[allow]]\nrule = \"R1\"\npath = \"src/decode.rs\"\n\
+         pattern = \"bytes[2]\"\njustification = \"fixture: proves allows are scoped\"\n"
+    );
+    let findings = run("violating", &config);
+    // One R1 finding (the index expression) is suppressed; nothing else
+    // changes and no stale-allow appears.
+    assert_eq!(count(&findings, "R1"), 4);
+    assert_eq!(count(&findings, "ALLOW"), 0);
+    assert!(!findings
+        .iter()
+        .any(|f| f.to_string().contains("index expression")));
+}
+
+#[test]
+fn an_allow_matching_nothing_goes_stale() {
+    let config = format!(
+        "{FIXTURE_CONFIG}\n[[allow]]\nrule = \"R1\"\npath = \"src/decode.rs\"\n\
+         pattern = \"no_such_line\"\njustification = \"will not match\"\n"
+    );
+    let findings = run("violating", &config);
+    assert_eq!(count(&findings, "R1"), 5, "nothing suppressed");
+    let stale: Vec<&Finding> = findings.iter().filter(|f| f.rule == "ALLOW").collect();
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].path, "lint.toml");
+    assert!(stale[0].message.contains("stale allow"));
+}
+
+#[test]
+fn an_allow_without_justification_is_a_config_error_not_a_weaker_allow() {
+    let config = format!(
+        "{FIXTURE_CONFIG}\n[[allow]]\nrule = \"R1\"\npath = \"src/decode.rs\"\n\
+         pattern = \"bytes[2]\"\njustification = \"\"\n"
+    );
+    let err = dkg_lint::run(&fixture_root("violating"), &config)
+        .expect_err("empty justification must be fatal");
+    assert!(err.to_string().contains("justification"), "{err}");
+}
+
+#[test]
+fn the_checked_in_lint_toml_is_parseable_and_points_at_real_paths() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let config = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists");
+    let parsed = dkg_lint::config::parse(&config).expect("checked-in config parses");
+    for path in parsed
+        .r1_paths
+        .iter()
+        .chain(parsed.r4_docs.iter())
+        .chain(parsed.allows.iter().map(|a| &a.path))
+    {
+        assert!(
+            root.join(path).exists(),
+            "lint.toml references a path that no longer exists: {path}"
+        );
+    }
+}

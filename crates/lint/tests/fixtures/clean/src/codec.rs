@@ -1,0 +1,35 @@
+//! R3-clean: one codec type, both impls, named in a round-trip test.
+
+pub struct Paired(pub u8);
+
+pub trait WireEncode {
+    fn encode(&self) -> Vec<u8>;
+}
+
+pub trait WireDecode: Sized {
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+impl WireEncode for Paired {
+    fn encode(&self) -> Vec<u8> {
+        vec![self.0]
+    }
+}
+
+impl WireDecode for Paired {
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        bytes.first().copied().map(Paired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Paired, WireDecode, WireEncode};
+
+    #[test]
+    fn paired_roundtrip_is_lossless() {
+        let value = Paired(7);
+        let back = Paired::decode(&value.encode()).unwrap();
+        assert_eq!(back.0, 7);
+    }
+}

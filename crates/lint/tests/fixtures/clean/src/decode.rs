@@ -1,0 +1,20 @@
+//! R1-clean: the same parse written with total, checked idioms.
+
+pub fn parse(bytes: &[u8]) -> Option<u8> {
+    let (head, tail) = bytes.split_at_checked(3)?;
+    let ([first, second, third], _) = head.split_first_chunk::<3>()?;
+    if bytes.len() > 64 {
+        return None;
+    }
+    let spare = tail.len().checked_sub(1)?;
+    Some(first + second + third + spare as u8)
+}
+
+#[cfg(test)]
+mod tests {
+    // Panicking assertions are fine inside test regions.
+    #[test]
+    fn parses_a_small_buffer() {
+        assert_eq!(super::parse(&[1, 2, 3, 9]).unwrap(), 6);
+    }
+}

@@ -1,0 +1,23 @@
+//! R5-clean: every variant of the error enum is named in a test.
+
+#[derive(Debug, PartialEq, Eq)]
+pub enum FixtureError {
+    /// A plain refusal.
+    Covered,
+    /// A refusal with context.
+    Uncovered { detail: u8 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FixtureError;
+
+    #[test]
+    fn every_variant_is_reachable() {
+        assert_eq!(FixtureError::Covered, FixtureError::Covered);
+        assert_eq!(
+            FixtureError::Uncovered { detail: 3 },
+            FixtureError::Uncovered { detail: 3 }
+        );
+    }
+}

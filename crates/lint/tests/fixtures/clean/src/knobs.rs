@@ -1,0 +1,9 @@
+//! R4-clean: both knobs appear in the README's knob table.
+
+const ENV_LISTED: &str = "LISTED_KNOB";
+
+pub fn read() -> (Option<String>, Option<String>) {
+    let direct = std::env::var("DOCUMENTED_KNOB").ok();
+    let via_const = std::env::var(ENV_LISTED).ok();
+    (direct, via_const)
+}

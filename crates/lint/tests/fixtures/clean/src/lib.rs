@@ -1,0 +1,9 @@
+//! Clean fixture: every invariant holds.
+
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod decode;
+pub mod errors;
+pub mod knobs;
+pub mod secret;

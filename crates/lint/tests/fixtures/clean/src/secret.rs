@@ -1,0 +1,16 @@
+//! R2-clean: the secret type redacts and never reaches a format macro.
+
+#[derive(Clone)]
+pub struct FixtureSecret {
+    pub key: [u8; 32],
+}
+
+impl std::fmt::Debug for FixtureSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FixtureSecret(<redacted>)")
+    }
+}
+
+pub fn describe(_secret: &FixtureSecret) -> &'static str {
+    "a secret (contents withheld)"
+}

@@ -1,0 +1,37 @@
+//! R3 fixture: a lonely encoder, an orphan decoder, and an untested pair.
+
+pub struct Lonely(pub u8);
+pub struct Orphan(pub u8);
+pub struct Untested(pub u8);
+
+pub trait WireEncode {
+    fn encode(&self) -> Vec<u8>;
+}
+
+pub trait WireDecode: Sized {
+    fn decode(bytes: &[u8]) -> Option<Self>;
+}
+
+impl WireEncode for Lonely {
+    fn encode(&self) -> Vec<u8> {
+        vec![self.0]
+    }
+}
+
+impl WireDecode for Orphan {
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        bytes.first().copied().map(Orphan)
+    }
+}
+
+impl WireEncode for Untested {
+    fn encode(&self) -> Vec<u8> {
+        vec![self.0]
+    }
+}
+
+impl WireDecode for Untested {
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        bytes.first().copied().map(Untested)
+    }
+}

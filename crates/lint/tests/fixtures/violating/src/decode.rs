@@ -1,0 +1,12 @@
+//! R1 fixture: every forbidden panic idiom in one hostile-input module.
+
+pub fn parse(bytes: &[u8]) -> u8 {
+    let first = bytes.first().unwrap();
+    let second = bytes.get(1).expect("second byte");
+    if bytes.len() > 64 {
+        panic!("oversized");
+    }
+    let third = bytes[2];
+    let tail = bytes.len() - 4;
+    first + second + third + tail as u8
+}

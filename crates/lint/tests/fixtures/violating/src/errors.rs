@@ -1,0 +1,19 @@
+//! R5 fixture: an error enum with one tested and one untested variant.
+
+#[derive(Debug, PartialEq, Eq)]
+pub enum FixtureError {
+    /// Exercised by the test below.
+    Covered,
+    /// Never named in any test.
+    Uncovered { detail: u8 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::FixtureError;
+
+    #[test]
+    fn covered_variant_is_reachable() {
+        assert_eq!(FixtureError::Covered, FixtureError::Covered);
+    }
+}

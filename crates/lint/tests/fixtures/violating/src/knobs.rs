@@ -1,0 +1,9 @@
+//! R4 fixture: two undocumented environment knobs.
+
+const ENV_UNLISTED: &str = "UNLISTED_KNOB";
+
+pub fn read() -> (Option<String>, Option<String>) {
+    let direct = std::env::var("SECRET_TUNING").ok();
+    let via_const = std::env::var(ENV_UNLISTED).ok();
+    (direct, via_const)
+}

@@ -1,0 +1,7 @@
+//! R6 fixture: a crate root with no `#![forbid(unsafe_code)]`.
+
+pub mod codec;
+pub mod decode;
+pub mod errors;
+pub mod knobs;
+pub mod secret;

@@ -1,0 +1,25 @@
+//! R2 fixture: a secret-bearing type that leaks three ways.
+
+#[derive(Debug, Clone)]
+pub struct FixtureSecret {
+    pub key: [u8; 32],
+}
+
+pub struct OtherSecretHolder;
+
+impl std::fmt::Display for OtherSecretHolder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("holder")
+    }
+}
+
+// An unredacted manual impl on the secret type itself.
+impl std::fmt::Display for FixtureSecret {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.key)
+    }
+}
+
+pub fn leak(secret: &FixtureSecret) {
+    println!("state: {:?}", FixtureSecret { key: secret.key });
+}

@@ -379,7 +379,9 @@ pub fn run_node(
                 .dkg_result(tau)
                 .map(|r| r.public_key.to_string())
         })
-        .expect("completed session has a result");
+        .ok_or_else(|| DeployError::Timeout {
+            waiting_for: format!("a DKG result for completed session τ={tau}"),
+        })?;
     write_atomic(
         &result_file(&spec.base, spec.node),
         &format!("{public_key}\n"),

@@ -189,10 +189,10 @@ pub fn decode_frame(bytes: &[u8]) -> Result<NetFrame, FrameError> {
             max: MAX_FRAME_LEN,
         });
     }
-    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+    let Some(after_magic) = bytes.strip_prefix(MAGIC.as_slice()) else {
         return Err(FrameError::NotOurs);
-    }
-    let mut r = Reader::new(&bytes[MAGIC.len()..]);
+    };
+    let mut r = Reader::new(after_magic);
     let version = r.u8()?;
     if version != NET_VERSION {
         return Err(FrameError::UnsupportedVersion { version });
@@ -213,7 +213,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<NetFrame, FrameError> {
             // carries; a hostile one must not drive allocation.
             if count > r.remaining() / 8 {
                 return Err(FrameError::Malformed(WireError::UnexpectedEof {
-                    needed: count * 8,
+                    needed: count.saturating_mul(8),
                     remaining: r.remaining(),
                 }));
             }

@@ -31,7 +31,11 @@
 //! and the `socket_e2e` integration tests drive exactly that path.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
 
 pub mod arq;
 pub mod deploy;

@@ -11,11 +11,23 @@ use dkg_arith::{PrimeField, Scalar};
 use rand::Rng;
 
 /// A symmetric bivariate polynomial of degree `t` in each variable.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct SymmetricBivariate {
     /// `coeffs[j][ℓ] = f_{jℓ}`, with the symmetry invariant
     /// `coeffs[j][ℓ] == coeffs[ℓ][j]` maintained by construction.
     coeffs: Vec<Vec<Scalar>>,
+}
+
+// `f(0,0)` is the shared secret itself; Debug prints only the degree
+// (dkg-lint rule R2).
+impl std::fmt::Debug for SymmetricBivariate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SymmetricBivariate(degree={}, coeffs=<redacted>)",
+            self.degree()
+        )
+    }
 }
 
 impl SymmetricBivariate {

@@ -9,12 +9,20 @@ use rand::Rng;
 /// dealer's symmetric bivariate polynomial: the dealer sends `a_j` to node
 /// `P_j` in the `send` message, and nodes exchange single evaluations of
 /// their rows in `echo` / `ready` messages.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq)]
 pub struct Univariate {
     /// Coefficients in ascending degree order; always of length `degree + 1`
     /// (trailing zero coefficients are kept so the *declared* degree — the
     /// security threshold `t` — is preserved).
     coeffs: Vec<Scalar>,
+}
+
+// A dealt row's coefficients interpolate to the node's subshare — secret
+// material, so Debug prints only the degree (dkg-lint rule R2).
+impl std::fmt::Debug for Univariate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Univariate(degree={}, coeffs=<redacted>)", self.degree())
+    }
 }
 
 impl Univariate {

@@ -165,15 +165,16 @@ impl FileStore {
     /// no payload when none was installed yet.
     fn read_snapshot(dir: &Path) -> Result<(u64, Option<Vec<u8>>), StoreError> {
         match std::fs::read(Self::snapshot_path(dir)) {
-            Ok(bytes) if bytes.len() >= SNAPSHOT_HEADER => {
-                let generation =
-                    u64::from_be_bytes(bytes[..SNAPSHOT_HEADER].try_into().expect("8 bytes"));
-                Ok((generation, Some(bytes[SNAPSHOT_HEADER..].to_vec())))
-            }
-            Ok(_) => Err(StoreError::Corrupt(dkg_wire::WireError::UnexpectedEof {
-                needed: SNAPSHOT_HEADER,
-                remaining: 0,
-            })),
+            Ok(bytes) => match bytes.split_first_chunk::<SNAPSHOT_HEADER>() {
+                Some((header, payload)) => {
+                    let generation = u64::from_be_bytes(*header);
+                    Ok((generation, Some(payload.to_vec())))
+                }
+                None => Err(StoreError::Corrupt(dkg_wire::WireError::UnexpectedEof {
+                    needed: SNAPSHOT_HEADER,
+                    remaining: bytes.len(),
+                })),
+            },
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok((0, None)),
             Err(e) => Err(StoreError::io("read snapshot", e)),
         }

@@ -190,14 +190,14 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// Encodes one record as a complete CRC frame ready for appending.
 pub fn encode_frame(record: &WalRecord) -> Vec<u8> {
     let payload_len = 1 + record.encoded_len();
+    let mut payload = Vec::with_capacity(payload_len);
+    payload.put_u8(WAL_VERSION);
+    record.encode_to(&mut payload);
+    debug_assert_eq!(payload.len(), payload_len);
     let mut out = Vec::with_capacity(8 + payload_len);
     out.put_u32(payload_len as u32);
-    out.put_u32(0); // crc placeholder
-    out.put_u8(WAL_VERSION);
-    record.encode_to(&mut out);
-    debug_assert_eq!(out.len(), 8 + payload_len);
-    let crc = crc32(&out[8..]);
-    out[4..8].copy_from_slice(&crc.to_be_bytes());
+    out.put_u32(crc32(&payload));
+    out.put(&payload);
     out
 }
 
@@ -217,27 +217,29 @@ pub struct WalScan {
 /// errors.
 pub fn decode_wal(bytes: &[u8]) -> Result<WalScan, StoreError> {
     let mut records = Vec::new();
-    let mut offset = 0usize;
-    while bytes.len() - offset >= 8 {
-        let declared = u32::from_be_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes"));
-        let declared = declared as u64;
+    let mut clean_len = 0u64;
+    // Walk the log by shrinking the unread suffix with checked splits —
+    // no offset arithmetic on the (possibly corrupt) input.
+    let mut rest = bytes;
+    // A frame needs an 8-byte header (length then CRC) before its payload.
+    // Anything shorter is a torn tail: tolerated, scan stops.
+    while let Some((len_bytes, after_len)) = rest.split_first_chunk::<4>() {
+        let Some((crc_bytes, after_crc)) = after_len.split_first_chunk::<4>() else {
+            break;
+        };
+        let declared = u64::from(u32::from_be_bytes(*len_bytes));
         if declared > MAX_WAL_RECORD_LEN {
             return Err(StoreError::OversizedRecord {
                 len: declared,
                 max: MAX_WAL_RECORD_LEN,
             });
         }
-        let declared = declared as usize;
-        if bytes.len() - offset - 8 < declared {
+        let Some((payload, tail)) = after_crc.split_at_checked(declared as usize) else {
             // Torn tail: the crash hit mid-append.
             break;
-        }
-        let crc = u32::from_be_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
-        let payload = &bytes[offset + 8..offset + 8 + declared];
-        if crc32(payload) != crc {
-            return Err(StoreError::CrcMismatch {
-                offset: offset as u64,
-            });
+        };
+        if crc32(payload) != u32::from_be_bytes(*crc_bytes) {
+            return Err(StoreError::CrcMismatch { offset: clean_len });
         }
         let mut reader = Reader::new(payload);
         let version = reader.u8().map_err(StoreError::Corrupt)?;
@@ -251,12 +253,10 @@ pub fn decode_wal(bytes: &[u8]) -> Result<WalScan, StoreError> {
             }));
         }
         records.push(record);
-        offset += 8 + declared;
+        clean_len += 8 + declared;
+        rest = tail;
     }
-    Ok(WalScan {
-        records,
-        clean_len: offset as u64,
-    })
+    Ok(WalScan { records, clean_len })
 }
 
 #[cfg(test)]

@@ -255,4 +255,65 @@ fn corruption_classes_are_distinguished() {
         corrupted.load(),
         Err(StoreError::CrcMismatch { offset: 0 })
     ));
+
+    // A frame whose checksum verifies but whose record body fails codec
+    // validation is Corrupt — distinguishable from bit rot (CrcMismatch)
+    // and from format drift (UnsupportedVersion).
+    use dkg_store::{crc32, decode_wal, WAL_VERSION};
+    let payload = [WAL_VERSION, 0xFF]; // 0xFF: no such record tag
+    let mut framed = MemStore::new();
+    {
+        let wal = framed.raw_wal_mut();
+        wal.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wal.extend_from_slice(&crc32(&payload).to_be_bytes());
+        wal.extend_from_slice(&payload);
+    }
+    assert!(matches!(framed.load(), Err(StoreError::Corrupt(_))));
+    assert!(matches!(
+        decode_wal(framed.raw_wal_mut()),
+        Err(StoreError::Corrupt(_))
+    ));
+}
+
+/// Opening a store somewhere the filesystem refuses surfaces a typed
+/// [`StoreError::Io`] naming the failed operation.
+#[test]
+fn impossible_store_location_is_a_typed_io_error() {
+    let dir = temp_dir("io-error");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // Park a plain file where the store wants a directory.
+    let blocker = dir.join("not-a-dir");
+    std::fs::write(&blocker, b"occupied").unwrap();
+    match FileStore::open(blocker.join("sub")) {
+        Err(StoreError::Io { op, .. }) => assert!(!op.is_empty()),
+        other => panic!("expected StoreError::Io, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The remaining refusal variants render stable, operator-readable
+/// messages. `Poisoned` and `SnapshotUnavailable` are constructed
+/// directly: reaching them live needs a panicking writer thread holding
+/// the store lock (resp. an endpoint with crypto jobs in flight), and
+/// their rendering is the part operators depend on.
+#[test]
+fn store_error_rendering_names_the_refusal() {
+    assert_eq!(
+        StoreError::Poisoned.to_string(),
+        "store lock poisoned by a panicking writer"
+    );
+    assert_eq!(
+        StoreError::SnapshotUnavailable.to_string(),
+        "state not snapshottable right now (crypto jobs in flight)"
+    );
+    assert_eq!(StoreError::NoStore.to_string(), "no store configured");
+    assert_eq!(
+        StoreError::SnapshotMissing.to_string(),
+        "store holds no snapshot"
+    );
+    assert_eq!(
+        StoreError::io("append", std::io::Error::other("disk full")).to_string(),
+        "store i/o failed during append: disk full"
+    );
 }

@@ -79,51 +79,72 @@ impl WireWrite for LenCounter {
 
 /// A cursor over untrusted input bytes. All reads are bounds-checked and
 /// return [`WireError`] — never panic — on truncated input.
+///
+/// Internally the reader holds only the unread suffix and shrinks it with
+/// the checked slicing helpers (`split_at_checked`, `split_first_chunk`),
+/// so there is no offset arithmetic anywhere on the hostile-input path —
+/// a representation dkg-lint's R1 rule can verify mechanically.
 #[derive(Clone, Debug)]
 pub struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+    rest: &'a [u8],
 }
 
 impl<'a> Reader<'a> {
     /// Starts reading at the beginning of `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
+        Reader { rest: buf }
     }
 
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
+        self.rest.len()
     }
 
     /// Whether the input is fully consumed.
     pub fn is_empty(&self) -> bool {
-        self.remaining() == 0
+        self.rest.is_empty()
     }
 
     /// Consumes `n` raw bytes.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.remaining() < n {
-            return Err(WireError::UnexpectedEof {
+        match self.rest.split_at_checked(n) {
+            Some((head, tail)) => {
+                self.rest = tail;
+                Ok(head)
+            }
+            None => Err(WireError::UnexpectedEof {
                 needed: n,
-                remaining: self.remaining(),
-            });
+                remaining: self.rest.len(),
+            }),
         }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(out)
     }
 
     /// Consumes a fixed-size array.
     pub fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
-        let mut out = [0u8; N];
-        out.copy_from_slice(self.take(N)?);
-        Ok(out)
+        match self.rest.split_first_chunk::<N>() {
+            Some((head, tail)) => {
+                self.rest = tail;
+                Ok(*head)
+            }
+            None => Err(WireError::UnexpectedEof {
+                needed: N,
+                remaining: self.rest.len(),
+            }),
+        }
     }
 
     /// Consumes one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        match self.rest.split_first() {
+            Some((&byte, tail)) => {
+                self.rest = tail;
+                Ok(byte)
+            }
+            None => Err(WireError::UnexpectedEof {
+                needed: 1,
+                remaining: 0,
+            }),
+        }
     }
 
     /// Consumes a big-endian `u32`.

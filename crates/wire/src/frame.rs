@@ -91,21 +91,20 @@ pub fn decode_datagram(bytes: &[u8]) -> Result<(Header, &[u8]), WireError> {
     let protocol = ProtocolId::from_tag(r.u8()?)?;
     let channel: [u8; 16] = r.array()?;
     let declared = r.u32()? as usize;
-    let payload = bytes
-        .get(HEADER_LEN..)
-        .expect("header fully consumed above");
-    if payload.len() < declared {
-        return Err(WireError::UnexpectedEof {
+    // The reader's unread suffix is exactly the payload; splitting it at
+    // the declared length checks truncation and trailing garbage in one
+    // bounds-checked step.
+    let payload = r.take(r.remaining())?;
+    match payload.split_at_checked(declared) {
+        Some((body, [])) => Ok((Header { protocol, channel }, body)),
+        Some((_, rest)) => Err(WireError::TrailingBytes {
+            remaining: rest.len(),
+        }),
+        None => Err(WireError::UnexpectedEof {
             needed: declared,
             remaining: payload.len(),
-        });
+        }),
     }
-    if payload.len() > declared {
-        return Err(WireError::TrailingBytes {
-            remaining: payload.len() - declared,
-        });
-    }
-    Ok((Header { protocol, channel }, payload))
 }
 
 #[cfg(test)]

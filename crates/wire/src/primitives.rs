@@ -360,7 +360,18 @@ mod tests {
         let f = SymmetricBivariate::random_with_secret(&mut rng, 3, Scalar::from_u64(9));
         let matrix = CommitmentMatrix::commit(&f);
         roundtrip(&matrix);
-        roundtrip(&matrix.share_polynomial_commitment());
+        let vector: CommitmentVector = matrix.share_polynomial_commitment();
+        roundtrip(&vector);
+    }
+
+    #[test]
+    fn signature_decode_rejects_garbage() {
+        // 65 bytes of 0xFF: neither a valid nonce point nor a canonical
+        // response scalar.
+        assert_eq!(
+            Signature::decode(&[0xffu8; 65]),
+            Err(WireError::InvalidSignature)
+        );
     }
 
     #[test]

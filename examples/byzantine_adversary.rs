@@ -11,6 +11,8 @@
 //! cargo run --release --example byzantine_adversary
 //! ```
 
+#![forbid(unsafe_code)]
+
 use dkg_adversary::{run_scenario, ScenarioSpec, StrategyKind};
 use dkg_sim::{ChaosModel, DelayModel};
 

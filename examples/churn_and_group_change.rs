@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --release --example churn_and_group_change`
 
+#![forbid(unsafe_code)]
+
 use dkg_arith::GroupElement;
 use dkg_core::group::{
     apply_group_changes, combine_subshares, subshare_for_new_node, GroupChange, GroupModInput,

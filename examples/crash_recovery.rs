@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --release --example crash_recovery`
 
+#![forbid(unsafe_code)]
+
 use dkg_core::DkgInput;
 use dkg_engine::runner::{collect_outcomes, persistence_summary, SystemSetup};
 use dkg_engine::{Endpoint, EndpointConfig, EndpointNet};

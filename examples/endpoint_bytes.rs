@@ -16,6 +16,8 @@
 //!
 //! Run with: `cargo run --release --example endpoint_bytes`
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 
 use dkg_core::{DkgInput, DkgOutput};

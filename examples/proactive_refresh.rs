@@ -5,6 +5,8 @@
 //!
 //! Run with: `cargo run --release --example proactive_refresh`
 
+#![forbid(unsafe_code)]
+
 use dkg_arith::GroupElement;
 use dkg_core::proactive::RenewalOptions;
 use dkg_engine::runner::SystemSetup;

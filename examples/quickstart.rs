@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+#![forbid(unsafe_code)]
+
 use dkg_arith::GroupElement;
 use dkg_engine::runner::run_key_generation;
 use dkg_engine::runner::SystemSetup;

@@ -16,6 +16,8 @@
 //!     # finishes through the paper's §5.3 recovery procedure
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 

@@ -120,9 +120,18 @@ pub mod rngs {
     /// Deterministic xoshiro256** generator standing in for `rand`'s
     /// `StdRng`. Seeded via splitmix64 so that every 64-bit seed yields a
     /// well-mixed initial state.
-    #[derive(Clone, Debug)]
+    #[derive(Clone)]
     pub struct StdRng {
         s: [u64; 4],
+    }
+
+    // The generator state seeds every secret polynomial in the
+    // workspace: printing it would let an observer replay all of them
+    // (dkg-lint rule R2).
+    impl core::fmt::Debug for StdRng {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str("StdRng(<redacted>)")
+        }
     }
 
     fn splitmix64(state: &mut u64) -> u64 {

@@ -129,8 +129,9 @@ impl GroupElement {
         if self.infinity {
             return out;
         }
-        out[0] = if self.y.is_odd() { 0x03 } else { 0x02 };
-        out[1..].copy_from_slice(&self.x.to_be_bytes());
+        let [prefix, rest @ ..] = &mut out;
+        *prefix = if self.y.is_odd() { 0x03 } else { 0x02 };
+        *rest = self.x.to_be_bytes();
         out
     }
 
@@ -138,18 +139,17 @@ impl GroupElement {
     /// `None` for any byte string that is not a valid encoding of a curve
     /// point (off-curve x, bad prefix, non-canonical field element).
     pub fn from_bytes(bytes: &[u8; 33]) -> Option<Self> {
-        match bytes[0] {
+        let [prefix, xb @ ..] = bytes;
+        match *prefix {
             0x00 => {
-                if bytes[1..].iter().all(|&b| b == 0) {
+                if xb.iter().all(|&b| b == 0) {
                     Some(Self::identity())
                 } else {
                     None
                 }
             }
             prefix @ (0x02 | 0x03) => {
-                let mut xb = [0u8; 32];
-                xb.copy_from_slice(&bytes[1..]);
-                let x = Fp::from_be_bytes(&xb)?;
+                let x = Fp::from_be_bytes(xb)?;
                 let rhs = x.square() * x + curve_b();
                 let mut y = rhs.sqrt()?;
                 if y.is_odd() != (prefix == 0x03) {
@@ -273,18 +273,48 @@ impl ProjectivePoint {
     }
 
     /// Converts to the canonical affine representation.
+    ///
+    /// Total over all inputs: any representation with `z = 0` (the identity)
+    /// maps to [`GroupElement::identity`] rather than panicking.
     pub fn to_affine(&self) -> GroupElement {
-        if self.is_identity() {
-            return GroupElement::identity();
+        match self.z.invert() {
+            None => GroupElement::identity(),
+            Some(zinv) => Self::affine_with_z_inverse(self, zinv),
         }
-        let zinv = self.z.invert().expect("non-identity point has z != 0");
+    }
+
+    /// Shared tail of [`Self::to_affine`] / [`Self::batch_to_affine`]: builds
+    /// the affine point from a precomputed `z⁻¹`.
+    fn affine_with_z_inverse(p: &ProjectivePoint, zinv: Fp) -> GroupElement {
         let zinv2 = zinv.square();
         let zinv3 = zinv2 * zinv;
         GroupElement {
-            x: self.x * zinv2,
-            y: self.y * zinv3,
+            x: p.x * zinv2,
+            y: p.y * zinv3,
             infinity: false,
         }
+    }
+
+    /// Converts a batch of points to canonical affine form with a *single*
+    /// field inversion via Montgomery's trick ([`PrimeField::batch_invert`])
+    /// instead of one inversion per point — an inversion costs ~hundreds of
+    /// multiplications (Fermat exponentiation), so for `n` points this turns
+    /// `n` inversions into `1` inversion plus `3n` multiplications.
+    ///
+    /// Output order matches input order; each element equals what
+    /// [`Self::to_affine`] returns for the corresponding input (identity
+    /// representations map to [`GroupElement::identity`]).
+    pub fn batch_to_affine(points: &[ProjectivePoint]) -> Vec<GroupElement> {
+        let zs: Vec<Fp> = points.iter().map(|p| p.z).collect();
+        let zinvs = Fp::batch_invert(&zs);
+        points
+            .iter()
+            .zip(zinvs)
+            .map(|(p, zinv)| match zinv {
+                None => GroupElement::identity(),
+                Some(zinv) => Self::affine_with_z_inverse(p, zinv),
+            })
+            .collect()
     }
 
     /// Point doubling (works for all inputs including the identity).
@@ -318,11 +348,12 @@ impl ProjectivePoint {
         if exp.is_zero() || self.is_identity() {
             return ProjectivePoint::identity();
         }
-        // Precompute odd multiples 1P..15P.
+        // Precompute multiples 0P..15P (table[d] = d·P).
         let mut table = [ProjectivePoint::identity(); 16];
-        table[1] = *self;
-        for i in 2..16 {
-            table[i] = table[i - 1] + *self;
+        let mut prev = ProjectivePoint::identity();
+        for entry in table.iter_mut().skip(1) {
+            prev += *self;
+            *entry = prev;
         }
         let bits = exp.bits();
         let top_window = bits.div_ceil(4);
@@ -339,8 +370,8 @@ impl ProjectivePoint {
                     digit |= 1;
                 }
             }
-            if digit != 0 {
-                acc += table[digit];
+            if let Some(multiple) = table.get(digit).filter(|_| digit != 0) {
+                acc += *multiple;
             }
         }
         acc
@@ -519,6 +550,40 @@ mod tests {
         let mut big = [0xffu8; 33];
         big[0] = 0x02;
         assert!(GroupElement::from_bytes(&big).is_none());
+    }
+
+    #[test]
+    fn to_affine_of_identity_is_total() {
+        assert!(ProjectivePoint::identity().to_affine().is_identity());
+        // A point minus itself yields an identity representation with z = 0
+        // through the addition formulas, not the constructor.
+        let g = ProjectivePoint::generator();
+        let zero = g + (-g);
+        assert!(zero.is_identity());
+        assert!(zero.to_affine().is_identity());
+    }
+
+    #[test]
+    fn batch_to_affine_matches_per_point() {
+        let mut r = rng();
+        let g = ProjectivePoint::generator();
+        // A mix of accumulated points (z != 1), identities, and unit-z
+        // points, in an order that exercises every interleaving.
+        let mut points = Vec::new();
+        let mut acc = ProjectivePoint::identity();
+        for _ in 0..9 {
+            acc += g.mul_scalar(&Scalar::random(&mut r));
+            points.push(acc);
+            points.push(ProjectivePoint::identity());
+            points.push(acc.double());
+        }
+        points.push(g + (-g));
+        let batch = ProjectivePoint::batch_to_affine(&points);
+        assert_eq!(batch.len(), points.len());
+        for (p, affine) in points.iter().zip(&batch) {
+            assert_eq!(*affine, p.to_affine());
+        }
+        assert!(ProjectivePoint::batch_to_affine(&[]).is_empty());
     }
 
     #[test]

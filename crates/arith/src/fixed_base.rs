@@ -6,24 +6,85 @@
 //! precomputation for removing all doublings from every subsequent
 //! multiplication: with window width `w`, the table stores
 //! `d · 2^{wi} · B` for every window `i` and digit `d ∈ [1, 2^w)`, and a
-//! scalar multiplication becomes at most `⌈256/w⌉ − 1` point additions — for
-//! the default `w = 8`, 31 additions instead of the ~255 doublings + ~60
-//! additions of the generic windowed double-and-add.
+//! scalar multiplication becomes at most `⌈256/w⌉ − 1` point additions.
+//!
+//! ## Window width
+//!
+//! Wider windows make each multiplication cheaper (fewer windows to add)
+//! but the precomputation exponentially more expensive (`2^w − 1` multiples
+//! per window), so the right width depends on how many multiplications the
+//! table will serve. [`table_window`] picks the width minimising the
+//! amortised cost model [`table_cost`] via a precomputed crossover table
+//! (pinned to the model by a unit test); [`FixedBaseTable::with_budget`]
+//! builds a table sized for an expected multiplication count.
 //!
 //! [`generator_table`] exposes a process-wide table for `g`, built lazily on
-//! first use; [`GroupElement::commit`] routes through it, so the whole
-//! workspace (commitment generation, `verify-poly` / `verify-point`, the
-//! batch engine in `dkg-poly`) inherits the speedup transparently.
+//! first use and sized for a long-lived process
+//! ([`GENERATOR_EXPECTED_MULS`] multiplications → a 10-bit window);
+//! [`GroupElement::commit`] routes through it, so the whole workspace
+//! (commitment generation, `verify-poly` / `verify-point`, the batch engine
+//! in `dkg-poly`) inherits the speedup transparently.
 
 use std::sync::OnceLock;
 
 use crate::curve::{GroupElement, ProjectivePoint};
 use crate::field::{PrimeField, Scalar};
 
-/// Default window width (bits per digit) for precomputed tables.
+/// Default window width (bits per digit) when no multiplication budget is
+/// given ([`FixedBaseTable::new`] clamps explicit widths to `[1, 16]`).
 pub const DEFAULT_WINDOW: usize = 8;
 
+/// The multiplication budget the process-wide [`generator_table`] is sized
+/// for. A DKG node computes and verifies commitments for the whole of every
+/// session it joins — thousands of fixed-base multiplications over a
+/// process lifetime — which lands the cost model on a 10-bit window
+/// (~26.6k one-time additions, ~2.5 MiB, 26 additions per multiplication).
+pub const GENERATOR_EXPECTED_MULS: usize = 4096;
+
 const SCALAR_BITS: usize = 256;
+
+/// Expected-multiplication-count crossovers for [`table_window`]: entry
+/// `(m, w)` means "from `m` expected multiplications (inclusive) the best
+/// window width is `w` bits". Derived as the argmin of [`table_cost`] over
+/// `w ∈ 1..=12`; `window_crossovers_match_cost_model` pins it to the model.
+const TABLE_CROSSOVERS: &[(usize, usize)] = &[
+    (0, 1),
+    (2, 2),
+    (6, 3),
+    (17, 4),
+    (55, 5),
+    (122, 6),
+    (332, 7),
+    (693, 8),
+    (2220, 9),
+    (3927, 10),
+    (11266, 11),
+    (20482, 12),
+];
+
+/// Cost model for a fixed-base table with window width `w` serving
+/// `expected_muls` multiplications, in point additions: building the table
+/// costs `⌈256/w⌉ · (2^w − 1)` additions, and each multiplication costs at
+/// most `⌈256/w⌉` additions (one per window, no doublings).
+pub fn table_cost(expected_muls: usize, w: usize) -> u64 {
+    let windows = 256u64.div_ceil(w as u64);
+    windows * ((1u64 << w) - 1) + expected_muls as u64 * windows
+}
+
+/// The window width (in bits) minimising [`table_cost`] for a table
+/// expected to serve `expected_muls` multiplications, via the precomputed
+/// `TABLE_CROSSOVERS` table.
+pub fn table_window(expected_muls: usize) -> usize {
+    let mut window = 1;
+    for &(from, w) in TABLE_CROSSOVERS {
+        if expected_muls >= from {
+            window = w;
+        } else {
+            break;
+        }
+    }
+    window
+}
 
 /// A windowed precomputation table for multiples of one fixed base point.
 #[derive(Clone, Debug)]
@@ -56,6 +117,12 @@ impl FixedBaseTable {
         FixedBaseTable { window, tables }
     }
 
+    /// Precomputes a table for `base` with the window width the cost model
+    /// picks for `expected_muls` multiplications (see [`table_window`]).
+    pub fn with_budget(base: &GroupElement, expected_muls: usize) -> Self {
+        Self::new(base, table_window(expected_muls))
+    }
+
     /// The window width in bits.
     pub fn window(&self) -> usize {
         self.window
@@ -64,15 +131,32 @@ impl FixedBaseTable {
     /// Computes `k · B` (written multiplicatively: `B^k`) using only point
     /// additions.
     pub fn mul(&self, k: &Scalar) -> GroupElement {
+        self.mul_projective(k).to_affine()
+    }
+
+    /// [`Self::mul`] without the final affine normalisation — callers
+    /// batching many fixed-base multiplications keep the projective results
+    /// and amortise the per-point field inversion through
+    /// [`ProjectivePoint::batch_to_affine`].
+    pub fn mul_projective(&self, k: &Scalar) -> ProjectivePoint {
         let bytes = k.to_be_bytes();
         let mut acc = ProjectivePoint::identity();
         for (w, multiples) in self.tables.iter().enumerate() {
             let digit = extract_window(&bytes, w, self.window);
-            if digit != 0 {
-                acc += multiples[digit - 1];
+            if let Some(point) = digit.checked_sub(1).and_then(|d| multiples.get(d)) {
+                acc += *point;
             }
         }
-        acc.to_affine()
+        acc
+    }
+
+    /// Computes `k · B` for every scalar in `ks` with a *single* field
+    /// inversion for the whole batch (projective accumulation +
+    /// [`ProjectivePoint::batch_to_affine`]); output order matches input
+    /// order, each element equals `self.mul(k)`.
+    pub fn mul_batch(&self, ks: &[Scalar]) -> Vec<GroupElement> {
+        let projective: Vec<ProjectivePoint> = ks.iter().map(|k| self.mul_projective(k)).collect();
+        ProjectivePoint::batch_to_affine(&projective)
     }
 }
 
@@ -86,7 +170,7 @@ fn extract_window(be_bytes: &[u8; 32], w: usize, c: usize) -> usize {
         if bit >= SCALAR_BITS {
             break;
         }
-        let byte = be_bytes[31 - bit / 8];
+        let byte = be_bytes.get(31 - bit / 8).copied().unwrap_or(0);
         if (byte >> (bit % 8)) & 1 == 1 {
             value |= 1 << i;
         }
@@ -95,10 +179,13 @@ fn extract_window(be_bytes: &[u8; 32], w: usize, c: usize) -> usize {
 }
 
 /// The process-wide precomputed table for the group generator `g`, built on
-/// first use. `GroupElement::commit` is routed through this table.
+/// first use and sized by the cost model for [`GENERATOR_EXPECTED_MULS`]
+/// multiplications. `GroupElement::commit` is routed through this table.
 pub fn generator_table() -> &'static FixedBaseTable {
     static TABLE: OnceLock<FixedBaseTable> = OnceLock::new();
-    TABLE.get_or_init(|| FixedBaseTable::new(&GroupElement::generator(), DEFAULT_WINDOW))
+    TABLE.get_or_init(|| {
+        FixedBaseTable::with_budget(&GroupElement::generator(), GENERATOR_EXPECTED_MULS)
+    })
 }
 
 #[cfg(test)]
@@ -149,5 +236,41 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(table_ops.doubles, 0);
         assert!(table_ops.total() * 4 < generic_ops.total());
+    }
+
+    #[test]
+    fn mul_batch_matches_individual_muls() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let base = GroupElement::random(&mut rng);
+        let table = FixedBaseTable::with_budget(&base, 8);
+        let mut ks: Vec<Scalar> = (0..7).map(|_| Scalar::random(&mut rng)).collect();
+        ks.push(Scalar::zero()); // identity result in the middle of a batch
+        ks.push(Scalar::one());
+        let batch = table.mul_batch(&ks);
+        assert_eq!(batch.len(), ks.len());
+        for (k, p) in ks.iter().zip(&batch) {
+            assert_eq!(*p, table.mul(k));
+        }
+        assert!(table.mul_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn window_crossovers_match_cost_model() {
+        let argmin_cost = |m: usize| (1..=12).map(|w| table_cost(m, w)).min().unwrap();
+        for m in 0..=4096usize {
+            assert_eq!(table_cost(m, table_window(m)), argmin_cost(m), "m={m}");
+        }
+        for &(from, _) in TABLE_CROSSOVERS {
+            for m in [from.saturating_sub(1), from, from + 1, 25_000] {
+                assert_eq!(table_cost(m, table_window(m)), argmin_cost(m), "m={m}");
+            }
+        }
+        // The process-wide generator table gets the width the model picks
+        // for its documented budget.
+        assert_eq!(
+            generator_table().window(),
+            table_window(GENERATOR_EXPECTED_MULS)
+        );
+        assert_eq!(table_window(GENERATOR_EXPECTED_MULS), 10);
     }
 }

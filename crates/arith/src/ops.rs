@@ -46,6 +46,16 @@ impl core::ops::Sub for OpCount {
     }
 }
 
+impl core::ops::Add for OpCount {
+    type Output = OpCount;
+    fn add(self, other: OpCount) -> OpCount {
+        OpCount {
+            adds: self.adds.wrapping_add(other.adds),
+            doubles: self.doubles.wrapping_add(other.doubles),
+        }
+    }
+}
+
 /// Reads the current thread's counters.
 pub fn snapshot() -> OpCount {
     OpCount {
@@ -66,6 +76,19 @@ pub fn measure<T>(f: impl FnOnce() -> T) -> (T, OpCount) {
     let before = snapshot();
     let value = f();
     (value, snapshot() - before)
+}
+
+/// Credits `count` operations to the current thread's counters.
+///
+/// The parallel-map facade ([`crate::parallel`]) measures each worker
+/// thread's operations with [`measure`] and merges them into the calling
+/// thread through this function when the workers join, so `measure` on the
+/// caller observes the *total* work of a parallel region exactly as if it
+/// had run sequentially — the op-count assertions in the workspace stay
+/// meaningful under parallelism.
+pub fn merge(count: OpCount) {
+    ADDS.with(|c| c.set(c.get().wrapping_add(count.adds)));
+    DOUBLES.with(|c| c.set(c.get().wrapping_add(count.doubles)));
 }
 
 #[inline]

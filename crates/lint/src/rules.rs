@@ -244,7 +244,7 @@ pub fn r2_secret_hygiene(config: &Config, files: &[FileIndex]) -> Vec<Finding> {
                     .is_some_and(|k| k == "struct" || k == "enum" || k == "union")
                 {
                     if let Some(name) = toks.get(j + 1).and_then(Token::ident) {
-                        if secrets.contains(name) && derives.iter().any(|d| *d == "Debug") {
+                        if secrets.contains(name) && derives.contains(&"Debug") {
                             out.push(finding(
                                 "R2",
                                 file,
@@ -281,7 +281,7 @@ pub fn r2_secret_hygiene(config: &Config, files: &[FileIndex]) -> Vec<Finding> {
                         .unwrap_or(&[])
                         .iter()
                         .filter_map(Token::ident)
-                        .last();
+                        .next_back();
                     let target_secret = toks
                         .get(f_at + 1..j)
                         .unwrap_or(&[])
@@ -440,7 +440,7 @@ fn codec_impls(files: &[FileIndex]) -> Vec<CodecImpl> {
                 .unwrap_or(&[])
                 .iter()
                 .filter_map(Token::ident)
-                .last()
+                .next_back()
                 .unwrap_or("")
                 .to_string();
             if trait_name != "WireEncode" && trait_name != "WireDecode" {

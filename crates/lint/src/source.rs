@@ -4,8 +4,10 @@
 //! Rules need to distinguish *product* code from *test* code: a decode
 //! path must never panic, but the unit test that proves a truncated frame
 //! is refused will happily `unwrap()` its own fixture. Test code is
+//!
 //! - any file under a `tests/` directory (integration tests), and
 //! - the body of any `#[cfg(test)] mod …` (unit tests),
+//!
 //! both derived from the token stream itself, not from naming
 //! conventions.
 

@@ -6,7 +6,10 @@
 //! node holds many `(i, m, α)` claims against the same commitment — a
 //! buffered batch of echo points, a reconstruction quorum, the `t + 1`
 //! sub-shares of node addition — the checks can be *folded* into a single
-//! multi-exponentiation by a random linear combination (RLC):
+//! multi-exponentiation by a random linear combination (RLC) — and one big
+//! multiexp is exactly the shape `dkg-arith` can split across every core
+//! (its parallel Pippenger engages above `DKG_MULTIEXP_PAR_THRESHOLD`
+//! points, bit-identically), so folding and parallelism compound:
 //!
 //! with random coefficients `e_k`, every claim `g^{α_k} = Π C^{w_k}` holds
 //! iff `g^{Σ e_k α_k} = Π C^{Σ e_k w_k}` except with probability `1/q` per

@@ -15,7 +15,7 @@
 
 use crate::bivariate::SymmetricBivariate;
 use crate::univariate::Univariate;
-use dkg_arith::{multiexp, GroupElement, PrimeField, Scalar};
+use dkg_arith::{generator_table, multiexp, GroupElement, PrimeField, Scalar};
 
 /// Errors arising when combining or validating commitments.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -46,11 +46,17 @@ pub struct CommitmentMatrix {
 
 impl CommitmentMatrix {
     /// Commits to a symmetric bivariate polynomial: `C_{jℓ} = g^{f_{jℓ}}`.
+    ///
+    /// All `(t+1)²` fixed-base multiplications are normalised to affine with
+    /// a *single* batched field inversion (`FixedBaseTable::mul_batch`)
+    /// instead of one inversion per entry.
     pub fn commit(poly: &SymmetricBivariate) -> Self {
-        let entries = poly
-            .coefficients()
+        let rows = poly.coefficients();
+        let flat: Vec<Scalar> = rows.iter().flatten().copied().collect();
+        let mut committed = generator_table().mul_batch(&flat).into_iter();
+        let entries = rows
             .iter()
-            .map(|row| row.iter().map(GroupElement::commit).collect())
+            .map(|row| committed.by_ref().take(row.len()).collect())
             .collect();
         CommitmentMatrix { entries }
     }
@@ -202,14 +208,11 @@ pub struct CommitmentVector {
 }
 
 impl CommitmentVector {
-    /// Commits to a univariate polynomial.
+    /// Commits to a univariate polynomial (one batched affine
+    /// normalisation for all `t+1` entries, like `CommitmentMatrix`).
     pub fn commit(poly: &Univariate) -> Self {
         CommitmentVector {
-            entries: poly
-                .coefficients()
-                .iter()
-                .map(GroupElement::commit)
-                .collect(),
+            entries: generator_table().mul_batch(poly.coefficients()),
         }
     }
 

@@ -21,7 +21,12 @@
 //! against *many* commitment matrices at once ([`CryptoJob::point_batch`]
 //! with several groups, or [`CryptoJob::fold`] merging the point batches of
 //! several sessions), so an executor can fold the verification work of
-//! independent sessions into one Pippenger multi-exponentiation.
+//! independent sessions into one Pippenger multi-exponentiation. Once a
+//! fused fold crosses `DKG_MULTIEXP_PAR_THRESHOLD` points, that single
+//! multiexp additionally splits across cores inside `dkg-arith` (pool
+//! workers pin their jobs' arithmetic to one thread via
+//! `dkg_arith::parallel::sequential`, so job-level and multiexp-level
+//! parallelism never oversubscribe each other).
 
 use std::sync::Arc;
 

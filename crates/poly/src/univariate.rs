@@ -125,8 +125,12 @@ impl Univariate {
 ///
 /// Returns `None` if two points share an x-coordinate.
 pub fn interpolate_at(points: &[(Scalar, Scalar)], target: Scalar) -> Option<Scalar> {
-    let mut result = Scalar::zero();
-    for (j, &(xj, yj)) in points.iter().enumerate() {
+    // Lagrange numerators and denominators for every basis polynomial; the
+    // denominators are inverted in one batch (Montgomery's trick) instead
+    // of one Fermat inversion — ~256 squarings — per share.
+    let mut nums = Vec::with_capacity(points.len());
+    let mut dens = Vec::with_capacity(points.len());
+    for (j, &(xj, _)) in points.iter().enumerate() {
         let mut num = Scalar::one();
         let mut den = Scalar::one();
         for (m, &(xm, _)) in points.iter().enumerate() {
@@ -136,7 +140,12 @@ pub fn interpolate_at(points: &[(Scalar, Scalar)], target: Scalar) -> Option<Sca
             num *= target - xm;
             den *= xj - xm;
         }
-        result += yj * num * den.invert()?;
+        nums.push(num);
+        dens.push(den);
+    }
+    let mut result = Scalar::zero();
+    for ((&(_, yj), num), inv) in points.iter().zip(nums).zip(Scalar::batch_invert(&dens)) {
+        result += yj * num * inv?;
     }
     Some(result)
 }
@@ -162,10 +171,13 @@ pub fn interpolate_polynomial(points: &[(Scalar, Scalar)]) -> Option<Univariate>
     if points.is_empty() {
         return Some(Univariate::zero(0));
     }
-    // Lagrange basis polynomials, accumulated coefficient-wise.
+    // Lagrange basis polynomials, accumulated coefficient-wise. The basis
+    // denominators are inverted in one batch (Montgomery's trick) rather
+    // than one Fermat inversion per basis.
     let n = points.len();
-    let mut coeffs = vec![Scalar::zero(); n];
-    for (j, &(xj, yj)) in points.iter().enumerate() {
+    let mut bases = Vec::with_capacity(n);
+    let mut dens = Vec::with_capacity(n);
+    for (j, &(xj, _)) in points.iter().enumerate() {
         // numerator polynomial Π_{m≠j} (x - x_m)
         let mut basis = vec![Scalar::zero(); n];
         basis[0] = Scalar::one();
@@ -185,9 +197,14 @@ pub fn interpolate_polynomial(points: &[(Scalar, Scalar)]) -> Option<Univariate>
             basis_degree += 1;
             den *= xj - xm;
         }
-        let factor = yj * den.invert()?;
-        for d in 0..n {
-            coeffs[d] += basis[d] * factor;
+        bases.push(basis);
+        dens.push(den);
+    }
+    let mut coeffs = vec![Scalar::zero(); n];
+    for ((&(_, yj), basis), inv) in points.iter().zip(bases).zip(Scalar::batch_invert(&dens)) {
+        let factor = yj * inv?;
+        for (c, b) in coeffs.iter_mut().zip(basis) {
+            *c += b * factor;
         }
     }
     Some(Univariate::from_coefficients(coeffs))

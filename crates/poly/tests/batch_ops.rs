@@ -82,9 +82,14 @@ fn batched_share_commitment_beats_individual_checks() {
     let (batch_ok, batched) = ops::measure(|| verify_shares_batch(&commitment, &shares));
     assert!(batch_ok);
 
+    // The margin here is 15× where `verify_point` asserts 20×: the
+    // individual side of *this* comparison is dominated by fixed-base
+    // `commit` calls, which the size-tuned generator table (window 10
+    // instead of 8) made ~20% cheaper, so the structural batching win
+    // lands near 18× rather than 20×.
     assert!(
-        batched.total() * 20 < individual.total(),
-        "expected ≥20× fewer group ops, got {} vs {}",
+        batched.total() * 15 < individual.total(),
+        "expected ≥15× fewer group ops, got {} vs {}",
         batched.total(),
         individual.total()
     );

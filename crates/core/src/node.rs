@@ -1819,6 +1819,26 @@ mod tests {
     }
 
     #[test]
+    fn restore_rejects_identity_directory_key() {
+        // A persisted directory entry that decodes to the identity is not a
+        // valid verification key; the restore must attribute the failure.
+        let mut rng = StdRng::seed_from_u64(21);
+        let (secrets, directory) = generate_keyring(&mut rng, 4);
+        let config = DkgConfig::standard(4, 0).unwrap();
+        let keys = NodeKeys {
+            signing_key: secrets[&1],
+            directory: Arc::new(directory),
+        };
+        let node = DkgNode::new(1, config, keys, 0, 77);
+        let mut snapshot = node.snapshot().expect("idle node snapshots");
+        snapshot.directory[2] = (3, GroupElement::identity());
+        assert_eq!(
+            DkgNode::restore(snapshot).err(),
+            Some(dkg_vss::SnapshotError::InvalidDirectoryKey { node: 3 })
+        );
+    }
+
+    #[test]
     fn dkg_completes_with_honest_leader() {
         let n = 4;
         let mut sim = build_dkg_sim(n, 0, 11);

@@ -23,5 +23,5 @@ pub mod sha256;
 
 pub use keyring::{generate_keyring, KeyDirectory, KeyringError, NodeId};
 pub use merkle::{MerkleProof, MerkleTree};
-pub use schnorr::{PublicKey, Signature, SignatureError, SigningKey};
+pub use schnorr::{schnorr_challenge, PublicKey, Signature, SignatureError, SigningKey};
 pub use sha256::{sha256, sha256_parts, Digest, Sha256};

@@ -111,6 +111,18 @@ impl SigningKey {
 }
 
 impl PublicKey {
+    /// Builds a verification key directly from a group element — the path
+    /// threshold protocols use, where the group key `g^{f(0)}` comes out of
+    /// a DKG rather than a locally held secret. Returns `None` for the
+    /// identity (which has no discrete log to sign under).
+    pub fn from_point(point: GroupElement) -> Option<Self> {
+        if point.is_identity() {
+            None
+        } else {
+            Some(PublicKey { point })
+        }
+    }
+
     /// Verifies `signature` over `message`.
     pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
         let challenge = challenge(&signature.nonce_commitment, self, message);
@@ -147,6 +159,28 @@ impl PublicKey {
 }
 
 impl Signature {
+    /// Assembles a signature from its parts — used by threshold signing,
+    /// where `R` is the aggregated nonce commitment and `s` the Lagrange
+    /// combination of partial responses. The result is an ordinary Schnorr
+    /// signature; [`PublicKey::verify`] neither knows nor cares that many
+    /// signers produced it.
+    pub fn from_parts(nonce_commitment: GroupElement, response: Scalar) -> Self {
+        Signature {
+            nonce_commitment,
+            response,
+        }
+    }
+
+    /// The nonce commitment `R`.
+    pub fn nonce_commitment(&self) -> GroupElement {
+        self.nonce_commitment
+    }
+
+    /// The response scalar `s`.
+    pub fn response(&self) -> Scalar {
+        self.response
+    }
+
     /// Serializes to 65 bytes (33-byte nonce commitment + 32-byte response).
     pub fn to_bytes(&self) -> [u8; 65] {
         let mut out = [0u8; 65];
@@ -170,6 +204,18 @@ impl Signature {
     /// The byte length of an encoded signature, used for wire-size accounting
     /// in the experiments.
     pub const ENCODED_LEN: usize = 65;
+}
+
+/// The Schnorr challenge `c = H(R, pk, m)` this module signs and verifies
+/// under, exposed so threshold signers can produce partial responses whose
+/// Lagrange combination verifies as an ordinary [`Signature`] — every party
+/// to a threshold signing round must derive exactly this scalar.
+pub fn schnorr_challenge(
+    nonce_commitment: &GroupElement,
+    public_key: &PublicKey,
+    message: &[u8],
+) -> Scalar {
+    challenge(nonce_commitment, public_key, message)
 }
 
 fn challenge(nonce_commitment: &GroupElement, public_key: &PublicKey, message: &[u8]) -> Scalar {
@@ -266,6 +312,32 @@ mod tests {
         assert_ne!(sig1, sig2);
         assert!(sk.public_key().verify(b"same message", &sig1).is_ok());
         assert!(sk.public_key().verify(b"same message", &sig2).is_ok());
+    }
+
+    #[test]
+    fn externally_assembled_signature_verifies() {
+        // A signature assembled from its parts via the public challenge —
+        // the shape threshold signing produces — is indistinguishable from
+        // a locally signed one.
+        let mut r = rng();
+        let sk = SigningKey::generate(&mut r);
+        let pk = sk.public_key();
+        let nonce = Scalar::random(&mut r);
+        let commitment = GroupElement::commit(&nonce);
+        let c = schnorr_challenge(&commitment, &pk, b"assembled");
+        let sig = Signature::from_parts(commitment, nonce + c * sk.secret());
+        assert_eq!(sig.nonce_commitment(), commitment);
+        assert_eq!(sig.response(), nonce + c * sk.secret());
+        assert!(pk.verify(b"assembled", &sig).is_ok());
+        assert!(pk.verify(b"other", &sig).is_err());
+    }
+
+    #[test]
+    fn public_key_from_point_rejects_identity() {
+        let mut r = rng();
+        let pk = SigningKey::generate(&mut r).public_key();
+        assert_eq!(PublicKey::from_point(pk.point()), Some(pk));
+        assert!(PublicKey::from_point(GroupElement::identity()).is_none());
     }
 
     #[test]

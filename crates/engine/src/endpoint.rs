@@ -27,6 +27,7 @@ use dkg_crypto::NodeId;
 use dkg_poly::{CryptoJob, CryptoVerdict};
 use dkg_sim::{Action, ActionSink, Protocol, TimerId, WireSize};
 use dkg_store::{StoreError, StoreHandle, WalRecord};
+use dkg_tss::{SignSession, TssInput, TssMessage, TssOutput};
 use dkg_vss::{SessionId, VssInput, VssMessage, VssNode, VssOutput};
 use dkg_wire::{decode_datagram, encode_datagram, Header, ProtocolId, WireDecode, WireError};
 
@@ -95,6 +96,11 @@ pub enum SessionKey {
         /// The phase counter `τ`.
         tau: u64,
     },
+    /// A threshold-signing session serving requests with a DKG'd key.
+    Sign {
+        /// The signing-session identifier.
+        sid: u64,
+    },
 }
 
 impl SessionKey {
@@ -103,6 +109,7 @@ impl SessionKey {
         match self {
             SessionKey::Vss { .. } => ProtocolId::Vss,
             SessionKey::Dkg { .. } => ProtocolId::Dkg,
+            SessionKey::Sign { .. } => ProtocolId::Tss,
         }
     }
 
@@ -110,7 +117,7 @@ impl SessionKey {
     pub fn channel(&self) -> [u8; 16] {
         match self {
             SessionKey::Vss { session } => session.to_bytes(),
-            SessionKey::Dkg { tau } => {
+            SessionKey::Dkg { tau } | SessionKey::Sign { sid: tau } => {
                 let mut out = [0u8; 16];
                 out[..8].copy_from_slice(&tau.to_be_bytes());
                 out
@@ -118,9 +125,9 @@ impl SessionKey {
         }
     }
 
-    /// Reconstructs the key from a datagram header. Rejects DKG channels
-    /// with non-zero reserved bytes so every session has exactly one header
-    /// encoding.
+    /// Reconstructs the key from a datagram header. Rejects DKG and
+    /// signing channels with non-zero reserved bytes so every session has
+    /// exactly one header encoding.
     pub fn from_header(header: &Header) -> Result<Self, WireError> {
         let hi = u64::from_be_bytes(header.channel[..8].try_into().expect("8 bytes"));
         let lo = u64::from_be_bytes(header.channel[8..].try_into().expect("8 bytes"));
@@ -135,6 +142,14 @@ impl SessionKey {
                     });
                 }
                 Ok(SessionKey::Dkg { tau: hi })
+            }
+            ProtocolId::Tss => {
+                if lo != 0 {
+                    return Err(WireError::InvalidValue {
+                        context: "non-zero reserved bytes in tss channel",
+                    });
+                }
+                Ok(SessionKey::Sign { sid: hi })
             }
         }
     }
@@ -250,6 +265,13 @@ pub enum Event {
         /// The output (`Shared`, `Reconstructed`).
         output: VssOutput,
     },
+    /// A signing session produced an operator output.
+    Tss {
+        /// The signing-session id.
+        sid: u64,
+        /// The output (`Signed`, `Exhausted`).
+        output: TssOutput,
+    },
 }
 
 /// Per-session traffic and lifecycle counters.
@@ -295,6 +317,7 @@ pub struct JobTicket {
 enum SessionState {
     Dkg(Box<DkgNode>),
     Vss(Box<VssNode>),
+    Sign(Box<SignSession>),
 }
 
 struct Session {
@@ -308,6 +331,9 @@ impl Session {
         match &self.state {
             SessionState::Dkg(node) => node.is_complete(),
             SessionState::Vss(node) => node.is_complete(),
+            // A signing service never finishes: it keeps answering
+            // requests until evicted.
+            SessionState::Sign(_) => false,
         }
     }
 }
@@ -426,7 +452,7 @@ impl Endpoint {
     pub fn dkg_session(&self, tau: u64) -> Option<&DkgNode> {
         match &self.sessions.get(&SessionKey::Dkg { tau })?.state {
             SessionState::Dkg(node) => Some(node),
-            SessionState::Vss(_) => None,
+            _ => None,
         }
     }
 
@@ -434,7 +460,15 @@ impl Endpoint {
     pub fn vss_session(&self, session: SessionId) -> Option<&VssNode> {
         match &self.sessions.get(&SessionKey::Vss { session })?.state {
             SessionState::Vss(node) => Some(node),
-            SessionState::Dkg(_) => None,
+            _ => None,
+        }
+    }
+
+    /// Read access to a hosted signing session.
+    pub fn sign_session(&self, sid: u64) -> Option<&SignSession> {
+        match &self.sessions.get(&SessionKey::Sign { sid })?.state {
+            SessionState::Sign(session) => Some(session),
+            _ => None,
         }
     }
 
@@ -478,6 +512,22 @@ impl Endpoint {
         self.insert_session(key, SessionState::Vss(Box::new(node)))
     }
 
+    /// Adds a threshold-signing session (keyed by its `sid`) — typically
+    /// built with [`SignSession::from_dkg_result`] from a completed DKG
+    /// hosted on this same endpoint.
+    ///
+    /// Same store-quiescence requirement as [`Endpoint::add_dkg_session`].
+    pub fn add_sign_session(&mut self, session: SignSession) -> Result<SessionKey, Reject> {
+        if session.id() != self.id {
+            return Err(Reject::WrongNode {
+                endpoint: self.id,
+                node: session.id(),
+            });
+        }
+        let key = SessionKey::Sign { sid: session.sid() };
+        self.insert_session(key, SessionState::Sign(Box::new(session)))
+    }
+
     fn insert_session(
         &mut self,
         key: SessionKey,
@@ -491,6 +541,7 @@ impl Endpoint {
         match &mut state {
             SessionState::Dkg(node) => node.set_deferred_crypto(self.config.defer_crypto),
             SessionState::Vss(node) => node.set_deferred_crypto(self.config.defer_crypto),
+            SessionState::Sign(session) => session.set_deferred_crypto(self.config.defer_crypto),
         }
         self.sessions.insert(
             key,
@@ -619,6 +670,9 @@ impl Endpoint {
                             .collect()
                     }),
                 },
+                SessionState::Sign(session) => {
+                    SessionStateSnapshot::Sign(Box::new(session.snapshot()?))
+                }
             };
             sessions.push(SessionSnapshot {
                 key,
@@ -720,6 +774,15 @@ impl Endpoint {
                     }
                     SessionState::Vss(Box::new(node))
                 }
+                SessionStateSnapshot::Sign(snapshot) => {
+                    let session = SignSession::restore(*snapshot)?;
+                    if session.id() != image.id {
+                        return Err(
+                            dkg_tss::SnapshotError::ForeignNode { node: session.id() }.into()
+                        );
+                    }
+                    SessionState::Sign(Box::new(session))
+                }
             };
             endpoint.insert_session(session.key, state).map_err(|_| {
                 StoreError::Corrupt(WireError::InvalidValue {
@@ -745,6 +808,9 @@ impl Endpoint {
                 }
                 WalRecord::VssOperator { at, session, input } => {
                     let _ = endpoint.handle_vss_input(*session, input.clone(), *at);
+                }
+                WalRecord::TssOperator { at, sid, input } => {
+                    let _ = endpoint.handle_tss_input(*sid, input.clone(), *at);
                 }
                 WalRecord::Timeout { at } => endpoint.handle_timeout(*at),
             }
@@ -834,6 +900,31 @@ impl Endpoint {
         Ok(())
     }
 
+    /// Feeds an operator input to a signing session (sign, recover).
+    pub fn handle_tss_input(
+        &mut self,
+        sid: u64,
+        input: TssInput,
+        now: WallClock,
+    ) -> Result<(), Reject> {
+        self.check_backpressure()?;
+        let key = SessionKey::Sign { sid };
+        if !self.sessions.contains_key(&key) {
+            self.stats.rejected += 1;
+            return Err(Reject::UnknownSession(key));
+        }
+        self.persist_input(
+            Some(key),
+            &WalRecord::TssOperator {
+                at: now,
+                sid,
+                input: input.clone(),
+            },
+        )?;
+        self.run_sign(key, now, |session, sink| session.on_operator(input, sink));
+        Ok(())
+    }
+
     /// Runs the crash-recovery procedure of every hosted session (§5.3):
     /// called by the application after rebooting from stable storage.
     pub fn recover_all(&mut self, now: WallClock) {
@@ -847,6 +938,9 @@ impl Endpoint {
                     node.recover(&mut actions);
                     actions
                 }),
+                SessionKey::Sign { .. } => {
+                    self.run_sign(key, now, |session, sink| session.on_recover(sink))
+                }
             }
         }
     }
@@ -943,6 +1037,35 @@ impl Endpoint {
                 session.stats.bytes_in += datagram.len() as u64;
                 self.run_vss(key, now, |node| node.handle_message(from, message));
             }
+            (SessionState::Sign(_), SessionKey::Sign { sid }) => {
+                let message = match TssMessage::decode(payload) {
+                    Ok(message) => message,
+                    Err(e) => {
+                        session.stats.rejected += 1;
+                        return Err(Reject::Malformed(e));
+                    }
+                };
+                if message.sid() != sid {
+                    session.stats.rejected += 1;
+                    return Err(Reject::SessionMismatch { header: key });
+                }
+                if self.persistence_active() {
+                    self.persist_input(
+                        Some(key),
+                        &WalRecord::Datagram {
+                            at: now,
+                            from,
+                            bytes: datagram.to_vec(),
+                        },
+                    )?;
+                }
+                let session = self.sessions.get_mut(&key).expect("checked above");
+                session.stats.datagrams_in += 1;
+                session.stats.bytes_in += datagram.len() as u64;
+                self.run_sign(key, now, |session, sink| {
+                    session.on_message(from, message, sink)
+                });
+            }
             // `from_header` pairs protocols and key variants 1:1, and
             // sessions are inserted under their own key, so a hosted session
             // always matches its key's variant.
@@ -997,6 +1120,9 @@ impl Endpoint {
                     // VSS state machines register no timers today; guard for
                     // future protocols.
                     SessionKey::Vss { .. } => {}
+                    SessionKey::Sign { .. } => {
+                        self.run_sign(key, now, |session, sink| session.on_timer(timer, sink))
+                    }
                 }
             }
         }
@@ -1033,6 +1159,7 @@ impl Endpoint {
                 let polled = match &mut session.state {
                     SessionState::Dkg(node) => node.poll_job(),
                     SessionState::Vss(node) => node.poll_job(),
+                    SessionState::Sign(session) => session.poll_job(),
                 };
                 let Some((inner, job)) = polled else {
                     break;
@@ -1081,6 +1208,9 @@ impl Endpoint {
             SessionKey::Vss { .. } => {
                 self.run_vss(key, now, |node| node.complete_job(inner, verdict))
             }
+            SessionKey::Sign { .. } => self.run_sign(key, now, |session, sink| {
+                session.complete_job(inner, &verdict, sink)
+            }),
         }
         Ok(key)
     }
@@ -1210,6 +1340,57 @@ impl Endpoint {
             unreachable!("vss key hosts a vss session");
         };
         if node.has_queued_jobs() {
+            self.jobs_ready.insert(key);
+        }
+    }
+
+    fn run_sign<F>(&mut self, key: SessionKey, now: WallClock, f: F)
+    where
+        F: FnOnce(&mut SignSession, &mut ActionSink<TssMessage, TssOutput>),
+    {
+        let session = self.sessions.get_mut(&key).expect("caller checked");
+        let SessionState::Sign(machine) = &mut session.state else {
+            unreachable!("sign key hosts a signing session");
+        };
+        let mut sink = ActionSink::new();
+        f(machine, &mut sink);
+        let sid = machine.sid();
+        for action in sink.into_actions() {
+            match action {
+                Action::Send { to, message } => {
+                    let kind = message.kind();
+                    let payload = encode_datagram(
+                        Header {
+                            protocol: key.protocol(),
+                            channel: key.channel(),
+                        },
+                        &message,
+                    );
+                    session.stats.datagrams_out += 1;
+                    session.stats.bytes_out += payload.len() as u64;
+                    self.outbox.push_back(Transmit {
+                        to,
+                        session: key,
+                        kind,
+                        payload,
+                    });
+                }
+                Action::Output(output) => {
+                    session.stats.events += 1;
+                    self.events.push_back(Event::Tss { sid, output });
+                }
+                Action::SetTimer { id, delay } => {
+                    session.timers.insert(id, now.saturating_add(delay));
+                }
+                Action::CancelTimer { id } => {
+                    session.timers.remove(&id);
+                }
+            }
+        }
+        let SessionState::Sign(machine) = &session.state else {
+            unreachable!("sign key hosts a signing session");
+        };
+        if machine.has_queued_jobs() {
             self.jobs_ready.insert(key);
         }
     }

@@ -3,8 +3,11 @@
 //! The sans-I/O protocol engine for the hybrid DKG reproduction of
 //! *Distributed Key Generation for the Internet* (Kate & Goldberg,
 //! ICDCS 2009): a poll-based [`Endpoint`] that multiplexes many concurrent
-//! DKG and HybridVSS sessions — keyed by `(SessionId, τ)` — over real
-//! encoded byte datagrams.
+//! DKG, HybridVSS and threshold-signing sessions — keyed by
+//! `(SessionId, τ)` / signing-session id — over real encoded byte
+//! datagrams. A completed DKG's key material feeds straight into a hosted
+//! [`dkg_tss::SignSession`] ([`Endpoint::add_sign_session`]), so the same
+//! endpoint that generated the key serves signing requests with it.
 //!
 //! Where `dkg_sim::Protocol` is an in-process callback interface (and
 //! remains, unchanged, the pure state-machine contract the protocol crates
@@ -40,7 +43,8 @@
 //!   executor-driven job completion with a byte transcript digest.
 //! * [`runner`] — endpoint-based harness helpers (the single import path
 //!   for examples/tests: [`runner::SystemSetup`],
-//!   [`runner::run_key_generation`], [`runner::run_vss`], …).
+//!   [`runner::run_key_generation`], [`runner::run_vss`],
+//!   [`runner::run_threshold_signing`], …).
 //!
 //! ## Example
 //!

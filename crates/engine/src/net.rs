@@ -20,6 +20,7 @@ use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use dkg_core::DkgInput;
 use dkg_crypto::{sha256, NodeId};
 use dkg_sim::{ChaosModel, DelayModel, LinkFate, Metrics};
+use dkg_tss::TssInput;
 use dkg_vss::{SessionId, VssInput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -53,6 +54,11 @@ enum NetEvent {
         node: NodeId,
         session: SessionId,
         input: VssInput,
+    },
+    TssInput {
+        node: NodeId,
+        sid: u64,
+        input: TssInput,
     },
     Crash(NodeId),
     Recover(NodeId),
@@ -458,6 +464,11 @@ impl EndpointNet {
         );
     }
 
+    /// Schedules a signing-session operator input.
+    pub fn schedule_tss_input(&mut self, node: NodeId, sid: u64, input: TssInput, at: WallClock) {
+        self.push(at, NetEvent::TssInput { node, sid, input });
+    }
+
     /// Schedules a crash: at `at`, the node's in-memory endpoint is
     /// **dropped** — its sessions, timers and queues are gone, exactly as
     /// a real crash loses RAM. Until recovered, the node receives nothing.
@@ -589,6 +600,21 @@ impl EndpointNet {
                 let now = self.now;
                 if let Some(endpoint) = self.endpoints.get_mut(&node) {
                     if let Err(reject) = endpoint.handle_vss_input(session, input, now) {
+                        self.rejections.push(RejectRecord {
+                            time: now,
+                            node,
+                            from: node,
+                            origin: DatagramOrigin::Honest,
+                            reject,
+                        });
+                    }
+                    self.drain(node);
+                }
+            }
+            NetEvent::TssInput { node, sid, input } => {
+                let now = self.now;
+                if let Some(endpoint) = self.endpoints.get_mut(&node) {
+                    if let Err(reject) = endpoint.handle_tss_input(sid, input, now) {
                         self.rejections.push(RejectRecord {
                             time: now,
                             node,

@@ -18,6 +18,7 @@ use dkg_arith::GroupElement;
 use dkg_core::DkgSnapshot;
 use dkg_crypto::NodeId;
 use dkg_store::StoreError;
+use dkg_tss::SignSnapshot;
 use dkg_vss::{SessionId, SnapshotError, VssSnapshot};
 use dkg_wire::{Reader, WireDecode, WireEncode, WireError, WireWrite};
 
@@ -56,6 +57,8 @@ pub enum SessionStateSnapshot {
         /// The signing directory, when the extended variant is in use.
         directory: Option<Vec<(NodeId, GroupElement)>>,
     },
+    /// A threshold-signing session.
+    Sign(Box<SignSnapshot>),
 }
 
 /// One hosted session: key, counters, armed timers and machine state.
@@ -120,6 +123,8 @@ pub enum RestoreError {
     Wire(WireError),
     /// A state machine refused its snapshot.
     Snapshot(SnapshotError),
+    /// A signing session refused its snapshot.
+    TssSnapshot(dkg_tss::SnapshotError),
 }
 
 impl std::fmt::Display for RestoreError {
@@ -128,6 +133,9 @@ impl std::fmt::Display for RestoreError {
             RestoreError::Store(e) => write!(f, "restore failed reading the store: {e}"),
             RestoreError::Wire(e) => write!(f, "restore failed decoding the snapshot: {e}"),
             RestoreError::Snapshot(e) => write!(f, "restore failed re-injecting state: {e}"),
+            RestoreError::TssSnapshot(e) => {
+                write!(f, "restore failed re-injecting signing state: {e}")
+            }
         }
     }
 }
@@ -152,6 +160,12 @@ impl From<SnapshotError> for RestoreError {
     }
 }
 
+impl From<dkg_tss::SnapshotError> for RestoreError {
+    fn from(e: dkg_tss::SnapshotError) -> Self {
+        RestoreError::TssSnapshot(e)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Codecs
 // ---------------------------------------------------------------------------
@@ -167,6 +181,10 @@ impl WireEncode for SessionKey {
                 w.put_u8(1);
                 w.put_u64(*tau);
             }
+            SessionKey::Sign { sid } => {
+                w.put_u8(2);
+                w.put_u64(*sid);
+            }
         }
     }
 }
@@ -180,6 +198,7 @@ impl WireDecode for SessionKey {
                 session: SessionId::decode_from(r)?,
             }),
             1 => Ok(SessionKey::Dkg { tau: r.u64()? }),
+            2 => Ok(SessionKey::Sign { sid: r.u64()? }),
             tag => Err(WireError::UnknownTag {
                 context: "session key",
                 tag,
@@ -277,6 +296,10 @@ impl WireEncode for SessionStateSnapshot {
                 snapshot.encode_to(w);
                 directory.encode_to(w);
             }
+            SessionStateSnapshot::Sign(snapshot) => {
+                w.put_u8(2);
+                snapshot.encode_to(w);
+            }
         }
     }
 }
@@ -293,6 +316,9 @@ impl WireDecode for SessionStateSnapshot {
                 snapshot: Box::new(VssSnapshot::decode_from(r)?),
                 directory: Option::decode_from(r)?,
             }),
+            2 => Ok(SessionStateSnapshot::Sign(Box::new(
+                SignSnapshot::decode_from(r)?,
+            ))),
             tag => Err(WireError::UnknownTag {
                 context: "session state snapshot",
                 tag,

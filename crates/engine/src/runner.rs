@@ -17,8 +17,9 @@ use std::collections::BTreeMap;
 use dkg_arith::{GroupElement, PrimeField, Scalar};
 use dkg_core::proactive::{plan_renewal, PhaseState, RenewalError, RenewalOptions};
 use dkg_core::{CombineRule, DkgInput, DkgOutput};
-use dkg_crypto::NodeId;
+use dkg_crypto::{NodeId, Signature};
 use dkg_sim::DelayModel;
+use dkg_tss::{SignSession, TssConfig, TssInput, TssOutput};
 use dkg_vss::{CommitmentMode, SessionId, VssConfig, VssInput, VssNode, VssOutput};
 
 pub use dkg_core::runner::SystemSetup;
@@ -337,6 +338,133 @@ pub fn run_renewal_phase(
     let outcomes = collect_outcomes(&net, tau);
     let states = phase_states(&net, &outcomes, tau);
     Ok((states, net))
+}
+
+/// Attaches a signing session `sid` to every endpoint that completed DKG
+/// session `tau`, keyed off its [`dkg_core::DkgResult`]. The signer set is
+/// exactly the completed nodes (ascending); the threshold comes from the
+/// DKG's combined commitment matrix. Returns the signer set.
+pub fn attach_sign_sessions(
+    net: &mut EndpointNet,
+    tau: u64,
+    sid: u64,
+    retry_delay: u64,
+    seed: u64,
+) -> Vec<NodeId> {
+    let signers: Vec<NodeId> = net
+        .node_ids()
+        .into_iter()
+        .filter(|&node| {
+            net.endpoint(node)
+                .is_some_and(|e| e.dkg_result(tau).is_some())
+        })
+        .collect();
+    for &node in &signers {
+        let endpoint = net.endpoint_mut(node).expect("listed node is live");
+        let result = endpoint.dkg_result(tau).expect("checked above").clone();
+        let config = TssConfig::new(signers.clone(), result.commitment.threshold(), retry_delay)
+            .expect("completed DKG yields a valid signing config");
+        let session = SignSession::from_dkg_result(
+            node,
+            sid,
+            config,
+            &result,
+            seed.wrapping_mul(0x9E37_79B9).wrapping_add(node),
+        )
+        .expect("DKG result matches its own signing config");
+        endpoint
+            .add_sign_session(session)
+            .expect("sid is fresh on this endpoint");
+    }
+    signers
+}
+
+/// Extracts the signatures of completed requests of signing session `sid`
+/// from a finished network, asserting every node that reported a request
+/// saw the same signature.
+pub fn collect_signatures(net: &EndpointNet, sid: u64) -> BTreeMap<u64, Signature> {
+    let mut out: BTreeMap<u64, Signature> = BTreeMap::new();
+    for record in net.events() {
+        if let Event::Tss {
+            sid: event_sid,
+            output: TssOutput::Signed { req, signature },
+        } = &record.event
+        {
+            if *event_sid != sid {
+                continue;
+            }
+            let previous = out.insert(*req, *signature);
+            assert!(
+                previous.is_none_or(|p| p == *signature),
+                "nodes disagree on the signature for request {req}"
+            );
+        }
+    }
+    out
+}
+
+/// Outcome of a DKG-then-sign run over endpoints.
+pub struct SigningNetRun {
+    /// The group public key the signatures verify under.
+    pub group_key: GroupElement,
+    /// The signer set (nodes that completed the DKG).
+    pub signers: Vec<NodeId>,
+    /// The aggregated signature per completed request.
+    pub signatures: BTreeMap<u64, Signature>,
+    /// The network after the run.
+    pub net: EndpointNet,
+}
+
+/// Runs a fresh DKG and then serves the given signing requests over the
+/// same endpoints (inline crypto), round-robining the coordinator role
+/// across the signer set.
+pub fn run_threshold_signing(
+    n: usize,
+    f: usize,
+    requests: &[(u64, Vec<u8>)],
+    seed: u64,
+) -> SigningNetRun {
+    run_threshold_signing_on(n, f, requests, seed, Box::new(InlineExecutor::new()), false)
+}
+
+/// [`run_threshold_signing`] with an explicit executor (see
+/// [`build_dkg_net_on`]).
+pub fn run_threshold_signing_on(
+    n: usize,
+    f: usize,
+    requests: &[(u64, Vec<u8>)],
+    seed: u64,
+    executor: Box<dyn Executor>,
+    defer_crypto: bool,
+) -> SigningNetRun {
+    let setup = SystemSetup::generate(n, f, seed);
+    let (outcomes, mut net) =
+        run_key_generation_on(&setup, DelayModel::Constant(25), 0, executor, defer_crypto);
+    assert!(!outcomes.is_empty(), "the DKG must complete before signing");
+    let group_key = outcomes[0].public_key;
+    let sid = 1;
+    let signers = attach_sign_sessions(&mut net, 0, sid, 5_000, seed);
+    let start = net.now().saturating_add(10);
+    for (i, (req, message)) in requests.iter().enumerate() {
+        let coordinator = signers[i % signers.len()];
+        net.schedule_tss_input(
+            coordinator,
+            sid,
+            TssInput::Sign {
+                req: *req,
+                message: message.clone(),
+            },
+            start + i as u64,
+        );
+    }
+    net.run();
+    let signatures = collect_signatures(&net, sid);
+    SigningNetRun {
+        group_key,
+        signers,
+        signatures,
+        net,
+    }
 }
 
 fn phase_states(

@@ -16,9 +16,12 @@
 
 use dkg_arith::PrimeField;
 use dkg_core::DkgInput;
-use dkg_engine::runner::{build_dkg_net_on, collect_outcomes, SystemSetup};
+use dkg_engine::runner::{
+    attach_sign_sessions, build_dkg_net_on, collect_outcomes, collect_signatures, SystemSetup,
+};
 use dkg_engine::{Executor, InlineExecutor, SessionKey, SessionStats, ThreadPoolExecutor};
 use dkg_sim::DelayModel;
+use dkg_tss::TssInput;
 use proptest::prelude::*;
 
 /// Which executor (and crypto mode) drives a run.
@@ -151,6 +154,78 @@ fn n16_dkg_is_byte_identical_across_multiexp_workers() {
             run(16, 0, 4321, &Mode::InlineDeferred)
         });
         assert_eq!(baseline, fanned, "multiexp workers = {multiexp_workers}");
+    }
+}
+
+/// A signing burst is as deterministic as the DKG that seeded it: the
+/// same n = 16 key generation plus eight round-robined signing requests
+/// leaves a byte-identical wire transcript and the exact same aggregated
+/// signatures whichever executor performs the crypto. Threshold Schnorr
+/// is nonce-critical — any executor-dependent divergence would surface
+/// here as a different signature, not just a different byte order.
+#[derive(PartialEq, Debug)]
+struct SignFingerprint {
+    transcript: [u8; 32],
+    signatures: Vec<(u64, Vec<u8>)>,
+}
+
+fn run_signing(n: usize, f: usize, seed: u64, mode: &Mode) -> SignFingerprint {
+    let setup = SystemSetup::generate(n, f, seed);
+    let (executor, defer) = mode.executor();
+    let mut net = build_dkg_net_on(
+        &setup,
+        0,
+        DelayModel::Uniform { min: 5, max: 40 },
+        executor,
+        defer,
+    );
+    net.record_transcript();
+    for &node in &setup.config.vss.nodes {
+        net.schedule_dkg_input(node, 0, DkgInput::Start, 0);
+    }
+    net.run();
+    let signers = attach_sign_sessions(&mut net, 0, 1, 5_000, seed);
+    assert_eq!(signers.len(), n, "all nodes sign ({})", mode.label());
+    let start = net.now() + 10;
+    for req in 1..=8u64 {
+        let coordinator = signers[(req - 1) as usize % signers.len()];
+        net.schedule_tss_input(
+            coordinator,
+            1,
+            TssInput::Sign {
+                req,
+                message: format!("determinism request {req}").into_bytes(),
+            },
+            start + req,
+        );
+    }
+    net.run();
+    let signatures: Vec<(u64, Vec<u8>)> = collect_signatures(&net, 1)
+        .into_iter()
+        .map(|(req, signature)| (req, signature.to_bytes().to_vec()))
+        .collect();
+    assert_eq!(
+        signatures.len(),
+        8,
+        "all requests signed ({})",
+        mode.label()
+    );
+    SignFingerprint {
+        transcript: net.transcript_digest().expect("recording enabled"),
+        signatures,
+    }
+}
+
+#[test]
+fn n16_signing_burst_is_byte_identical_across_executors() {
+    let baseline = run_signing(16, 0, 2009, &Mode::InlineDeferred);
+    assert_eq!(baseline, run_signing(16, 0, 2009, &Mode::Direct));
+    for workers in [1, 2, 8] {
+        assert_eq!(
+            baseline,
+            run_signing(16, 0, 2009, &Mode::Pool(workers)),
+            "workers = {workers}"
+        );
     }
 }
 

@@ -1,0 +1,278 @@
+//! The signing service end to end over the endpoint layer: a DKG'd key
+//! serves threshold-Schnorr requests on the same endpoints that generated
+//! it, with every message travelling as encoded datagrams.
+//!
+//! Pinned here: (1) aggregated signatures verify under **plain single-key
+//! Schnorr** against the group key — no threshold machinery on the
+//! verifier's side; (2) executor choice changes nothing about the
+//! signatures; (3) a withheld response is blamed out of the quorum by the
+//! retry timer; (4) a *forged* partial signature is identified by the
+//! batch-verify-then-attribute path and its claimed signer excluded,
+//! without waiting for any timer; (5) a signer crashed mid-request reboots
+//! from its store and the request still completes.
+
+use dkg_arith::{GroupElement, PrimeField, Scalar};
+use dkg_core::DkgInput;
+use dkg_crypto::PublicKey;
+use dkg_engine::runner::{
+    attach_sign_sessions, collect_signatures, run_key_generation, run_threshold_signing,
+    run_threshold_signing_on, SystemSetup,
+};
+use dkg_engine::{Endpoint, EndpointConfig, EndpointNet, SessionKey, ThreadPoolExecutor};
+use dkg_sim::DelayModel;
+use dkg_store::StoreHandle;
+use dkg_tss::{TssInput, TssMessage};
+use dkg_wire::{encode_datagram, Header, ProtocolId};
+
+const SID: u64 = 1;
+
+fn group_verifier(group_key: GroupElement) -> PublicKey {
+    PublicKey::from_point(group_key).expect("DKG keys are never the identity")
+}
+
+/// Frames a TSS message exactly as the endpoint's outbox would, so a test
+/// adversary can speak the real wire format.
+fn tss_datagram(sid: u64, message: &TssMessage) -> Vec<u8> {
+    let mut channel = [0u8; 16];
+    channel[..8].copy_from_slice(&sid.to_be_bytes());
+    encode_datagram(
+        Header {
+            protocol: ProtocolId::Tss,
+            channel,
+        },
+        message,
+    )
+}
+
+/// The happy path: a burst of requests round-robined across coordinators,
+/// every aggregated signature an ordinary Schnorr signature under the
+/// group key — and the signing sessions stay hosted afterwards (a signing
+/// service never "completes").
+#[test]
+fn signing_requests_complete_and_verify_under_plain_schnorr() {
+    let requests: Vec<(u64, Vec<u8>)> = (1..=4u64)
+        .map(|req| (req, format!("request payload {req}").into_bytes()))
+        .collect();
+    let run = run_threshold_signing(6, 1, &requests, 42);
+    assert_eq!(run.signers, vec![1, 2, 3, 4, 5, 6]);
+    assert_eq!(run.signatures.len(), requests.len());
+    let verifier = group_verifier(run.group_key);
+    for (req, message) in &requests {
+        let signature = run.signatures.get(req).expect("request completed");
+        verifier
+            .verify(message, signature)
+            .expect("aggregated signature verifies as single-key Schnorr");
+        // A different message must not verify under the same signature.
+        assert!(verifier.verify(b"some other message", signature).is_err());
+    }
+    // Sessions survive the burst: signing is a service, not a one-shot.
+    for node in run.signers {
+        let endpoint = run.net.endpoint(node).expect("node is live");
+        assert!(endpoint.sign_session(SID).is_some());
+        assert!(!endpoint.is_complete(SessionKey::Sign { sid: SID }));
+    }
+}
+
+/// The executor seam is invisible: inline crypto and a 4-worker pool
+/// produce byte-identical signatures for the same seed.
+#[test]
+fn executor_choice_does_not_change_the_signatures() {
+    let requests: Vec<(u64, Vec<u8>)> = vec![(9, b"executor seam".to_vec())];
+    let inline = run_threshold_signing(5, 1, &requests, 77);
+    let pooled = run_threshold_signing_on(
+        5,
+        1,
+        &requests,
+        77,
+        Box::new(ThreadPoolExecutor::new(4)),
+        true,
+    );
+    assert_eq!(inline.group_key, pooled.group_key);
+    assert_eq!(inline.signatures, pooled.signatures);
+}
+
+/// A quorum member that simply never answers is blamed by the retry timer
+/// and replaced; the request completes with the remaining signers.
+#[test]
+fn withheld_responses_are_blamed_and_replaced() {
+    let setup = SystemSetup::generate(6, 1, 4711);
+    let (outcomes, mut net) = run_key_generation(&setup, DelayModel::Constant(25), 0);
+    let group_key = outcomes[0].public_key;
+    let signers = attach_sign_sessions(&mut net, 0, SID, 500, 4711);
+    assert_eq!(signers, vec![1, 2, 3, 4, 5, 6]);
+    // Node 2 sits in the first quorum ({1, 2} for t = 1) and goes silent.
+    net.mute(2);
+    let message = b"withheld response".to_vec();
+    net.schedule_tss_input(
+        1,
+        SID,
+        TssInput::Sign {
+            req: 3,
+            message: message.clone(),
+        },
+        net.now() + 10,
+    );
+    net.run();
+    let signatures = collect_signatures(&net, SID);
+    let signature = signatures
+        .get(&3)
+        .expect("request completed without node 2");
+    group_verifier(group_key)
+        .verify(&message, signature)
+        .expect("signature verifies");
+}
+
+/// An adversary speaking for a silent quorum member submits a well-formed
+/// nonce commitment and a partial signature that cannot verify against
+/// that member's share. The coordinator's batch verification attributes
+/// the bad claim and retries without the forged signer — before the retry
+/// timer would have fired.
+#[test]
+fn forged_partial_is_attributed_by_batch_verification() {
+    let setup = SystemSetup::generate(6, 1, 90210);
+    let (outcomes, mut net) = run_key_generation(&setup, DelayModel::Constant(25), 0);
+    let group_key = outcomes[0].public_key;
+    let retry_delay = 5_000;
+    attach_sign_sessions(&mut net, 0, SID, retry_delay, 90210);
+    net.mute(2);
+    let start = net.now() + 10;
+    let message = b"forged partial".to_vec();
+    net.schedule_tss_input(
+        1,
+        SID,
+        TssInput::Sign {
+            req: 8,
+            message: message.clone(),
+        },
+        start,
+    );
+    // Round 1: a plausible commitment "from" node 2.
+    net.inject_datagram(
+        2,
+        1,
+        tss_datagram(
+            SID,
+            &TssMessage::NonceCommit {
+                sid: SID,
+                req: 8,
+                attempt: 0,
+                signer: 2,
+                hiding: GroupElement::commit(&Scalar::from_u64(1111)),
+                binding: GroupElement::commit(&Scalar::from_u64(2222)),
+            },
+        ),
+        start + 60,
+    );
+    // Round 2: a partial signature no share could have produced.
+    net.inject_datagram(
+        2,
+        1,
+        tss_datagram(
+            SID,
+            &TssMessage::PartialSig {
+                sid: SID,
+                req: 8,
+                attempt: 0,
+                signer: 2,
+                response: Scalar::from_u64(3333),
+            },
+        ),
+        start + 160,
+    );
+    // Run only far enough for the verdict path — the earliest a retry
+    // timer could fire is `start + retry_delay`, so a signature present by
+    // `start + 2000` can only have come from batch-verify-then-attribute.
+    net.run_until(start + 2_000);
+    assert!(net.rejections().is_empty(), "{:?}", net.rejections());
+    let signatures = collect_signatures(&net, SID);
+    let signature = signatures
+        .get(&8)
+        .expect("batch verdict excluded the forged signer before any timer");
+    group_verifier(group_key)
+        .verify(&message, signature)
+        .expect("signature verifies");
+}
+
+/// A quorum signer crashed mid-request reboots from its store — sign
+/// session, nonces and WAL'd traffic included — and the request still
+/// completes with a verifying signature.
+#[test]
+fn signer_crash_mid_request_recovers_from_store_and_completes() {
+    let setup = SystemSetup::generate(6, 1, 60601);
+    let mut net = EndpointNet::new(DelayModel::Constant(25), setup.seed);
+    for &node in &setup.config.vss.nodes {
+        let mut endpoint = Endpoint::new(
+            node,
+            EndpointConfig {
+                store: Some(StoreHandle::in_memory()),
+                ..EndpointConfig::default()
+            },
+        );
+        endpoint
+            .add_dkg_session(setup.build_node(node, 0))
+            .expect("fresh endpoint");
+        net.add_endpoint(endpoint);
+    }
+    for &node in &setup.config.vss.nodes {
+        net.schedule_dkg_input(node, 0, DkgInput::Start, 0);
+    }
+    net.run();
+    let group_key = net
+        .endpoint(1)
+        .and_then(|e| e.dkg_result(0))
+        .expect("DKG completed")
+        .public_key;
+
+    attach_sign_sessions(&mut net, 0, SID, 300, 60601);
+    let start = net.now() + 10;
+    let message = b"crash mid-request".to_vec();
+    net.schedule_tss_input(
+        1,
+        SID,
+        TssInput::Sign {
+            req: 5,
+            message: message.clone(),
+        },
+        start,
+    );
+    // Node 2 (first quorum) loses its RAM mid-round and reboots from its
+    // store; the operator feeds Recover as the §5.3 procedure prescribes.
+    net.schedule_crash(2, start + 40);
+    net.schedule_recover(2, start + 45);
+    net.schedule_tss_input(2, SID, TssInput::Recover, start + 50);
+    net.run();
+
+    assert!(
+        net.recovery_failures().is_empty(),
+        "restore succeeds: {:?}",
+        net.recovery_failures()
+    );
+    let signatures = collect_signatures(&net, SID);
+    let signature = signatures.get(&5).expect("request completed");
+    group_verifier(group_key)
+        .verify(&message, signature)
+        .expect("signature verifies");
+    let reborn = net.endpoint(2).expect("node 2 recovered");
+    assert!(reborn.sign_session(SID).is_some(), "sign session restored");
+    assert_eq!(reborn.persist_stats().recoveries, 1);
+}
+
+/// An endpoint hosting a signing session snapshots and restores through
+/// the versioned codec: the `SessionKey::Sign` and signing-state tags
+/// round-trip inside the full endpoint image.
+#[test]
+fn endpoint_snapshot_with_sign_session_roundtrips() {
+    let requests: Vec<(u64, Vec<u8>)> = vec![(2, b"snapshot me".to_vec())];
+    let mut run = run_threshold_signing(4, 0, &requests, 31337);
+    let endpoint = run.net.endpoint_mut(1).expect("node 1 is live");
+    let snapshot = endpoint.snapshot().expect("quiescent endpoint snapshots");
+    assert!(snapshot
+        .sessions
+        .iter()
+        .any(|s| matches!(s.key, SessionKey::Sign { sid: SID })));
+    let bytes = snapshot.to_bytes();
+    assert_eq!(
+        dkg_engine::EndpointSnapshot::from_bytes(&bytes),
+        Ok(snapshot)
+    );
+}

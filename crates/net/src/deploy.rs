@@ -7,6 +7,8 @@
 //! <base>/addr-<id>      node <id>'s bound UDP address (atomic write)
 //! <base>/result-<id>    node <id>'s completion record: "<public key>"
 //! <base>/done           parent's shutdown signal to lingering children
+//! <base>/go             parent's signing-start signal ([`run_sign_node`])
+//! <base>/sig-<req>      aggregated signature for signing request <req>
 //! <base>/stores/node-<id>/   node <id>'s FileStore (snapshot + WAL)
 //! ```
 //!
@@ -36,6 +38,7 @@ use dkg_crypto::NodeId;
 use dkg_engine::runner::SystemSetup;
 use dkg_engine::{Endpoint, EndpointConfig, Event, Reject, RestoreError, SessionKey};
 use dkg_store::{StoreError, StoreHandle};
+use dkg_tss::{SignSession, TssConfig, TssInput};
 
 use crate::arq::ArqStats;
 use crate::driver::{NetConfig, NetStats, NodeDriver};
@@ -81,6 +84,8 @@ pub enum DeployError {
         /// What was being waited for.
         waiting_for: String,
     },
+    /// The completed DKG's result could not seed a signing session.
+    SigningSetup,
 }
 
 impl std::fmt::Display for DeployError {
@@ -92,6 +97,9 @@ impl std::fmt::Display for DeployError {
             DeployError::Restore(e) => write!(f, "resume failed: {e}"),
             DeployError::Timeout { waiting_for } => {
                 write!(f, "timed out waiting for {waiting_for}")
+            }
+            DeployError::SigningSetup => {
+                write!(f, "DKG result could not seed a signing session")
             }
         }
     }
@@ -178,6 +186,44 @@ pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
 /// Signals lingering children to exit.
 pub fn signal_done(base: &Path) -> io::Result<()> {
     write_atomic(&done_file(base), "done\n")
+}
+
+/// `<base>/sig-<req>` — the coordinator's aggregated signature for
+/// request `req`, as `"<group key hex> <signature hex>"`.
+pub fn sig_file(base: &Path, req: u64) -> PathBuf {
+    base.join(format!("sig-{req}"))
+}
+
+/// `<base>/go` — created by the parent once every DKG result file is in.
+/// It gates the coordinator's first signing request, so kill tests can
+/// baseline the victim's WAL between the DKG and signing phases.
+pub fn go_file(base: &Path) -> PathBuf {
+    base.join("go")
+}
+
+/// Signals the coordinator to start serving its request list.
+pub fn signal_go(base: &Path) -> io::Result<()> {
+    write_atomic(&go_file(base), "go\n")
+}
+
+/// Lowercase hex of `bytes` — the signature-file serialization.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for byte in bytes {
+        out.push_str(&format!("{byte:02x}"));
+    }
+    out
+}
+
+/// Decodes [`encode_hex`] output. `None` on odd length or non-hex input.
+pub fn decode_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(s.get(i..i + 2)?, 16).ok())
+        .collect()
 }
 
 /// Bytes currently in `node`'s on-disk WAL (sum of `wal-*.log` sizes; 0 if
@@ -389,6 +435,180 @@ pub fn run_node(
 
     // Linger until the parent says everyone is done: rebooted peers may
     // still need this node's help answering §5.3 recovery requests.
+    let done = done_file(&spec.base);
+    driver.run_until(|_| done.exists(), deadline)?;
+
+    Ok(NodeReport {
+        node: spec.node,
+        public_key,
+        net: driver.stats(),
+        arq: driver.arq_stats(),
+        resumed,
+    })
+}
+
+/// The part a node plays in a signing deployment ([`run_sign_node`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignRole {
+    /// Runs the DKG, then coordinates every request in the parent's list
+    /// and publishes each aggregated signature as a [`sig_file`].
+    Coordinator,
+    /// Runs the DKG, hosts a signing session and answers the coordinator
+    /// until the parent signals done.
+    Signer,
+    /// Completes the DKG but never attaches a signing session: its
+    /// withheld responses force the coordinator's blame-and-retry path,
+    /// which must exclude it and re-quorum.
+    Withholder,
+}
+
+/// Signing-round retry clock (ms): long enough that a throttled-but-alive
+/// signer answers within one round, short enough that a SIGKILLed or
+/// withholding one is blamed and replaced well inside the run timeout.
+const SIGN_RETRY_MS: u64 = 800;
+
+/// Runs one node of a *signing* deployment end to end: everything
+/// [`run_node`] does — store, endpoint, rendezvous, DKG over UDP — and
+/// then puts the DKG'd key to work serving threshold-signing requests
+/// until the parent's `done` file appears.
+///
+/// The DKG result file doubles as the signing-readiness signal: the
+/// parent waits for all of them (and, for kill tests, baselines the
+/// victim's WAL) before writing the `go` file that releases the
+/// coordinator's request list. A rebooted node (`spec.resume`) restores
+/// its signing session from its store and re-enters whatever round was
+/// in flight through [`TssInput::Recover`].
+pub fn run_sign_node(
+    spec: &NodeSpec,
+    role: SignRole,
+    sid: u64,
+    requests: &[(u64, Vec<u8>)],
+    net: NetConfig,
+    run_timeout_ms: u64,
+) -> Result<NodeReport, DeployError> {
+    let deadline = epoch_ms() + run_timeout_ms;
+    std::fs::create_dir_all(&spec.base)?;
+    let store = StoreHandle::open_node_dir(stores_dir(&spec.base), spec.node)?;
+    let (endpoint, resumed) = build_endpoint(spec, store)?;
+
+    let socket = bind_socket(spec)?;
+    let mut net = net;
+    net.throttle = spec.throttle_ms;
+    let mut driver = NodeDriver::new(endpoint, socket, net)?;
+    write_atomic(
+        &addr_file(&spec.base, spec.node),
+        &format!("{}\n", driver.local_addr()?),
+    )?;
+
+    let setup = SystemSetup::generate(spec.n, spec.f, spec.seed);
+    rendezvous(&mut driver, spec, &setup.config.vss.nodes, deadline)?;
+
+    // Phase 1: the DKG. A resumed node may already hold its result from
+    // snapshot + WAL replay; otherwise drive it to completion (via the
+    // §5.3 recovery procedure if this incarnation is a reboot).
+    let tau = spec.tau;
+    if driver.endpoint().dkg_result(tau).is_none() {
+        let input = if resumed {
+            DkgInput::Recover
+        } else {
+            DkgInput::Start
+        };
+        driver.handle_dkg_input(tau, input)?;
+        let key = SessionKey::Dkg { tau };
+        let completed = driver.run_until(|d| d.endpoint().is_complete(key), deadline)?;
+        if !completed {
+            return Err(DeployError::Timeout {
+                waiting_for: format!(
+                    "DKG completion before signing (stats {:?}, arq {:?})",
+                    driver.stats(),
+                    driver.arq_stats()
+                ),
+            });
+        }
+    }
+    let result = driver
+        .endpoint()
+        .dkg_result(tau)
+        .cloned()
+        .ok_or(DeployError::SigningSetup)?;
+    let public_key = result.public_key.to_string();
+    write_atomic(
+        &result_file(&spec.base, spec.node),
+        &format!("{public_key}\n"),
+    )?;
+
+    // Phase 2: signing. Attach the session keyed off the DKG result —
+    // unless this node withholds, or the restored endpoint already
+    // carries it (reboot after the attach was persisted).
+    if role != SignRole::Withholder && driver.endpoint().sign_session(sid).is_none() {
+        let config = TssConfig::new(
+            setup.config.vss.nodes.clone(),
+            result.commitment.threshold(),
+            SIGN_RETRY_MS,
+        )
+        .ok_or(DeployError::SigningSetup)?;
+        let session = SignSession::from_dkg_result(
+            spec.node,
+            sid,
+            config,
+            &result,
+            spec.seed.wrapping_mul(0x9E37_79B9).wrapping_add(spec.node),
+        )
+        .ok_or(DeployError::SigningSetup)?;
+        driver.endpoint_mut().add_sign_session(session)?;
+    }
+    if resumed && driver.endpoint().sign_session(sid).is_some() {
+        // Rebooted mid-request: re-send whatever round was in flight.
+        driver.handle_tss_input(sid, TssInput::Recover)?;
+    }
+
+    if role == SignRole::Coordinator {
+        let go = go_file(&spec.base);
+        driver.run_until(|_| go.exists(), deadline)?;
+        for (req, message) in requests {
+            driver.handle_tss_input(
+                sid,
+                TssInput::Sign {
+                    req: *req,
+                    message: message.clone(),
+                },
+            )?;
+        }
+        let wanted: Vec<u64> = requests.iter().map(|(req, _)| *req).collect();
+        let signed = driver.run_until(
+            |d| {
+                d.endpoint()
+                    .sign_session(sid)
+                    .is_some_and(|session| wanted.iter().all(|&req| session.result(req).is_some()))
+            },
+            deadline,
+        )?;
+        if !signed {
+            return Err(DeployError::Timeout {
+                waiting_for: format!(
+                    "aggregated signatures (stats {:?}, arq {:?})",
+                    driver.stats(),
+                    driver.arq_stats()
+                ),
+            });
+        }
+        let session = driver
+            .endpoint()
+            .sign_session(sid)
+            .ok_or(DeployError::SigningSetup)?;
+        let group_key = encode_hex(&session.group_key().to_bytes());
+        for &req in &wanted {
+            let signature = session.result(req).ok_or(DeployError::SigningSetup)?;
+            write_atomic(
+                &sig_file(&spec.base, req),
+                &format!("{group_key} {}\n", encode_hex(&signature.to_bytes())),
+            )?;
+        }
+    }
+
+    // Linger until the parent says everyone is done — signers keep
+    // answering the coordinator, the coordinator keeps answering late
+    // recoverers.
     let done = done_file(&spec.base);
     driver.run_until(|_| done.exists(), deadline)?;
 

@@ -25,6 +25,7 @@ use dkg_crypto::NodeId;
 use dkg_engine::{
     Endpoint, Event, Executor, InlineExecutor, Reject, SessionKey, Transmit, WallClock,
 };
+use dkg_tss::TssInput;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -307,6 +308,15 @@ impl NodeDriver {
     pub fn handle_dkg_input(&mut self, tau: u64, input: DkgInput) -> Result<(), Reject> {
         let now = self.now();
         self.endpoint.handle_dkg_input(tau, input, now)?;
+        self.service(now);
+        Ok(())
+    }
+
+    /// Feeds a signing-session operator input to the hosted endpoint and
+    /// services the traffic it produces.
+    pub fn handle_tss_input(&mut self, sid: u64, input: TssInput) -> Result<(), Reject> {
+        let now = self.now();
+        self.endpoint.handle_tss_input(sid, input, now)?;
         self.service(now);
         Ok(())
     }

@@ -222,6 +222,103 @@ pub fn verify_vector_shares_batch(vector: &CommitmentVector, shares: &[(u64, Sca
     verify_column_batch(b"dkg-batch-vector-share-v1", vector.entries(), shares)
 }
 
+/// One threshold-Schnorr partial-signature claim: signer `P_i` answered a
+/// signing request with response `s_i` over its effective nonce commitment
+/// `R_i`, and must satisfy
+///
+/// `g^{s_i} = R_i · A_i^{cλ_i}`
+///
+/// where `A_i = Π_j (C_{j0})^{i^j}` is the signer's share commitment read
+/// off the agreed DKG matrix's first column, and `scaled_challenge = c·λ_i`
+/// folds the Schnorr challenge with the signer's Lagrange coefficient (both
+/// recomputable by any verifier, so only their product travels here).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PartialSigClaim {
+    /// The signing node's index `i`.
+    pub signer: u64,
+    /// `c·λ_i`: the request's Schnorr challenge times the signer's Lagrange
+    /// coefficient at zero over the participating quorum.
+    pub scaled_challenge: Scalar,
+    /// `R_i`: the signer's effective (binding-adjusted) nonce commitment.
+    pub nonce: GroupElement,
+    /// `s_i`: the claimed partial-signature response.
+    pub response: Scalar,
+}
+
+impl PartialSigClaim {
+    /// Convenience constructor.
+    pub fn new(
+        signer: u64,
+        scaled_challenge: Scalar,
+        nonce: GroupElement,
+        response: Scalar,
+    ) -> Self {
+        PartialSigClaim {
+            signer,
+            scaled_challenge,
+            nonce,
+            response,
+        }
+    }
+
+    /// Verifies this claim alone (the attribution path of
+    /// [`crate::CryptoJob::run`]): `g^{s_i} = R_i · A_i^{cλ_i}`.
+    pub fn verify(&self, matrix: &CommitmentMatrix) -> bool {
+        let lhs = GroupElement::commit(&self.response);
+        let rhs = self.nonce + matrix.share_commitment(self.signer) * self.scaled_challenge;
+        lhs == rhs
+    }
+}
+
+/// Batch-verifies partial signatures against one DKG commitment matrix:
+/// folds every claim's `g^{s_k} = R_k · A_k^{c_kλ_k}` check into a single
+/// multiexp over the matrix's first column, the nonce commitments and the
+/// generator — so a burst of signing requests costs one multiexp instead of
+/// one per partial.
+pub fn verify_partial_sigs_batch(matrix: &CommitmentMatrix, claims: &[PartialSigClaim]) -> bool {
+    if claims.is_empty() {
+        return true;
+    }
+    let column = matrix.share_polynomial_commitment();
+    let column = column.entries();
+    // Bind the coefficients to everything being verified.
+    let mut transcript = b"dkg-batch-partial-sig-v1".to_vec();
+    for entry in column {
+        transcript.extend_from_slice(&entry.to_bytes());
+    }
+    for claim in claims {
+        transcript.extend_from_slice(&claim.signer.to_be_bytes());
+        transcript.extend_from_slice(&claim.scaled_challenge.to_be_bytes());
+        transcript.extend_from_slice(&claim.nonce.to_bytes());
+        transcript.extend_from_slice(&claim.response.to_be_bytes());
+    }
+    let mut coefficients = CoefficientStream::new(&transcript);
+
+    // Each claim demands R_k^{e_k} · Π_j (C_{j0})^{e_k·cλ_k·k^j} · g^{-e_k s_k}
+    // = identity once folded; the column weights accumulate across claims.
+    let mut weights = vec![Scalar::zero(); column.len()];
+    let mut response_fold = Scalar::zero();
+    let mut points = Vec::with_capacity(column.len() + claims.len() + 1);
+    let mut scalars = Vec::with_capacity(column.len() + claims.len() + 1);
+    for claim in claims {
+        let e = coefficients.next_coefficient();
+        response_fold += e * claim.response;
+        let x = Scalar::from_u64(claim.signer);
+        let mut term = e * claim.scaled_challenge;
+        for w in weights.iter_mut() {
+            *w += term;
+            term *= x;
+        }
+        points.push(claim.nonce);
+        scalars.push(e);
+    }
+    points.extend_from_slice(column);
+    scalars.extend(weights);
+    points.push(GroupElement::generator());
+    scalars.push(-response_fold);
+    multiexp(&points, &scalars).is_identity()
+}
+
 /// Shared fold: checks `g^{s_k} = Π_j column_j^{k^j}` for every `(k, s_k)`
 /// with one multiexp over `column ∥ g`.
 fn verify_column_batch(domain: &[u8], column: &[GroupElement], shares: &[(u64, Scalar)]) -> bool {
@@ -363,6 +460,55 @@ mod tests {
         let mut bad = shares.clone();
         bad[0].1 += Scalar::one();
         assert!(!verify_vector_shares_batch(&vector, &bad));
+    }
+
+    fn honest_partial_sigs(
+        poly: &SymmetricBivariate,
+        signers: &[u64],
+        seed: u64,
+    ) -> Vec<PartialSigClaim> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        signers
+            .iter()
+            .map(|&i| {
+                let share = poly.row(i).constant_term();
+                let nonce = Scalar::random(&mut rng);
+                let scaled = Scalar::random(&mut rng);
+                PartialSigClaim::new(
+                    i,
+                    scaled,
+                    dkg_arith::GroupElement::commit(&nonce),
+                    nonce + scaled * share,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn accepts_honest_partial_sig_batches() {
+        let (poly, commitment) = setup(3, 10);
+        let claims = honest_partial_sigs(&poly, &[1, 3, 4, 6], 20);
+        assert!(claims.iter().all(|c| c.verify(&commitment)));
+        assert!(verify_partial_sigs_batch(&commitment, &claims));
+        assert!(verify_partial_sigs_batch(&commitment, &[]));
+    }
+
+    #[test]
+    fn rejects_any_single_corrupted_partial_sig() {
+        let (poly, commitment) = setup(2, 11);
+        for bad in 0..4 {
+            let mut claims = honest_partial_sigs(&poly, &[2, 4, 5, 7], 21);
+            claims[bad].response += Scalar::one();
+            assert!(!claims[bad].verify(&commitment));
+            assert!(
+                !verify_partial_sigs_batch(&commitment, &claims),
+                "corrupted partial {bad} slipped through"
+            );
+        }
+        // A tampered nonce commitment is just as fatal as a bad response.
+        let mut claims = honest_partial_sigs(&poly, &[2, 4], 22);
+        claims[0].nonce += dkg_arith::GroupElement::generator();
+        assert!(!verify_partial_sigs_batch(&commitment, &claims));
     }
 
     #[test]

@@ -33,7 +33,7 @@ use std::sync::Arc;
 use dkg_arith::Scalar;
 use dkg_crypto::{KeyDirectory, NodeId, Signature};
 
-use crate::batch::{BatchVerifier, PointClaim};
+use crate::batch::{BatchVerifier, PartialSigClaim, PointClaim};
 use crate::commitment::{CommitmentMatrix, CommitmentVector};
 use crate::univariate::Univariate;
 
@@ -91,6 +91,17 @@ pub enum CryptoJob {
         vector: CommitmentVector,
         /// The `(node index, share)` claims.
         shares: Vec<(u64, Scalar)>,
+    },
+    /// A batch of threshold-Schnorr partial-signature checks, possibly
+    /// against several DKG commitment matrices (a burst of signing
+    /// requests, or several signing sessions folded by
+    /// [`CryptoJob::fold`]). Each claim must satisfy
+    /// `g^{s_i} = R_i · A_i^{cλ_i}` with `A_i` read off its matrix's first
+    /// column; verified with one RLC-folded multi-exponentiation,
+    /// per-claim attribution only on failure.
+    PartialSigBatch {
+        /// `(matrix, claims)` groups; claim order is group-major.
+        groups: Vec<(Arc<CommitmentMatrix>, Vec<PartialSigClaim>)>,
     },
     /// A batch of Schnorr signature checks against a key directory
     /// (justification certificates, vote signatures, ready witnesses).
@@ -162,6 +173,16 @@ impl CryptoJob {
         }
     }
 
+    /// A partial-signature batch against a single commitment matrix.
+    pub fn partial_sig_batch(
+        matrix: impl Into<Arc<CommitmentMatrix>>,
+        claims: Vec<PartialSigClaim>,
+    ) -> Self {
+        CryptoJob::PartialSigBatch {
+            groups: vec![(matrix.into(), claims)],
+        }
+    }
+
     /// Number of claims this job will judge (the length of the verdict's
     /// `valid` vector).
     pub fn claim_count(&self) -> usize {
@@ -170,6 +191,7 @@ impl CryptoJob {
             CryptoJob::PointBatch { groups } => groups.iter().map(|(_, c)| c.len()).sum(),
             CryptoJob::ShareBatch { shares, .. } => shares.len(),
             CryptoJob::VectorShareBatch { shares, .. } => shares.len(),
+            CryptoJob::PartialSigBatch { groups } => groups.iter().map(|(_, c)| c.len()).sum(),
             CryptoJob::Signatures { checks, .. } => checks.len(),
         }
     }
@@ -181,26 +203,36 @@ impl CryptoJob {
             CryptoJob::PointBatch { .. } => "point-batch",
             CryptoJob::ShareBatch { .. } => "share-batch",
             CryptoJob::VectorShareBatch { .. } => "vector-share-batch",
+            CryptoJob::PartialSigBatch { .. } => "partial-sig-batch",
             CryptoJob::Signatures { .. } => "signatures",
         }
     }
 
-    /// Merges several [`CryptoJob::PointBatch`] jobs into one, so their
-    /// claims fold into a single multi-exponentiation even when they came
-    /// from different sessions. Claim order is preserved (jobs in input
-    /// order, claims in job order): split the verdict back per input job
-    /// with [`CryptoVerdict::split`] over the inputs' claim counts.
+    /// Merges several same-kind batch jobs into one, so their claims fold
+    /// into a single multi-exponentiation even when they came from
+    /// different sessions: all-[`CryptoJob::PointBatch`] inputs fold into
+    /// one point batch, all-[`CryptoJob::PartialSigBatch`] inputs into one
+    /// partial-signature batch (a burst of signing requests costs one
+    /// multiexp). Claim order is preserved (jobs in input order, claims in
+    /// job order): split the verdict back per input job with
+    /// [`CryptoVerdict::split`] over the inputs' claim counts.
     ///
-    /// Returns `None` if any input is not a point batch.
+    /// Returns `None` for mixed or unfoldable kinds.
     pub fn fold(jobs: Vec<CryptoJob>) -> Option<CryptoJob> {
-        let mut groups = Vec::new();
+        let mut points = Vec::new();
+        let mut partials = Vec::new();
         for job in jobs {
             match job {
-                CryptoJob::PointBatch { groups: g } => groups.extend(g),
+                CryptoJob::PointBatch { groups: g } => points.extend(g),
+                CryptoJob::PartialSigBatch { groups: g } => partials.extend(g),
                 _ => return None,
             }
         }
-        Some(CryptoJob::PointBatch { groups })
+        match (points.is_empty(), partials.is_empty()) {
+            (false, true) => Some(CryptoJob::PointBatch { groups: points }),
+            (true, false) => Some(CryptoJob::PartialSigBatch { groups: partials }),
+            _ => None,
+        }
     }
 
     /// Executes the job. Pure and deterministic: no protocol state, no
@@ -262,6 +294,23 @@ impl CryptoJob {
                         .map(|&(i, s)| vector.verify_share(i, s))
                         .collect(),
                 }
+            }
+            CryptoJob::PartialSigBatch { groups } => {
+                // One fold per matrix group; groups are independent, so the
+                // cross-request win is the per-group fold (a burst against
+                // one DKG key is one group and one multiexp).
+                if groups
+                    .iter()
+                    .all(|(matrix, claims)| crate::batch::verify_partial_sigs_batch(matrix, claims))
+                {
+                    return CryptoVerdict::accept_all(self.claim_count());
+                }
+                // Attribute blame per claim.
+                let valid = groups
+                    .iter()
+                    .flat_map(|(matrix, claims)| claims.iter().map(|c| c.verify(matrix)))
+                    .collect();
+                CryptoVerdict { valid }
             }
             CryptoJob::Signatures { directory, checks } => CryptoVerdict {
                 valid: checks
@@ -594,6 +643,60 @@ mod tests {
         shares[3].1 += Scalar::one();
         let verdict = CryptoJob::VectorShareBatch { vector, shares }.run();
         assert_eq!(verdict.valid, vec![true, true, true, false]);
+    }
+
+    fn partial_sigs(poly: &SymmetricBivariate, signers: &[u64], seed: u64) -> Vec<PartialSigClaim> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        signers
+            .iter()
+            .map(|&i| {
+                let share = poly.row(i).constant_term();
+                let nonce = Scalar::random(&mut rng);
+                let scaled = Scalar::random(&mut rng);
+                PartialSigClaim::new(
+                    i,
+                    scaled,
+                    dkg_arith::GroupElement::commit(&nonce),
+                    nonce + scaled * share,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partial_sig_batch_attributes_blame_per_claim() {
+        let (poly, commitment) = setup(2, 12);
+        let mut cs = partial_sigs(&poly, &[1, 2, 4, 6], 30);
+        cs[2].response += Scalar::one();
+        let job = CryptoJob::partial_sig_batch(commitment, cs.clone());
+        assert_eq!(job.claim_count(), 4);
+        assert_eq!(job.run().valid, vec![true, true, false, true]);
+        cs[2].response -= Scalar::one();
+        let honest = CryptoJob::partial_sig_batch(setup(2, 12).1, cs);
+        assert!(honest.run().all_valid());
+    }
+
+    #[test]
+    fn folded_partial_sig_batches_match_individual_runs() {
+        let (poly_a, commitment_a) = setup(2, 13);
+        let (poly_b, commitment_b) = setup(3, 14);
+        let mut claims_b = partial_sigs(&poly_b, &[3, 5], 31);
+        claims_b[1].response += Scalar::one();
+        let job_a = CryptoJob::partial_sig_batch(commitment_a, partial_sigs(&poly_a, &[1, 2], 32));
+        let job_b = CryptoJob::partial_sig_batch(commitment_b, claims_b);
+        let counts = [job_a.claim_count(), job_b.claim_count()];
+        let individual = [job_a.run(), job_b.run()];
+
+        let folded = CryptoJob::fold(vec![job_a.clone(), job_b.clone()]).expect("same kind folds");
+        assert_eq!(folded.kind(), "partial-sig-batch");
+        let verdicts = folded.run().split(&counts).expect("counts match");
+        assert_eq!(verdicts[0], individual[0]);
+        assert_eq!(verdicts[1], individual[1]);
+
+        // Mixed kinds refuse to fold.
+        let (poly_c, commitment_c) = setup(2, 15);
+        let point_job = CryptoJob::point_batch(commitment_c, claims(&poly_c, 1, 2));
+        assert!(CryptoJob::fold(vec![job_a, point_job]).is_none());
     }
 
     #[test]

@@ -29,11 +29,15 @@ pub mod job;
 pub mod univariate;
 
 pub use batch::{
-    verify_points_batch, verify_shares_batch, verify_vector_shares_batch, BatchVerifier, PointClaim,
+    verify_partial_sigs_batch, verify_points_batch, verify_shares_batch,
+    verify_vector_shares_batch, BatchVerifier, PartialSigClaim, PointClaim,
 };
 pub use bivariate::SymmetricBivariate;
 pub use commitment::{CommitmentError, CommitmentMatrix, CommitmentVector};
 pub use job::{
     CryptoJob, CryptoVerdict, JobQueue, ShareCollector, ShareProgress, SignatureCheck, Submission,
 };
-pub use univariate::{interpolate_at, interpolate_polynomial, interpolate_secret, Univariate};
+pub use univariate::{
+    interpolate_at, interpolate_polynomial, interpolate_secret, lagrange_weights_at_zero,
+    Univariate,
+};

@@ -161,6 +161,42 @@ pub fn interpolate_secret(shares: &[(u64, Scalar)]) -> Option<Scalar> {
     interpolate_at(&points, Scalar::zero())
 }
 
+/// Lagrange coefficients `λ_i = Π_{m≠i} m / (m - i)` at `x = 0` for the
+/// given node indices, in input order.
+///
+/// These are the weights that combine threshold-Schnorr partial signatures:
+/// `Σ_i λ_i·x_i = f(0)` for any `t+1` distinct share indices, so
+/// `s = Σ_i λ_i·s_i` interpolates the group response without ever
+/// interpolating the secret itself. The denominators are inverted in one
+/// batch (Montgomery's trick). Returns `None` if an index is zero or two
+/// indices collide (no unique interpolation).
+pub fn lagrange_weights_at_zero(indices: &[u64]) -> Option<Vec<Scalar>> {
+    let mut nums = Vec::with_capacity(indices.len());
+    let mut dens = Vec::with_capacity(indices.len());
+    for (j, &xj) in indices.iter().enumerate() {
+        if xj == 0 {
+            return None;
+        }
+        let xj = Scalar::from_u64(xj);
+        let mut num = Scalar::one();
+        let mut den = Scalar::one();
+        for (m, &xm) in indices.iter().enumerate() {
+            if m == j {
+                continue;
+            }
+            let xm = Scalar::from_u64(xm);
+            num *= xm;
+            den *= xm - xj;
+        }
+        nums.push(num);
+        dens.push(den);
+    }
+    nums.iter()
+        .zip(Scalar::batch_invert(&dens))
+        .map(|(&num, inv)| Some(num * inv?))
+        .collect()
+}
+
 /// Interpolates the full coefficient vector of the unique polynomial of
 /// degree `points.len() - 1` through the given points.
 ///
@@ -287,6 +323,31 @@ mod tests {
         for i in 0..=10u64 {
             assert_eq!(g.evaluate_at_index(i), f.evaluate_at_index(i));
         }
+    }
+
+    #[test]
+    fn lagrange_weights_combine_shares_to_the_secret() {
+        let mut r = rng();
+        let t = 3;
+        let f = Univariate::random(&mut r, t);
+        for indices in [vec![1u64, 2, 3, 4], vec![2, 5, 7, 9], vec![9, 1, 4, 6]] {
+            let weights = lagrange_weights_at_zero(&indices).unwrap();
+            let combined: Scalar = indices
+                .iter()
+                .zip(&weights)
+                .map(|(&i, &w)| w * f.evaluate_at_index(i))
+                .sum();
+            assert_eq!(combined, f.constant_term(), "quorum {indices:?}");
+        }
+    }
+
+    #[test]
+    fn lagrange_weights_reject_degenerate_quorums() {
+        assert!(lagrange_weights_at_zero(&[1, 2, 2]).is_none());
+        assert!(lagrange_weights_at_zero(&[0, 1, 2]).is_none());
+        assert_eq!(lagrange_weights_at_zero(&[]), Some(vec![]));
+        // A singleton quorum's weight is 1: its share IS the secret.
+        assert_eq!(lagrange_weights_at_zero(&[5]), Some(vec![Scalar::one()]));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use dkg_core::DkgInput;
 use dkg_crypto::NodeId;
+use dkg_tss::TssInput;
 use dkg_vss::{SessionId, VssInput};
 use dkg_wire::{Reader, WireDecode, WireEncode, WireError, WireWrite};
 
@@ -76,6 +77,15 @@ pub enum WalRecord {
         /// The clock value passed to `handle_timeout`.
         at: u64,
     },
+    /// An operator input fed to a threshold-signing session.
+    TssOperator {
+        /// Input time.
+        at: u64,
+        /// The signing-session id.
+        sid: u64,
+        /// The input.
+        input: TssInput,
+    },
 }
 
 impl WalRecord {
@@ -85,7 +95,8 @@ impl WalRecord {
             WalRecord::Datagram { at, .. }
             | WalRecord::DkgOperator { at, .. }
             | WalRecord::VssOperator { at, .. }
-            | WalRecord::Timeout { at } => *at,
+            | WalRecord::Timeout { at }
+            | WalRecord::TssOperator { at, .. } => *at,
         }
     }
 }
@@ -115,6 +126,12 @@ impl WireEncode for WalRecord {
                 w.put_u8(3);
                 w.put_u64(*at);
             }
+            WalRecord::TssOperator { at, sid, input } => {
+                w.put_u8(4);
+                w.put_u64(*at);
+                w.put_u64(*sid);
+                input.encode_to(w);
+            }
         }
     }
 }
@@ -140,6 +157,11 @@ impl WireDecode for WalRecord {
                 input: VssInput::decode_from(r)?,
             }),
             3 => Ok(WalRecord::Timeout { at: r.u64()? }),
+            4 => Ok(WalRecord::TssOperator {
+                at: r.u64()?,
+                sid: r.u64()?,
+                input: TssInput::decode_from(r)?,
+            }),
             tag => Err(WireError::UnknownTag {
                 context: "wal record",
                 tag,
@@ -288,6 +310,14 @@ mod tests {
                 input: VssInput::Reconstruct,
             },
             WalRecord::Timeout { at: 13 },
+            WalRecord::TssOperator {
+                at: 14,
+                sid: 9,
+                input: TssInput::Sign {
+                    req: 1,
+                    message: b"wal".to_vec(),
+                },
+            },
         ]
     }
 

@@ -1,0 +1,229 @@
+//! Canonical wire codec for the threshold-signing messages ([`dkg_wire`]
+//! traits).
+//!
+//! Layout (all integers big-endian, lengths `u32`-prefixed):
+//!
+//! ```text
+//! TssMessage       := tag:u8 body
+//!   0 sign-request := sid:u64 req:u64 attempt:u32 message:bytes
+//!                     option<package>
+//!   1 nonce-commit := sid:u64 req:u64 attempt:u32 signer:u64
+//!                     hiding:33B binding:33B
+//!   2 partial-sig  := sid:u64 req:u64 attempt:u32 signer:u64 response:32B
+//!   3 sign-result  := sid:u64 req:u64 signature:65B
+//! package          := count:u32 entry × count    (strictly ascending signer)
+//! entry            := signer:u64 hiding:33B binding:33B
+//! bytes            := len:u32 byte × len
+//! option<x>        := 0 | 1 x
+//! ```
+//!
+//! Packages are canonical on the wire: decoders reject entry lists whose
+//! signer ids are not strictly ascending, so equal packages have equal
+//! encodings and the binding-factor transcript (which hashes the package
+//! bytes) binds unambiguously.
+
+use dkg_arith::{GroupElement, Scalar};
+use dkg_crypto::Signature;
+use dkg_wire::{Reader, WireDecode, WireEncode, WireError, WireWrite};
+
+use crate::messages::{NonceCommitEntry, TssInput, TssMessage};
+
+impl WireEncode for NonceCommitEntry {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        w.put_u64(self.signer);
+        self.hiding.encode_to(w);
+        self.binding.encode_to(w);
+    }
+}
+
+impl WireDecode for NonceCommitEntry {
+    const MIN_WIRE_LEN: usize = 8 + 33 + 33;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(NonceCommitEntry {
+            signer: r.u64()?,
+            hiding: GroupElement::decode_from(r)?,
+            binding: GroupElement::decode_from(r)?,
+        })
+    }
+}
+
+/// Decodes a signing package, rejecting non-canonical (not strictly
+/// ascending) signer orders.
+fn decode_package(r: &mut Reader<'_>) -> Result<Vec<NonceCommitEntry>, WireError> {
+    let len = r.len(
+        "signing package",
+        dkg_wire::MAX_SEQUENCE_LEN,
+        NonceCommitEntry::MIN_WIRE_LEN,
+    )?;
+    let mut entries: Vec<NonceCommitEntry> = Vec::with_capacity(len);
+    for _ in 0..len {
+        let entry = NonceCommitEntry::decode_from(r)?;
+        if entries
+            .last()
+            .is_some_and(|last| last.signer >= entry.signer)
+        {
+            return Err(WireError::InvalidValue {
+                context: "signing package not strictly ascending",
+            });
+        }
+        entries.push(entry);
+    }
+    Ok(entries)
+}
+
+impl WireEncode for TssMessage {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        match self {
+            TssMessage::SignRequest {
+                sid,
+                req,
+                attempt,
+                message,
+                package,
+            } => {
+                w.put_u8(0);
+                w.put_u64(*sid);
+                w.put_u64(*req);
+                w.put_u32(*attempt);
+                message.encode_to(w);
+                package.encode_to(w);
+            }
+            TssMessage::NonceCommit {
+                sid,
+                req,
+                attempt,
+                signer,
+                hiding,
+                binding,
+            } => {
+                w.put_u8(1);
+                w.put_u64(*sid);
+                w.put_u64(*req);
+                w.put_u32(*attempt);
+                w.put_u64(*signer);
+                hiding.encode_to(w);
+                binding.encode_to(w);
+            }
+            TssMessage::PartialSig {
+                sid,
+                req,
+                attempt,
+                signer,
+                response,
+            } => {
+                w.put_u8(2);
+                w.put_u64(*sid);
+                w.put_u64(*req);
+                w.put_u32(*attempt);
+                w.put_u64(*signer);
+                response.encode_to(w);
+            }
+            TssMessage::SignResult {
+                sid,
+                req,
+                signature,
+            } => {
+                w.put_u8(3);
+                w.put_u64(*sid);
+                w.put_u64(*req);
+                signature.encode_to(w);
+            }
+        }
+    }
+}
+
+impl WireDecode for TssMessage {
+    // Tag byte plus the smallest body (sign-result).
+    const MIN_WIRE_LEN: usize = 1 + 8 + 8 + 65;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => {
+                let sid = r.u64()?;
+                let req = r.u64()?;
+                let attempt = r.u32()?;
+                let message = Vec::<u8>::decode_from(r)?;
+                let package = match r.u8()? {
+                    0 => None,
+                    1 => Some(decode_package(r)?),
+                    tag => {
+                        return Err(WireError::UnknownTag {
+                            context: "sign-request package option",
+                            tag,
+                        })
+                    }
+                };
+                Ok(TssMessage::SignRequest {
+                    sid,
+                    req,
+                    attempt,
+                    message,
+                    package,
+                })
+            }
+            1 => Ok(TssMessage::NonceCommit {
+                sid: r.u64()?,
+                req: r.u64()?,
+                attempt: r.u32()?,
+                signer: r.u64()?,
+                hiding: GroupElement::decode_from(r)?,
+                binding: GroupElement::decode_from(r)?,
+            }),
+            2 => Ok(TssMessage::PartialSig {
+                sid: r.u64()?,
+                req: r.u64()?,
+                attempt: r.u32()?,
+                signer: r.u64()?,
+                response: Scalar::decode_from(r)?,
+            }),
+            3 => Ok(TssMessage::SignResult {
+                sid: r.u64()?,
+                req: r.u64()?,
+                signature: Signature::decode_from(r)?,
+            }),
+            tag => Err(WireError::UnknownTag {
+                context: "tss message",
+                tag,
+            }),
+        }
+    }
+}
+
+/// Operator inputs are codec'd for the persistence layer's write-ahead log
+/// (a crash-recovering signer replays its own past requests from stable
+/// storage), not for the network.
+///
+/// ```text
+/// TssInput := 0 req:u64 message:bytes | 1
+/// ```
+impl WireEncode for TssInput {
+    fn encode_to<W: WireWrite + ?Sized>(&self, w: &mut W) {
+        match self {
+            TssInput::Sign { req, message } => {
+                w.put_u8(0);
+                w.put_u64(*req);
+                message.encode_to(w);
+            }
+            TssInput::Recover => w.put_u8(1),
+        }
+    }
+}
+
+impl WireDecode for TssInput {
+    const MIN_WIRE_LEN: usize = 1;
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.u8()? {
+            0 => Ok(TssInput::Sign {
+                req: r.u64()?,
+                message: Vec::<u8>::decode_from(r)?,
+            }),
+            1 => Ok(TssInput::Recover),
+            tag => Err(WireError::UnknownTag {
+                context: "tss input",
+                tag,
+            }),
+        }
+    }
+}

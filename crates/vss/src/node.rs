@@ -1069,6 +1069,44 @@ mod tests {
     }
 
     #[test]
+    fn restore_rejects_corrupt_snapshots() {
+        let cfg = config(4, 0, CommitmentMode::Full);
+        let session = SessionId::new(1, 0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let key = SigningKey::generate(&mut rng);
+        let mut directory = KeyDirectory::new();
+        directory.register(1, key.public_key());
+        let signing = SigningContext {
+            key,
+            directory: Arc::new(directory),
+        };
+        let node = VssNode::new(1, cfg, session, 7, Some(signing));
+        let snapshot = node.snapshot().expect("idle node snapshots");
+
+        // A snapshot claiming a node outside its own membership.
+        let mut foreign = snapshot.clone();
+        foreign.id = 99;
+        assert_eq!(
+            VssNode::restore(foreign, None).err(),
+            Some(SnapshotError::ForeignNode { node: 99 })
+        );
+
+        // The zero scalar is not a Schnorr secret.
+        let mut bad_key = snapshot.clone();
+        bad_key.signing_key = Some(Scalar::zero());
+        assert_eq!(
+            VssNode::restore(bad_key, None).err(),
+            Some(SnapshotError::InvalidSigningKey)
+        );
+
+        // A signing snapshot restored without the shared key directory.
+        assert_eq!(
+            VssNode::restore(snapshot, None).err(),
+            Some(SnapshotError::MissingDirectory)
+        );
+    }
+
+    #[test]
     fn sharing_completes_without_faults() {
         let n = 4;
         let cfg = config(n, 0, CommitmentMode::Full);

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! byte 0        version            (currently 1)
-//! byte 1        protocol tag       (0 = HybridVSS, 1 = DKG)
+//! byte 1        protocol tag       (0 = HybridVSS, 1 = DKG, 2 = TSS)
 //! bytes 2..18   channel            16-byte opaque session routing key
 //! bytes 18..22  payload length     u32, big-endian
 //! bytes 22..    payload            the message's canonical encoding
@@ -33,6 +33,8 @@ pub enum ProtocolId {
     Vss,
     /// A DKG session (embedded VSS traffic included).
     Dkg,
+    /// A threshold-Schnorr signing session driven by a completed DKG's key.
+    Tss,
 }
 
 impl ProtocolId {
@@ -40,6 +42,7 @@ impl ProtocolId {
         match self {
             ProtocolId::Vss => 0,
             ProtocolId::Dkg => 1,
+            ProtocolId::Tss => 2,
         }
     }
 
@@ -47,6 +50,7 @@ impl ProtocolId {
         match tag {
             0 => Ok(ProtocolId::Vss),
             1 => Ok(ProtocolId::Dkg),
+            2 => Ok(ProtocolId::Tss),
             tag => Err(WireError::UnknownTag {
                 context: "protocol id",
                 tag,

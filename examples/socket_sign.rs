@@ -1,0 +1,341 @@
+//! Real-socket signing service walkthrough: six OS processes run the DKG
+//! over localhost UDP, then keep running as a **threshold signing
+//! committee** — the coordinator feeds requests into its signing session
+//! and t + 1 of the nodes answer with nonce commitments and partial
+//! signatures until an ordinary Schnorr signature pops out, verifiable by
+//! anyone against the distributed public key.
+//!
+//! Node 2 plays a withholder: it completes the DKG but never attaches a
+//! signing session, so the coordinator's first quorum stalls, blames it,
+//! and re-forms the quorum without it — the liveness path of the service.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example socket_sign           # withholder variant
+//! cargo run --release --example socket_sign -- --kill # node 2 is a signer
+//!     # instead, SIGKILLed mid-request, rebooted from its on-disk
+//!     # FileStore, and back serving while the requests complete
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use dkg_crypto::{PublicKey, Signature};
+use dkg_engine::runner::SystemSetup;
+use dkg_net::deploy::{
+    self, await_results, decode_hex, epoch_ms, log_file, result_file, sig_file, signal_done,
+    signal_go, spec_from_env, spec_to_env, wal_bytes_on_disk, NodeSpec, SignRole,
+};
+use dkg_net::NetConfig;
+
+/// How long any single wait (rendezvous, DKG, signatures) may take.
+const RUN_TIMEOUT_MS: u64 = 120_000;
+
+/// The signing-session id every process attaches under.
+const SID: u64 = 1;
+
+/// The parent's request list; compiled into the binary, so the re-executed
+/// coordinator child serves exactly these.
+const REQUESTS: [(u64, &[u8]); 3] = [
+    (1, b"pay alice 100"),
+    (2, b"pay bob 250"),
+    (3, b"rotate the webserver certificate"),
+];
+
+/// Parent -> child: which [`SignRole`] this node process plays.
+const ENV_ROLE: &str = "DKG_TSS_ROLE";
+
+/// Soak knob: run the whole walkthrough this many times with distinct
+/// seeds (CI's signing lane raises it; default is one case).
+const ENV_SOAK: &str = "TSS_SOAK_CASES";
+
+fn main() {
+    // Child mode: the parent re-executed us with a node spec in the
+    // environment.
+    if let Some(spec) = spec_from_env() {
+        run_child(spec);
+        return;
+    }
+
+    let kill = std::env::args().any(|a| a == "--kill");
+    let cases: u64 = std::env::var(ENV_SOAK)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    for case in 0..cases {
+        if cases > 1 {
+            println!("=== soak case {} of {cases} ===", case + 1);
+        }
+        run_parent(kill, case);
+    }
+}
+
+/// One full parent run: spawn the committee, checkpoint the DKG, release
+/// the requests, (optionally) SIGKILL and reboot the victim, verify every
+/// signature. A failure message names the case's seed.
+fn run_parent(kill: bool, case: u64) {
+    let (n, f) = (6, 1);
+    let seed = 20090622 + case; // ICDCS'09 vintage, shifted per soak case.
+    let base = PathBuf::from(format!(
+        "target/socket-sign/run-{}-{case}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("base directory");
+
+    let setup = SystemSetup::generate(n, f, seed);
+    let nodes = setup.config.vss.nodes.clone();
+    let t = setup.config.t();
+    println!(
+        "system: n = {n}, t = {t}, f = {f}, seed = {seed}; DKG then threshold signing, \
+         one process per node"
+    );
+    println!(
+        "rendezvous, stores and signatures under {}\n",
+        base.display()
+    );
+
+    // Node 1 coordinates. Node 2 sits in the first quorum (the first
+    // t + 1 = {1, 2} signers): withholding variant, it never answers;
+    // kill variant, it is an honest signer throttled so the SIGKILL
+    // reliably lands mid-request.
+    let coordinator: u64 = 1;
+    let victim: u64 = 2;
+    let role_of = |node: u64| {
+        if node == coordinator {
+            "coordinator"
+        } else if node == victim && !kill {
+            "withholder"
+        } else {
+            "signer"
+        }
+    };
+    let mut children: Vec<(u64, Child)> = nodes
+        .iter()
+        .map(|&node| {
+            let spec = NodeSpec {
+                node,
+                n,
+                f,
+                seed,
+                tau: 0,
+                base: base.clone(),
+                resume: false,
+                throttle_ms: if kill && node == victim { 40 } else { 0 },
+            };
+            (node, spawn_node(&spec, role_of(node)))
+        })
+        .collect();
+
+    // Phase 1 checkpoint: every node publishes the same DKG key.
+    let results = await_results(&base, &nodes, epoch_ms() + RUN_TIMEOUT_MS).unwrap_or_else(|e| {
+        dump_logs(&base, &nodes);
+        panic!("DKG phase failed: {e}");
+    });
+    let public_key = results[0].1.clone();
+    assert!(
+        results.iter().all(|(_, key)| *key == public_key),
+        "all nodes agree on one group key: {results:?}"
+    );
+    println!("DKG complete across {n} processes; starting the signing phase");
+
+    // Kill variant: baseline the victim's WAL now, after the DKG traffic
+    // has quiesced, so the next growth is signing traffic.
+    let baseline = if kill {
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        wal_bytes_on_disk(&base, victim)
+    } else {
+        0
+    };
+
+    // Release the coordinator's request list.
+    signal_go(&base).expect("go file");
+
+    if kill {
+        let deadline = epoch_ms() + RUN_TIMEOUT_MS;
+        while wal_bytes_on_disk(&base, victim) <= baseline + 100 {
+            assert!(epoch_ms() < deadline, "victim never saw signing traffic");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let slot = children.iter_mut().find(|(id, _)| *id == victim).unwrap();
+        slot.1.kill().expect("SIGKILL victim");
+        slot.1.wait().expect("reap victim");
+        println!(
+            "node {victim}: SIGKILLed mid-request with {} WAL bytes on disk; rebooting\n",
+            wal_bytes_on_disk(&base, victim)
+        );
+
+        // Reboot from the store. Deleting the result file first proves the
+        // rewritten one comes from the restored endpoint, not a stale run.
+        std::fs::remove_file(result_file(&base, victim)).expect("clear victim result");
+        let spec = NodeSpec {
+            node: victim,
+            n,
+            f,
+            seed,
+            tau: 0,
+            base: base.clone(),
+            resume: true,
+            throttle_ms: 0,
+        };
+        slot.1 = spawn_node(&spec, "signer");
+        let rebooted =
+            await_results(&base, &[victim], epoch_ms() + RUN_TIMEOUT_MS).unwrap_or_else(|e| {
+                dump_logs(&base, &nodes);
+                panic!("victim never rebooted: {e}");
+            });
+        assert_eq!(
+            rebooted[0].1, public_key,
+            "rebooted node restores the same group key from its store"
+        );
+    }
+
+    // The aggregated signatures, verified here in the parent with plain
+    // single-key Schnorr — no threshold machinery on this side.
+    let signatures = await_signatures(&base, epoch_ms() + RUN_TIMEOUT_MS).unwrap_or_else(|e| {
+        dump_logs(&base, &nodes);
+        panic!("signing phase failed: {e}");
+    });
+    let group_key = signatures[0].1;
+    for (req, key, signature) in &signatures {
+        assert_eq!(*key, group_key, "one group key across all requests");
+        let message = REQUESTS
+            .iter()
+            .find(|(id, _)| id == req)
+            .expect("known request")
+            .1;
+        key.verify(message, signature)
+            .unwrap_or_else(|e| panic!("signature for request {req} does not verify: {e}"));
+    }
+
+    signal_done(&base).expect("done file");
+    for (node, mut child) in children {
+        let status = child.wait().expect("reap child");
+        assert!(status.success(), "node {node} exited with {status}");
+    }
+
+    println!("distributed public key: {public_key}");
+    for (req, _, _) in &signatures {
+        let message = REQUESTS.iter().find(|(id, _)| id == req).unwrap().1;
+        println!(
+            "  request {req} ({:?}): Schnorr signature verifies against the group key",
+            String::from_utf8_lossy(message)
+        );
+    }
+    if kill {
+        println!("  node {victim} was SIGKILLed mid-request and rebooted from its store");
+    } else {
+        println!("  node {victim} withheld every response and was excluded by blame-and-retry");
+    }
+
+    // Keep artifacts only on failure; a clean run cleans up.
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Re-executes this binary as one node's process, logging to the base dir.
+fn spawn_node(spec: &NodeSpec, role: &str) -> Child {
+    let log = std::fs::File::create(log_file(&spec.base, spec.node)).expect("log file");
+    let err = log.try_clone().expect("log handle");
+    let mut command = Command::new(std::env::current_exe().expect("own path"));
+    command.stdout(Stdio::from(log)).stderr(Stdio::from(err));
+    for (key, value) in spec_to_env(spec) {
+        command.env(key, value);
+    }
+    command.env(ENV_ROLE, role);
+    command.spawn().expect("spawn node process")
+}
+
+/// One node, end to end, inside this (child) process.
+fn run_child(spec: NodeSpec) {
+    let role = match std::env::var(ENV_ROLE).ok().as_deref() {
+        Some("coordinator") => SignRole::Coordinator,
+        Some("withholder") => SignRole::Withholder,
+        _ => SignRole::Signer,
+    };
+    let requests: Vec<(u64, Vec<u8>)> = REQUESTS
+        .iter()
+        .map(|(req, message)| (*req, message.to_vec()))
+        .collect();
+    let report = deploy::run_sign_node(
+        &spec,
+        role,
+        SID,
+        &requests,
+        NetConfig::default(),
+        RUN_TIMEOUT_MS,
+    )
+    .unwrap_or_else(|e| panic!("node {} failed: {e}", spec.node));
+    println!(
+        "node {} ({role:?}): key {}, resumed {}, {} data frames sent, {} received, {} retransmits",
+        report.node,
+        report.public_key,
+        report.resumed,
+        report.net.data_sent,
+        report.net.data_received,
+        report.arq.retransmits,
+    );
+}
+
+/// On failure, surface every child's log so CI artifacts tell the story.
+fn dump_logs(base: &Path, nodes: &[u64]) {
+    for &node in nodes {
+        eprintln!("--- node {node} log ({})", log_file(base, node).display());
+        if let Ok(contents) = std::fs::read_to_string(log_file(base, node)) {
+            eprintln!("{contents}");
+        }
+    }
+}
+
+/// Polls for every request's signature file, parsing each into the group
+/// key and signature it attests.
+fn await_signatures(
+    base: &Path,
+    deadline: u64,
+) -> Result<Vec<(u64, PublicKey, Signature)>, String> {
+    loop {
+        let mut out = Vec::with_capacity(REQUESTS.len());
+        for (req, _) in &REQUESTS {
+            match std::fs::read_to_string(sig_file(base, *req)) {
+                Ok(contents) if !contents.trim().is_empty() => {
+                    out.push(parse_signature(*req, contents.trim())?);
+                }
+                _ => break,
+            }
+        }
+        if out.len() == REQUESTS.len() {
+            return Ok(out);
+        }
+        if epoch_ms() > deadline {
+            let missing: Vec<u64> = REQUESTS
+                .iter()
+                .map(|(req, _)| *req)
+                .filter(|&req| !sig_file(base, req).exists())
+                .collect();
+            return Err(format!("signature files of requests {missing:?}"));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+}
+
+/// Parses one `"<group key hex> <signature hex>"` signature file.
+fn parse_signature(req: u64, contents: &str) -> Result<(u64, PublicKey, Signature), String> {
+    let mut parts = contents.split_whitespace();
+    let key_bytes: [u8; 33] = parts
+        .next()
+        .and_then(decode_hex)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| format!("sig file for request {req} has a malformed key"))?;
+    let sig_bytes: [u8; 65] = parts
+        .next()
+        .and_then(decode_hex)
+        .and_then(|b| b.try_into().ok())
+        .ok_or_else(|| format!("sig file for request {req} has a malformed signature"))?;
+    let key = PublicKey::from_bytes(&key_bytes)
+        .ok_or_else(|| format!("sig file for request {req} has an invalid key"))?;
+    let signature = Signature::from_bytes(&sig_bytes)
+        .ok_or_else(|| format!("sig file for request {req} has an invalid signature"))?;
+    Ok((req, key, signature))
+}

@@ -48,6 +48,11 @@ pub struct MaliciousNode {
     /// Datagrams the internal endpoint refused (diagnostics: the adversary
     /// position receives hostile traffic too).
     inner_rejections: u64,
+    /// The operator input the internal machine receives at
+    /// [`CorruptEndpoint::on_start`] — [`DkgInput::Start`] for a fresh DKG,
+    /// [`DkgInput::StartReshare`] when the corrupted node participates in a
+    /// §5.2 renewal phase.
+    start: DkgInput,
 }
 
 impl MaliciousNode {
@@ -61,9 +66,43 @@ impl MaliciousNode {
         strategy: Box<dyn Strategy>,
         seed: u64,
     ) -> Self {
-        let mut inner = Endpoint::new(node, EndpointConfig::default());
+        MaliciousNode::with_session(
+            setup,
+            node,
+            tau,
+            setup.build_node(node, tau),
+            DkgInput::Start,
+            EndpointConfig::default(),
+            strategy,
+            seed,
+        )
+    }
+
+    /// [`MaliciousNode::new`] with a caller-supplied session state machine,
+    /// start input and inner-endpoint configuration. This is how a
+    /// corrupted node joins a **renewal** phase: the caller pre-configures
+    /// the [`dkg_core::DkgNode`] exactly like the honest ones (expected
+    /// dealer commitments, interpolate-at-zero combine rule) and hands in
+    /// [`DkgInput::StartReshare`] carrying the node's previous-phase share,
+    /// so the adversary attacks from a *plausible* position instead of one
+    /// the §5.2 safeguards would discard outright. Giving `config` a store
+    /// makes the internal honest machine persistent — a fleet harness can
+    /// later [`Endpoint::restore`] it to read the state the corrupted node
+    /// actually reached.
+    #[allow(clippy::too_many_arguments)] // construction-site bundle, not an API users compose
+    pub fn with_session(
+        setup: &SystemSetup,
+        node: NodeId,
+        tau: u64,
+        session: dkg_core::DkgNode,
+        start: DkgInput,
+        config: EndpointConfig,
+        strategy: Box<dyn Strategy>,
+        seed: u64,
+    ) -> Self {
+        let mut inner = Endpoint::new(node, config);
         inner
-            .add_dkg_session(setup.build_node(node, tau))
+            .add_dkg_session(session)
             .expect("fresh endpoint hosts no session");
         MaliciousNode {
             id: node,
@@ -75,6 +114,7 @@ impl MaliciousNode {
             rng: StdRng::seed_from_u64(seed),
             dealt: None,
             inner_rejections: 0,
+            start,
         }
     }
 
@@ -156,7 +196,8 @@ impl CorruptEndpoint for MaliciousNode {
     }
 
     fn on_start(&mut self, now: WallClock) -> Vec<CorruptSend> {
-        let _ = self.inner.handle_dkg_input(self.tau, DkgInput::Start, now);
+        let start = self.start.clone();
+        let _ = self.inner.handle_dkg_input(self.tau, start, now);
         let mut out = self.pump(now);
         let extra = self.with_ctx(now, |strategy, ctx| strategy.on_start(ctx));
         out.extend(extra.into_iter().map(|d| self.encode(d)));

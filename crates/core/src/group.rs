@@ -174,7 +174,7 @@ impl WireSize for GroupModMessage {
 }
 
 /// Operator inputs for the agreement protocol.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum GroupModInput {
     /// Propose a change to the group.
     Propose(GroupChange),
@@ -201,8 +201,9 @@ pub struct GroupModNode {
     accepted: Vec<GroupChange>,
 }
 
-/// Canonical key for a proposal (used for counting).
-type GroupChangeKey = (u8, NodeId, u8);
+/// Canonical key for a proposal (used for counting): `(kind, node,
+/// adjustment)` as the same small integers the wire codec uses.
+pub type GroupChangeKey = (u8, NodeId, u8);
 
 fn change_key(change: &GroupChange) -> GroupChangeKey {
     match *change {
@@ -217,6 +218,28 @@ fn adjustment_key(a: ParameterAdjustment) -> u8 {
         ParameterAdjustment::CrashLimit => 1,
         ParameterAdjustment::None => 2,
     }
+}
+
+/// Serializable image of a [`GroupModNode`], so a group-modification
+/// agreement in flight survives a crash like every other endpoint session.
+/// The broadcast state machine is deterministic and message-driven — no
+/// RNG, no timers, no crypto jobs — so the snapshot is just its counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GroupModSnapshot {
+    /// The node this state belongs to.
+    pub id: NodeId,
+    /// The configuration the agreement runs under.
+    pub config: DkgConfig,
+    /// Proposals this node has echoed.
+    pub echoed: Vec<GroupChangeKey>,
+    /// Proposals this node has sent `ready` for.
+    pub ready_sent: Vec<GroupChangeKey>,
+    /// Echo senders per proposal.
+    pub echo_from: Vec<(GroupChangeKey, Vec<NodeId>)>,
+    /// Ready senders per proposal.
+    pub ready_from: Vec<(GroupChangeKey, Vec<NodeId>)>,
+    /// The modification queue (accepted changes, in acceptance order).
+    pub accepted: Vec<GroupChange>,
 }
 
 impl GroupModNode {
@@ -236,6 +259,50 @@ impl GroupModNode {
     /// The changes accepted so far (this node's modification queue).
     pub fn accepted(&self) -> &[GroupChange] {
         &self.accepted
+    }
+
+    /// The configuration the agreement validates proposals against.
+    pub fn config(&self) -> &DkgConfig {
+        &self.config
+    }
+
+    /// Captures the complete agreement state for persistence.
+    pub fn snapshot(&self) -> GroupModSnapshot {
+        let flatten = |map: &BTreeMap<GroupChangeKey, BTreeSet<NodeId>>| {
+            map.iter()
+                .map(|(key, from)| (*key, from.iter().copied().collect()))
+                .collect()
+        };
+        GroupModSnapshot {
+            id: self.id,
+            config: self.config.clone(),
+            echoed: self.echoed.iter().copied().collect(),
+            ready_sent: self.ready_sent.iter().copied().collect(),
+            echo_from: flatten(&self.echo_from),
+            ready_from: flatten(&self.ready_from),
+            accepted: self.accepted.clone(),
+        }
+    }
+
+    /// Rebuilds the state machine from a [`snapshot`](Self::snapshot). The
+    /// snapshot's config was re-validated when it was decoded, and every
+    /// other field is plain counting state, so reconstruction cannot fail.
+    pub fn restore(snapshot: GroupModSnapshot) -> Self {
+        let unflatten = |entries: Vec<(GroupChangeKey, Vec<NodeId>)>| {
+            entries
+                .into_iter()
+                .map(|(key, from)| (key, from.into_iter().collect()))
+                .collect()
+        };
+        GroupModNode {
+            id: snapshot.id,
+            config: snapshot.config,
+            echoed: snapshot.echoed.into_iter().collect(),
+            ready_sent: snapshot.ready_sent.into_iter().collect(),
+            echo_from: unflatten(snapshot.echo_from),
+            ready_from: unflatten(snapshot.ready_from),
+            accepted: snapshot.accepted,
+        }
     }
 
     fn validate(&self, change: &GroupChange) -> bool {

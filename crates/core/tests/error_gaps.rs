@@ -1,0 +1,141 @@
+//! Gap tests for the group-modification and renewal error paths: every
+//! [`GroupChangeError`] and [`RenewalError`] variant is reachable through
+//! the public API, carries the right payload, and renders a usable
+//! message. These are the errors an operator hits when a proposed phase
+//! change is invalid — the fleet runner leans on them to degrade
+//! gracefully, so each one is pinned here.
+
+use std::collections::BTreeMap;
+
+use dkg_arith::{PrimeField, Scalar};
+use dkg_core::group::{apply_group_changes, GroupChange, GroupChangeError, ParameterAdjustment};
+use dkg_core::{plan_renewal, PhaseState, RenewalError, RenewalOptions, SystemSetup};
+use dkg_poly::{CommitmentMatrix, SymmetricBivariate};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Synthesises consistent previous-phase states for `nodes` without
+/// running a protocol: `plan_renewal` only reads membership and the
+/// commitment matrix.
+fn phase_states(setup: &SystemSetup, nodes: &[u64]) -> BTreeMap<u64, PhaseState> {
+    let mut rng = StdRng::seed_from_u64(setup.seed);
+    let secret = Scalar::random(&mut rng);
+    let poly = SymmetricBivariate::random_with_secret(&mut rng, setup.config.t(), secret);
+    let commitment = CommitmentMatrix::commit(&poly);
+    nodes
+        .iter()
+        .map(|&node| {
+            (
+                node,
+                PhaseState {
+                    tau: 1,
+                    share: poly.row(node).constant_term(),
+                    commitment: commitment.clone(),
+                    public_key: commitment.public_key(),
+                },
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn adding_an_existing_member_is_rejected_with_its_id() {
+    let config = SystemSetup::generate(7, 1, 11).config;
+    let member = config.vss.nodes[3];
+    let err = apply_group_changes(
+        &config,
+        &[GroupChange::AddNode {
+            node: member,
+            adjustment: ParameterAdjustment::None,
+        }],
+    )
+    .expect_err("duplicate member must be rejected");
+    assert_eq!(err, GroupChangeError::AlreadyMember(member));
+    assert!(err.to_string().contains(&member.to_string()));
+}
+
+#[test]
+fn removing_a_stranger_is_rejected_with_its_id() {
+    let config = SystemSetup::generate(7, 1, 11).config;
+    let stranger = config.vss.nodes.iter().max().unwrap() + 100;
+    let err = apply_group_changes(
+        &config,
+        &[GroupChange::RemoveNode {
+            node: stranger,
+            adjustment: ParameterAdjustment::None,
+        }],
+    )
+    .expect_err("non-member removal must be rejected");
+    assert_eq!(err, GroupChangeError::NotAMember(stranger));
+    assert!(err.to_string().contains(&stranger.to_string()));
+}
+
+#[test]
+fn changes_breaking_the_resilience_bound_are_rejected() {
+    // n = 6, f = 1, t = 1 sits exactly on n = 3t + 2f + 1: any shrink or
+    // parameter raise must fail closed.
+    let config = SystemSetup::generate(6, 1, 11).config;
+    let member = config.vss.nodes[0];
+    let shrink = apply_group_changes(
+        &config,
+        &[GroupChange::RemoveNode {
+            node: member,
+            adjustment: ParameterAdjustment::None,
+        }],
+    )
+    .expect_err("shrinking past the bound must be rejected");
+    assert_eq!(shrink, GroupChangeError::ResilienceViolated);
+    let raise = apply_group_changes(
+        &config,
+        &[GroupChange::AddNode {
+            node: 1_000,
+            adjustment: ParameterAdjustment::Threshold,
+        }],
+    )
+    .expect_err("raising t without slack must be rejected");
+    assert_eq!(raise, GroupChangeError::ResilienceViolated);
+    // An error must leave no half-applied change behind: the same batch
+    // minus the violating step still applies cleanly.
+    assert!(apply_group_changes(
+        &config,
+        &[GroupChange::AddNode {
+            node: 1_000,
+            adjustment: ParameterAdjustment::None,
+        }],
+    )
+    .is_ok());
+}
+
+#[test]
+fn renewal_rejects_states_from_outside_the_system() {
+    let setup = SystemSetup::generate(6, 1, 23);
+    let stranger = setup.config.vss.nodes.iter().max().unwrap() + 1;
+    let mut members = setup.config.vss.nodes.clone();
+    members.push(stranger);
+    let previous = phase_states(&setup, &members);
+    let err = plan_renewal(&setup, &previous, &RenewalOptions::default())
+        .expect_err("a stranger's state must be rejected");
+    assert_eq!(err, RenewalError::UnknownNode(stranger));
+    assert!(err.to_string().contains(&stranger.to_string()));
+}
+
+#[test]
+fn renewal_rejects_fewer_than_t_plus_one_shares() {
+    let setup = SystemSetup::generate(6, 1, 23);
+    let t = setup.config.t();
+    let too_few = phase_states(&setup, &setup.config.vss.nodes[..t]);
+    let err = plan_renewal(&setup, &too_few, &RenewalOptions::default())
+        .expect_err("t states cannot preserve the secret");
+    assert_eq!(err, RenewalError::NotEnoughShares);
+    // Crashed nodes do not count towards the quorum either.
+    let enough_but_crashed = phase_states(&setup, &setup.config.vss.nodes[..t + 1]);
+    let options = RenewalOptions {
+        crashed: vec![setup.config.vss.nodes[0]],
+        ..RenewalOptions::default()
+    };
+    let err = plan_renewal(&setup, &enough_but_crashed, &options)
+        .expect_err("crashed nodes must not count towards the quorum");
+    assert_eq!(err, RenewalError::NotEnoughShares);
+    // Exactly t + 1 live states is the floor.
+    assert!(plan_renewal(&setup, &enough_but_crashed, &RenewalOptions::default()).is_ok());
+}

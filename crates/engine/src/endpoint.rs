@@ -22,6 +22,7 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
+use dkg_core::group::{GroupModInput, GroupModMessage, GroupModNode, GroupModOutput};
 use dkg_core::{DkgInput, DkgMessage, DkgNode, DkgOutput, DkgResult};
 use dkg_crypto::NodeId;
 use dkg_poly::{CryptoJob, CryptoVerdict};
@@ -29,7 +30,10 @@ use dkg_sim::{Action, ActionSink, Protocol, TimerId, WireSize};
 use dkg_store::{StoreError, StoreHandle, WalRecord};
 use dkg_tss::{SignSession, TssInput, TssMessage, TssOutput};
 use dkg_vss::{SessionId, VssInput, VssMessage, VssNode, VssOutput};
-use dkg_wire::{decode_datagram, encode_datagram, Header, ProtocolId, WireDecode, WireError};
+use dkg_wire::{
+    decode_datagram_versioned, encode_datagram_versioned, Header, ProtocolId, WireDecode,
+    WireError, VERSION,
+};
 
 use crate::persist::{
     EndpointSnapshot, PersistStats, RestoreError, SessionSnapshot, SessionStateSnapshot,
@@ -67,6 +71,16 @@ pub struct EndpointConfig {
     /// log into a fresh snapshot. Compaction only happens at quiescent
     /// points (empty outbox/event queue, no crypto jobs in flight).
     pub wal_compact_bytes: u64,
+    /// The wire version stamped on every datagram this endpoint emits
+    /// (default [`dkg_wire::VERSION`]). Raising it is phase two of a
+    /// rolling upgrade: only do so once every peer accepts it.
+    pub wire_version: u8,
+    /// The newest wire version this endpoint accepts
+    /// ([`dkg_wire::decode_datagram_versioned`]); frames above it are
+    /// refused as [`WireError::UnsupportedVersion`]. Raising this is phase
+    /// one of a rolling upgrade — safe at any time, since the layout is
+    /// unchanged across known versions.
+    pub max_wire_version: u8,
 }
 
 impl Default for EndpointConfig {
@@ -77,6 +91,8 @@ impl Default for EndpointConfig {
             defer_crypto: false,
             store: None,
             wal_compact_bytes: 1 << 20,
+            wire_version: VERSION,
+            max_wire_version: VERSION,
         }
     }
 }
@@ -101,6 +117,12 @@ pub enum SessionKey {
         /// The signing-session identifier.
         sid: u64,
     },
+    /// A §6 group-modification agreement (membership change broadcast).
+    Mod {
+        /// The agreement era: which configuration epoch the proposals
+        /// modify. Routing-only, like `τ` for a DKG session.
+        era: u64,
+    },
 }
 
 impl SessionKey {
@@ -110,6 +132,7 @@ impl SessionKey {
             SessionKey::Vss { .. } => ProtocolId::Vss,
             SessionKey::Dkg { .. } => ProtocolId::Dkg,
             SessionKey::Sign { .. } => ProtocolId::Tss,
+            SessionKey::Mod { .. } => ProtocolId::Mod,
         }
     }
 
@@ -117,7 +140,9 @@ impl SessionKey {
     pub fn channel(&self) -> [u8; 16] {
         match self {
             SessionKey::Vss { session } => session.to_bytes(),
-            SessionKey::Dkg { tau } | SessionKey::Sign { sid: tau } => {
+            SessionKey::Dkg { tau }
+            | SessionKey::Sign { sid: tau }
+            | SessionKey::Mod { era: tau } => {
                 let mut out = [0u8; 16];
                 out[..8].copy_from_slice(&tau.to_be_bytes());
                 out
@@ -150,6 +175,14 @@ impl SessionKey {
                     });
                 }
                 Ok(SessionKey::Sign { sid: hi })
+            }
+            ProtocolId::Mod => {
+                if lo != 0 {
+                    return Err(WireError::InvalidValue {
+                        context: "non-zero reserved bytes in group-mod channel",
+                    });
+                }
+                Ok(SessionKey::Mod { era: hi })
             }
         }
     }
@@ -272,6 +305,13 @@ pub enum Event {
         /// The output (`Signed`, `Exhausted`).
         output: TssOutput,
     },
+    /// A group-modification agreement produced an operator output.
+    Mod {
+        /// The agreement era.
+        era: u64,
+        /// The output (`Accepted`).
+        output: GroupModOutput,
+    },
 }
 
 /// Per-session traffic and lifecycle counters.
@@ -318,6 +358,7 @@ enum SessionState {
     Dkg(Box<DkgNode>),
     Vss(Box<VssNode>),
     Sign(Box<SignSession>),
+    Mod(Box<GroupModNode>),
 }
 
 struct Session {
@@ -332,8 +373,10 @@ impl Session {
             SessionState::Dkg(node) => node.is_complete(),
             SessionState::Vss(node) => node.is_complete(),
             // A signing service never finishes: it keeps answering
-            // requests until evicted.
-            SessionState::Sign(_) => false,
+            // requests until evicted. The group-modification agreement is
+            // the same shape — it keeps accepting proposals until the
+            // phase change that applies them evicts it.
+            SessionState::Sign(_) | SessionState::Mod(_) => false,
         }
     }
 }
@@ -472,6 +515,14 @@ impl Endpoint {
         }
     }
 
+    /// Read access to a hosted group-modification agreement.
+    pub fn mod_session(&self, era: u64) -> Option<&GroupModNode> {
+        match &self.sessions.get(&SessionKey::Mod { era })?.state {
+            SessionState::Mod(node) => Some(node),
+            _ => None,
+        }
+    }
+
     /// The completed result of a DKG session, if any.
     pub fn dkg_result(&self, tau: u64) -> Option<&DkgResult> {
         self.dkg_session(tau).and_then(DkgNode::result)
@@ -528,6 +579,22 @@ impl Endpoint {
         self.insert_session(key, SessionState::Sign(Box::new(session)))
     }
 
+    /// Adds a group-modification agreement session under the given era.
+    /// The agreement itself carries no era — it is a routing key chosen by
+    /// the deployment (one agreement per configuration epoch).
+    ///
+    /// Same store-quiescence requirement as [`Endpoint::add_dkg_session`].
+    pub fn add_mod_session(&mut self, era: u64, node: GroupModNode) -> Result<SessionKey, Reject> {
+        if node.id() != self.id {
+            return Err(Reject::WrongNode {
+                endpoint: self.id,
+                node: node.id(),
+            });
+        }
+        let key = SessionKey::Mod { era };
+        self.insert_session(key, SessionState::Mod(Box::new(node)))
+    }
+
     fn insert_session(
         &mut self,
         key: SessionKey,
@@ -542,6 +609,9 @@ impl Endpoint {
             SessionState::Dkg(node) => node.set_deferred_crypto(self.config.defer_crypto),
             SessionState::Vss(node) => node.set_deferred_crypto(self.config.defer_crypto),
             SessionState::Sign(session) => session.set_deferred_crypto(self.config.defer_crypto),
+            // The agreement broadcast does no expensive crypto: nothing to
+            // defer.
+            SessionState::Mod(_) => {}
         }
         self.sessions.insert(
             key,
@@ -673,6 +743,7 @@ impl Endpoint {
                 SessionState::Sign(session) => {
                     SessionStateSnapshot::Sign(Box::new(session.snapshot()?))
                 }
+                SessionState::Mod(node) => SessionStateSnapshot::Mod(Box::new(node.snapshot())),
             };
             sessions.push(SessionSnapshot {
                 key,
@@ -783,6 +854,13 @@ impl Endpoint {
                     }
                     SessionState::Sign(Box::new(session))
                 }
+                SessionStateSnapshot::Mod(snapshot) => {
+                    let node = GroupModNode::restore(*snapshot);
+                    if node.id() != image.id {
+                        return Err(dkg_vss::SnapshotError::ForeignNode { node: node.id() }.into());
+                    }
+                    SessionState::Mod(Box::new(node))
+                }
             };
             endpoint.insert_session(session.key, state).map_err(|_| {
                 StoreError::Corrupt(WireError::InvalidValue {
@@ -811,6 +889,9 @@ impl Endpoint {
                 }
                 WalRecord::TssOperator { at, sid, input } => {
                     let _ = endpoint.handle_tss_input(*sid, input.clone(), *at);
+                }
+                WalRecord::ModOperator { at, era, input } => {
+                    let _ = endpoint.handle_mod_input(*era, *input, *at);
                 }
                 WalRecord::Timeout { at } => endpoint.handle_timeout(*at),
             }
@@ -925,6 +1006,31 @@ impl Endpoint {
         Ok(())
     }
 
+    /// Feeds an operator input to a group-modification agreement (propose).
+    pub fn handle_mod_input(
+        &mut self,
+        era: u64,
+        input: GroupModInput,
+        now: WallClock,
+    ) -> Result<(), Reject> {
+        self.check_backpressure()?;
+        let key = SessionKey::Mod { era };
+        if !self.sessions.contains_key(&key) {
+            self.stats.rejected += 1;
+            return Err(Reject::UnknownSession(key));
+        }
+        self.persist_input(
+            Some(key),
+            &WalRecord::ModOperator {
+                at: now,
+                era,
+                input,
+            },
+        )?;
+        self.run_mod(key, now, |node, sink| node.on_operator(input, sink));
+        Ok(())
+    }
+
     /// Runs the crash-recovery procedure of every hosted session (§5.3):
     /// called by the application after rebooting from stable storage.
     pub fn recover_all(&mut self, now: WallClock) {
@@ -941,6 +1047,9 @@ impl Endpoint {
                 SessionKey::Sign { .. } => {
                     self.run_sign(key, now, |session, sink| session.on_recover(sink))
                 }
+                // The agreement broadcast has no §5.3 recovery procedure:
+                // its whole state rides the snapshot + WAL replay.
+                SessionKey::Mod { .. } => {}
             }
         }
     }
@@ -962,10 +1071,11 @@ impl Endpoint {
                 max: self.config.max_datagram_len,
             });
         }
-        let (header, payload) = decode_datagram(datagram).map_err(|e| {
-            self.stats.rejected += 1;
-            Reject::Malformed(e)
-        })?;
+        let (_version, header, payload) =
+            decode_datagram_versioned(datagram, self.config.max_wire_version).map_err(|e| {
+                self.stats.rejected += 1;
+                Reject::Malformed(e)
+            })?;
         let key = SessionKey::from_header(&header).map_err(|e| {
             self.stats.rejected += 1;
             Reject::Malformed(e)
@@ -1066,6 +1176,32 @@ impl Endpoint {
                     session.on_message(from, message, sink)
                 });
             }
+            (SessionState::Mod(_), SessionKey::Mod { .. }) => {
+                let message = match GroupModMessage::decode(payload) {
+                    Ok(message) => message,
+                    Err(e) => {
+                        session.stats.rejected += 1;
+                        return Err(Reject::Malformed(e));
+                    }
+                };
+                // Group-mod payloads carry no era of their own (the change
+                // set is era-independent), so routing is by header alone —
+                // there is no embedded field to cross-check for splicing.
+                if self.persistence_active() {
+                    self.persist_input(
+                        Some(key),
+                        &WalRecord::Datagram {
+                            at: now,
+                            from,
+                            bytes: datagram.to_vec(),
+                        },
+                    )?;
+                }
+                let session = self.sessions.get_mut(&key).expect("checked above");
+                session.stats.datagrams_in += 1;
+                session.stats.bytes_in += datagram.len() as u64;
+                self.run_mod(key, now, |node, sink| node.on_message(from, message, sink));
+            }
             // `from_header` pairs protocols and key variants 1:1, and
             // sessions are inserted under their own key, so a hosted session
             // always matches its key's variant.
@@ -1123,6 +1259,8 @@ impl Endpoint {
                     SessionKey::Sign { .. } => {
                         self.run_sign(key, now, |session, sink| session.on_timer(timer, sink))
                     }
+                    // The agreement broadcast registers no timers either.
+                    SessionKey::Mod { .. } => {}
                 }
             }
         }
@@ -1160,6 +1298,9 @@ impl Endpoint {
                     SessionState::Dkg(node) => node.poll_job(),
                     SessionState::Vss(node) => node.poll_job(),
                     SessionState::Sign(session) => session.poll_job(),
+                    // The agreement broadcast is hash-free bookkeeping; it
+                    // never prepares crypto jobs.
+                    SessionState::Mod(_) => None,
                 };
                 let Some((inner, job)) = polled else {
                     break;
@@ -1211,6 +1352,9 @@ impl Endpoint {
             SessionKey::Sign { .. } => self.run_sign(key, now, |session, sink| {
                 session.complete_job(inner, &verdict, sink)
             }),
+            // Unreachable in practice: Mod sessions never hand out jobs, so
+            // no ticket can route back to one.
+            SessionKey::Mod { .. } => {}
         }
         Ok(key)
     }
@@ -1254,7 +1398,8 @@ impl Endpoint {
             match action {
                 Action::Send { to, message } => {
                     let kind = message.kind();
-                    let payload = encode_datagram(
+                    let payload = encode_datagram_versioned(
+                        self.config.wire_version,
                         Header {
                             protocol: key.protocol(),
                             channel: key.channel(),
@@ -1308,7 +1453,8 @@ impl Endpoint {
             match action {
                 dkg_vss::VssAction::Send { to, message } => {
                     let kind = message.kind();
-                    let payload = encode_datagram(
+                    let payload = encode_datagram_versioned(
+                        self.config.wire_version,
                         Header {
                             protocol: key.protocol(),
                             channel: key.channel(),
@@ -1359,7 +1505,8 @@ impl Endpoint {
             match action {
                 Action::Send { to, message } => {
                     let kind = message.kind();
-                    let payload = encode_datagram(
+                    let payload = encode_datagram_versioned(
+                        self.config.wire_version,
                         Header {
                             protocol: key.protocol(),
                             channel: key.channel(),
@@ -1393,5 +1540,55 @@ impl Endpoint {
         if machine.has_queued_jobs() {
             self.jobs_ready.insert(key);
         }
+    }
+
+    fn run_mod<F>(&mut self, key: SessionKey, now: WallClock, f: F)
+    where
+        F: FnOnce(&mut GroupModNode, &mut ActionSink<GroupModMessage, GroupModOutput>),
+    {
+        let session = self.sessions.get_mut(&key).expect("caller checked");
+        let SessionState::Mod(node) = &mut session.state else {
+            unreachable!("mod key hosts a group-mod session");
+        };
+        let SessionKey::Mod { era } = key else {
+            unreachable!("mod key hosts a group-mod session");
+        };
+        let mut sink = ActionSink::new();
+        f(node, &mut sink);
+        for action in sink.into_actions() {
+            match action {
+                Action::Send { to, message } => {
+                    let kind = message.kind();
+                    let payload = encode_datagram_versioned(
+                        self.config.wire_version,
+                        Header {
+                            protocol: key.protocol(),
+                            channel: key.channel(),
+                        },
+                        &message,
+                    );
+                    session.stats.datagrams_out += 1;
+                    session.stats.bytes_out += payload.len() as u64;
+                    self.outbox.push_back(Transmit {
+                        to,
+                        session: key,
+                        kind,
+                        payload,
+                    });
+                }
+                Action::Output(output) => {
+                    session.stats.events += 1;
+                    self.events.push_back(Event::Mod { era, output });
+                }
+                Action::SetTimer { id, delay } => {
+                    session.timers.insert(id, now.saturating_add(delay));
+                }
+                Action::CancelTimer { id } => {
+                    session.timers.remove(&id);
+                }
+            }
+        }
+        // No completed_at: like signing, the agreement stays open for late
+        // deltas. No jobs_ready tail: GroupModNode prepares no crypto jobs.
     }
 }

@@ -17,6 +17,7 @@
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
+use dkg_core::group::GroupModInput;
 use dkg_core::DkgInput;
 use dkg_crypto::{sha256, NodeId};
 use dkg_sim::{ChaosModel, DelayModel, LinkFate, Metrics};
@@ -59,6 +60,11 @@ enum NetEvent {
         node: NodeId,
         sid: u64,
         input: TssInput,
+    },
+    ModInput {
+        node: NodeId,
+        era: u64,
+        input: GroupModInput,
     },
     Crash(NodeId),
     Recover(NodeId),
@@ -469,6 +475,17 @@ impl EndpointNet {
         self.push(at, NetEvent::TssInput { node, sid, input });
     }
 
+    /// Schedules a §6 group-modification operator input.
+    pub fn schedule_mod_input(
+        &mut self,
+        node: NodeId,
+        era: u64,
+        input: GroupModInput,
+        at: WallClock,
+    ) {
+        self.push(at, NetEvent::ModInput { node, era, input });
+    }
+
     /// Schedules a crash: at `at`, the node's in-memory endpoint is
     /// **dropped** — its sessions, timers and queues are gone, exactly as
     /// a real crash loses RAM. Until recovered, the node receives nothing.
@@ -615,6 +632,21 @@ impl EndpointNet {
                 let now = self.now;
                 if let Some(endpoint) = self.endpoints.get_mut(&node) {
                     if let Err(reject) = endpoint.handle_tss_input(sid, input, now) {
+                        self.rejections.push(RejectRecord {
+                            time: now,
+                            node,
+                            from: node,
+                            origin: DatagramOrigin::Honest,
+                            reject,
+                        });
+                    }
+                    self.drain(node);
+                }
+            }
+            NetEvent::ModInput { node, era, input } => {
+                let now = self.now;
+                if let Some(endpoint) = self.endpoints.get_mut(&node) {
+                    if let Err(reject) = endpoint.handle_mod_input(era, input, now) {
                         self.rejections.push(RejectRecord {
                             time: now,
                             node,

@@ -15,6 +15,7 @@
 //! is snapshot-then-replay — see [`crate::Endpoint::restore`].
 
 use dkg_arith::GroupElement;
+use dkg_core::group::GroupModSnapshot;
 use dkg_core::DkgSnapshot;
 use dkg_crypto::NodeId;
 use dkg_store::StoreError;
@@ -59,6 +60,8 @@ pub enum SessionStateSnapshot {
     },
     /// A threshold-signing session.
     Sign(Box<SignSnapshot>),
+    /// A §6 group-modification agreement.
+    Mod(Box<GroupModSnapshot>),
 }
 
 /// One hosted session: key, counters, armed timers and machine state.
@@ -185,6 +188,10 @@ impl WireEncode for SessionKey {
                 w.put_u8(2);
                 w.put_u64(*sid);
             }
+            SessionKey::Mod { era } => {
+                w.put_u8(3);
+                w.put_u64(*era);
+            }
         }
     }
 }
@@ -199,6 +206,7 @@ impl WireDecode for SessionKey {
             }),
             1 => Ok(SessionKey::Dkg { tau: r.u64()? }),
             2 => Ok(SessionKey::Sign { sid: r.u64()? }),
+            3 => Ok(SessionKey::Mod { era: r.u64()? }),
             tag => Err(WireError::UnknownTag {
                 context: "session key",
                 tag,
@@ -300,6 +308,10 @@ impl WireEncode for SessionStateSnapshot {
                 w.put_u8(2);
                 snapshot.encode_to(w);
             }
+            SessionStateSnapshot::Mod(snapshot) => {
+                w.put_u8(3);
+                snapshot.encode_to(w);
+            }
         }
     }
 }
@@ -318,6 +330,9 @@ impl WireDecode for SessionStateSnapshot {
             }),
             2 => Ok(SessionStateSnapshot::Sign(Box::new(
                 SignSnapshot::decode_from(r)?,
+            ))),
+            3 => Ok(SessionStateSnapshot::Mod(Box::new(
+                GroupModSnapshot::decode_from(r)?,
             ))),
             tag => Err(WireError::UnknownTag {
                 context: "session state snapshot",

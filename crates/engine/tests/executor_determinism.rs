@@ -239,6 +239,40 @@ fn env_sized_pool_matches_inline() {
     );
 }
 
+/// Determinism holds for a whole *fleet lifetime*, not just one session:
+/// the fixed 4-epoch fleet plan (refresh, §6.2 join, mid-epoch
+/// crash+restore, refresh) folds every epoch's wire transcript and every
+/// node's resulting share into one digest, and that digest is identical
+/// whichever executor performs the crypto — including the
+/// `DKG_WORKERS`-sized pool CI runs under its {1, 4} matrix.
+#[test]
+fn fleet_lifetime_is_byte_identical_across_executors() {
+    use dkg_fleet::{run_fleet, FleetCrypto, FleetOptions, FleetPlan};
+
+    let plan = FleetPlan::determinism(0xE9_0C4);
+    let run = |crypto: FleetCrypto| {
+        run_fleet(
+            &plan,
+            &FleetOptions {
+                crypto,
+                ..FleetOptions::default()
+            },
+        )
+    };
+    let baseline = run(FleetCrypto::InlineDeferred);
+    for (label, report) in [
+        ("inline", run(FleetCrypto::Inline)),
+        ("pool-2", run(FleetCrypto::Pool(2))),
+        ("pool-env", run(FleetCrypto::PoolEnv)),
+    ] {
+        assert_eq!(
+            baseline.transcript_digest, report.transcript_digest,
+            "fleet transcript diverged under the {label} executor"
+        );
+        assert_eq!(baseline.group_key, report.group_key);
+    }
+}
+
 fn cases(default: u32) -> u32 {
     std::env::var("EXECUTOR_DETERMINISM_CASES")
         .ok()

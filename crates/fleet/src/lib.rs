@@ -1,0 +1,44 @@
+//! Epoch-driven fleet simulation: a long-lived DKG deployment as one
+//! deterministic run.
+//!
+//! Kate–Goldberg's DKG (ICDCS 2009) is built for services that keep the
+//! *same* group key alive for years: §5.2 proactive share renewal, §5.3
+//! crash recovery and §6 group modification all exist so membership and
+//! machines can churn underneath an unchanging public key. Every one of
+//! those mechanisms exists in this reproduction as a single-shot unit;
+//! this crate is the harness that makes a deployment *live* through many
+//! of them in sequence.
+//!
+//! A [`FleetPlan`] is a seeded scenario: a genesis key generation followed
+//! by K epochs, each drawing from proactive refresh, membership churn
+//! (joins and leaves agreed through the §6.1 [`dkg_core::group`] reliable
+//! broadcast *over endpoints*, with §6.2 sub-share derivation for
+//! joiners), SIGKILL-style crashes restored from [`dkg_store`] stores —
+//! mid-epoch and across epoch boundaries — an active Byzantine strategy
+//! from [`dkg_adversary`], chaos partitions, threshold-signing traffic
+//! every epoch, and a two-phase rolling upgrade of the wire version byte.
+//!
+//! [`run_fleet`] executes a plan and asserts the epoch invariants after
+//! every transition:
+//!
+//! * the distributed public key is identical across all epochs,
+//! * the live share set is Lagrange-consistent at the *current* `(n, t)` —
+//!   any `t + 1` shares interpolate to the same secret, whose commitment
+//!   is the epoch-0 key,
+//! * aggregated signatures from every epoch verify as plain Schnorr
+//!   against the original key.
+//!
+//! Every assertion carries the plan seed, so a red run names the exact
+//! scenario to replay (`FLEET_REPLAY_SEED` in the test suite). The result
+//! is a per-epoch [`FleetReport`] for debugging divergences.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod report;
+pub mod runner;
+
+pub use plan::{ChurnKind, EpochPlan, FleetPlan, WireStage};
+pub use report::{EpochReport, FleetReport};
+pub use runner::{run_fleet, FleetCrypto, FleetOptions};

@@ -1,0 +1,254 @@
+//! Seeded scenario plans: *what* happens in each epoch of a fleet run.
+//!
+//! A plan is data, derived deterministically from a seed — the runner maps
+//! it onto concrete nodes. Keeping plans abstract (a "join" epoch, not
+//! "node 7 joins") lets the same plan shape apply to any membership the
+//! fleet has evolved into, and makes failures replayable from the seed
+//! alone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Membership change drawn for one epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// Pure §5.2 proactive refresh: same members, re-randomised shares.
+    Refresh,
+    /// A new node joins (§6.2): the epoch reshares among current members,
+    /// `t + 1` of them derive sub-shares for the newcomer, and the
+    /// configuration grows at the phase change.
+    Join {
+        /// Ride a §6.4 threshold increase on the addition (the paper's
+        /// `t`-change happens at a phase change alongside a membership
+        /// change). The runner downgrades the adjustment when
+        /// `n ≥ 3t + 2f + 1` would not survive it.
+        raise_threshold: bool,
+    },
+    /// A member leaves (§6.3): the configuration shrinks first and the
+    /// epoch reshares among the remaining members only. Leaves never
+    /// adjust `t`: the agreement's proposal fixes the dealer set at
+    /// exactly `t + 1` members, so a *lower* threshold cannot interpolate
+    /// the old degree-`t` secret (`t_new + 1 < t_old + 1` points) — the
+    /// §6.4 `t`-change therefore only rides additions, as a raise.
+    Leave,
+}
+
+/// Where the fleet is in the two-phase rolling upgrade of the wire
+/// version byte (`docs/WIRE.md`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireStage {
+    /// Everyone emits and accepts version 1.
+    Legacy,
+    /// Phase one, mid-rollout: half the fleet *accepts* version 2 while
+    /// everyone still emits 1. The runner injects v2 probe frames and
+    /// asserts the two halves reject them differently (version gate vs
+    /// unknown session) — the observable proof the gate is load-bearing.
+    MixedAccept,
+    /// Phase two: the whole fleet accepts and emits version 2.
+    Upgraded,
+}
+
+/// One epoch's worth of scheduled trouble.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochPlan {
+    /// The membership change (or a pure refresh).
+    pub churn: ChurnKind,
+    /// Corrupt one member with a seeded Byzantine strategy for the whole
+    /// epoch.
+    pub adversary: bool,
+    /// Run the epoch under a chaos model: a timed partition (held, not
+    /// dropped — the paper's §2.1 asynchronous model) plus reordering.
+    pub chaos: bool,
+    /// SIGKILL one member mid-renewal and restore it from its store
+    /// within the same epoch (§5.3 over `dkg-store`).
+    pub mid_crash: bool,
+    /// SIGKILL one member *after* the epoch completes; the next epoch
+    /// restores it from its store across the boundary before anything
+    /// else happens.
+    pub end_crash: bool,
+    /// Rolling-upgrade stage for this epoch.
+    pub wire: WireStage,
+    /// Threshold-signing requests served this epoch (at least 1: the key
+    /// must stay *usable*, not just unchanged).
+    pub sign_requests: u32,
+}
+
+/// A complete seeded scenario: genesis at `(n, f)` followed by `epochs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FleetPlan {
+    /// The seed everything is derived from (keys, delays, strategies,
+    /// role choices). Printed by every fleet assertion.
+    pub seed: u64,
+    /// Genesis group size.
+    pub n: usize,
+    /// Genesis crash limit `f` (the threshold `t` follows from
+    /// `n ≥ 3t + 2f + 1`).
+    pub f: usize,
+    /// The renewal epochs after genesis, in order.
+    pub epochs: Vec<EpochPlan>,
+}
+
+impl FleetPlan {
+    /// Draws a small, 1-core-friendly plan from `seed`: 6–7 genesis
+    /// nodes, 3–4 epochs, each independently picking churn, an adversary,
+    /// chaos and crash drills, with the wire upgrade rolled across the
+    /// tail of the run.
+    pub fn seeded(seed: u64) -> FleetPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF1EE_7000);
+        let n = rng.gen_range(6usize..8);
+        let epoch_count = rng.gen_range(3usize..5);
+        // The upgrade rollout: legacy until `mixed_at`, mixed-acceptance
+        // for one epoch, fully upgraded after.
+        let mixed_at = rng.gen_range(0usize..epoch_count);
+        let epochs = (0..epoch_count)
+            .map(|i| {
+                let churn = match rng.gen_range(0u32..4) {
+                    0 => ChurnKind::Refresh,
+                    1 => ChurnKind::Join {
+                        raise_threshold: rng.gen_range(0u32..2) == 0,
+                    },
+                    // A leave is only safe while the resilience bound
+                    // keeps holding; the runner re-checks via
+                    // `apply_group_changes` and falls back to a refresh.
+                    _ => ChurnKind::Leave,
+                };
+                let adversary = rng.gen_range(0u32..2) == 0;
+                EpochPlan {
+                    churn,
+                    adversary,
+                    chaos: rng.gen_range(0u32..2) == 0,
+                    // Not alongside an adversary: at these small sizes one
+                    // corrupted member plus one crashed member would eat
+                    // the whole fault budget.
+                    mid_crash: !adversary && rng.gen_range(0u32..3) == 0,
+                    end_crash: rng.gen_range(0u32..3) == 0,
+                    wire: match i.cmp(&mixed_at) {
+                        std::cmp::Ordering::Less => WireStage::Legacy,
+                        std::cmp::Ordering::Equal => WireStage::MixedAccept,
+                        std::cmp::Ordering::Greater => WireStage::Upgraded,
+                    },
+                    sign_requests: rng.gen_range(1u32..3),
+                }
+            })
+            .collect();
+        FleetPlan {
+            seed,
+            n,
+            f: 1,
+            epochs,
+        }
+    }
+
+    /// The acceptance scenario: genesis at `n = 16`, then six epochs
+    /// covering (in order) a leave under chaos with an adversary active
+    /// and an end-of-epoch crash, a refresh that restores the victim
+    /// across the boundary and SIGKILLs another member mid-epoch, three
+    /// joins growing the group back to 18 — the last one riding the §6.4
+    /// threshold raise (`t: 4 → 5`; at `f = 1` a raise needs slack 2 in
+    /// `n ≥ 3t + 2f + 1`, first reached at `n = 17`) while the wire
+    /// rollout passes through its mixed-acceptance epoch — and a final
+    /// fully-upgraded refresh with an adversary that actually reshares
+    /// onto the new degree-5 polynomial, whose signatures the runner
+    /// verifies against the epoch-0 key.
+    pub fn acceptance(seed: u64) -> FleetPlan {
+        let base = EpochPlan {
+            churn: ChurnKind::Refresh,
+            adversary: false,
+            chaos: false,
+            mid_crash: false,
+            end_crash: false,
+            wire: WireStage::Legacy,
+            sign_requests: 1,
+        };
+        FleetPlan {
+            seed,
+            n: 16,
+            f: 1,
+            epochs: vec![
+                EpochPlan {
+                    churn: ChurnKind::Leave,
+                    adversary: true,
+                    chaos: true,
+                    end_crash: true,
+                    ..base
+                },
+                EpochPlan {
+                    mid_crash: true,
+                    chaos: true,
+                    sign_requests: 2,
+                    ..base
+                },
+                EpochPlan {
+                    churn: ChurnKind::Join {
+                        raise_threshold: false,
+                    },
+                    ..base
+                },
+                EpochPlan {
+                    churn: ChurnKind::Join {
+                        raise_threshold: false,
+                    },
+                    wire: WireStage::MixedAccept,
+                    ..base
+                },
+                EpochPlan {
+                    churn: ChurnKind::Join {
+                        raise_threshold: true,
+                    },
+                    wire: WireStage::Upgraded,
+                    ..base
+                },
+                EpochPlan {
+                    adversary: true,
+                    wire: WireStage::Upgraded,
+                    sign_requests: 2,
+                    ..base
+                },
+            ],
+        }
+    }
+
+    /// The fixed 4-epoch determinism plan (refresh, join, mid-epoch
+    /// crash+restore, refresh): small enough to run repeatedly, varied
+    /// enough that an executor-dependent divergence anywhere in the epoch
+    /// machinery would shift the transcript.
+    pub fn determinism(seed: u64) -> FleetPlan {
+        let base = EpochPlan {
+            churn: ChurnKind::Refresh,
+            adversary: false,
+            chaos: false,
+            mid_crash: false,
+            end_crash: false,
+            wire: WireStage::Legacy,
+            sign_requests: 1,
+        };
+        FleetPlan {
+            seed,
+            n: 6,
+            f: 1,
+            epochs: vec![
+                base,
+                EpochPlan {
+                    churn: ChurnKind::Join {
+                        raise_threshold: false,
+                    },
+                    ..base
+                },
+                EpochPlan {
+                    mid_crash: true,
+                    ..base
+                },
+                base,
+            ],
+        }
+    }
+
+    /// How many joins the plan can draw — the runner sizes the key
+    /// universe (`n + joins`) from this.
+    pub fn max_joins(&self) -> usize {
+        self.epochs
+            .iter()
+            .filter(|e| matches!(e.churn, ChurnKind::Join { .. }))
+            .count()
+    }
+}

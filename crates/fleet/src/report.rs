@@ -1,0 +1,138 @@
+//! What a fleet run looked like, epoch by epoch.
+
+use std::fmt;
+
+use dkg_crypto::NodeId;
+
+use crate::plan::{ChurnKind, WireStage};
+
+/// One epoch's outcome: who did what to whom, and what the invariant
+/// checks saw.
+#[derive(Clone, Debug)]
+pub struct EpochReport {
+    /// The DKG phase counter `τ` for this epoch (genesis is 0).
+    pub tau: u64,
+    /// Membership change executed this epoch (`None` for genesis).
+    pub churn: Option<ChurnKind>,
+    /// Live membership *after* the epoch's phase change.
+    pub members: Vec<NodeId>,
+    /// Threshold `t` in force after the epoch.
+    pub threshold: usize,
+    /// The member corrupted by the adversary this epoch, with its
+    /// strategy name.
+    pub corrupt: Option<(NodeId, &'static str)>,
+    /// The member SIGKILLed mid-epoch and restored from its store.
+    pub mid_crashed: Option<NodeId>,
+    /// The member SIGKILLed after the epoch, left down across the
+    /// boundary for the *next* epoch to restore.
+    pub end_crashed: Option<NodeId>,
+    /// Members restored from persistent stores at the *start* of this
+    /// epoch (end-of-previous-epoch crash victims).
+    pub restored: Vec<NodeId>,
+    /// Rolling-upgrade stage the epoch ran under.
+    pub wire: WireStage,
+    /// Datagrams the simulated network rejected at endpoints this epoch
+    /// (hostile traffic, version-gated probes, late frames).
+    pub rejections: u64,
+    /// Threshold signatures produced and verified this epoch.
+    pub signatures: u32,
+    /// How many members finished the epoch holding a verified,
+    /// Lagrange-consistent share.
+    pub shares_checked: usize,
+}
+
+impl fmt::Display for EpochReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let churn = match self.churn {
+            None => "genesis".to_string(),
+            Some(ChurnKind::Refresh) => "refresh".to_string(),
+            Some(ChurnKind::Join { raise_threshold }) => {
+                if raise_threshold {
+                    "join (+t)".to_string()
+                } else {
+                    "join".to_string()
+                }
+            }
+            Some(ChurnKind::Leave) => "leave".to_string(),
+        };
+        write!(
+            f,
+            "τ={} {churn}: n={} t={} wire={:?} sigs={} shares-ok={} rejects={}",
+            self.tau,
+            self.members.len(),
+            self.threshold,
+            self.wire,
+            self.signatures,
+            self.shares_checked,
+            self.rejections,
+        )?;
+        if let Some((node, name)) = self.corrupt {
+            write!(f, " corrupt={node}:{name}")?;
+        }
+        if let Some(node) = self.mid_crashed {
+            write!(f, " mid-crash={node}")?;
+        }
+        if let Some(node) = self.end_crashed {
+            write!(f, " end-crash={node}")?;
+        }
+        if !self.restored.is_empty() {
+            write!(f, " restored={:?}", self.restored)?;
+        }
+        Ok(())
+    }
+}
+
+/// The full run: the plan seed, the (unchanging) group key, and one
+/// [`EpochReport`] per completed epoch.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Seed of the plan that produced this run.
+    pub seed: u64,
+    /// Compressed encoding of the epoch-0 distributed public key — byte
+    /// equality here *is* key equality.
+    pub group_key: Vec<u8>,
+    /// Genesis plus every renewal epoch, in order.
+    pub epochs: Vec<EpochReport>,
+    /// Deterministic digest folding every epoch's full network transcript
+    /// and the per-node result states. Two runs of the same plan are
+    /// equivalent iff these match — the executor-determinism suite
+    /// compares exactly this.
+    pub transcript_digest: [u8; 32],
+}
+
+impl FleetReport {
+    /// Total signatures verified across the run.
+    pub fn total_signatures(&self) -> u32 {
+        self.epochs.iter().map(|e| e.signatures).sum()
+    }
+
+    /// Total endpoint-level rejections across the run.
+    pub fn total_rejections(&self) -> u64 {
+        self.epochs.iter().map(|e| e.rejections).sum()
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet seed={} epochs={} key={}",
+            self.seed,
+            self.epochs.len(),
+            hex_prefix(&self.group_key),
+        )?;
+        for epoch in &self.epochs {
+            writeln!(f, "  {epoch}")?;
+        }
+        write!(f, "  transcript={}", hex_prefix(&self.transcript_digest))
+    }
+}
+
+fn hex_prefix(bytes: &[u8]) -> String {
+    bytes
+        .iter()
+        .take(8)
+        .map(|b| format!("{b:02x}"))
+        .collect::<String>()
+        + "…"
+}

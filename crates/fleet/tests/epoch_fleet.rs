@@ -1,0 +1,178 @@
+//! The epoch fleet suite: long-lived deployments under churn, resharing
+//! and crashes.
+//!
+//! * a seeded property test runs randomly drawn [`FleetPlan`]s end to end
+//!   (`FLEET_EPOCH_CASES` raises the case count in CI),
+//! * every fleet assertion prints its plan seed, and setting
+//!   `FLEET_REPLAY_SEED=<seed>` makes this suite re-run exactly that
+//!   plan — the replay test also proves a replay is byte-identical,
+//! * the acceptance scenario runs ≥ 6 epochs at `n = 16` over real
+//!   [`FileStore`](dkg_store::FileStore) directories: at least one
+//!   refresh, join, leave, threshold change and SIGKILL+restore, with an
+//!   adversary and chaos active, asserting key/share consistency every
+//!   epoch and that the final epoch's signature verifies as plain Schnorr
+//!   against the epoch-0 key.
+
+use dkg_fleet::{run_fleet, ChurnKind, FleetCrypto, FleetOptions, FleetPlan, WireStage};
+use proptest::prelude::*;
+
+fn cases(default: u32) -> u32 {
+    std::env::var("FLEET_EPOCH_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn replay_seed() -> Option<u64> {
+    std::env::var("FLEET_REPLAY_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+}
+
+/// Shared shape checks for any completed run of `plan`.
+fn check_report(plan: &FleetPlan, report: &dkg_fleet::FleetReport) {
+    assert_eq!(
+        report.epochs.len(),
+        plan.epochs.len() + 1,
+        "genesis + every epoch reports"
+    );
+    assert_eq!(report.seed, plan.seed);
+    assert_eq!(report.group_key.len(), 33, "compressed group element");
+    for (epoch, planned) in report.epochs.iter().skip(1).zip(&plan.epochs) {
+        assert_eq!(epoch.wire, planned.wire);
+        assert_eq!(epoch.signatures, planned.sign_requests);
+        // Every live member ended the epoch with a verified share, and
+        // there are always enough to reconstruct (> t).
+        assert!(epoch.shares_checked > epoch.threshold);
+    }
+    assert!(report.total_signatures() >= report.epochs.len() as u32);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases(2)))]
+
+    /// Randomly drawn fleet scenarios hold every epoch invariant (the
+    /// invariants themselves are asserted inside `run_fleet`, each tagged
+    /// with the plan seed for replay).
+    #[test]
+    fn seeded_plans_hold_epoch_invariants(seed in any::<u64>()) {
+        // A set replay seed narrows the whole suite to the failing plan.
+        let seed = replay_seed().unwrap_or(seed);
+        let plan = FleetPlan::seeded(seed);
+        let report = run_fleet(&plan, &FleetOptions::default());
+        check_report(&plan, &report);
+    }
+}
+
+/// `FLEET_REPLAY_SEED` re-runs one exact plan; this test proves a replay
+/// reproduces the original run bit for bit, so the seed printed by a red
+/// assertion really names the same execution.
+#[test]
+fn replay_reruns_the_exact_plan() {
+    let seed = replay_seed().unwrap_or(0xD05EED);
+    let plan = FleetPlan::seeded(seed);
+    let first = run_fleet(&plan, &FleetOptions::default());
+    let second = run_fleet(&plan, &FleetOptions::default());
+    assert_eq!(
+        first.transcript_digest, second.transcript_digest,
+        "replay of plan seed {seed} diverged from the original run"
+    );
+    assert_eq!(first.group_key, second.group_key);
+}
+
+/// The ISSUE acceptance scenario: a 16-node fleet living through six
+/// epochs on disk-backed stores. Debris stays under `target/fleet-e2e`
+/// on failure for post-mortem.
+#[test]
+fn acceptance_sixteen_node_lifetime() {
+    let seed = replay_seed().unwrap_or(0xACCE97);
+    let plan = FleetPlan::acceptance(seed);
+    let base: std::path::PathBuf = [env!("CARGO_TARGET_TMPDIR"), &format!("fleet-e2e-{seed:x}")]
+        .iter()
+        .collect();
+    let _ = std::fs::remove_dir_all(&base);
+    let options = FleetOptions {
+        crypto: FleetCrypto::PoolEnv,
+        store_dir: Some(base.clone()),
+        ..FleetOptions::default()
+    };
+    let report = run_fleet(&plan, &options);
+    check_report(&plan, &report);
+
+    // Genesis at n = 16 plus six epochs.
+    assert_eq!(report.epochs.len(), 7);
+    assert_eq!(report.epochs[0].members.len(), 16);
+    // ≥1 leave, ≥1 refresh, ≥1 join, ≥1 t-change, all executed as planned
+    // (no silent fallback to refresh).
+    assert_eq!(report.epochs[1].churn, Some(ChurnKind::Leave));
+    assert_eq!(report.epochs[1].members.len(), 15);
+    assert_eq!(report.epochs[2].churn, Some(ChurnKind::Refresh));
+    assert_eq!(
+        report.epochs[3].churn,
+        Some(ChurnKind::Join {
+            raise_threshold: false
+        })
+    );
+    assert_eq!(report.epochs[3].members.len(), 16);
+    assert_eq!(
+        report.epochs[5].churn,
+        Some(ChurnKind::Join {
+            raise_threshold: true
+        })
+    );
+    assert_eq!(report.epochs[5].members.len(), 18);
+    assert!(
+        report.epochs[5].threshold > report.epochs[4].threshold,
+        "the §6.4 threshold change must actually execute"
+    );
+    // …and the final refresh reshares onto the raised degree for real.
+    assert_eq!(report.epochs[6].churn, Some(ChurnKind::Refresh));
+    assert_eq!(report.epochs[6].threshold, report.epochs[5].threshold);
+    // ≥1 SIGKILL-style crash+restore: one mid-epoch, one across the
+    // epoch-1 → epoch-2 boundary.
+    assert!(report.epochs[2].mid_crashed.is_some());
+    let crashed = report.epochs[1].end_crashed.expect("end-of-epoch crash");
+    assert_eq!(report.epochs[2].restored, vec![crashed]);
+    // Adversary and chaos were live.
+    assert!(report.epochs[1].corrupt.is_some());
+    assert!(report.epochs[6].corrupt.is_some());
+    // The rolling upgrade ran both phases; the mixed epoch's probes were
+    // rejected (they are counted among the epoch's rejections).
+    assert_eq!(report.epochs[4].wire, WireStage::MixedAccept);
+    assert_eq!(report.epochs[5].wire, WireStage::Upgraded);
+    assert!(
+        report.epochs[4].rejections >= 15,
+        "one probe per honest member"
+    );
+    // Signing traffic every epoch; the final epoch's signatures verified
+    // as plain Schnorr against the epoch-0 key inside run_fleet.
+    assert_eq!(report.total_signatures(), 9);
+
+    // Success: clean up the store directories.
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Crash drills behave identically on `MemStore` and `FileStore`: the
+/// persistence backend must not influence a single transcript byte.
+#[test]
+fn file_and_memory_stores_agree() {
+    let seed = replay_seed().unwrap_or(0x57013);
+    let plan = FleetPlan::determinism(seed);
+    let base: std::path::PathBuf = [
+        env!("CARGO_TARGET_TMPDIR"),
+        &format!("fleet-store-{seed:x}"),
+    ]
+    .iter()
+    .collect();
+    let _ = std::fs::remove_dir_all(&base);
+    let memory = run_fleet(&plan, &FleetOptions::default());
+    let disk = run_fleet(
+        &plan,
+        &FleetOptions {
+            store_dir: Some(base.clone()),
+            ..FleetOptions::default()
+        },
+    );
+    assert_eq!(memory.transcript_digest, disk.transcript_digest);
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -24,6 +24,7 @@
 //! errors), which is surfaced as a typed [`StoreError`] because it means
 //! the medium, not the crash model, lied.
 
+use dkg_core::group::GroupModInput;
 use dkg_core::DkgInput;
 use dkg_crypto::NodeId;
 use dkg_tss::TssInput;
@@ -86,6 +87,15 @@ pub enum WalRecord {
         /// The input.
         input: TssInput,
     },
+    /// An operator input fed to a group-modification agreement session.
+    ModOperator {
+        /// Input time.
+        at: u64,
+        /// The agreement era (the session's routing key).
+        era: u64,
+        /// The input.
+        input: GroupModInput,
+    },
 }
 
 impl WalRecord {
@@ -96,7 +106,8 @@ impl WalRecord {
             | WalRecord::DkgOperator { at, .. }
             | WalRecord::VssOperator { at, .. }
             | WalRecord::Timeout { at }
-            | WalRecord::TssOperator { at, .. } => *at,
+            | WalRecord::TssOperator { at, .. }
+            | WalRecord::ModOperator { at, .. } => *at,
         }
     }
 }
@@ -132,6 +143,12 @@ impl WireEncode for WalRecord {
                 w.put_u64(*sid);
                 input.encode_to(w);
             }
+            WalRecord::ModOperator { at, era, input } => {
+                w.put_u8(5);
+                w.put_u64(*at);
+                w.put_u64(*era);
+                input.encode_to(w);
+            }
         }
     }
 }
@@ -161,6 +178,11 @@ impl WireDecode for WalRecord {
                 at: r.u64()?,
                 sid: r.u64()?,
                 input: TssInput::decode_from(r)?,
+            }),
+            5 => Ok(WalRecord::ModOperator {
+                at: r.u64()?,
+                era: r.u64()?,
+                input: GroupModInput::decode_from(r)?,
             }),
             tag => Err(WireError::UnknownTag {
                 context: "wal record",

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! byte 0        version            (currently 1)
-//! byte 1        protocol tag       (0 = HybridVSS, 1 = DKG, 2 = TSS)
+//! byte 1        protocol tag       (0 = HybridVSS, 1 = DKG, 2 = TSS,
+//!                                   3 = group modification)
 //! bytes 2..18   channel            16-byte opaque session routing key
 //! bytes 18..22  payload length     u32, big-endian
 //! bytes 22..    payload            the message's canonical encoding
@@ -19,9 +20,18 @@
 use crate::codec::{Reader, WireEncode, WireWrite};
 use crate::error::WireError;
 
-/// The current wire version. Decoders reject any other value, which is what
-/// makes incompatible future revisions safe to deploy incrementally.
+/// The current wire version. Strict decoders reject any other value, which
+/// is what makes incompatible future revisions safe to deploy incrementally.
 pub const VERSION: u8 = 1;
+
+/// The newest wire version this codec understands. Version 2 shares version
+/// 1's byte layout exactly — the version byte is a *capability signal* for
+/// rolling upgrades, not a format change. A deployment upgrades in two
+/// phases: first every node raises the version it *accepts*
+/// ([`decode_datagram_versioned`] with `max_version = 2`) while still
+/// emitting 1, then — once the whole fleet accepts 2 — nodes start emitting
+/// it and gating new features on the peer's advertised version.
+pub const MAX_KNOWN_VERSION: u8 = 2;
 
 /// Bytes of framing around every payload.
 pub const HEADER_LEN: usize = 1 + 1 + 16 + 4;
@@ -35,6 +45,8 @@ pub enum ProtocolId {
     Dkg,
     /// A threshold-Schnorr signing session driven by a completed DKG's key.
     Tss,
+    /// A §6 group-modification agreement (add/remove nodes, adjust `t`/`f`).
+    Mod,
 }
 
 impl ProtocolId {
@@ -43,6 +55,7 @@ impl ProtocolId {
             ProtocolId::Vss => 0,
             ProtocolId::Dkg => 1,
             ProtocolId::Tss => 2,
+            ProtocolId::Mod => 3,
         }
     }
 
@@ -51,6 +64,7 @@ impl ProtocolId {
             0 => Ok(ProtocolId::Vss),
             1 => Ok(ProtocolId::Dkg),
             2 => Ok(ProtocolId::Tss),
+            3 => Ok(ProtocolId::Mod),
             tag => Err(WireError::UnknownTag {
                 context: "protocol id",
                 tag,
@@ -71,9 +85,22 @@ pub struct Header {
 
 /// Frames `payload` into a complete versioned datagram.
 pub fn encode_datagram<M: WireEncode>(header: Header, payload: &M) -> Vec<u8> {
+    encode_datagram_versioned(VERSION, header, payload)
+}
+
+/// [`encode_datagram`] with an explicit version byte. Versions up to
+/// [`MAX_KNOWN_VERSION`] share the same layout; emitting a version above a
+/// peer's acceptance window makes that peer refuse the frame
+/// (`UnsupportedVersion`), which is exactly the safety property a rolling
+/// upgrade leans on.
+pub fn encode_datagram_versioned<M: WireEncode>(
+    version: u8,
+    header: Header,
+    payload: &M,
+) -> Vec<u8> {
     let payload_len = payload.encoded_len();
     let mut out = Vec::with_capacity(HEADER_LEN + payload_len);
-    out.put_u8(VERSION);
+    out.put_u8(version);
     out.put_u8(header.protocol.tag());
     out.put(&header.channel);
     out.put_u32(payload_len as u32);
@@ -87,9 +114,21 @@ pub fn encode_datagram<M: WireEncode>(header: Header, payload: &M) -> Vec<u8> {
 /// declared payload length disagrees with the actual datagram size (both
 /// truncation and trailing garbage).
 pub fn decode_datagram(bytes: &[u8]) -> Result<(Header, &[u8]), WireError> {
+    let (_, header, payload) = decode_datagram_versioned(bytes, VERSION)?;
+    Ok((header, payload))
+}
+
+/// [`decode_datagram`] with a configurable acceptance window: versions
+/// `1..=max_version` (clamped to [`MAX_KNOWN_VERSION`]) are accepted and the
+/// frame's version byte is returned alongside the header so callers can gate
+/// feature behaviour on what the peer actually emitted.
+pub fn decode_datagram_versioned(
+    bytes: &[u8],
+    max_version: u8,
+) -> Result<(u8, Header, &[u8]), WireError> {
     let mut r = Reader::new(bytes);
     let version = r.u8()?;
-    if version != VERSION {
+    if version == 0 || version > max_version.min(MAX_KNOWN_VERSION) {
         return Err(WireError::UnsupportedVersion { version });
     }
     let protocol = ProtocolId::from_tag(r.u8()?)?;
@@ -100,7 +139,7 @@ pub fn decode_datagram(bytes: &[u8]) -> Result<(Header, &[u8]), WireError> {
     // bounds-checked step.
     let payload = r.take(r.remaining())?;
     match payload.split_at_checked(declared) {
-        Some((body, [])) => Ok((Header { protocol, channel }, body)),
+        Some((body, [])) => Ok((version, Header { protocol, channel }, body)),
         Some((_, rest)) => Err(WireError::TrailingBytes {
             remaining: rest.len(),
         }),
@@ -161,6 +200,50 @@ mod tests {
                 tag: 7
             })
         ));
+    }
+
+    #[test]
+    fn versioned_window_gates_v2_frames() {
+        let header = Header {
+            protocol: ProtocolId::Mod,
+            channel: [3u8; 16],
+        };
+        let v2 = encode_datagram_versioned(2, header, &7u64);
+        // A strict (v1-only) decoder refuses the newer frame…
+        assert_eq!(
+            decode_datagram(&v2),
+            Err(WireError::UnsupportedVersion { version: 2 })
+        );
+        // …a widened acceptance window takes it and reports the version…
+        let (version, back, payload) = decode_datagram_versioned(&v2, 2).unwrap();
+        assert_eq!((version, back), (2, header));
+        assert_eq!(payload, 7u64.to_be_bytes());
+        // …and widening never accepts versions the codec does not know
+        // (or the reserved version 0).
+        let v3 = encode_datagram_versioned(MAX_KNOWN_VERSION + 1, header, &7u64);
+        assert_eq!(
+            decode_datagram_versioned(&v3, u8::MAX),
+            Err(WireError::UnsupportedVersion {
+                version: MAX_KNOWN_VERSION + 1
+            })
+        );
+        let v0 = encode_datagram_versioned(0, header, &7u64);
+        assert_eq!(
+            decode_datagram_versioned(&v0, 2),
+            Err(WireError::UnsupportedVersion { version: 0 })
+        );
+    }
+
+    #[test]
+    fn v1_frames_decode_under_any_window() {
+        let header = Header {
+            protocol: ProtocolId::Tss,
+            channel: [1u8; 16],
+        };
+        let bytes = encode_datagram(header, &5u64);
+        let (version, back, payload) = decode_datagram_versioned(&bytes, 2).unwrap();
+        assert_eq!((version, back), (VERSION, header));
+        assert_eq!(payload, 5u64.to_be_bytes());
     }
 
     #[test]

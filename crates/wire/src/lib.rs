@@ -40,4 +40,7 @@ pub use codec::{
     LenCounter, Reader, WireDecode, WireEncode, WireWrite, MAX_COMMITMENT_DIM, MAX_SEQUENCE_LEN,
 };
 pub use error::WireError;
-pub use frame::{decode_datagram, encode_datagram, Header, ProtocolId, HEADER_LEN, VERSION};
+pub use frame::{
+    decode_datagram, decode_datagram_versioned, encode_datagram, encode_datagram_versioned, Header,
+    ProtocolId, HEADER_LEN, MAX_KNOWN_VERSION, VERSION,
+};
